@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness (see conftest.py)."""
+
+from __future__ import annotations
+
+import os
+
+
+def bench_duration_s() -> float:
+    """Configured duration of end-to-end load-profile runs."""
+    return float(os.environ.get("REPRO_BENCH_DURATION", "45"))
+
+
+def heading(title: str) -> None:
+    """Print a figure/table heading."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

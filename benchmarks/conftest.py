@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it prints
+the same rows/series the paper reports (so a human can eyeball the shape)
+and asserts the qualitative structure — who wins, by roughly what factor,
+where crossovers fall.  Absolute numbers are model outputs, not testbed
+measurements (see EXPERIMENTS.md).
+
+Environment knobs:
+
+* ``REPRO_BENCH_DURATION`` — seconds per end-to-end load-profile run
+  (default 45; the paper replays 3-minute profiles, use 180 for the full
+  reproduction).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    The experiments are long simulations; repeating them for statistical
+    timing would multiply hours, so each executes a single round.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,88 @@
+"""Ablation — demand discovery vs the system-level ECL's latency signal.
+
+Two §5 mechanisms cooperate on load spikes: the utilization controller's
+exponential discovery (level × factor at full utilization) and the
+system-level ECL's time-to-violation, which (a) makes the discovery more
+aggressive and (b) suspends race-to-idle when headroom is critical.
+
+The bench steps the indexed-KV load from 10 % to 75 % and shows:
+
+1. with the latency signal *disabled* (a practically infinite limit),
+   recovery is governed by discovery alone — a timid multiplier recovers
+   visibly slower than the default;
+2. with the signal enabled, the latency override dominates: even the
+   timid multiplier recovers almost as fast as the default, because a
+   rising latency trend forces the aggressive path regardless.
+"""
+
+from repro.ecl.socket_ecl import EclParameters
+from repro.loadprofiles import step_profile
+from repro.sim import RunConfiguration, run_experiment
+from repro.workloads import KeyValueWorkload, WorkloadVariant
+
+from _shared import heading
+
+#: Effectively disables the system-level ECL's influence.
+NO_SIGNAL_LIMIT_S = 1e6
+
+
+def run_sweep():
+    workload = KeyValueWorkload(WorkloadVariant.INDEXED)
+    profile = step_profile([(8.0, 0.1), (12.0, 0.75)])
+    variants = {
+        "timid, no latency signal": EclParameters(
+            discovery_factor=1.15,
+            urgent_discovery_factor=1.2,
+            latency_limit_s=NO_SIGNAL_LIMIT_S,
+        ),
+        "default, no latency signal": EclParameters(
+            latency_limit_s=NO_SIGNAL_LIMIT_S
+        ),
+        "timid, with latency signal": EclParameters(
+            discovery_factor=1.15, urgent_discovery_factor=1.2
+        ),
+        "default, with latency signal": EclParameters(),
+    }
+    return {
+        label: run_experiment(
+            RunConfiguration(workload=workload, profile=profile, ecl_params=params)
+        )
+        for label, params in variants.items()
+    }
+
+
+def recovery_latency(run):
+    """Worst average latency after the load step (t = 8..16 s)."""
+    values = [
+        s.avg_latency_s
+        for s in run.samples
+        if 8.0 <= s.time_s <= 16.0 and s.avg_latency_s is not None
+    ]
+    return max(values) if values else 0.0
+
+
+def test_ablation_discovery(run_once):
+    sweeps = run_once(run_sweep)
+
+    heading("Ablation — discovery factor × latency signal (10 % → 75 % step)")
+    for label, run in sweeps.items():
+        print(
+            f"{label:>30}: energy {run.total_energy_j:7.0f} J  "
+            f"post-step latency peak {1000 * recovery_latency(run):8.1f} ms"
+        )
+
+    timid_blind = recovery_latency(sweeps["timid, no latency signal"])
+    default_blind = recovery_latency(sweeps["default, no latency signal"])
+    timid_guided = recovery_latency(sweeps["timid, with latency signal"])
+    default_guided = recovery_latency(sweeps["default, with latency signal"])
+
+    # 1. Without the latency signal, discovery speed is all that matters:
+    #    timid discovery pays a clearly larger latency excursion.
+    assert timid_blind > 1.5 * default_blind
+
+    # 2. The system-level ECL's signal rescues even timid discovery.
+    assert timid_guided < 0.5 * timid_blind
+
+    # 3. With the signal on, the discovery factor barely matters — the
+    #    paper's hierarchical design makes the socket knob forgiving.
+    assert timid_guided < 2.0 * default_guided + 0.05

@@ -1,0 +1,50 @@
+"""Ablation — control-policy ladder: baseline vs ondemand DVFS vs ECL.
+
+The paper's §7 argues that prior feedback controllers (one DVFS setting
+per processor, no uncore control, no C-state orchestration, no energy
+profile) leave most of the savings behind.  This bench runs the three
+policies over the spike profile and checks the expected ladder.
+"""
+
+from repro.loadprofiles import spike_profile
+from repro.sim import RunConfiguration, run_experiment
+from repro.workloads import KeyValueWorkload, WorkloadVariant
+
+from _shared import bench_duration_s, heading
+
+
+def run_ladder():
+    workload = KeyValueWorkload(WorkloadVariant.NON_INDEXED)
+    profile = spike_profile(duration_s=bench_duration_s())
+    return {
+        policy: run_experiment(
+            RunConfiguration(workload=workload, profile=profile, policy=policy)
+        )
+        for policy in ("baseline", "ondemand", "ecl")
+    }
+
+
+def test_ablation_policies(run_once):
+    runs = run_once(run_ladder)
+
+    heading("Ablation — policy ladder on the spike profile (KV scans)")
+    for policy, run in runs.items():
+        print(
+            f"{policy:>9}: energy {run.total_energy_j:8.0f} J  "
+            f"power {run.average_power_w():6.1f} W  "
+            f"mean lat {1000 * run.mean_latency_s():7.1f} ms  "
+            f"done {run.queries_completed}/{run.queries_submitted}"
+        )
+    base = runs["baseline"].total_energy_j
+    ondemand = runs["ondemand"].total_energy_j
+    ecl = runs["ecl"].total_energy_j
+    print(
+        f"\nsavings vs baseline: ondemand {1 - ondemand / base:.1%}, "
+        f"ecl {1 - ecl / base:.1%}"
+    )
+
+    # The ladder: per-core DVFS alone helps, the full ECL helps more.
+    assert ondemand < base * 0.95
+    assert ecl < ondemand * 0.95
+    # DBMS-integrated control roughly doubles the DVFS-only savings.
+    assert (1 - ecl / base) > 1.5 * (1 - ondemand / base) * 0.8

@@ -1,0 +1,65 @@
+"""Ablation — race-to-idle: on/off and switching-frequency sweep.
+
+Design choice under test (paper §5.1): RTI compensates the first-core
+activation cost and emulates unavailable performance levels, at the price
+of idle-stint latency.  Disabling it should cost energy at partial load;
+longer cycle periods (slower switching) should raise latencies.
+"""
+
+from repro.ecl.socket_ecl import EclParameters
+from repro.loadprofiles import constant_profile
+from repro.sim import RunConfiguration, run_experiment
+from repro.workloads import KeyValueWorkload, WorkloadVariant
+
+from _shared import heading
+
+
+def run_variants():
+    workload = KeyValueWorkload(WorkloadVariant.NON_INDEXED)
+    profile = constant_profile(0.25, duration_s=20.0)
+    variants = {}
+    variants["rti on (20 ms cycles)"] = run_experiment(
+        RunConfiguration(workload=workload, profile=profile)
+    )
+    variants["rti on (slow, 100 ms cycles)"] = run_experiment(
+        RunConfiguration(
+            workload=workload,
+            profile=profile,
+            ecl_params=EclParameters(
+                rti_min_period_s=0.1, rti_max_cycles=10
+            ),
+        )
+    )
+    variants["rti off"] = run_experiment(
+        RunConfiguration(
+            workload=workload,
+            profile=profile,
+            ecl_params=EclParameters(rti_enabled=False),
+        )
+    )
+    return variants
+
+
+def test_ablation_rti(run_once):
+    variants = run_once(run_variants)
+
+    heading("Ablation — RTI on/off and cycle period (25 % load, KV scans)")
+    for name, run in variants.items():
+        print(
+            f"{name:>28}: energy {run.total_energy_j:7.0f} J  "
+            f"power {run.average_power_w():6.1f} W  "
+            f"mean lat {1000 * run.mean_latency_s():6.1f} ms  "
+            f"p99 {1000 * run.percentile_latency_s(99):7.1f} ms"
+        )
+
+    fast = variants["rti on (20 ms cycles)"]
+    slow = variants["rti on (slow, 100 ms cycles)"]
+    off = variants["rti off"]
+
+    # RTI saves energy at partial load...
+    assert fast.total_energy_j < off.total_energy_j * 0.97
+    # ...at a (bounded) latency price vs never idling.
+    assert fast.mean_latency_s() >= off.mean_latency_s()
+    assert fast.violation_fraction() < 0.05
+    # Slower switching costs latency compared to fast switching.
+    assert slow.percentile_latency_s(99) > fast.percentile_latency_s(99)

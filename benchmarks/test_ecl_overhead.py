@@ -1,0 +1,65 @@
+"""§6.2 — the ECL's own compute overhead.
+
+Paper: "the ECL itself only consumes 2 % of the compute time of a single
+hardware thread per socket, which is a negligible number."  The bench
+verifies the configured overhead matches and that disabling it changes
+measured results only marginally (negligibility).
+"""
+
+import dataclasses
+
+from repro.ecl.socket_ecl import EclParameters
+from repro.loadprofiles import constant_profile
+from repro.sim import RunConfiguration, run_experiment
+from repro.workloads import KeyValueWorkload, WorkloadVariant
+
+from _shared import heading
+
+
+def run_pair():
+    workload = KeyValueWorkload(WorkloadVariant.NON_INDEXED)
+    profile = constant_profile(0.4, duration_s=15.0)
+    with_overhead = run_experiment(
+        RunConfiguration(workload=workload, profile=profile, policy="ecl")
+    )
+    without_overhead = run_experiment(
+        RunConfiguration(
+            workload=workload,
+            profile=profile,
+            policy="ecl",
+            ecl_params=EclParameters(overhead_thread_fraction=0.0),
+        )
+    )
+    return with_overhead, without_overhead
+
+
+def test_ecl_overhead(run_once):
+    with_oh, without_oh = run_once(run_pair)
+
+    params = EclParameters()
+    one_thread_ips = 2.6e9  # one hardware thread at the nominal clock
+    overhead_ips = params.overhead_thread_fraction * one_thread_ips
+
+    heading("§6.2 — ECL compute overhead")
+    print(
+        f"configured overhead: {params.overhead_thread_fraction:.1%} of one "
+        f"hardware thread per socket ({overhead_ips:.2e} instr/s)"
+    )
+    print(
+        f"energy with overhead:    {with_oh.total_energy_j:9.0f} J "
+        f"(mean latency {1000 * with_oh.mean_latency_s():5.1f} ms)"
+    )
+    print(
+        f"energy without overhead: {without_oh.total_energy_j:9.0f} J "
+        f"(mean latency {1000 * without_oh.mean_latency_s():5.1f} ms)"
+    )
+
+    # The paper's number.
+    assert params.overhead_thread_fraction == 0.02
+    # Negligibility: removing the overhead changes total energy < 5 %.
+    delta = abs(with_oh.total_energy_j - without_oh.total_energy_j)
+    assert delta / without_oh.total_energy_j < 0.05
+    # And the system behaves the same w.r.t. the latency limit.
+    assert abs(
+        with_oh.violation_fraction() - without_oh.violation_fraction()
+    ) < 0.05

@@ -1,0 +1,100 @@
+"""Extension — why the paper restricts the ECL to data-oriented systems.
+
+Paper §5.3: in transaction-oriented architectures, spinlocks "often occur
+and tamper with our performance metric (instructions retired)".  This
+bench quantifies the tampering: for a lock-manager-latched TATP workload,
+configurations are evaluated twice — once by *useful* throughput (ground
+truth) and once by the hardware counters a runtime ECL would read
+(spinning threads retire instructions without progress).  The counter
+view wildly overrates contended many-core configurations and picks a
+different, much worse "optimal" configuration.
+"""
+
+from repro.hardware.machine import Machine
+from repro.hardware.perfmodel import ActiveCore, SocketLoad
+from repro.profiles.configuration import ConfigurationMeasurement
+from repro.profiles.evaluate import build_profile, measure_configuration
+from repro.profiles.generator import ConfigurationGenerator
+from repro.profiles.profile import EnergyProfile
+from repro.workloads.toa import TRANSACTION_ORIENTED_CHARACTERISTICS
+
+from _shared import heading
+
+
+def build_views():
+    """(truth profile, counter-view profile) for the latched workload."""
+    machine = Machine(seed=15)
+    chars = TRANSACTION_ORIENTED_CHARACTERISTICS
+    truth = build_profile(machine, 0, chars)
+
+    # Counter view: identical configurations, but the performance score is
+    # what the instruction counters report — including spin retirement.
+    generator = ConfigurationGenerator(machine.topology, machine.params, 0)
+    counter_view = EnergyProfile(generator.generate())
+    for configuration in counter_view.configurations():
+        base = measure_configuration(machine, configuration, chars)
+        freq_map = dict(configuration.core_frequencies)
+        siblings: dict[int, int] = {}
+        for tid in configuration.active_threads:
+            core = machine.topology.core_of(tid)
+            siblings[core.core_id] = siblings.get(core.core_id, 0) + 1
+        cores = [
+            ActiveCore(0, cid, freq_map[cid], count)
+            for cid, count in sorted(siblings.items())
+        ]
+        perf = machine.perf_model.resolve(
+            cores, configuration.uncore_ghz, SocketLoad(chars, None)
+        )
+        counter_view.record(
+            configuration,
+            ConfigurationMeasurement(
+                power_w=base.power_w,
+                performance_score=perf.retired_ips,
+                measured_at_s=0.0,
+            ),
+        )
+    return truth, counter_view
+
+
+def test_extension_transaction_oriented(run_once):
+    truth, counter_view = run_once(build_views)
+
+    heading("Extension §5.3 — spin-polluted counters vs useful throughput")
+    true_opt = truth.most_efficient()
+    seen_opt = counter_view.most_efficient()
+    print(
+        f"true optimum        : {true_opt.configuration.describe():>20}  "
+        f"{true_opt.measurement.performance_score:.3e} useful instr/s"
+    )
+    print(
+        f"counter-view optimum: {seen_opt.configuration.describe():>20}  "
+        f"{seen_opt.measurement.performance_score:.3e} 'retired' instr/s"
+    )
+    # How badly would the counter-picked configuration actually perform?
+    actual = truth.entry(seen_opt.configuration).measurement
+    print(
+        f"counter pick's true useful throughput: "
+        f"{actual.performance_score:.3e} instr/s @ {actual.power_w:.1f} W"
+    )
+    inflation = (
+        seen_opt.measurement.performance_score / actual.performance_score
+    )
+    print(f"counter inflation on the picked configuration: ×{inflation:.1f}")
+    true_eff = true_opt.measurement.energy_efficiency
+    picked_eff = actual.energy_efficiency
+    print(
+        f"efficiency loss from trusting the counters: "
+        f"{1 - picked_eff / true_eff:.1%}"
+    )
+
+    # The counters lie under contention (severalfold inflation)...
+    assert inflation > 3.0
+    # ...which makes the runtime ECL pick a different configuration...
+    assert seen_opt.configuration != true_opt.configuration
+    # ...with far more active threads than the true latch-friendly optimum...
+    assert (
+        seen_opt.configuration.thread_count
+        > true_opt.configuration.thread_count
+    )
+    # ...and a large real efficiency loss.
+    assert picked_eff < 0.6 * true_eff

@@ -1,0 +1,76 @@
+"""Fig. 3 — static/dynamic power breakdown (RAPL vs PSU).
+
+Paper: idle (static) power is ~18 % of peak, CPU + DRAM dominate the
+dynamic power, and ~15 % of the load power (PSU losses, fans, board) is
+invisible to RAPL.  The turbo transient peaks near 500 W at the PSU.
+"""
+
+from repro.hardware.machine import Machine
+from repro.hardware.firestarter import apply_full_load, apply_idle
+
+from _shared import heading
+
+
+def measure_breakdown():
+    machine = Machine(seed=1)
+    apply_idle(machine)
+    idle = machine.step(1.0)
+    apply_full_load(machine)
+    machine.step(1.0)  # settle
+    full = machine.step(1.0)
+    # The turbo transient must be measured fresh: the ~1 s thermal budget
+    # is the reason the paper's 500 W peak "can only endure for about 1 s".
+    hot = Machine(seed=1)
+    apply_full_load(hot, turbo=True)
+    turbo = hot.step(0.9)
+    hot.step(0.5)  # budget exhausted, throttled
+    throttled = hot.step(1.0)
+    return idle, full, turbo, throttled
+
+
+def test_fig03_power_breakdown(run_once):
+    idle, full, turbo, throttled = run_once(measure_breakdown)
+
+    heading("Fig. 3 — Haswell-EP power breakdown (static vs dynamic), Watts")
+    rows = [
+        ("state", "pkg S0", "pkg S1", "dram S0", "dram S1", "RAPL", "PSU"),
+    ]
+    for name, step in (
+        ("idle", idle),
+        ("full load", full),
+        ("turbo burst", turbo),
+        ("turbo throttled", throttled),
+    ):
+        rows.append(
+            (
+                name,
+                f"{step.sockets[0].power.package_w:6.1f}",
+                f"{step.sockets[1].power.package_w:6.1f}",
+                f"{step.sockets[0].power.dram_w:6.1f}",
+                f"{step.sockets[1].power.dram_w:6.1f}",
+                f"{step.rapl_power_w:6.1f}",
+                f"{step.psu_power_w:6.1f}",
+            )
+        )
+    for row in rows:
+        print("  ".join(f"{c:>10}" for c in row))
+
+    static_ratio = idle.psu_power_w / full.psu_power_w
+    overhead = (full.psu_power_w - full.rapl_power_w) / full.rapl_power_w
+    print(f"\nstatic/peak ratio: {static_ratio:.1%}   (paper: ~18 %)")
+    print(f"RAPL-invisible overhead at load: {overhead:.1%} (paper: ~15 % + fixed)")
+    print(
+        f"turbo PSU peak: {turbo.psu_power_w:.0f} W for ~1 s, then "
+        f"{throttled.psu_power_w:.0f} W throttled (paper: ~500 W, ~1 s)"
+    )
+
+    # Shape assertions.
+    assert 0.12 < static_ratio < 0.24
+    assert overhead > 0.15
+    assert 440 < turbo.psu_power_w < 580
+    # The thermal budget ends the transient near the sustained level.
+    assert throttled.psu_power_w < turbo.psu_power_w - 50.0
+    # CPU+DRAM dominate dynamic power.
+    dynamic_rapl = full.rapl_power_w - idle.rapl_power_w
+    dynamic_psu = full.psu_power_w - idle.psu_power_w
+    assert dynamic_rapl / dynamic_psu > 0.8

@@ -1,0 +1,75 @@
+"""Fig. 4 — power cost of activating cores and HyperThreads.
+
+Paper: activating the *first* core of a socket is expensive (it wakes the
+uncore/LLC — up to ~30 W), additional physical cores cost a few, almost
+constant, watts each (frequency dependent), and HyperThread siblings are
+nearly free.
+"""
+
+from repro.hardware.machine import Machine
+from repro.hardware.perfmodel import SocketLoad
+from repro.workloads.micro import COMPUTE_BOUND
+
+from _shared import heading
+
+
+def activation_series(core_ghz: float, uncore_ghz: float):
+    """Socket-0 power as threads activate: cores first, then HT siblings."""
+    machine = Machine(seed=2)
+    machine.apply_socket_threads(1, set())  # keep the peer socket idle
+    machine.set_idle(1)
+    machine.frequency.set_uncore_frequency(0, uncore_ghz)
+    machine.frequency.set_all_core_frequencies(core_ghz, 0.0)
+    machine.set_socket_load(
+        0, SocketLoad(characteristics=COMPUTE_BOUND, demand_instructions_per_s=None)
+    )
+    series = []
+    machine.apply_socket_threads(0, set())
+    series.append(machine.step(0.2).sockets[0].power.socket_total_w)
+    active: set[int] = set()
+    order = list(range(12)) + list(range(24, 36))  # cores, then HT siblings
+    for tid in order:
+        active.add(tid)
+        machine.apply_socket_threads(0, active)
+        series.append(machine.step(0.2).sockets[0].power.socket_total_w)
+    return series
+
+
+def test_fig04_core_activation(run_once):
+    combos = [(1.2, 1.2), (1.2, 3.0), (2.6, 1.2), (2.6, 3.0)]
+    results = run_once(
+        lambda: {combo: activation_series(*combo) for combo in combos}
+    )
+
+    heading("Fig. 4 — socket power (W) vs activated threads")
+    print(f"{'threads':>8}", "  ".join(f"c{c}/u{u}" for c, u in combos))
+    for i in range(0, 25, 2):
+        print(
+            f"{i:>8}",
+            "  ".join(f"{results[c][i]:7.1f}" for c in combos),
+        )
+
+    for combo in combos:
+        series = results[combo]
+        first_core = series[1] - series[0]
+        extra_cores = [series[i + 1] - series[i] for i in range(1, 12)]
+        ht_siblings = [series[i + 1] - series[i] for i in range(12, 24)]
+        print(
+            f"core {combo[0]} GHz / uncore {combo[1]} GHz: "
+            f"first core +{first_core:.1f} W, "
+            f"extra core ~{sum(extra_cores)/len(extra_cores):+.1f} W, "
+            f"HT sibling ~{sum(ht_siblings)/len(ht_siblings):+.2f} W"
+        )
+        # First core costs several times an additional core.
+        mean_extra = sum(extra_cores) / len(extra_cores)
+        mean_ht = sum(ht_siblings) / len(ht_siblings)
+        assert first_core > 2.5 * mean_extra
+        assert mean_ht < 0.25 * mean_extra
+        # Extra-core cost is almost constant (small spread).
+        assert max(extra_cores) - min(extra_cores) < 0.5 * mean_extra + 0.5
+
+    # The first-core cost adheres to the uncore clock (paper's key point).
+    first_low_uncore = results[(1.2, 1.2)][1] - results[(1.2, 1.2)][0]
+    first_high_uncore = results[(1.2, 3.0)][1] - results[(1.2, 3.0)][0]
+    assert first_high_uncore > first_low_uncore + 8.0
+    assert first_high_uncore < 40.0  # "saves up to 30 W" scale

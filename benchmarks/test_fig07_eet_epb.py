@@ -1,0 +1,94 @@
+"""Fig. 7 — EPB / energy-efficient-turbo time series.
+
+Paper: after requesting the turbo frequency, a powersave/balanced EPB
+dwells ~1 s at the nominal clock before entering turbo (a); the
+performance EPB enters immediately (b); and for a memory-bound workload
+the turbo step burns extra power without retiring more instructions (c).
+"""
+
+from repro.hardware.frequency import EnergyPerformanceBias
+from repro.hardware.machine import Machine
+from repro.hardware.perfmodel import SocketLoad
+from repro.workloads.micro import COMPUTE_BOUND, MEMORY_BOUND
+
+from _shared import heading
+
+
+def time_series(epb: EnergyPerformanceBias, chars):
+    """(time, instructions/s, power) samples around a turbo request at 1 s."""
+    machine = Machine(seed=6)
+    machine.apply_socket_threads(1, set())
+    machine.set_idle(1)
+    machine.apply_socket_threads(0, set(range(12)) | set(range(24, 36)))
+    machine.set_epb_all(epb)
+    machine.frequency.set_all_core_frequencies(1.2, 0.0)
+    machine.frequency.set_uncore_frequency(0, 3.0)
+    machine.set_socket_load(
+        0, SocketLoad(characteristics=chars, demand_instructions_per_s=None)
+    )
+    samples = []
+    dt = 0.05
+    requested = False
+    while machine.time_s < 3.0:
+        if machine.time_s >= 1.0 and not requested:
+            machine.frequency.set_all_core_frequencies(3.1, machine.time_s)
+            requested = True
+        step = machine.step(dt)
+        socket = step.sockets[0]
+        samples.append(
+            (
+                step.time_s,
+                socket.performance.executed_ips,
+                socket.power.socket_total_w,
+            )
+        )
+    return samples
+
+
+def rate_at(samples, t):
+    return next(s[1] for s in samples if s[0] >= t)
+
+
+def power_at(samples, t):
+    return next(s[2] for s in samples if s[0] >= t)
+
+
+def test_fig07_eet_epb(run_once):
+    series = run_once(
+        lambda: {
+            "balanced/compute": time_series(
+                EnergyPerformanceBias.BALANCED, COMPUTE_BOUND
+            ),
+            "performance/compute": time_series(
+                EnergyPerformanceBias.PERFORMANCE, COMPUTE_BOUND
+            ),
+            "balanced/membound": time_series(
+                EnergyPerformanceBias.BALANCED, MEMORY_BOUND
+            ),
+        }
+    )
+
+    heading("Fig. 7 — instructions/s and power around the turbo request (t=1s)")
+    for name, samples in series.items():
+        print(f"\n{name}:")
+        for t in (0.5, 1.2, 1.8, 2.2, 2.5):
+            print(
+                f"  t={t:4.1f}s  {rate_at(samples, t):12.3e} instr/s  "
+                f"{power_at(samples, t):6.1f} W"
+            )
+
+    balanced = series["balanced/compute"]
+    performance = series["performance/compute"]
+    membound = series["balanced/membound"]
+
+    # (a) Balanced EPB: 2.6 GHz plateau until ~2 s, then the turbo step.
+    assert rate_at(balanced, 1.5) > rate_at(balanced, 0.5) * 1.8  # 1.2→2.6
+    assert rate_at(balanced, 2.4) > rate_at(balanced, 1.5) * 1.1  # 2.6→3.1
+    # (b) Performance EPB: turbo immediately after the request.
+    assert rate_at(performance, 1.3) > rate_at(balanced, 1.3) * 1.08
+    # (c) Memory-bound: turbo adds power but no instructions.
+    gain = rate_at(membound, 2.5) / rate_at(membound, 1.5)
+    extra_power = power_at(membound, 2.5) - power_at(membound, 1.5)
+    print(f"\nmem-bound turbo: perf gain ×{gain:.3f}, extra power {extra_power:+.1f} W")
+    assert gain < 1.05
+    assert extra_power > 2.0

@@ -1,0 +1,79 @@
+"""Fig. 9 — energy-profile granularity for the compute-bound workload.
+
+Paper: with f_core=4, f_uncore=3, mixed off, c_max=256 the generator
+produces 144 configurations plus idle (sibling grouping); raising f_core
+to 7 or enabling mixed frequencies adds configurations *without*
+improving the skyline — the coarse setting already covers the supporting
+points.  The lowest uncore clock is the most energy-efficient for
+compute-bound work.
+"""
+
+from repro.hardware.machine import Machine
+from repro.profiles.evaluate import build_profile
+from repro.profiles.generator import GeneratorParameters
+from repro.workloads.micro import COMPUTE_BOUND
+
+from _shared import heading
+
+
+def build_variants():
+    machine = Machine(seed=8)
+    settings = {
+        "f_core=4, mixed off": GeneratorParameters(f_core=4, f_uncore=3),
+        "f_core=7, mixed off": GeneratorParameters(f_core=7, f_uncore=3),
+        "f_core=4, mixed on": GeneratorParameters(
+            f_core=4, f_uncore=3, f_core_mixed=True
+        ),
+    }
+    return {
+        name: build_profile(machine, 0, COMPUTE_BOUND, params)
+        for name, params in settings.items()
+    }
+
+
+def skyline_efficiency_at(profile, levels):
+    """Best efficiency achievable at each normalized performance level."""
+    peak = profile.peak_performance()
+    return [
+        profile.best_for_performance(level * peak).measurement.energy_efficiency
+        for level in levels
+    ]
+
+
+def test_fig09_profile_granularity(run_once):
+    profiles = run_once(build_variants)
+
+    heading("Fig. 9 — compute-bound energy profiles, 3 generator settings")
+    levels = [0.2, 0.4, 0.6, 0.8, 1.0]
+    reference = None
+    for name, profile in profiles.items():
+        effs = skyline_efficiency_at(profile, levels)
+        opt = profile.most_efficient()
+        print(
+            f"{name:>22}: {len(profile):4d} configs, optimal "
+            f"{opt.configuration.describe():>20}, skyline eff @ "
+            + " ".join(f"{l:.0%}:{e:.2e}" for l, e in zip(levels, effs))
+        )
+        if reference is None:
+            reference = effs
+        else:
+            # The skyline does NOT significantly improve with granularity.
+            for base_eff, this_eff in zip(reference, effs):
+                assert this_eff < base_eff * 1.08
+
+    base = profiles["f_core=4, mixed off"]
+    assert len(base) == 145  # 144 + idle, the paper's exact count
+    assert len(profiles["f_core=7, mixed off"]) > len(base)
+    assert len(profiles["f_core=4, mixed on"]) > len(base)
+
+    # Lowest uncore clock is most efficient for compute-bound work.
+    assert base.most_efficient().configuration.uncore_ghz == 1.2
+
+    # ECL RTI beats the race-to-idle baseline below the optimal zone.
+    opt_perf = base.most_efficient().measurement.performance_score
+    for fraction in (0.2, 0.5, 0.8):
+        level = fraction * opt_perf
+        assert base.rti_efficiency(level) > base.baseline_efficiency(level)
+    saving = base.max_rti_saving()
+    print(f"\nmax ECL-RTI saving vs baseline: {saving:.1%} (paper: ~40 % at low load)")
+    assert 0.25 < saving < 0.55

@@ -1,0 +1,105 @@
+"""Table 1 — relative energy savings for every workload × load profile.
+
+Paper: savings range from 15.8 % (indexed OLTP) to ~40 % (non-indexed
+KV); non-indexed (bandwidth-bound) workloads save more than indexed
+(latency-bound) ones because parallel scans saturate the memory
+controllers; the custom KV benchmark saves the most; TATP and SSB need
+more threads at medium frequency due to cross-partition communication.
+The table also reports the most energy-efficient configuration per
+workload, which is mostly static per workload.
+"""
+
+from repro.loadprofiles import spike_profile, twitter_profile
+from repro.profiles.evaluate import build_profile
+from repro.hardware.machine import Machine
+from repro.sim import RunConfiguration, run_experiment
+from repro.sim.metrics import energy_saving_fraction
+from repro.workloads import (
+    KeyValueWorkload,
+    SsbWorkload,
+    TatpWorkload,
+    WorkloadVariant,
+)
+
+from _shared import bench_duration_s, heading
+
+WORKLOADS = [
+    TatpWorkload(WorkloadVariant.INDEXED),
+    TatpWorkload(WorkloadVariant.NON_INDEXED),
+    SsbWorkload(WorkloadVariant.INDEXED),
+    SsbWorkload(WorkloadVariant.NON_INDEXED),
+    KeyValueWorkload(WorkloadVariant.INDEXED),
+    KeyValueWorkload(WorkloadVariant.NON_INDEXED),
+]
+
+
+def run_table():
+    duration = bench_duration_s()
+    profiles = {
+        "spike": spike_profile(duration_s=duration),
+        "twitter": twitter_profile(duration_s=duration),
+    }
+    machine = Machine(seed=1)
+    table = {}
+    for workload in WORKLOADS:
+        energy_profile = build_profile(machine, 0, workload.characteristics)
+        optimal = energy_profile.most_efficient().configuration.describe()
+        savings = {}
+        for profile_name, load_profile in profiles.items():
+            ecl = run_experiment(
+                RunConfiguration(workload=workload, profile=load_profile)
+            )
+            base = run_experiment(
+                RunConfiguration(
+                    workload=workload, profile=load_profile, policy="baseline"
+                )
+            )
+            savings[profile_name] = (
+                energy_saving_fraction(base, ecl),
+                ecl.violation_fraction(),
+            )
+        table[workload.full_name] = (optimal, savings)
+    return table
+
+
+def test_table1_energy_savings(run_once):
+    table = run_once(run_table)
+
+    heading("Table 1 — relative energy savings (ECL vs baseline)")
+    print(
+        f"{'workload':>22} {'optimal config':>22} {'spike':>8} {'twitter':>8}"
+        f" {'viol(spike)':>11}"
+    )
+    for name, (optimal, savings) in table.items():
+        print(
+            f"{name:>22} {optimal:>22} "
+            f"{savings['spike'][0]:8.1%} {savings['twitter'][0]:8.1%} "
+            f"{savings['spike'][1]:11.1%}"
+        )
+
+    all_savings = [
+        s[0] for _, savings in table.values() for s in savings.values()
+    ]
+    # Paper's headline: savings between ~15 % and ~40 % (we allow a band).
+    assert min(all_savings) > 0.10
+    assert max(all_savings) < 0.60
+    assert max(all_savings) > 0.30
+
+    def mean_saving(name):
+        savings = table[name][1]
+        return sum(s[0] for s in savings.values()) / len(savings)
+
+    # Non-indexed beats indexed for every benchmark (bandwidth-bound
+    # scans leave the most on the table).
+    for bench in ("tatp", "ssb", "kv"):
+        indexed = mean_saving(f"{bench} (indexed)")
+        non_indexed = mean_saving(f"{bench} (non-indexed)")
+        assert non_indexed > indexed, bench
+
+    # The custom KV benchmark is at the top of the non-indexed group
+    # (paper: it "achieves the most energy savings"; in our model SSB's
+    # non-indexed scans land within a few points of it — see the
+    # divergence notes in EXPERIMENTS.md).
+    kv = mean_saving("kv (non-indexed)")
+    assert kv >= mean_saving("tatp (non-indexed)") - 0.02
+    assert kv >= mean_saving("ssb (non-indexed)") - 0.05

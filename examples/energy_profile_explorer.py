@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Explore energy profiles: how workload shape picks the right hardware.
+
+Reproduces the §4 analysis interactively: generates the configuration
+set for one socket, evaluates it under several workloads, and prints an
+ASCII rendition of the Fig. 9/10 charts — performance level (x) versus
+energy efficiency (y), with the skyline, the most energy-efficient
+configuration, and the ruling zones.
+
+Run:  python examples/energy_profile_explorer.py [workload]
+      workload ∈ compute-bound | memory-bound | atomic-contention |
+                 hashtable-insert  (default: all)
+"""
+
+import sys
+
+from repro.hardware.machine import Machine
+from repro.profiles.evaluate import build_profile
+from repro.profiles.zones import RulingZone, classify_zones
+from repro.workloads.micro import MICRO_WORKLOADS
+
+
+def render_profile(machine: Machine, name: str) -> None:
+    chars = MICRO_WORKLOADS[name]
+    profile = build_profile(machine, 0, chars)
+    peak_perf = profile.peak_performance()
+    peak_eff = max(
+        e.measurement.energy_efficiency for e in profile.evaluated_entries()
+        if not e.configuration.is_idle
+    )
+    zones = classify_zones(profile)
+
+    print()
+    print(f"=== {name} ===")
+    width, height = 64, 16
+    grid = [[" "] * width for _ in range(height)]
+    for entry in profile.evaluated_entries():
+        if entry.configuration.is_idle:
+            continue
+        m = entry.measurement
+        x = min(width - 1, int(m.performance_score / peak_perf * (width - 1)))
+        y = min(height - 1, int(m.energy_efficiency / peak_eff * (height - 1)))
+        zone = zones[entry.configuration]
+        mark = {
+            RulingZone.UNDER_UTILIZATION: ".",
+            RulingZone.OPTIMAL: "O",
+            RulingZone.OVER_UTILIZATION: "+",
+        }[zone]
+        grid[height - 1 - y][x] = mark
+    for skyline_point in profile.skyline():
+        x = min(
+            width - 1,
+            int(skyline_point.performance_score / peak_perf * (width - 1)),
+        )
+        y = min(
+            height - 1,
+            int(skyline_point.energy_efficiency / peak_eff * (height - 1)),
+        )
+        if grid[height - 1 - y][x] != "O":
+            grid[height - 1 - y][x] = "*"
+
+    print("efficiency ↑   (. under-utilized  O optimal  + over-utilized  * skyline)")
+    for row in grid:
+        print("  |" + "".join(row))
+    print("  +" + "-" * width + "→ performance level")
+
+    optimal = profile.most_efficient()
+    baseline = profile.baseline_entry()
+    print(f"  optimal configuration : {optimal.configuration.describe()}")
+    print(
+        f"  optimal perf/power    : {optimal.measurement.performance_score:.2e} "
+        f"instr/s @ {optimal.measurement.power_w:.1f} W"
+    )
+    print(f"  race-to-idle baseline : {baseline.configuration.describe()}")
+    print(
+        f"  response advantage    : "
+        f"{optimal.measurement.performance_score / baseline.measurement.performance_score:.2f}×"
+    )
+    print(f"  max energy saving     : {profile.max_rti_saving():.1%}")
+
+
+def main() -> None:
+    machine = Machine(seed=0)
+    names = sys.argv[1:] or list(MICRO_WORKLOADS)
+    for name in names:
+        if name not in MICRO_WORKLOADS:
+            raise SystemExit(
+                f"unknown workload {name!r}; choose from {sorted(MICRO_WORKLOADS)}"
+            )
+        render_profile(machine, name)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Latency SLAs vs energy: how tight can the limit be?
+
+The ECL treats the user-defined response-time limit as a soft
+constraint.  A tighter limit forces it to keep more hardware awake
+(shorter or no race-to-idle stints, more aggressive discovery), trading
+energy for latency headroom.  This example sweeps the limit and reports
+the trade-off under the bursty Twitter-style load.
+
+Run:  python examples/latency_sla.py
+"""
+
+from repro.ecl.socket_ecl import EclParameters
+from repro.loadprofiles import twitter_profile
+from repro.sim import RunConfiguration, run_experiment
+from repro.workloads import KeyValueWorkload, WorkloadVariant
+
+
+def main() -> None:
+    workload = KeyValueWorkload(WorkloadVariant.NON_INDEXED)
+    profile = twitter_profile(duration_s=45.0)
+
+    print("sweeping the query-latency limit under the twitter load profile")
+    print(
+        f"\n{'limit':>8} {'energy':>9} {'avg power':>10} "
+        f"{'mean lat':>9} {'p99 lat':>9} {'violations':>11}"
+    )
+
+    results = {}
+    for limit_ms in (400.0, 100.0, 50.0, 25.0):
+        params = EclParameters(latency_limit_s=limit_ms / 1000.0)
+        result = run_experiment(
+            RunConfiguration(
+                workload=workload,
+                profile=profile,
+                policy="ecl",
+                ecl_params=params,
+            )
+        )
+        results[limit_ms] = result
+        print(
+            f"{limit_ms:6.0f}ms {result.total_energy_j:7.0f} J "
+            f"{result.average_power_w():8.1f} W "
+            f"{1000 * result.mean_latency_s():7.1f} ms "
+            f"{1000 * result.percentile_latency_s(99):7.1f} ms "
+            f"{result.violation_fraction():10.1%}"
+        )
+
+    loosest = results[max(results)]
+    tightest = results[min(results)]
+    print(
+        f"\ntightening the limit from {max(results):.0f} ms to "
+        f"{min(results):.0f} ms costs "
+        f"{tightest.total_energy_j - loosest.total_energy_j:+.0f} J "
+        f"({(tightest.total_energy_j / loosest.total_energy_j - 1):+.1%}) "
+        "— the price of latency headroom."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: run the ECL against a load profile and read the results.
+
+This is the one-screen tour of the library:
+
+1. build a workload (the paper's non-indexed key-value benchmark) and a
+   load profile (a constant 40 % load),
+2. run it twice — once under the Energy-Control Loop, once under the
+   uncontrolled race-to-idle baseline,
+3. compare energy, power, and latency.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.loadprofiles import constant_profile
+from repro.sim import RunConfiguration, run_experiment
+from repro.sim.metrics import energy_saving_fraction
+from repro.workloads import KeyValueWorkload, WorkloadVariant
+
+
+def main() -> None:
+    workload = KeyValueWorkload(WorkloadVariant.NON_INDEXED)
+    profile = constant_profile(0.40, duration_s=20.0)
+
+    print(f"workload: {workload.full_name}")
+    print(f"profile:  {profile.name} for {profile.duration_s:.0f} s")
+    print(f"load:     {workload.queries_per_second(0.40):.0f} queries/s")
+    print()
+
+    results = {}
+    for policy in ("baseline", "ecl"):
+        print(f"running {policy} ...")
+        results[policy] = run_experiment(
+            RunConfiguration(workload=workload, profile=profile, policy=policy)
+        )
+
+    print()
+    print(f"{'':>10} {'energy':>10} {'avg power':>10} {'mean lat':>9} {'p99 lat':>9}")
+    for policy, result in results.items():
+        print(
+            f"{policy:>10} {result.total_energy_j:8.0f} J "
+            f"{result.average_power_w():8.1f} W "
+            f"{1000 * result.mean_latency_s():7.1f} ms "
+            f"{1000 * result.percentile_latency_s(99):7.1f} ms"
+        )
+
+    saving = energy_saving_fraction(results["baseline"], results["ecl"])
+    print(f"\nenergy saving with the ECL: {saving:.1%}")
+    print(
+        "latency limit (100 ms) violations under the ECL: "
+        f"{results['ecl'].violation_fraction():.1%} of queries"
+    )
+
+
+if __name__ == "__main__":
+    main()

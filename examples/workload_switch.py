@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Watch the ECL adapt its energy profile to a workload change (§6.3).
+
+The run starts with the indexed key-value benchmark (memory
+latency-bound) and flips to the non-indexed one (memory bandwidth-bound)
+halfway through — a major workload change that invalidates the energy
+profile.  Three maintenance strategies are compared: none ("static"),
+online-only, and online + multiplexed.
+
+Run:  python examples/workload_switch.py
+"""
+
+from repro.ecl.socket_ecl import EclParameters
+from repro.loadprofiles import constant_profile
+from repro.sim import RunConfiguration, run_experiment
+from repro.workloads import KeyValueWorkload, WorkloadVariant
+
+DURATION_S = 60.0
+SWITCH_AT_S = 27.0
+
+
+def main() -> None:
+    indexed = KeyValueWorkload(WorkloadVariant.INDEXED)
+    non_indexed = KeyValueWorkload(WorkloadVariant.NON_INDEXED)
+
+    print(
+        f"50 % load; {indexed.full_name} -> {non_indexed.full_name} "
+        f"at t={SWITCH_AT_S:.0f}s"
+    )
+
+    runs = {}
+    for mode in ("static", "online", "multiplexed"):
+        print(f"running adaptation={mode} ...")
+        runs[mode] = run_experiment(
+            RunConfiguration(
+                workload=indexed,
+                profile=constant_profile(0.5, duration_s=DURATION_S),
+                policy="ecl",
+                ecl_params=EclParameters(adaptation=mode),
+                switch_at_s=SWITCH_AT_S,
+                switch_workload=non_indexed,
+            )
+        )
+
+    print(f"\npower over time (W):\n{'t':>6}", end="")
+    for mode in runs:
+        print(f"{mode:>13}", end="")
+    print()
+    length = min(len(r.samples) for r in runs.values())
+    for i in range(0, length, 16):
+        t = runs["static"].samples[i].time_s
+        marker = " <= switch" if abs(t - SWITCH_AT_S) < 2.1 else ""
+        print(f"{t:6.1f}", end="")
+        for run in runs.values():
+            print(f"{run.samples[i].rapl_power_w:13.1f}", end="")
+        print(marker)
+
+    print(f"\n{'strategy':>12} {'energy':>9} {'post-switch W':>14} {'violations':>11}")
+    for mode, run in runs.items():
+        tail = [s.rapl_power_w for s in run.samples if s.time_s > SWITCH_AT_S + 8]
+        print(
+            f"{mode:>12} {run.total_energy_j:7.0f} J "
+            f"{sum(tail) / len(tail):12.1f} W "
+            f"{run.violation_fraction():10.1%}"
+        )
+
+    print(
+        "\nwithout adaptation the stale profile keeps recommending "
+        "configurations tuned for the old workload — the adapting "
+        "strategies settle into the new optimum within a few ECL intervals."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""repro — Adaptive Energy-Control for In-Memory Database Systems.
+
+A self-contained reproduction of Kissinger, Habich, Lehner (SIGMOD 2018):
+the Energy-Control Loop (ECL) for data-oriented in-memory database
+systems, together with every substrate the paper relies on — a calibrated
+simulator of the 2-socket Haswell-EP testbed, a partitioned columnar
+storage engine with an elastic message-passing runtime, the TATP/SSB/
+key-value benchmarks, and the end-to-end experiment harness.
+
+Typical entry points:
+
+* :func:`repro.sim.run_experiment` — run one (workload, load profile,
+  policy) experiment and collect energy/latency metrics.
+* :class:`repro.ecl.EnergyControlLoop` — the hierarchical controller,
+  for embedding into custom simulations.
+* :func:`repro.profiles.evaluate.build_profile` — evaluate a full energy
+  profile for a workload on the simulated machine.
+* ``python -m repro`` — the command-line interface.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,24 @@
+"""Analysis utilities: savings, energy proportionality, text reports.
+
+The benchmarks and the CLI use these helpers to turn
+:class:`~repro.sim.metrics.RunResult` objects into the numbers the paper
+reports: relative energy savings (Table 1), the energy-proportionality
+of a power-vs-load curve (the §6.1 discussion of Fig. 13(a)), and
+aligned comparison tables.
+"""
+
+from repro.analysis.proportionality import (
+    power_load_curve,
+    proportionality_index,
+)
+from repro.analysis.report import comparison_table, run_summary
+from repro.analysis.savings import SavingsSummary, summarize_savings
+
+__all__ = [
+    "power_load_curve",
+    "proportionality_index",
+    "comparison_table",
+    "run_summary",
+    "SavingsSummary",
+    "summarize_savings",
+]

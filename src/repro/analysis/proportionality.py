@@ -1,0 +1,73 @@
+"""Energy proportionality of a measured run (§6.1, Fig. 13(a)).
+
+The paper observes that the ECL makes the system's power draw nearly
+proportional to its load above ~50 %, with the static power floor
+dominating below.  These helpers condense a run's samples into the
+power-versus-load curve and a single *proportionality index*:
+
+``EP = 1 − mean(|P(L) − L · P_peak|) / P_peak``
+
+where ``L · P_peak`` is the perfectly proportional line *through the
+origin*: a truly proportional system draws no power without load.  EP = 1
+means perfect proportionality; a high static floor or a bulging curve
+lowers the score.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.metrics import RunResult
+
+
+def power_load_curve(
+    result: RunResult, buckets: int = 10
+) -> list[tuple[float, float]]:
+    """Average power per load bucket: ``[(load_fraction, power_w), ...]``.
+
+    Loads are normalized to the run's maximum sampled rate; buckets
+    without samples are omitted.
+
+    Raises:
+        SimulationError: without samples or with a non-positive bucket
+            count.
+    """
+    if buckets < 1:
+        raise SimulationError(f"buckets must be >= 1, got {buckets}")
+    if not result.samples:
+        raise SimulationError("run has no samples")
+    peak_load = max(s.load_qps for s in result.samples)
+    if peak_load <= 0:
+        raise SimulationError("run never saw load")
+    sums = [0.0] * buckets
+    counts = [0] * buckets
+    for sample in result.samples:
+        fraction = sample.load_qps / peak_load
+        index = min(buckets - 1, int(fraction * buckets))
+        sums[index] += sample.rapl_power_w
+        counts[index] += 1
+    curve = []
+    for index in range(buckets):
+        if counts[index]:
+            midpoint = (index + 0.5) / buckets
+            curve.append((midpoint, sums[index] / counts[index]))
+    return curve
+
+
+def proportionality_index(result: RunResult, buckets: int = 10) -> float:
+    """Energy-proportionality index in [0, 1] (1 = perfectly linear).
+
+    Raises:
+        SimulationError: if the curve cannot be built or is degenerate.
+    """
+    curve = power_load_curve(result, buckets)
+    if len(curve) < 2:
+        raise SimulationError("need samples across at least two load buckets")
+    peak_load, peak_power = curve[-1]
+    if peak_power <= 0 or peak_load <= 0:
+        raise SimulationError("degenerate power curve")
+    slope = peak_power / peak_load  # the through-origin proportional line
+    deviation = 0.0
+    for load, power in curve:
+        deviation += abs(power - load * slope)
+    deviation /= len(curve)
+    return max(0.0, 1.0 - deviation / peak_power)

@@ -1,0 +1,52 @@
+"""Plain-text report formatting for run results."""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.metrics import RunResult
+
+
+def run_summary(result: RunResult) -> str:
+    """One multi-line human-readable block for a single run."""
+    lines = [
+        f"policy          : {result.policy}",
+        f"workload        : {result.workload_name}",
+        f"profile         : {result.profile_name} ({result.duration_s:.0f} s)",
+        f"queries         : {result.queries_completed}/{result.queries_submitted}",
+        f"energy          : {result.total_energy_j:.0f} J",
+        f"average power   : {result.average_power_w():.1f} W",
+    ]
+    mean = result.mean_latency_s()
+    if mean is not None:
+        lines.append(f"mean latency    : {1000 * mean:.1f} ms")
+        lines.append(
+            f"p99 latency     : {1000 * result.percentile_latency_s(99):.1f} ms"
+        )
+        lines.append(f"violations      : {result.violation_fraction():.1%}")
+    return "\n".join(lines)
+
+
+def comparison_table(results: dict[str, RunResult]) -> str:
+    """Aligned table comparing several runs of the same experiment.
+
+    Raises:
+        SimulationError: on an empty result set.
+    """
+    if not results:
+        raise SimulationError("nothing to compare")
+    header = (
+        f"{'run':>14} {'energy J':>10} {'power W':>9} "
+        f"{'mean ms':>9} {'p99 ms':>9} {'viol':>7}"
+    )
+    rows = [header, "-" * len(header)]
+    for name, result in results.items():
+        mean = result.mean_latency_s()
+        p99 = result.percentile_latency_s(99)
+        rows.append(
+            f"{name:>14} {result.total_energy_j:10.0f} "
+            f"{result.average_power_w():9.1f} "
+            f"{1000 * mean if mean is not None else float('nan'):9.1f} "
+            f"{1000 * p99 if p99 is not None else float('nan'):9.1f} "
+            f"{result.violation_fraction():7.1%}"
+        )
+    return "\n".join(rows)

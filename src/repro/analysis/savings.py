@@ -1,0 +1,61 @@
+"""Savings summaries: the Table 1 arithmetic in one place."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.metrics import RunResult, energy_saving_fraction
+
+
+@dataclass(frozen=True)
+class SavingsSummary:
+    """Head-to-head outcome of a controlled run against its baseline.
+
+    Attributes:
+        workload_name: workload of both runs.
+        profile_name: load profile of both runs.
+        saving_fraction: relative energy saved by the controlled run.
+        baseline_energy_j / controlled_energy_j: absolute energies.
+        controlled_violation_fraction: latency-limit violations under
+            the controlled policy.
+        latency_penalty_s: controlled minus baseline mean latency (the
+            price paid for the savings; may be ~0 or negative).
+    """
+
+    workload_name: str
+    profile_name: str
+    saving_fraction: float
+    baseline_energy_j: float
+    controlled_energy_j: float
+    controlled_violation_fraction: float
+    latency_penalty_s: float
+
+
+def summarize_savings(baseline: RunResult, controlled: RunResult) -> SavingsSummary:
+    """Condense a (baseline, controlled) pair into a Table 1 row.
+
+    Raises:
+        SimulationError: when the runs do not describe the same experiment.
+    """
+    if baseline.workload_name != controlled.workload_name:
+        raise SimulationError(
+            f"workload mismatch: {baseline.workload_name!r} vs "
+            f"{controlled.workload_name!r}"
+        )
+    if baseline.profile_name != controlled.profile_name:
+        raise SimulationError(
+            f"profile mismatch: {baseline.profile_name!r} vs "
+            f"{controlled.profile_name!r}"
+        )
+    base_latency = baseline.mean_latency_s() or 0.0
+    controlled_latency = controlled.mean_latency_s() or 0.0
+    return SavingsSummary(
+        workload_name=controlled.workload_name,
+        profile_name=controlled.profile_name,
+        saving_fraction=energy_saving_fraction(baseline, controlled),
+        baseline_energy_j=baseline.total_energy_j,
+        controlled_energy_j=controlled.total_energy_j,
+        controlled_violation_fraction=controlled.violation_fraction(),
+        latency_penalty_s=controlled_latency - base_latency,
+    )

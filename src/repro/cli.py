@@ -1,0 +1,231 @@
+"""Command-line interface: run experiments without writing code.
+
+Examples::
+
+    python -m repro run --workload kv-non-indexed --profile spike
+    python -m repro run --workload tatp-indexed --profile twitter \\
+        --policy baseline --duration 60
+    python -m repro compare --workload kv-non-indexed --profile spike
+    python -m repro profile --workload memory-bound
+    python -m repro calibrate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import comparison_table
+from repro.ecl.calibration import MetaCalibrator
+from repro.ecl.socket_ecl import EclParameters
+from repro.hardware.machine import Machine
+from repro.loadprofiles import (
+    constant_profile,
+    sine_profile,
+    spike_profile,
+    twitter_profile,
+)
+from repro.loadprofiles.base import LoadProfile
+from repro.profiles.evaluate import build_profile
+from repro.sim import RunConfiguration, run_experiment
+from repro.sim.metrics import RunResult, energy_saving_fraction
+from repro.workloads import (
+    KeyValueWorkload,
+    SsbWorkload,
+    TatpWorkload,
+    WorkloadVariant,
+)
+from repro.workloads.base import Workload
+from repro.workloads.micro import MICRO_WORKLOADS
+
+WORKLOADS = {
+    "kv-indexed": lambda: KeyValueWorkload(WorkloadVariant.INDEXED),
+    "kv-non-indexed": lambda: KeyValueWorkload(WorkloadVariant.NON_INDEXED),
+    "tatp-indexed": lambda: TatpWorkload(WorkloadVariant.INDEXED),
+    "tatp-non-indexed": lambda: TatpWorkload(WorkloadVariant.NON_INDEXED),
+    "ssb-indexed": lambda: SsbWorkload(WorkloadVariant.INDEXED),
+    "ssb-non-indexed": lambda: SsbWorkload(WorkloadVariant.NON_INDEXED),
+}
+
+POLICIES = ("ecl", "baseline", "ondemand")
+
+
+def make_workload(name: str) -> Workload:
+    """Instantiate a benchmark workload by CLI name."""
+    try:
+        return WORKLOADS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown workload {name!r}; choose from {', '.join(WORKLOADS)}"
+        ) from None
+
+
+def make_profile(name: str, duration_s: float, level: float) -> LoadProfile:
+    """Instantiate a load profile by CLI name."""
+    if name == "spike":
+        return spike_profile(duration_s=duration_s)
+    if name == "twitter":
+        return twitter_profile(duration_s=duration_s)
+    if name == "constant":
+        return constant_profile(level, duration_s=duration_s)
+    if name == "sine":
+        return sine_profile(duration_s=duration_s)
+    raise SystemExit(
+        f"unknown profile {name!r}; choose from spike, twitter, constant, sine"
+    )
+
+
+def print_result(result: RunResult) -> None:
+    """Human-readable summary of one run."""
+    print(f"policy            : {result.policy}")
+    print(f"workload          : {result.workload_name}")
+    print(f"load profile      : {result.profile_name} ({result.duration_s:.0f} s)")
+    print(f"queries           : {result.queries_completed}/{result.queries_submitted}")
+    print(f"total energy      : {result.total_energy_j:.0f} J")
+    print(f"average power     : {result.average_power_w():.1f} W")
+    mean = result.mean_latency_s()
+    if mean is not None:
+        print(f"mean latency      : {1000 * mean:.1f} ms")
+        print(f"p99 latency       : {1000 * result.percentile_latency_s(99):.1f} ms")
+        print(f"limit violations  : {result.violation_fraction():.1%}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = make_workload(args.workload)
+    profile = make_profile(args.profile, args.duration, args.level)
+    params = EclParameters(
+        interval_s=args.interval,
+        latency_limit_s=args.latency_limit,
+        adaptation=args.adaptation,
+    )
+    result = run_experiment(
+        RunConfiguration(
+            workload=workload,
+            profile=profile,
+            policy=args.policy,
+            ecl_params=params,
+            seed=args.seed,
+        )
+    )
+    print_result(result)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    profile = make_profile(args.profile, args.duration, args.level)
+    results = {}
+    for policy in POLICIES:
+        print(f"running {policy} ...", file=sys.stderr)
+        results[policy] = run_experiment(
+            RunConfiguration(
+                workload=make_workload(args.workload),
+                profile=profile,
+                policy=policy,
+                seed=args.seed,
+            )
+        )
+    print(comparison_table(results))
+    base = results["baseline"]
+    for policy in ("ondemand", "ecl"):
+        saving = energy_saving_fraction(base, results[policy])
+        print(f"{policy} saving vs baseline: {saving:.1%}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    if args.workload in MICRO_WORKLOADS:
+        chars = MICRO_WORKLOADS[args.workload]
+    else:
+        chars = make_workload(args.workload).characteristics
+    machine = Machine(seed=args.seed)
+    profile = build_profile(machine, 0, chars)
+    optimal = profile.most_efficient()
+    baseline = profile.baseline_entry()
+    print(f"workload               : {chars.name}")
+    print(f"configurations         : {len(profile)}")
+    print(f"optimal configuration  : {optimal.configuration.describe()}")
+    print(
+        f"optimal perf / power   : {optimal.measurement.performance_score:.3e} "
+        f"instr/s @ {optimal.measurement.power_w:.1f} W"
+    )
+    print(f"baseline configuration : {baseline.configuration.describe()}")
+    print(f"max energy saving      : {profile.max_rti_saving():.1%}")
+    print("\nskyline (performance ascending):")
+    for point in profile.skyline():
+        print(
+            f"  {point.configuration.describe():>22}  "
+            f"{point.performance_score:.3e} instr/s  "
+            f"{point.power_w:6.1f} W  eff {point.energy_efficiency:.3e}"
+        )
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    machine = Machine(seed=args.seed)
+    result = MetaCalibrator(machine, 0).run()
+    print(f"apply time   : {1000 * result.apply_time_s:.1f} ms")
+    print(f"measure time : {1000 * result.measure_time_s:.1f} ms")
+    print("\nmeasure-window deviations:")
+    for window, dev in sorted(result.measure_deviation.items(), reverse=True):
+        print(f"  {1000 * window:7.1f} ms : {dev:.2%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive Energy-Control for In-Memory Database Systems "
+        "(SIGMOD 2018) — reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workload", default="kv-non-indexed",
+                       help=f"one of {', '.join(WORKLOADS)}")
+        p.add_argument("--profile", default="spike",
+                       help="spike | twitter | constant | sine")
+        p.add_argument("--duration", type=float, default=45.0,
+                       help="profile duration in seconds (paper: 180)")
+        p.add_argument("--level", type=float, default=0.5,
+                       help="load fraction for the constant profile")
+        p.add_argument("--seed", type=int, default=0)
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    common(run_p)
+    run_p.add_argument("--policy", default="ecl", choices=POLICIES)
+    run_p.add_argument("--interval", type=float, default=1.0,
+                       help="socket-ECL period in seconds")
+    run_p.add_argument("--latency-limit", type=float, default=0.1,
+                       help="query latency limit in seconds")
+    run_p.add_argument("--adaptation", default="multiplexed",
+                       choices=("static", "online", "multiplexed"))
+    run_p.set_defaults(func=cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="run all policies and compare")
+    common(cmp_p)
+    cmp_p.set_defaults(func=cmd_compare)
+
+    prof_p = sub.add_parser("profile", help="print a workload's energy profile")
+    prof_p.add_argument("--workload", default="memory-bound",
+                        help=f"micro workload ({', '.join(MICRO_WORKLOADS)}) "
+                             f"or benchmark ({', '.join(WORKLOADS)})")
+    prof_p.add_argument("--seed", type=int, default=0)
+    prof_p.set_defaults(func=cmd_profile)
+
+    cal_p = sub.add_parser("calibrate", help="run the meta calibration")
+    cal_p.add_argument("--seed", type=int, default=0)
+    cal_p.set_defaults(func=cmd_calibrate)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,106 @@
+"""Elastic worker pool: grow and shrink workers without losing partitions.
+
+The original data-oriented architecture statically binds partitions to
+worker threads, so disabling a worker makes its partitions unreachable
+(paper §3, "Static Mapping" issue).  With the hierarchical message
+passing layer, this pool can park any subset of workers at runtime:
+
+* parking a worker releases all partitions it owns — their queued
+  messages stay in the hub and are picked up by the remaining workers;
+* unparking simply reactivates the worker's polling loop;
+* the pool keeps the worker set in lock-step with the machine's active
+  hardware threads, so the ECL drives both through one call.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import MessagingError
+from repro.dbms.intra_socket import IntraSocketHub
+from repro.dbms.worker import Worker, WorkerState
+from repro.hardware.topology import Topology
+
+
+class ElasticWorkerPool:
+    """One worker per hardware thread, parkable at runtime."""
+
+    def __init__(self, topology: Topology, hubs: dict[int, IntraSocketHub]):
+        self._topology = topology
+        self._hubs = hubs
+        self._workers: dict[int, Worker] = {}
+        for thread in topology.iter_threads():
+            self._workers[thread.global_id] = Worker(
+                worker_id=thread.global_id,
+                socket_id=thread.socket_id,
+                hw_thread_id=thread.global_id,
+            )
+
+    # -- lookup -----------------------------------------------------------
+
+    def worker(self, hw_thread_id: int) -> Worker:
+        """The worker pinned to a hardware thread.
+
+        Raises:
+            MessagingError: for unknown thread ids.
+        """
+        try:
+            return self._workers[hw_thread_id]
+        except KeyError:
+            raise MessagingError(f"no worker on hardware thread {hw_thread_id}") from None
+
+    def workers_on_socket(self, socket_id: int) -> tuple[Worker, ...]:
+        """All workers of a socket (active and parked)."""
+        return tuple(
+            w for w in self._workers.values() if w.socket_id == socket_id
+        )
+
+    def active_workers(self, socket_id: int) -> tuple[Worker, ...]:
+        """Active workers of a socket."""
+        return tuple(
+            w for w in self.workers_on_socket(socket_id) if w.is_active
+        )
+
+    def active_count(self, socket_id: int) -> int:
+        """Number of active workers on a socket."""
+        return len(self.active_workers(socket_id))
+
+    # -- elasticity -----------------------------------------------------------
+
+    def sync_with_threads(
+        self, socket_id: int, active_thread_ids: Iterable[int]
+    ) -> None:
+        """Match the worker set of a socket to an active-thread set.
+
+        Workers on threads outside the set are parked (releasing their
+        partition ownerships); workers on threads inside it are unparked.
+        """
+        active = set(active_thread_ids)
+        hub = self._hubs[socket_id]
+        for worker in self.workers_on_socket(socket_id):
+            if worker.hw_thread_id in active:
+                worker.state = WorkerState.ACTIVE
+            elif worker.state is WorkerState.ACTIVE:
+                hub.release_all(worker.worker_id)
+                worker.state = WorkerState.PARKED
+
+    def park_all(self, socket_id: int) -> None:
+        """Park every worker of a socket (machine-idle / RTI idle phase)."""
+        self.sync_with_threads(socket_id, ())
+
+    def total_stats(self) -> dict[str, float]:
+        """Aggregate worker statistics across the machine."""
+        return {
+            "messages_processed": float(
+                sum(w.stats.messages_processed for w in self._workers.values())
+            ),
+            "instructions_consumed": sum(
+                w.stats.instructions_consumed for w in self._workers.values()
+            ),
+            "bytes_accessed": sum(
+                w.stats.bytes_accessed for w in self._workers.values()
+            ),
+            "acquisitions": float(
+                sum(w.stats.acquisitions for w in self._workers.values())
+            ),
+        }

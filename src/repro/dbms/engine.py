@@ -1,0 +1,265 @@
+"""The DBMS engine facade: runtime + hardware in lock-step.
+
+``DatabaseEngine`` owns the whole data-oriented runtime (partition map,
+per-socket hubs, inter-socket router, elastic worker pool, query tracker,
+statistics) and advances it in lock-step with a
+:class:`~repro.hardware.machine.Machine`:
+
+per tick (``dt``):
+
+1. the communication threads flush their outbound buffers (messages
+   buffered last tick arrive now — one tick of interconnect latency);
+2. each socket's pending work is reported to the machine as demand;
+3. the machine resolves the performance model and returns how many
+   instructions each socket executed;
+4. the active workers of each socket consume messages against that
+   instruction budget under the ownership protocol;
+5. completed messages advance their queries; finished queries produce
+   latency samples for the system-level ECL.
+
+The worker:partition ratio defaults to the paper's 1:1 setting (one
+partition per hardware thread).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+from repro.errors import SimulationError
+from repro.dbms.elasticity import ElasticWorkerPool
+from repro.dbms.inter_socket import InterSocketRouter
+from repro.dbms.intra_socket import IntraSocketHub
+from repro.dbms.messages import Message
+from repro.dbms.queries import Query, QueryCompletion, QueryTracker
+from repro.dbms.stats import LatencyTracker, UtilizationTracker
+from repro.hardware.machine import IDLE_CHARACTERISTICS, Machine, StepResult
+from repro.hardware.perfmodel import (
+    SocketLoad,
+    WorkloadCharacteristics,
+    blend_characteristics,
+)
+from repro.storage.partition import PartitionMap
+
+#: Instruction quantum a worker receives per scheduling round inside a tick.
+WORKER_QUANTUM_INSTRUCTIONS = 200_000.0
+
+
+@dataclass
+class EngineTickResult:
+    """Everything that happened during one engine tick."""
+
+    time_s: float
+    step: StepResult
+    completions: list[QueryCompletion] = dataclass_field(default_factory=list)
+    consumed_by_socket: dict[int, float] = dataclass_field(default_factory=dict)
+    offered_by_socket: dict[int, float] = dataclass_field(default_factory=dict)
+    messages_processed: int = 0
+
+
+class DatabaseEngine:
+    """Data-oriented in-memory DBMS bound to a simulated machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        partition_count: int | None = None,
+        latency_window_s: float = 5.0,
+        utilization_window_s: float = 1.0,
+    ):
+        self.machine = machine
+        topology = machine.topology
+        if partition_count is None:
+            partition_count = machine.params.total_threads
+        self.partitions = PartitionMap(partition_count, topology.socket_count)
+
+        self.hubs: dict[int, IntraSocketHub] = {}
+        for sock in topology.sockets:
+            pids = [
+                p.partition_id
+                for p in self.partitions.partitions_on_socket(sock.socket_id)
+            ]
+            if not pids:
+                raise SimulationError(
+                    f"socket {sock.socket_id} holds no partitions; "
+                    f"increase partition_count (got {partition_count})"
+                )
+            self.hubs[sock.socket_id] = IntraSocketHub(sock.socket_id, pids)
+
+        self.router = InterSocketRouter(self.hubs)
+        self.pool = ElasticWorkerPool(topology, self.hubs)
+        self.tracker = QueryTracker()
+        self.latency = LatencyTracker(window_s=latency_window_s)
+        socket_ids = tuple(s.socket_id for s in topology.sockets)
+        self.utilization = UtilizationTracker(
+            socket_ids, window_s=utilization_window_s
+        )
+        self._socket_chars: dict[int, WorkloadCharacteristics] = {
+            sid: IDLE_CHARACTERISTICS for sid in socket_ids
+        }
+        self._overhead_instructions: dict[int, float] = {
+            sid: 0.0 for sid in socket_ids
+        }
+
+    # -- workload declaration ---------------------------------------------------
+
+    def set_workload_characteristics(
+        self, chars: WorkloadCharacteristics, socket_id: int | None = None
+    ) -> None:
+        """Declare the execution characteristics of the active workload.
+
+        With ``socket_id=None`` the characteristics apply machine-wide.
+        The hardware performance model uses them to translate instruction
+        demand into throughput, stalls, and traffic.
+        """
+        if socket_id is None:
+            for sid in self._socket_chars:
+                self._socket_chars[sid] = chars
+        else:
+            if socket_id not in self._socket_chars:
+                raise SimulationError(f"unknown socket id {socket_id}")
+            self._socket_chars[socket_id] = chars
+
+    def workload_characteristics(self, socket_id: int) -> WorkloadCharacteristics:
+        """The characteristics currently declared for a socket."""
+        return self._socket_chars[socket_id]
+
+    # -- query intake ---------------------------------------------------------------
+
+    def submit(self, query: Query) -> None:
+        """Accept a query: dispatch and route its stage-0 messages."""
+        for message in self.tracker.dispatch(query):
+            self.router.route(query.coordinator_socket, message)
+
+    def pending_messages(self) -> int:
+        """Messages queued across all hubs and outbound buffers."""
+        queued = sum(hub.pending_messages for hub in self.hubs.values())
+        return queued + self.router.total_buffered
+
+    def add_overhead_instructions(self, socket_id: int, instructions: float) -> None:
+        """Charge non-query work (e.g. the ECL thread) against a socket.
+
+        The overhead is consumed out of the socket's executed-instruction
+        budget before any worker processes messages.
+        """
+        if socket_id not in self._overhead_instructions:
+            raise SimulationError(f"unknown socket id {socket_id}")
+        if instructions < 0:
+            raise SimulationError(f"negative overhead {instructions}")
+        self._overhead_instructions[socket_id] += instructions
+
+    # -- main loop ---------------------------------------------------------------
+
+    def sync_workers(self) -> None:
+        """Align the worker pool with the machine's active threads."""
+        for sock in self.machine.topology.sockets:
+            active = self.machine.cstates.active_threads_on_socket(sock.socket_id)
+            self.pool.sync_with_threads(sock.socket_id, active)
+
+    def _blended_characteristics(
+        self, socket_id: int, hub: IntraSocketHub
+    ) -> WorkloadCharacteristics:
+        """Instruction-weighted mix of the socket's pending work.
+
+        Untagged messages contribute the socket's default characteristics;
+        a socket with no pending work reports its default unchanged.
+        """
+        default = self._socket_chars[socket_id]
+        tagged = hub.pending_by_characteristics()
+        if not tagged:
+            return default
+        parts = []
+        for chars, weight in tagged:
+            parts.append((default if chars is None else chars, weight))
+        if len(parts) == 1:
+            return parts[0][0]
+        return blend_characteristics(parts)
+
+    def tick(self, dt_s: float) -> EngineTickResult:
+        """Advance runtime and hardware by ``dt_s`` seconds."""
+        if dt_s <= 0:
+            raise SimulationError(f"tick duration must be > 0, got {dt_s}")
+        self.sync_workers()
+
+        # 1. Communication threads transfer last tick's remote messages.
+        transfer = self.router.flush()
+        for sid, cost in transfer.cost_by_socket.items():
+            self._overhead_instructions[sid] += cost.instructions
+
+        # 2. Report demand to the hardware model, blending the pending
+        # messages' characteristics tags per socket (query interference).
+        for sid, hub in self.hubs.items():
+            pending = hub.pending_cost_instructions()
+            demand_ips = (pending + self._overhead_instructions[sid]) / dt_s
+            self.machine.set_socket_load(
+                sid,
+                SocketLoad(
+                    characteristics=self._blended_characteristics(sid, hub),
+                    demand_instructions_per_s=demand_ips,
+                ),
+            )
+
+        # 3. Hardware resolves throughput and burns energy.
+        step = self.machine.step(dt_s)
+
+        # 4. Workers consume the executed instruction budget.
+        completions: list[Message] = []
+        done_queries: list[QueryCompletion] = []
+        consumed_by_socket: dict[int, float] = {}
+        offered_by_socket: dict[int, float] = {}
+        now = step.time_s
+        processed_count = 0
+
+        for sid, hub in self.hubs.items():
+            executed = step.sockets[sid].executed_instructions
+            overhead = min(self._overhead_instructions[sid], executed)
+            self._overhead_instructions[sid] -= overhead
+            budget = executed - overhead
+            consumed = overhead
+            workers = self.pool.active_workers(sid)
+            if workers and budget > 0:
+                progress = True
+                while budget > 0 and progress:
+                    progress = False
+                    for worker in workers:
+                        if budget <= 0:
+                            break
+                        quantum = min(budget, WORKER_QUANTUM_INSTRUCTIONS)
+                        used, done = worker.process_quantum(
+                            hub, self.partitions, quantum
+                        )
+                        if used > 0 or done:
+                            progress = True
+                        budget -= used
+                        consumed += used
+                        completions.extend(done)
+                        processed_count += len(done)
+
+            capacity = step.sockets[sid].performance.capacity_ips * dt_s
+            offered_by_socket[sid] = capacity
+            consumed_by_socket[sid] = consumed
+            self.utilization.record_tick(
+                sid,
+                now,
+                capacity,
+                consumed,
+                pending_instructions=hub.pending_cost_instructions(),
+            )
+
+        # 5. Advance queries; route follow-up stages; record latencies.
+        for message in completions:
+            home = self.router.home_socket(message.target_partition)
+            followups, completion = self.tracker.on_message_done(message, now)
+            for followup in followups:
+                self.router.route(home, followup)
+            if completion is not None:
+                done_queries.append(completion)
+                self.latency.record(now, completion.latency_s)
+
+        return EngineTickResult(
+            time_s=now,
+            step=step,
+            completions=done_queries,
+            consumed_by_socket=consumed_by_socket,
+            offered_by_socket=offered_by_socket,
+            messages_processed=processed_count,
+        )

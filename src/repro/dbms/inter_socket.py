@@ -1,0 +1,138 @@
+"""Inter-socket communication threads.
+
+The second level of the hierarchical message-passing layer (paper §3):
+messages targeting partitions on a remote socket are not sent worker-to-
+worker.  Instead, each socket runs one *communication thread* that
+
+1. collects outbound messages destined for each remote socket into a
+   per-destination buffer, and
+2. periodically transfers whole buffers to the peer communication thread,
+   which injects them into its local :class:`IntraSocketHub`.
+
+Batching amortizes the interconnect cost; the transfer itself charges a
+small instruction cost on both sides (the communication threads do real
+work) and a latency of one flush interval, which the simulation realizes
+by flushing once per tick.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import MessagingError
+from repro.dbms.intra_socket import IntraSocketHub
+from repro.dbms.messages import Message, WorkCost
+
+#: Instruction cost charged per transferred message on each side.
+TRANSFER_INSTRUCTIONS_PER_MESSAGE = 150.0
+#: Fixed instruction cost per buffer flush (syscall-free polling transfer).
+TRANSFER_INSTRUCTIONS_PER_FLUSH = 600.0
+#: Interconnect bytes per message (header + payload estimate).
+TRANSFER_BYTES_PER_MESSAGE = 128.0
+
+
+@dataclass(frozen=True)
+class TransferStats:
+    """Totals of one flush cycle, for cost accounting and tests."""
+
+    messages_moved: int
+    flushes: int
+    cost_by_socket: dict[int, WorkCost]
+
+
+class InterSocketRouter:
+    """Outbound buffers and transfer logic for all communication threads."""
+
+    def __init__(self, hubs: dict[int, IntraSocketHub]):
+        if not hubs:
+            raise MessagingError("router needs at least one socket hub")
+        self._hubs = hubs
+        #: (source socket, destination socket) -> buffered messages.
+        self._outbound: dict[tuple[int, int], deque[Message]] = {}
+        for src in hubs:
+            for dst in hubs:
+                if src != dst:
+                    self._outbound[(src, dst)] = deque()
+        self._partition_home: dict[int, int] = {}
+        for socket_id, hub in hubs.items():
+            for pid in hub.partition_ids:
+                self._partition_home[pid] = socket_id
+        self.total_messages_moved = 0
+
+    # -- routing ------------------------------------------------------------
+
+    def home_socket(self, partition_id: int) -> int:
+        """Socket on which a partition is resident.
+
+        Raises:
+            MessagingError: for unknown partitions.
+        """
+        try:
+            return self._partition_home[partition_id]
+        except KeyError:
+            raise MessagingError(f"unknown partition id {partition_id}") from None
+
+    def route(self, source_socket: int, message: Message) -> bool:
+        """Route a message from a socket toward its target partition.
+
+        Local targets go straight into the local hub; remote targets are
+        buffered for the next communication-thread flush.  Returns True
+        when the message was delivered locally (False = buffered).
+        """
+        if source_socket not in self._hubs:
+            raise MessagingError(f"unknown source socket {source_socket}")
+        destination = self.home_socket(message.target_partition)
+        if destination == source_socket:
+            self._hubs[source_socket].enqueue(message)
+            return True
+        self._outbound[(source_socket, destination)].append(message)
+        return False
+
+    def buffered_count(self, source_socket: int, destination_socket: int) -> int:
+        """Messages waiting in one outbound buffer."""
+        key = (source_socket, destination_socket)
+        if key not in self._outbound:
+            raise MessagingError(f"no route {source_socket} -> {destination_socket}")
+        return len(self._outbound[key])
+
+    @property
+    def total_buffered(self) -> int:
+        """Messages waiting across all outbound buffers."""
+        return sum(len(q) for q in self._outbound.values())
+
+    # -- transfer ------------------------------------------------------------
+
+    def flush(self) -> TransferStats:
+        """Execute one transfer cycle of every communication thread.
+
+        Moves every buffered message to its destination hub and returns
+        the instruction/byte cost charged on each socket (sender and
+        receiver sides both pay per message; each non-empty buffer pays
+        one flush overhead on the sender).
+        """
+        cost_by_socket: dict[int, WorkCost] = {
+            sid: WorkCost(instructions=0.0) for sid in self._hubs
+        }
+        moved = 0
+        flushes = 0
+        for (src, dst), buffer in self._outbound.items():
+            if not buffer:
+                continue
+            flushes += 1
+            count = len(buffer)
+            while buffer:
+                self._hubs[dst].enqueue(buffer.popleft())
+            moved += count
+            per_side = WorkCost(
+                instructions=TRANSFER_INSTRUCTIONS_PER_MESSAGE * count,
+                bytes_accessed=TRANSFER_BYTES_PER_MESSAGE * count,
+            )
+            cost_by_socket[src] = cost_by_socket[src] + per_side + WorkCost(
+                instructions=TRANSFER_INSTRUCTIONS_PER_FLUSH
+            )
+            cost_by_socket[dst] = cost_by_socket[dst] + per_side
+        self.total_messages_moved += moved
+        return TransferStats(
+            messages_moved=moved, flushes=flushes, cost_by_socket=cost_by_socket
+        )

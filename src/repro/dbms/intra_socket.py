@@ -1,0 +1,221 @@
+"""Intra-socket message hub: per-partition queues with worker ownership.
+
+This is the core of the paper's elasticity extension (§3): instead of a
+static worker→partition binding, messages for the same partition are
+buffered and queued per partition; any worker of the socket can *acquire*
+a partition (taking exclusive ownership), drain a batch of its messages,
+and *release* it again.  Consequences the implementation enforces:
+
+* at most one worker owns a partition at any time (exclusive access keeps
+  partition data structures latch-free),
+* parking a worker never strands a partition — its messages remain queued
+  and the next active worker picks them up,
+* within a socket, load balancing is implicit: free workers grab whichever
+  owned-by-nobody partition has pending work, oldest head first.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.errors import MessagingError, OwnershipError
+from repro.dbms.messages import Message
+
+#: Default number of messages a worker drains per ownership acquisition.
+DEFAULT_BATCH_SIZE = 64
+
+#: Demand estimate for messages whose true cost is unknown pre-execution.
+NOMINAL_REAL_OPERATION_INSTRUCTIONS = 1000.0
+
+
+def _message_instructions(message: Message) -> float:
+    """Instruction estimate of a queued message for the demand signal."""
+    if message.cost is not None:
+        return message.cost.instructions
+    return NOMINAL_REAL_OPERATION_INSTRUCTIONS
+
+
+class IntraSocketHub:
+    """Message queues and the partition-ownership protocol of one socket."""
+
+    def __init__(self, socket_id: int, partition_ids: Iterable[int]):
+        self.socket_id = socket_id
+        self._queues: dict[int, deque[Message]] = {
+            pid: deque() for pid in partition_ids
+        }
+        if not self._queues:
+            raise MessagingError(f"socket {socket_id} hub needs >= 1 partition")
+        #: partition_id -> worker_id of the current owner.
+        self._owners: dict[int, int] = {}
+        self._pending_messages = 0
+        self._pending_instructions = 0.0
+        #: Pending instructions per characteristics tag (None = untagged).
+        self._pending_by_tag: dict[object, tuple[object, float]] = {}
+
+    # -- queue side -----------------------------------------------------------
+
+    @property
+    def partition_ids(self) -> tuple[int, ...]:
+        """Partitions homed on this socket."""
+        return tuple(self._queues)
+
+    @property
+    def pending_messages(self) -> int:
+        """Total queued messages across all partitions."""
+        return self._pending_messages
+
+    def queue_depth(self, partition_id: int) -> int:
+        """Queued messages for one partition."""
+        self._require_partition(partition_id)
+        return len(self._queues[partition_id])
+
+    def enqueue(self, message: Message) -> None:
+        """Buffer a message for its target partition.
+
+        Raises:
+            MessagingError: if the partition is not homed on this socket.
+        """
+        queue = self._queues.get(message.target_partition)
+        if queue is None:
+            raise MessagingError(
+                f"partition {message.target_partition} is not on socket "
+                f"{self.socket_id}"
+            )
+        queue.append(message)
+        self._pending_messages += 1
+        instructions = _message_instructions(message)
+        self._pending_instructions += instructions
+        self._tally_tag(message, instructions)
+
+    def pending_cost_instructions(self) -> float:
+        """Total modeled instructions waiting in all queues.
+
+        Maintained incrementally on enqueue/dequeue; real-operation
+        messages contribute a nominal estimate (their true cost is known
+        only after execution).  This feeds the demand signal reported to
+        the hardware model.
+        """
+        return self._pending_instructions
+
+    def _tally_tag(self, message: Message, delta: float) -> None:
+        chars = message.characteristics
+        key = None if chars is None else chars.name
+        stored = self._pending_by_tag.get(key)
+        total = (stored[1] if stored else 0.0) + delta
+        if total <= 1e-9:
+            self._pending_by_tag.pop(key, None)
+        else:
+            self._pending_by_tag[key] = (chars, total)
+
+    def pending_by_characteristics(self) -> list[tuple[object, float]]:
+        """(characteristics, pending instructions) per tag.
+
+        The ``None`` tag collects untagged messages; the engine substitutes
+        its per-socket default characteristics for it when blending.
+        """
+        return list(self._pending_by_tag.values())
+
+    # -- ownership protocol ----------------------------------------------------
+
+    def owner_of(self, partition_id: int) -> int | None:
+        """Current owner worker of a partition, or None."""
+        self._require_partition(partition_id)
+        return self._owners.get(partition_id)
+
+    def acquire_partition(self, worker_id: int) -> int | None:
+        """Acquire ownership of the partition with the most pending work.
+
+        Returns the acquired partition id, or None when no unowned
+        partition has pending messages.  Preferring the deepest queue
+        approximates the implicit load balancing of the paper's design.
+        """
+        best: int | None = None
+        best_depth = 0
+        for pid, queue in self._queues.items():
+            if pid in self._owners or not queue:
+                continue
+            if len(queue) > best_depth:
+                best = pid
+                best_depth = len(queue)
+        if best is None:
+            return None
+        self._owners[best] = worker_id
+        return best
+
+    def acquire_specific(self, worker_id: int, partition_id: int) -> bool:
+        """Try to acquire one specific partition; False if already owned."""
+        self._require_partition(partition_id)
+        if partition_id in self._owners:
+            return False
+        self._owners[partition_id] = worker_id
+        return True
+
+    def dequeue_batch(
+        self, worker_id: int, partition_id: int, batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> list[Message]:
+        """Drain up to ``batch_size`` messages of an owned partition.
+
+        Raises:
+            OwnershipError: if the caller does not own the partition.
+        """
+        self._require_owner(worker_id, partition_id)
+        if batch_size <= 0:
+            raise MessagingError(f"batch_size must be >= 1, got {batch_size}")
+        queue = self._queues[partition_id]
+        batch = []
+        while queue and len(batch) < batch_size:
+            message = queue.popleft()
+            instructions = _message_instructions(message)
+            self._pending_instructions -= instructions
+            self._tally_tag(message, -instructions)
+            batch.append(message)
+        self._pending_messages -= len(batch)
+        if not self._pending_messages:
+            self._pending_instructions = 0.0  # kill float drift at empty
+            self._pending_by_tag.clear()
+        return batch
+
+    def requeue_front(self, worker_id: int, messages: list[Message]) -> None:
+        """Put unprocessed messages back at the head of their queues.
+
+        Used when a worker's instruction budget runs out mid-batch; the
+        caller must still own the partitions involved.
+        """
+        for message in reversed(messages):
+            self._require_owner(worker_id, message.target_partition)
+            self._queues[message.target_partition].appendleft(message)
+            self._pending_messages += 1
+            instructions = _message_instructions(message)
+            self._pending_instructions += instructions
+            self._tally_tag(message, instructions)
+
+    def release_partition(self, worker_id: int, partition_id: int) -> None:
+        """Release ownership of a partition.
+
+        Raises:
+            OwnershipError: if the caller does not own the partition.
+        """
+        self._require_owner(worker_id, partition_id)
+        del self._owners[partition_id]
+
+    def release_all(self, worker_id: int) -> None:
+        """Release every partition owned by a worker (park-time cleanup)."""
+        owned = [pid for pid, wid in self._owners.items() if wid == worker_id]
+        for pid in owned:
+            del self._owners[pid]
+
+    def _require_partition(self, partition_id: int) -> None:
+        if partition_id not in self._queues:
+            raise MessagingError(
+                f"partition {partition_id} is not on socket {self.socket_id}"
+            )
+
+    def _require_owner(self, worker_id: int, partition_id: int) -> None:
+        self._require_partition(partition_id)
+        owner = self._owners.get(partition_id)
+        if owner != worker_id:
+            raise OwnershipError(
+                f"worker {worker_id} does not own partition {partition_id} "
+                f"(owner: {owner})"
+            )

@@ -1,0 +1,116 @@
+"""Messages exchanged between workers during query processing.
+
+Queries never touch partitions directly: they decompose into messages, one
+per target partition and stage.  A message carries either a *real*
+operation (a callable executed against the owning partition's data) or a
+pre-computed *modeled* cost — high-rate end-to-end simulations use the
+modeled path while tests and examples exercise the real one.  Both paths
+charge the same :class:`WorkCost` currency (instructions and bytes), which
+is what the hardware performance model consumes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Optional
+
+from repro.errors import MessagingError
+from repro.hardware.perfmodel import WorkloadCharacteristics
+from repro.storage.partition import Partition
+
+_message_ids = itertools.count()
+
+
+class MessageKind(Enum):
+    """What a message asks the owning worker to do."""
+
+    WORK = "work"  #: execute an operation against the target partition
+    RESULT = "result"  #: deliver a stage result back to the coordinator
+
+
+@dataclass(frozen=True)
+class WorkCost:
+    """Execution cost of one message in hardware-model currency.
+
+    Attributes:
+        instructions: instructions the operation retires.
+        bytes_accessed: DRAM traffic it generates.
+    """
+
+    instructions: float
+    bytes_accessed: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.instructions < 0 or self.bytes_accessed < 0:
+            raise MessagingError(
+                f"negative work cost ({self.instructions}, {self.bytes_accessed})"
+            )
+
+    def __add__(self, other: "WorkCost") -> "WorkCost":
+        return WorkCost(
+            instructions=self.instructions + other.instructions,
+            bytes_accessed=self.bytes_accessed + other.bytes_accessed,
+        )
+
+ZERO_COST = WorkCost(instructions=0.0)
+
+#: A real operation: runs against the partition, returns (result, cost).
+Operation = Callable[[Partition], tuple[Any, WorkCost]]
+
+
+@dataclass
+class Message:
+    """One unit of work addressed to a partition.
+
+    Exactly one of ``operation`` (real mode) or ``cost`` (modeled mode)
+    must be provided for WORK messages; RESULT messages always carry a
+    small fixed handling cost.
+    """
+
+    query_id: int
+    target_partition: int
+    kind: MessageKind = MessageKind.WORK
+    stage: int = 0
+    operation: Optional[Operation] = None
+    cost: Optional[WorkCost] = None
+    #: Execution characteristics of this message's work.  When set, the
+    #: engine blends the tags of all pending work per socket and feeds the
+    #: mix to the hardware model — the paper's requirement that energy
+    #: profiles "consider mutual interferences of simultaneously running
+    #: queries".  Untagged messages fall back to the engine-wide default.
+    characteristics: Optional[WorkloadCharacteristics] = None
+    payload: Any = None
+    created_at_s: float = 0.0
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+    #: Filled by the worker after execution (real mode only).
+    result: Any = None
+
+    def __post_init__(self) -> None:
+        if self.kind is MessageKind.WORK:
+            if (self.operation is None) == (self.cost is None):
+                raise MessagingError(
+                    "WORK messages need exactly one of operation= or cost="
+                )
+        elif self.cost is None:
+            # Result handling: unpack + aggregate a stage result.
+            self.cost = WorkCost(instructions=400.0, bytes_accessed=64.0)
+
+    @property
+    def is_modeled(self) -> bool:
+        """True when the message carries a pre-computed cost only."""
+        return self.operation is None
+
+    def charged_cost(self) -> WorkCost:
+        """The cost to charge before execution (modeled messages only).
+
+        Raises:
+            MessagingError: for real-operation messages, whose cost is only
+                known after execution.
+        """
+        if self.cost is None:
+            raise MessagingError(
+                "cost of a real-operation message is known only after execution"
+            )
+        return self.cost

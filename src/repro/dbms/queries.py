@@ -1,0 +1,133 @@
+"""Queries: multi-stage message graphs and their completion tracking.
+
+A query fans out into stage-0 messages (one per target partition); when
+every message of a stage has been processed, the next stage is dispatched
+(e.g. a join/aggregation step at a coordinator partition).  When the last
+stage completes, the query's latency is the interval from arrival to the
+final message completion — the metric the system-level ECL supervises
+against the user-defined limit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.dbms.messages import Message
+
+_query_ids = itertools.count()
+
+
+@dataclass
+class QueryStage:
+    """One stage: messages dispatched together once the prior stage ends."""
+
+    messages: list[Message]
+
+    def __post_init__(self) -> None:
+        if not self.messages:
+            raise SimulationError("a query stage needs at least one message")
+
+
+@dataclass
+class Query:
+    """One client query: an ordered list of stages."""
+
+    arrival_s: float
+    stages: list[QueryStage]
+    coordinator_socket: int = 0
+    query_id: int = field(default_factory=lambda: next(_query_ids))
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise SimulationError("a query needs at least one stage")
+        for stage in self.stages:
+            for message in stage.messages:
+                message.query_id = self.query_id
+                message.created_at_s = self.arrival_s
+
+
+@dataclass(frozen=True)
+class QueryCompletion:
+    """Completion record of one query."""
+
+    query_id: int
+    arrival_s: float
+    completion_s: float
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end query latency."""
+        return self.completion_s - self.arrival_s
+
+
+class QueryTracker:
+    """Tracks outstanding messages of in-flight queries.
+
+    The engine calls :meth:`dispatch` on arrival (getting the stage-0
+    messages to route) and :meth:`on_message_done` per processed message
+    (getting either follow-up messages to route or a completion record).
+    """
+
+    def __init__(self) -> None:
+        self._queries: dict[int, Query] = {}
+        self._stage_index: dict[int, int] = {}
+        self._remaining: dict[int, int] = {}
+        self.completed_count = 0
+        self.dispatched_count = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Number of queries currently being processed."""
+        return len(self._queries)
+
+    def dispatch(self, query: Query) -> list[Message]:
+        """Register a query and return its stage-0 messages.
+
+        Raises:
+            SimulationError: if the query id is already in flight.
+        """
+        if query.query_id in self._queries:
+            raise SimulationError(f"query {query.query_id} already dispatched")
+        self._queries[query.query_id] = query
+        self._stage_index[query.query_id] = 0
+        first = query.stages[0]
+        self._remaining[query.query_id] = len(first.messages)
+        self.dispatched_count += 1
+        return list(first.messages)
+
+    def on_message_done(
+        self, message: Message, now_s: float
+    ) -> tuple[list[Message], QueryCompletion | None]:
+        """Account one processed message.
+
+        Returns ``(followup_messages, completion)`` where at most one of
+        the two is non-empty/None.  Unknown query ids raise
+        :class:`SimulationError` (a message must never outlive its query).
+        """
+        qid = message.query_id
+        if qid not in self._queries:
+            raise SimulationError(f"message for unknown query {qid}")
+        self._remaining[qid] -= 1
+        if self._remaining[qid] > 0:
+            return [], None
+
+        query = self._queries[qid]
+        stage = self._stage_index[qid] + 1
+        if stage < len(query.stages):
+            self._stage_index[qid] = stage
+            next_stage = query.stages[stage]
+            for msg in next_stage.messages:
+                msg.created_at_s = now_s
+            self._remaining[qid] = len(next_stage.messages)
+            return list(next_stage.messages), None
+
+        del self._queries[qid]
+        del self._stage_index[qid]
+        del self._remaining[qid]
+        self.completed_count += 1
+        completion = QueryCompletion(
+            query_id=qid, arrival_s=query.arrival_s, completion_s=now_s
+        )
+        return [], completion

@@ -1,0 +1,135 @@
+"""Worker threads: acquire partition → drain batch → release.
+
+Workers are the execution units of the data-oriented runtime.  Each is
+pinned to one hardware thread; the elasticity layer parks and unparks
+them as the ECL grows or shrinks the active-thread set.  A worker's
+processing loop implements the ownership protocol of
+:class:`~repro.dbms.intra_socket.IntraSocketHub`:
+
+1. acquire an unowned partition with pending messages,
+2. dequeue a batch and execute its messages (charging instruction budget),
+3. release the partition and look for the next one.
+
+Processing happens in simulated time: the engine hands every worker an
+instruction budget per tick (the hardware model's executed instructions),
+and the worker consumes messages until the budget runs dry.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import MessagingError
+from repro.dbms.intra_socket import DEFAULT_BATCH_SIZE, IntraSocketHub
+from repro.dbms.messages import Message, MessageKind
+from repro.storage.partition import PartitionMap
+
+
+class WorkerState(enum.Enum):
+    """Lifecycle state of a worker thread."""
+
+    ACTIVE = "active"  #: unparked, polling for work
+    PARKED = "parked"  #: hardware thread in a C-state
+
+
+@dataclass
+class WorkerStats:
+    """Cumulative execution statistics of one worker."""
+
+    messages_processed: int = 0
+    instructions_consumed: float = 0.0
+    bytes_accessed: float = 0.0
+    acquisitions: int = 0
+
+
+@dataclass
+class Worker:
+    """One worker thread pinned to a hardware thread."""
+
+    worker_id: int
+    socket_id: int
+    hw_thread_id: int
+    state: WorkerState = WorkerState.ACTIVE
+    batch_size: int = DEFAULT_BATCH_SIZE
+    stats: WorkerStats = field(default_factory=WorkerStats)
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the worker may process messages."""
+        return self.state is WorkerState.ACTIVE
+
+    def process_quantum(
+        self,
+        hub: IntraSocketHub,
+        partitions: PartitionMap,
+        budget_instructions: float,
+    ) -> tuple[float, list[Message]]:
+        """Process messages until the instruction budget is exhausted.
+
+        Returns ``(instructions_consumed, completed_messages)``.  Modeled
+        messages are charged their pre-computed cost and only consumed if
+        it fits the remaining budget; real operations execute first and
+        may overdraw the budget by one message (their cost is only known
+        afterwards), mirroring how a real worker cannot preempt an
+        operator mid-flight.
+
+        Raises:
+            MessagingError: if called on a parked worker.
+        """
+        if not self.is_active:
+            raise MessagingError(f"worker {self.worker_id} is parked")
+        remaining = budget_instructions
+        completed: list[Message] = []
+        out_of_budget = False
+
+        while remaining > 0 and not out_of_budget:
+            partition_id = hub.acquire_partition(self.worker_id)
+            if partition_id is None:
+                break
+            self.stats.acquisitions += 1
+            try:
+                while remaining > 0 and not out_of_budget:
+                    batch = hub.dequeue_batch(
+                        self.worker_id, partition_id, self.batch_size
+                    )
+                    if not batch:
+                        break
+                    for index, message in enumerate(batch):
+                        if message.is_modeled:
+                            cost = message.charged_cost()
+                            if cost.instructions > remaining and completed:
+                                # Budget exhausted: push back the rest.
+                                hub.requeue_front(self.worker_id, batch[index:])
+                                out_of_budget = True
+                                break
+                            self._charge(cost.instructions, cost.bytes_accessed)
+                            remaining -= cost.instructions
+                        else:
+                            cost = self._execute_real(message, partitions)
+                            self._charge(cost.instructions, cost.bytes_accessed)
+                            remaining -= cost.instructions
+                        completed.append(message)
+                        self.stats.messages_processed += 1
+                        if remaining <= 0 and index + 1 < len(batch):
+                            hub.requeue_front(self.worker_id, batch[index + 1:])
+                            out_of_budget = True
+                            break
+            finally:
+                hub.release_partition(self.worker_id, partition_id)
+
+        return budget_instructions - remaining, completed
+
+    def _execute_real(self, message: Message, partitions: PartitionMap):
+        """Run a real operation against its target partition."""
+        if message.kind is not MessageKind.WORK or message.operation is None:
+            # RESULT messages carry a fixed handling cost.
+            return message.charged_cost()
+        partition = partitions.partition(message.target_partition)
+        result, cost = message.operation(partition)
+        message.result = result
+        return cost
+
+    def _charge(self, instructions: float, bytes_accessed: float) -> None:
+        self.stats.instructions_consumed += instructions
+        self.stats.bytes_accessed += bytes_accessed

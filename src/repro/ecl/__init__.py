@@ -1,0 +1,49 @@
+"""The Energy-Control Loop (ECL) — the paper's core contribution (§5).
+
+Hierarchical organization:
+
+* one **socket-level ECL** per processor
+  (:mod:`repro.ecl.socket_ecl`), combining
+
+  - the *utilization controller* (:mod:`repro.ecl.utilization`): derives
+    the demanded performance level from worker utilization — exact scaling
+    below full utilization, exponential discovery at 100 %;
+  - the *race-to-idle controller* (:mod:`repro.ecl.rti`): duty-cycles
+    between the most energy-efficient configuration and idle in the
+    under-utilization zone, with cross-socket idle synchronization;
+  - *energy-profile maintenance* (:mod:`repro.ecl.adaptation`): online
+    EWMA updates of applied configurations plus multiplexed re-evaluation
+    of stale ones after drift;
+
+* one **system-level ECL** (:mod:`repro.ecl.system_ecl`) that watches the
+  average query latency against the user-defined soft limit and
+  broadcasts the estimated time-to-violation to the socket ECLs;
+
+* a one-time **meta calibration** (:mod:`repro.ecl.calibration`) that
+  discovers how quickly configurations can be applied (~1 ms) and how
+  long counter measurements must be to be trustworthy (~100 ms, Fig. 12).
+
+:class:`repro.ecl.controller.EnergyControlLoop` wires everything to a
+:class:`~repro.dbms.engine.DatabaseEngine`.
+"""
+
+from repro.ecl.calibration import CalibrationResult, MetaCalibrator
+from repro.ecl.utilization import UtilizationController
+from repro.ecl.rti import RtiController, RtiPlan
+from repro.ecl.adaptation import ProfileMaintainer
+from repro.ecl.system_ecl import SystemEcl
+from repro.ecl.socket_ecl import EclParameters, SocketEcl
+from repro.ecl.controller import EnergyControlLoop
+
+__all__ = [
+    "CalibrationResult",
+    "MetaCalibrator",
+    "UtilizationController",
+    "RtiController",
+    "RtiPlan",
+    "ProfileMaintainer",
+    "SystemEcl",
+    "EclParameters",
+    "SocketEcl",
+    "EnergyControlLoop",
+]

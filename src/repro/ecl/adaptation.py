@@ -1,0 +1,148 @@
+"""Energy-profile maintenance: online and multiplexed adaptation (§5.1).
+
+The profile is only useful while it reflects the *current* workload, so
+the socket-level ECL maintains it continuously:
+
+* **online adaptation** — zero overhead: every interval, the counters
+  measured for the configuration that was applied anyway are folded into
+  the profile (EWMA).  Its blind spot: only configurations the profile
+  already recommends get refreshed.
+* **multiplexed adaptation** — triggered when the online measurements
+  drift too far from the stored values (a workload change): every entry
+  is marked stale and re-evaluated by time-multiplexing short
+  apply+measure slots into the ECL's normal operation, piggybacking on
+  the RTI controller's switching.
+
+This module keeps the bookkeeping (drift detection, the stale queue,
+measurement validation); the slot scheduling lives in
+:class:`repro.ecl.socket_ecl.SocketEcl`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ControlError
+from repro.profiles.configuration import Configuration, ConfigurationMeasurement
+from repro.profiles.profile import EnergyProfile
+
+
+class ProfileMaintainer:
+    """Drift detection and stale-entry management for one profile."""
+
+    def __init__(
+        self,
+        profile: EnergyProfile,
+        ewma_weight: float = 0.5,
+        drift_threshold: float = 0.15,
+        mark_stale_on_drift: bool = True,
+    ):
+        if not 0.0 < ewma_weight <= 1.0:
+            raise ControlError(f"ewma_weight must be in (0, 1], got {ewma_weight}")
+        if drift_threshold <= 0:
+            raise ControlError(
+                f"drift_threshold must be > 0, got {drift_threshold}"
+            )
+        self.profile = profile
+        self.ewma_weight = ewma_weight
+        self.drift_threshold = drift_threshold
+        self.mark_stale_on_drift = mark_stale_on_drift
+        self.online_updates = 0
+        self.multiplexed_updates = 0
+        self.drift_events = 0
+
+    # -- online path -----------------------------------------------------------
+
+    def record_online(
+        self, configuration: Configuration, measurement: ConfigurationMeasurement
+    ) -> bool:
+        """Fold an in-situ measurement into the profile.
+
+        Returns True when the measurement drifted beyond the threshold
+        from the stored value, in which case every *other* entry is marked
+        stale (the freshly measured one is trusted) and multiplexed
+        re-evaluation should begin.
+        """
+        entry = self.profile.entry(configuration)
+        drifted = False
+        if entry.measurement is not None:
+            stored = entry.measurement
+            perf_drift = _relative_delta(
+                stored.performance_score, measurement.performance_score
+            )
+            power_drift = _relative_delta(stored.power_w, measurement.power_w)
+            drifted = max(perf_drift, power_drift) > self.drift_threshold
+        self.profile.record(
+            configuration, measurement, blend_weight=self.ewma_weight
+        )
+        self.online_updates += 1
+        if drifted:
+            self.drift_events += 1
+            if self.mark_stale_on_drift:
+                self.profile.mark_all_stale()
+                self.profile.entry(configuration).stale = False
+        return drifted
+
+    # -- multiplexed path ----------------------------------------------------------
+
+    @property
+    def multiplexing_needed(self) -> bool:
+        """Whether stale entries are waiting for re-evaluation.
+
+        The idle configuration is excluded: it cannot be measured while
+        queries are in flight (and its power is machine-global anyway).
+        """
+        return any(
+            not e.configuration.is_idle for e in self.profile.stale_entries()
+        )
+
+    def next_stale_configuration(
+        self, relevance_level: float | None = None
+    ) -> Configuration | None:
+        """Pick the next stale configuration to re-evaluate.
+
+        With ``relevance_level`` given, stale entries whose (possibly
+        outdated) measurement claims to satisfy the level are preferred,
+        best claimed efficiency first — these are exactly the entries the
+        control decision would pick, so correcting them first un-poisons
+        the decision fastest.  Remaining entries follow smallest-first
+        (fewer threads saturate at lower backlog, so they are measurable
+        even under light load).
+        """
+        stale = [
+            e for e in self.profile.stale_entries()
+            if not e.configuration.is_idle
+        ]
+        if not stale:
+            return None
+        if relevance_level is not None and relevance_level > 0:
+            relevant = [
+                e
+                for e in stale
+                if e.measurement is not None
+                and e.measurement.performance_score >= relevance_level
+            ]
+            if relevant:
+                relevant.sort(
+                    key=lambda e: -e.measurement.energy_efficiency
+                )
+                return relevant[0].configuration
+        stale.sort(
+            key=lambda e: (
+                e.configuration.thread_count,
+                e.configuration.average_core_ghz,
+                e.configuration.uncore_ghz,
+            )
+        )
+        return stale[0].configuration
+
+    def record_multiplexed(
+        self, configuration: Configuration, measurement: ConfigurationMeasurement
+    ) -> None:
+        """Store a dedicated re-evaluation measurement (replaces outright)."""
+        self.profile.record(configuration, measurement, blend_weight=None)
+        self.multiplexed_updates += 1
+
+
+def _relative_delta(stored: float, measured: float) -> float:
+    """Relative difference, safe around zero."""
+    denom = max(abs(stored), 1e-12)
+    return abs(measured - stored) / denom

@@ -1,0 +1,199 @@
+"""Meta calibration: how fast can the ECL reconfigure and measure? (§5.1)
+
+Because hardware differs, the ECL detects two platform constants once at
+startup:
+
+* **apply time** — how long after writing the DVFS/C-state knobs the new
+  configuration is actually in effect.  C/P-state transitions cost only
+  microseconds, so even a 1 ms budget measures accurately (Fig. 12).
+* **measure time** — how long a RAPL window must be for the power reading
+  to be trustworthy.  Short windows are dominated by read noise and
+  post-switch disturbance; the paper identifies 100 ms as the best
+  accuracy/speed trade-off.
+
+The calibrator takes a reference measurement with a generous window and
+then shrinks the times step by step while watching the deviation from the
+reference, alternating between the highest configuration (all cores at
+maximum frequency) and the lowest (one core at minimum) exactly as the
+paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ControlError
+from repro.hardware.machine import Machine
+from repro.hardware.perfmodel import SocketLoad, WorkloadCharacteristics
+from repro.hardware.rapl import RaplDomain
+from repro.profiles.configuration import Configuration
+
+#: Candidate times, largest first (seconds).
+MEASURE_CANDIDATES = (1.0, 0.5, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001)
+APPLY_CANDIDATES = (0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001)
+
+#: A calibration workload: steady compute so power is configuration-bound.
+CALIBRATION_CHARACTERISTICS = WorkloadCharacteristics(
+    name="calibration", base_cpi=0.5, ht_speedup=1.2
+)
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of the meta calibration.
+
+    Attributes:
+        apply_time_s: chosen configuration-apply settle time.
+        measure_time_s: chosen counter-measurement window.
+        measure_deviation: ``window -> relative deviation`` from reference.
+        apply_deviation: ``settle -> relative deviation`` from reference.
+    """
+
+    apply_time_s: float
+    measure_time_s: float
+    measure_deviation: dict[float, float]
+    apply_deviation: dict[float, float]
+
+
+class MetaCalibrator:
+    """Runs the startup calibration against one socket of a machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        socket_id: int = 0,
+        deviation_threshold: float = 0.02,
+        repetitions: int = 9,
+    ):
+        if deviation_threshold <= 0:
+            raise ControlError(
+                f"deviation threshold must be > 0, got {deviation_threshold}"
+            )
+        if repetitions < 1:
+            raise ControlError(f"repetitions must be >= 1, got {repetitions}")
+        self.machine = machine
+        self.socket_id = socket_id
+        self.deviation_threshold = deviation_threshold
+        self.repetitions = repetitions
+        self._highest, self._lowest = self._endpoint_configurations()
+
+    def _endpoint_configurations(self) -> tuple[Configuration, Configuration]:
+        """(all cores at max sustained clock, one core at minimum)."""
+        topology = self.machine.topology
+        params = self.machine.params
+        socket = topology.socket(self.socket_id)
+        all_threads = set(socket.thread_ids())
+        highest = Configuration.build(
+            self.socket_id,
+            all_threads,
+            {c.core_id: params.core_nominal_ghz for c in socket.cores},
+            params.uncore_max_ghz,
+        )
+        first_core = socket.cores[0]
+        lowest = Configuration.build(
+            self.socket_id,
+            {first_core.threads[0].global_id},
+            {first_core.core_id: params.core_min_ghz},
+            params.uncore_min_ghz,
+        )
+        return highest, lowest
+
+    # -- measurement primitive --------------------------------------------------
+
+    def _measure_power(
+        self, configuration: Configuration, settle_s: float, window_s: float
+    ) -> float:
+        """Apply a configuration, settle, and measure power over a window."""
+        machine = self.machine
+        machine.set_socket_load(
+            self.socket_id,
+            SocketLoad(
+                characteristics=CALIBRATION_CHARACTERISTICS,
+                demand_instructions_per_s=None,
+            ),
+        )
+        configuration.apply(machine)
+        machine.step(max(settle_s, 1e-4))
+        counter = machine.rapl_counter(self.socket_id, RaplDomain.PACKAGE)
+        start = counter.read()
+        machine.step(window_s)
+        end = counter.read()
+        return counter.window_power_w(start, end)
+
+    def _power_gaps(self, settle_s: float, window_s: float) -> list[float]:
+        """High-minus-low power gaps over alternating applications."""
+        gaps = []
+        for i in range(self.repetitions):
+            high = self._measure_power(self._highest, settle_s, window_s)
+            low = self._measure_power(self._lowest, settle_s, window_s)
+            if i == 0:
+                continue  # discard the warm-up pair
+            gaps.append(high - low)
+        return gaps
+
+    def _alternating_power_delta(self, settle_s: float, window_s: float) -> float:
+        """Average high-minus-low power gap over alternating applications."""
+        gaps = self._power_gaps(settle_s, window_s)
+        return sum(gaps) / max(1, len(gaps))
+
+    def _mean_abs_deviation(
+        self, settle_s: float, window_s: float, reference: float
+    ) -> float:
+        """Mean per-measurement relative error against the reference gap.
+
+        Judging candidates by the *per-measurement* error (not the error
+        of the averaged gap) is what matters for the ECL: every profile
+        measurement at runtime is a single window, not an average.
+        """
+        gaps = self._power_gaps(settle_s, window_s)
+        return sum(abs(g - reference) for g in gaps) / (
+            max(1, len(gaps)) * reference
+        )
+
+    # -- calibration ----------------------------------------------------------------
+
+    def run(self) -> CalibrationResult:
+        """Execute the full meta calibration (mutates machine time/state)."""
+        reference_settle = APPLY_CANDIDATES[0]
+        reference_window = MEASURE_CANDIDATES[0]
+        reference = self._alternating_power_delta(
+            reference_settle, reference_window
+        )
+        if reference <= 0:
+            raise ControlError("calibration reference gap is non-positive")
+
+        # Decrease step by step; stop shrinking once accuracy degrades
+        # (the curves for Fig. 12 still record every probed candidate).
+        measure_deviation: dict[float, float] = {}
+        measure_time = reference_window
+        for window in MEASURE_CANDIDATES:
+            deviation = self._mean_abs_deviation(
+                reference_settle, window, reference
+            )
+            measure_deviation[window] = deviation
+            if deviation <= self.deviation_threshold:
+                measure_time = window
+            else:
+                break
+
+        # The apply sweep measures with the *generous* reference window so
+        # that only the settle time under test — not window read noise —
+        # drives the deviation.
+        apply_deviation: dict[float, float] = {}
+        apply_time = reference_settle
+        for settle in APPLY_CANDIDATES:
+            deviation = self._mean_abs_deviation(
+                settle, reference_window, reference
+            )
+            apply_deviation[settle] = deviation
+            if deviation <= self.deviation_threshold:
+                apply_time = settle
+            else:
+                break
+
+        return CalibrationResult(
+            apply_time_s=apply_time,
+            measure_time_s=measure_time,
+            measure_deviation=measure_deviation,
+            apply_deviation=apply_deviation,
+        )

@@ -1,0 +1,174 @@
+"""The full hierarchical Energy-Control Loop, wired to a database engine.
+
+``EnergyControlLoop`` owns one :class:`~repro.ecl.socket_ecl.SocketEcl`
+per processor plus the single :class:`~repro.ecl.system_ecl.SystemEcl`,
+builds the per-socket energy profiles from the configuration generator,
+and charges its own (small) compute overhead against the engine.
+
+Two ways to initialize the profiles:
+
+* :meth:`EnergyControlLoop.bootstrap_multiplexed` — the honest runtime
+  path: every configuration starts stale and the multiplexed adaptation
+  sweeps through them using real (noisy) counter measurements.  This is
+  what happens after any major workload change anyway.
+* :meth:`EnergyControlLoop.warm_start_from_model` — fills the profiles
+  from the analytical models in one shot.  Used by benchmarks that study
+  steady-state behaviour and don't want to simulate the initial sweep;
+  online adaptation keeps the entries honest afterwards.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ControlError
+from repro.dbms.engine import DatabaseEngine
+from repro.hardware.perfmodel import WorkloadCharacteristics
+from repro.profiles.configuration import Configuration
+from repro.profiles.evaluate import measure_configuration
+from repro.profiles.generator import ConfigurationGenerator, GeneratorParameters
+from repro.profiles.profile import EnergyProfile
+from repro.ecl.calibration import CalibrationResult, MetaCalibrator
+from repro.ecl.socket_ecl import EclParameters, SocketEcl
+from repro.ecl.system_ecl import SystemEcl
+
+
+class EnergyControlLoop:
+    """Hierarchical ECL (socket-level loops + system-level loop)."""
+
+    def __init__(
+        self,
+        engine: DatabaseEngine,
+        params: EclParameters | None = None,
+        generator_params: GeneratorParameters | None = None,
+    ):
+        self.engine = engine
+        self.machine = engine.machine
+        self.params = params or EclParameters()
+        self.generator_params = generator_params or GeneratorParameters()
+
+        self.system = SystemEcl(
+            engine.latency,
+            latency_limit_s=self.params.latency_limit_s,
+            check_interval_s=min(0.1, self.params.interval_s / 2),
+        )
+
+        self.profiles: dict[int, EnergyProfile] = {}
+        self.sockets: dict[int, SocketEcl] = {}
+        for sock in self.machine.topology.sockets:
+            sid = sock.socket_id
+            generator = ConfigurationGenerator(
+                self.machine.topology, self.machine.params, sid,
+                self.generator_params,
+            )
+            profile = EnergyProfile(generator.generate())
+            self.profiles[sid] = profile
+            self.sockets[sid] = SocketEcl(
+                machine=self.machine,
+                socket_id=sid,
+                profile=profile,
+                params=self.params,
+                utilization_fn=self._utilization_fn(sid),
+                time_to_violation_fn=self.system.time_to_violation_s,
+                busy_fraction_fn=self._busy_fraction_fn(sid),
+                backlog_fn=self._backlog_fn(sid),
+            )
+        self.calibration: CalibrationResult | None = None
+
+    def _utilization_fn(self, socket_id: int):
+        def read(now_s: float) -> float:
+            return self.engine.utilization.utilization(socket_id, now_s)
+
+        return read
+
+    def _busy_fraction_fn(self, socket_id: int):
+        def read(now_s: float) -> float:
+            return self.engine.utilization.busy_fraction(socket_id, now_s)
+
+        return read
+
+    def _backlog_fn(self, socket_id: int):
+        hub = self.engine.hubs[socket_id]
+
+        def read() -> float:
+            return hub.pending_cost_instructions()
+
+        return read
+
+    # -- initialization -----------------------------------------------------------
+
+    def calibrate(self, socket_id: int = 0) -> CalibrationResult:
+        """Run the meta calibration and adopt its apply/measure times.
+
+        Mutates the machine (it steps time); run before query processing
+        starts, as the paper's ECL does once at startup.
+        """
+        result = MetaCalibrator(self.machine, socket_id).run()
+        self.calibration = result
+        object.__setattr__(self.params, "apply_time_s", result.apply_time_s)
+        object.__setattr__(self.params, "measure_time_s", result.measure_time_s)
+        return result
+
+    def apply_baseline(self) -> None:
+        """Start from the uncontrolled state: everything on, max clocks."""
+        params = self.machine.params
+        for sock in self.machine.topology.sockets:
+            socket = self.machine.topology.socket(sock.socket_id)
+            config = Configuration.build(
+                sock.socket_id,
+                set(socket.thread_ids()),
+                {c.core_id: params.core_nominal_ghz for c in socket.cores},
+                params.uncore_max_ghz,
+            )
+            config.apply(self.machine)
+
+    def bootstrap_multiplexed(self) -> None:
+        """Leave all profile entries stale for the runtime sweep."""
+        for profile in self.profiles.values():
+            profile.mark_all_stale()
+        self.apply_baseline()
+
+    def warm_start_from_model(
+        self,
+        chars: WorkloadCharacteristics | None = None,
+        chars_by_socket: dict[int, WorkloadCharacteristics] | None = None,
+    ) -> None:
+        """Fill every profile from the analytical models (fast start).
+
+        Raises:
+            ControlError: when neither characteristics source is given.
+        """
+        if chars is None and chars_by_socket is None:
+            raise ControlError(
+                "warm start needs chars= or chars_by_socket="
+            )
+        for sid, profile in self.profiles.items():
+            socket_chars = (
+                chars_by_socket[sid] if chars_by_socket is not None else chars
+            )
+            assert socket_chars is not None
+            for configuration in profile.configurations():
+                measurement = measure_configuration(
+                    self.machine, configuration, socket_chars
+                )
+                profile.record(configuration, measurement)
+            os_idle = measure_configuration(
+                self.machine,
+                profile.idle_configuration,
+                socket_chars,
+                assume_machine_idle_for_idle=False,
+            )
+            profile.os_idle_power_w = os_idle.power_w
+        self.apply_baseline()
+
+    # -- main loop -----------------------------------------------------------------
+
+    def on_tick(self, now_s: float, dt_s: float) -> None:
+        """Run all loops for the upcoming tick; call before engine.tick."""
+        self.system.on_tick(now_s)
+        overhead_rate = (
+            self.params.overhead_thread_fraction
+            * self.machine.params.core_nominal_ghz
+            * 1e9
+        )
+        for sid, socket_ecl in self.sockets.items():
+            socket_ecl.on_tick(now_s)
+            self.engine.add_overhead_instructions(sid, overhead_rate * dt_s)

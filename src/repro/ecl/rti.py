@@ -1,0 +1,170 @@
+"""The race-to-idle (RTI) controller of the socket-level ECL (§5.1).
+
+Two reasons to race-to-idle in the under-utilization zone:
+
+1. it partially amortizes the high cost of activating the *first* core
+   of a socket (which drags the whole uncore/LLC awake, Fig. 4);
+2. it emulates any performance level for which no configuration exists —
+   duty-cycling between the most energy-efficient configuration and idle
+   realizes every level below the optimal zone.
+
+The cost of RTI is latency: work arriving during an idle stint waits.
+Hence the controller (a) switches at a high frequency (up to
+``max_cycles`` per ECL interval), (b) raises the cycle count — shortening
+idle stints — when the system-level ECL reports shrinking latency
+headroom, and (c) disables RTI entirely when the headroom is critical.
+Idle phases are aligned to a machine-global grid so that sockets idle
+*together* — only then can the uncore halt (Fig. 5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ControlError
+from repro.profiles.configuration import Configuration
+from repro.units import clamp
+
+
+@dataclass(frozen=True)
+class RtiPlan:
+    """Duty-cycle plan for one ECL interval.
+
+    Attributes:
+        active_configuration: configuration used during busy phases.
+        duty: fraction of each cycle spent in the active configuration
+            (1.0 = RTI disabled, stay active all interval).
+        period_s: cycle length; idle occupies the cycle's tail so that
+            equal-period sockets overlap their idle windows.
+    """
+
+    active_configuration: Configuration
+    duty: float
+    period_s: float
+
+    @property
+    def uses_rti(self) -> bool:
+        """Whether any idle phase exists."""
+        return self.duty < 1.0
+
+    def is_active_phase(self, now_s: float) -> bool:
+        """Whether ``now_s`` falls into the busy part of the cycle.
+
+        Phases are anchored at absolute time 0 (the global grid shared by
+        all sockets), so two sockets with the same period idle in unison.
+        The small positive offset keeps times that land exactly on a cycle
+        boundary (within float error) inside the *active* phase.
+        """
+        if not self.uses_rti:
+            return True
+        phase = ((now_s + 1e-9) % self.period_s) / self.period_s
+        return phase < self.duty
+
+
+class RtiController:
+    """Plans RTI duty cycles for one socket."""
+
+    def __init__(
+        self,
+        max_cycles_per_interval: int = 50,
+        min_period_s: float = 0.02,
+        min_duty_quantum_s: float = 0.002,
+        max_idle_stint_s: float = 0.015,
+    ):
+        if max_cycles_per_interval < 1:
+            raise ControlError(
+                f"max cycles must be >= 1, got {max_cycles_per_interval}"
+            )
+        if min_period_s <= 0 or min_duty_quantum_s <= 0 or max_idle_stint_s <= 0:
+            raise ControlError("periods, quanta, and stints must be > 0")
+        self.max_cycles_per_interval = max_cycles_per_interval
+        self.min_period_s = min_period_s
+        self.min_duty_quantum_s = min_duty_quantum_s
+        self.max_idle_stint_s = max_idle_stint_s
+
+    def period_for(
+        self, duty: float, interval_s: float, time_to_violation_s: float
+    ) -> float:
+        """Cycle period bounding the idle stint.
+
+        The latency an RTI cycle adds is its idle stint
+        ``(1 - duty) × period``, so the period is chosen to keep the stint
+        under :attr:`max_idle_stint_s` (halved when the latency headroom
+        shrinks below ~4 ECL intervals), subject to the switching-rate
+        bounds (at most ``max_cycles_per_interval``, at least the minimum
+        period).
+        """
+        if interval_s <= 0:
+            raise ControlError(f"interval must be > 0, got {interval_s}")
+        idle_budget = self.max_idle_stint_s
+        if time_to_violation_s < 4.0 * interval_s:
+            idle_budget *= 0.5
+        period = idle_budget / max(1.0 - duty, 0.05)
+        longest = interval_s / 2.0
+        shortest = max(
+            self.min_period_s, interval_s / self.max_cycles_per_interval
+        )
+        period = clamp(period, shortest, longest)
+        # The active stint must be at least one schedulable quantum, or the
+        # configuration would never actually run; at very low duties this
+        # wins over the idle-stint budget (a near-idle system can afford a
+        # longer wait) — but never beyond ~6 stint budgets, or a stray
+        # query would sit out most of the latency limit in one idle phase.
+        if duty > 0 and duty * period < self.min_duty_quantum_s:
+            stretched = self.min_duty_quantum_s / duty
+            ceiling = max(shortest, 6.0 * self.max_idle_stint_s / max(1.0 - duty, 0.05))
+            period = clamp(stretched, shortest, min(longest, ceiling))
+        return period
+
+    def plan(
+        self,
+        demand_level: float,
+        optimal_configuration: Configuration,
+        optimal_performance: float,
+        interval_s: float,
+        time_to_violation_s: float,
+        headroom: float = 1.10,
+    ) -> RtiPlan:
+        """Build the duty-cycle plan for the coming interval.
+
+        The duty carries a small provisioning ``headroom`` — running at
+        exactly the estimated demand would leave queues growing without
+        bound under any fluctuation.  Demand at or above the optimal
+        configuration's performance disables RTI, and so does critical
+        latency headroom (less than two ECL intervals) — an idle stint
+        would push queries over the limit.
+
+        Raises:
+            ControlError: on non-positive optimal performance or headroom
+                below 1.
+        """
+        if optimal_performance <= 0:
+            raise ControlError(
+                f"optimal performance must be > 0, got {optimal_performance}"
+            )
+        if headroom < 1.0:
+            raise ControlError(f"headroom must be >= 1, got {headroom}")
+        duty = clamp(headroom * demand_level / optimal_performance, 0.0, 1.0)
+        if duty >= 1.0 or time_to_violation_s < 2.0 * interval_s:
+            return RtiPlan(
+                active_configuration=optimal_configuration,
+                duty=1.0,
+                period_s=interval_s,
+            )
+        period = self.period_for(duty, interval_s, time_to_violation_s)
+        # The simulation (and a real OS scheduler) can only switch on a
+        # finite grid; round the duty *up* to the next representable slot
+        # so the delivered capacity never falls below the demanded level —
+        # rounding down would run the queue exactly at its critical load.
+        slot = self.min_duty_quantum_s / period
+        if slot > 0 and duty > 0:
+            slots = max(1, math.ceil(duty / slot - 1e-9))
+            duty = min(1.0, slots * slot)
+        if (1.0 - duty) * period < self.min_duty_quantum_s:
+            duty = 1.0  # idle stint below a quantum: not worth switching
+        return RtiPlan(
+            active_configuration=optimal_configuration,
+            duty=duty,
+            period_s=period,
+        )

@@ -1,0 +1,96 @@
+"""The utilization controller of the socket-level ECL (§5.1).
+
+Determines the demanded *performance level* (instructions/second) from
+the worker utilization the database runtime reports:
+
+* utilization **below 100 %** pins the demand exactly:
+  ``level_new = utilization × level_old`` (paper Eq. 3);
+* at **full utilization** the true demand is unobservable (utilization is
+  measured relative to the *active* workers), so the controller runs a
+  discovery strategy that grows the level exponentially per ECL call —
+  conservative enough not to over-activate hardware, aggressive enough to
+  ride out load spikes.  The system-level ECL's time-to-violation makes
+  the discovery more eager as the latency limit approaches.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ControlError
+from repro.units import clamp
+
+
+class UtilizationController:
+    """Performance-level demand estimation for one socket."""
+
+    def __init__(
+        self,
+        full_threshold: float = 0.97,
+        discovery_factor: float = 1.6,
+        urgent_discovery_factor: float = 2.6,
+        minimum_level: float = 1e8,
+    ):
+        if not 0.5 <= full_threshold <= 1.0:
+            raise ControlError(
+                f"full_threshold must be in [0.5, 1], got {full_threshold}"
+            )
+        if discovery_factor <= 1.0 or urgent_discovery_factor < discovery_factor:
+            raise ControlError(
+                "need urgent_discovery_factor >= discovery_factor > 1"
+            )
+        if minimum_level <= 0:
+            raise ControlError(f"minimum_level must be > 0, got {minimum_level}")
+        self.full_threshold = full_threshold
+        self.discovery_factor = discovery_factor
+        self.urgent_discovery_factor = urgent_discovery_factor
+        self.minimum_level = minimum_level
+
+    def discovery_multiplier(
+        self, time_to_violation_s: float, interval_s: float
+    ) -> float:
+        """Discovery aggressiveness given the latency headroom.
+
+        With plenty of headroom the base factor applies; as the estimated
+        time-to-violation approaches one ECL interval, the factor ramps
+        toward the urgent value (already-violated limits use it fully).
+        """
+        if interval_s <= 0:
+            raise ControlError(f"interval must be > 0, got {interval_s}")
+        if time_to_violation_s <= 0:
+            urgency = 1.0
+        else:
+            urgency = clamp(4.0 * interval_s / time_to_violation_s, 0.0, 1.0)
+        return (
+            self.discovery_factor
+            + (self.urgent_discovery_factor - self.discovery_factor) * urgency
+        )
+
+    def next_level(
+        self,
+        utilization: float,
+        current_level: float,
+        time_to_violation_s: float,
+        interval_s: float,
+    ) -> float:
+        """Compute the new demanded performance level.
+
+        Args:
+            utilization: worker utilization over the last interval, [0, 1].
+            current_level: previously demanded level (instructions/s).
+            time_to_violation_s: system-ECL estimate (``inf`` = relaxed).
+            interval_s: the socket-ECL period.
+
+        Raises:
+            ControlError: on out-of-range utilization.
+        """
+        if not 0.0 <= utilization <= 1.0:
+            raise ControlError(f"utilization must be in [0, 1], got {utilization}")
+        if current_level < 0:
+            raise ControlError(f"current level must be >= 0, got {current_level}")
+
+        if utilization >= self.full_threshold:
+            base = max(current_level, self.minimum_level)
+            return base * self.discovery_multiplier(
+                time_to_violation_s, interval_s
+            )
+        # Exact scaling (Eq. 3); drop to zero when the socket went idle.
+        return utilization * current_level

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers embedding the simulator can catch one base class.  Subclasses are
+split by subsystem to keep error handling targeted.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all library errors."""
+
+
+class HardwareError(ReproError):
+    """Invalid hardware operation (bad frequency, unknown thread, ...)."""
+
+
+class ConfigurationError(HardwareError):
+    """A hardware configuration is malformed or not applicable."""
+
+
+class TopologyError(HardwareError):
+    """A topology lookup referenced a socket/core/thread that does not exist."""
+
+
+class StorageError(ReproError):
+    """Invalid storage operation (schema mismatch, unknown column, ...)."""
+
+
+class SchemaError(StorageError):
+    """A schema definition or row does not match the declared schema."""
+
+
+class PartitionError(StorageError):
+    """A partition lookup or ownership operation failed."""
+
+
+class MessagingError(ReproError):
+    """The hierarchical message-passing layer was used incorrectly."""
+
+
+class OwnershipError(MessagingError):
+    """A worker violated the partition-ownership protocol."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition or generated request is invalid."""
+
+
+class ProfileError(ReproError):
+    """An energy-profile operation failed (empty profile, unknown config)."""
+
+
+class ControlError(ReproError):
+    """The ECL was driven with invalid parameters or state."""
+
+
+class SimulationError(ReproError):
+    """The simulation runner detected an inconsistent setup."""

@@ -1,0 +1,57 @@
+"""Simulated NUMA scale-up server hardware.
+
+This package substitutes for the paper's 2-socket Intel Xeon E5-2690 v3
+(Haswell-EP) testbed.  It models exactly the surface the Energy-Control
+Loop interacts with:
+
+* the socket/core/hardware-thread topology (:mod:`repro.hardware.topology`),
+* per-core and uncore clock domains with P-states, EPB and the
+  energy-efficient turbo (:mod:`repro.hardware.frequency`),
+* C-states including the cross-socket uncore-halt dependency
+  (:mod:`repro.hardware.cstates`),
+* a calibrated analytical power model (:mod:`repro.hardware.power`),
+* a performance model translating workload characteristics into
+  instructions retired and memory bandwidth (:mod:`repro.hardware.perfmodel`),
+* RAPL-style energy counters with measurement lag and short-interval noise
+  (:mod:`repro.hardware.rapl`) and instructions-retired counters
+  (:mod:`repro.hardware.counters`),
+* a :class:`~repro.hardware.machine.Machine` facade tying it all together.
+
+Numbers are calibrated against the measurements reported in Section 2 of
+the paper (see DESIGN.md §5 for the calibration targets).
+"""
+
+from repro.hardware.topology import HardwareThread, PhysicalCore, Socket, Topology
+from repro.hardware.frequency import EnergyPerformanceBias, FrequencyDomains, PState
+from repro.hardware.cstates import CState, CStateModel
+from repro.hardware.power import PowerModel, PowerBreakdown
+from repro.hardware.perfmodel import PerformanceModel, SocketLoad, SocketPerformance
+from repro.hardware.rapl import RaplCounter, RaplDomain, RaplReading
+from repro.hardware.counters import InstructionCounter
+from repro.hardware.machine import Machine, MachineState
+from repro.hardware.presets import haswell_ep_two_socket, HaswellEPParameters
+
+__all__ = [
+    "HardwareThread",
+    "PhysicalCore",
+    "Socket",
+    "Topology",
+    "EnergyPerformanceBias",
+    "FrequencyDomains",
+    "PState",
+    "CState",
+    "CStateModel",
+    "PowerModel",
+    "PowerBreakdown",
+    "PerformanceModel",
+    "SocketLoad",
+    "SocketPerformance",
+    "RaplCounter",
+    "RaplDomain",
+    "RaplReading",
+    "InstructionCounter",
+    "Machine",
+    "MachineState",
+    "haswell_ep_two_socket",
+    "HaswellEPParameters",
+]

@@ -1,0 +1,59 @@
+"""Instructions-retired performance counters.
+
+The paper uses "instructions retired by all of the active hardware
+threads on the socket" as the workload-agnostic performance score of a
+configuration (§4.1).  Hardware instruction counters are exact, so unlike
+:mod:`repro.hardware.rapl` no noise model is needed — only windowed reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+
+
+@dataclass(frozen=True)
+class CounterReading:
+    """One read of an instructions-retired counter."""
+
+    instructions: float
+    timestamp_s: float
+
+
+class InstructionCounter:
+    """Accumulates instructions retired on one socket."""
+
+    def __init__(self) -> None:
+        self._instructions = 0.0
+        self._now_s = 0.0
+
+    @property
+    def total_instructions(self) -> float:
+        """Instructions retired since machine construction."""
+        return self._instructions
+
+    def accumulate(self, instructions: float, now_s: float) -> None:
+        """Add retired instructions up to time ``now_s``."""
+        if instructions < 0:
+            raise HardwareError(f"negative instruction count {instructions}")
+        self._instructions += instructions
+        self._now_s = now_s
+
+    def read(self) -> CounterReading:
+        """Read the counter."""
+        return CounterReading(instructions=self._instructions, timestamp_s=self._now_s)
+
+    @staticmethod
+    def window_rate(start: CounterReading, end: CounterReading) -> float:
+        """Average instructions/second between two reads.
+
+        Raises:
+            HardwareError: if the readings are not strictly ordered in time.
+        """
+        dt = end.timestamp_s - start.timestamp_s
+        if dt <= 0:
+            raise HardwareError(
+                f"readings not ordered: {start.timestamp_s} -> {end.timestamp_s}"
+            )
+        return max(0.0, end.instructions - start.instructions) / dt

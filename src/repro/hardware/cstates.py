@@ -1,0 +1,146 @@
+"""C-states: core sleep states and the package/uncore halt dependency.
+
+Single cores or the entire processor can be power-gated when unused
+(paper §2.2).  The essential behaviours reproduced here:
+
+* a physical core with no active hardware thread drops into a deep core
+  C-state (C6, power gated — near-zero draw); a core whose threads are
+  merely pausing sits in C1 (clock gated, residual draw);
+* the *uncore* clock of a socket may halt — power-gating the LLC and
+  saving up to ~30 W — only if **every** socket of the machine has halted
+  its uncore too, because remote sockets may access this socket's memory
+  (Fig. 5);
+* waking a core from a deep C-state costs on the order of tens of
+  microseconds (the paper cites works measuring "some µs" for C/P-state
+  transitions, Fig. 12 context).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+from repro.hardware.presets import HaswellEPParameters
+from repro.hardware.topology import Topology
+
+
+class CState(enum.Enum):
+    """Sleep depth of a physical core."""
+
+    C0 = "C0"  #: active, executing instructions
+    C1 = "C1"  #: halted but clock supplied (residual power)
+    C6 = "C6"  #: power gated (near-zero power)
+
+
+class CStateModel:
+    """Tracks which hardware threads are active and derives sleep states.
+
+    The DBMS runtime (or the ECL) *parks* and *unparks* hardware threads;
+    everything else — core C-state, package idleness, the machine-wide
+    uncore-halt condition — is derived from the active-thread set.
+    """
+
+    def __init__(self, topology: Topology, params: HaswellEPParameters):
+        self._topology = topology
+        self._params = params
+        #: Threads currently allowed to execute (C0 when they have work).
+        self._active_threads: set[int] = set(
+            t.global_id for t in topology.iter_threads()
+        )
+        #: Threads in a shallow halt (C1) rather than parked deep (C6).
+        self._shallow_threads: set[int] = set()
+
+    # -- mutation -------------------------------------------------------------
+
+    def set_active_threads(self, thread_ids: Iterable[int]) -> None:
+        """Declare exactly this set of hardware threads active.
+
+        All other threads are parked into the deep state.  Unknown thread
+        ids raise :class:`ConfigurationError`.
+        """
+        ids = set(thread_ids)
+        known = {t.global_id for t in self._topology.iter_threads()}
+        unknown = ids - known
+        if unknown:
+            raise ConfigurationError(f"unknown hardware thread ids {sorted(unknown)}")
+        self._active_threads = ids
+        self._shallow_threads -= ids
+
+    def park_thread(self, thread_id: int, shallow: bool = False) -> None:
+        """Park one thread; ``shallow=True`` leaves it in C1 instead of C6."""
+        self._require_known(thread_id)
+        self._active_threads.discard(thread_id)
+        if shallow:
+            self._shallow_threads.add(thread_id)
+        else:
+            self._shallow_threads.discard(thread_id)
+
+    def unpark_thread(self, thread_id: int) -> None:
+        """Wake one thread into the active set."""
+        self._require_known(thread_id)
+        self._active_threads.add(thread_id)
+        self._shallow_threads.discard(thread_id)
+
+    def _require_known(self, thread_id: int) -> None:
+        self._topology.thread(thread_id)  # raises TopologyError if unknown
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def active_threads(self) -> frozenset[int]:
+        """The set of currently active hardware-thread ids."""
+        return frozenset(self._active_threads)
+
+    def thread_is_active(self, thread_id: int) -> bool:
+        """Whether a hardware thread is unparked."""
+        self._require_known(thread_id)
+        return thread_id in self._active_threads
+
+    def active_threads_on_socket(self, socket_id: int) -> tuple[int, ...]:
+        """Active thread ids on one socket, ascending."""
+        on_socket = self._topology.threads_on_socket(socket_id)
+        return tuple(tid for tid in on_socket if tid in self._active_threads)
+
+    def core_state(self, socket_id: int, core_id: int) -> CState:
+        """Sleep state of a physical core, derived from its threads."""
+        core = self._topology.socket(socket_id).cores[core_id]
+        ids = set(core.thread_ids())
+        if ids & self._active_threads:
+            return CState.C0
+        if ids & self._shallow_threads:
+            return CState.C1
+        return CState.C6
+
+    def active_core_count(self, socket_id: int) -> int:
+        """Number of physical cores in C0 on a socket."""
+        socket = self._topology.socket(socket_id)
+        return sum(
+            1
+            for core in socket.cores
+            if set(core.thread_ids()) & self._active_threads
+        )
+
+    def socket_is_idle(self, socket_id: int) -> bool:
+        """True if no core of the socket is active."""
+        return self.active_core_count(socket_id) == 0
+
+    def machine_is_idle(self) -> bool:
+        """True if every socket of the machine is idle."""
+        return all(
+            self.socket_is_idle(s.socket_id) for s in self._topology.sockets
+        )
+
+    def uncore_may_halt(self, socket_id: int) -> bool:
+        """Whether this socket's uncore clock may halt right now.
+
+        The inter-socket dependency of Fig. 5: remote sockets reach this
+        socket's memory through its uncore, so halting requires the whole
+        machine to be idle.
+        """
+        self._topology.socket(socket_id)  # validate id
+        return self.machine_is_idle()
+
+    def wake_latency_s(self) -> float:
+        """Cost of waking a core from the deep state."""
+        return self._params.cstate_wake_s

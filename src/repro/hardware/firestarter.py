@@ -1,0 +1,61 @@
+"""FIRESTARTER analog: a synthetic maximum-load workload.
+
+The paper uses the FIRESTARTER tool [6] — an "optimal balance of compute
+instructions, AVX instructions, and memory controller requests" — to put
+the system under full load for the static/dynamic power breakdown of
+Fig. 3.  This module provides the equivalent workload characteristics and
+a helper that drives a :class:`~repro.hardware.machine.Machine` into the
+same state.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.frequency import EnergyPerformanceBias
+from repro.hardware.machine import Machine
+from repro.hardware.perfmodel import SocketLoad, WorkloadCharacteristics
+
+#: Compute-saturating mix that also keeps the memory controllers busy.
+FIRESTARTER_CHARACTERISTICS = WorkloadCharacteristics(
+    name="firestarter",
+    base_cpi=0.4,
+    ht_speedup=1.25,
+    bytes_per_instr=0.45,
+    miss_rate=0.0,
+)
+
+
+def apply_full_load(machine: Machine, turbo: bool = False) -> None:
+    """Configure ``machine`` like FIRESTARTER would: everything on, flat out.
+
+    Activates every hardware thread, pins all core clocks to the maximum
+    sustained (or turbo) frequency and every uncore clock to its maximum,
+    sets the performance EPB so turbo engages immediately, and declares
+    unbounded full-load demand on every socket.
+    """
+    params = machine.params
+    all_threads = {t.global_id for t in machine.topology.iter_threads()}
+    machine.cstates.set_active_threads(all_threads)
+    freq = params.core_turbo_ghz if turbo else params.core_nominal_ghz
+    machine.frequency.set_all_core_frequencies(freq, machine.time_s)
+    machine.set_epb_all(EnergyPerformanceBias.PERFORMANCE)
+    for sock in machine.topology.sockets:
+        machine.frequency.set_uncore_frequency(
+            sock.socket_id, params.uncore_max_ghz
+        )
+        machine.set_socket_load(
+            sock.socket_id,
+            SocketLoad(
+                characteristics=FIRESTARTER_CHARACTERISTICS,
+                demand_instructions_per_s=None,
+            ),
+        )
+        machine.note_configuration_switch(sock.socket_id)
+
+
+def apply_idle(machine: Machine) -> None:
+    """Park every thread and clear demand (static power measurement)."""
+    machine.cstates.set_active_threads(set())
+    for sock in machine.topology.sockets:
+        machine.frequency.set_uncore_auto(sock.socket_id)
+        machine.set_idle(sock.socket_id)
+        machine.note_configuration_switch(sock.socket_id)

@@ -1,0 +1,264 @@
+"""Clock domains: core P-states, the uncore clock, EPB and the EET.
+
+The Haswell-EP generation introduced fully integrated voltage regulators
+(FIVR), giving every physical core its own clock plus one uncore clock per
+socket that drives the LLC and memory controllers (paper Fig. 2).  This
+module models:
+
+* the discrete P-state ladders for core (1.2–2.6 GHz, 3.1 GHz turbo) and
+  uncore (1.2–3.0 GHz) clocks,
+* the *energy-performance bias* (EPB) MSR per hardware thread,
+* the *energy-efficient turbo* (EET): under the powersave/balanced EPB the
+  CPU dwells ~1 s at the nominal frequency before entering turbo (paper
+  Fig. 7(a)), whereas the performance EPB enters turbo immediately
+  (Fig. 7(b)),
+* automatic *uncore frequency scaling* (UFS), which the paper found to
+  always pick the highest uncore clock under load — wasting ~12 W on
+  compute-bound work (Fig. 8).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.presets import HaswellEPParameters
+from repro.hardware.topology import Topology
+
+
+class EnergyPerformanceBias(enum.Enum):
+    """The EPB hint written per hardware thread via MSR."""
+
+    POWERSAVE = "powersave"
+    BALANCED = "balanced"
+    PERFORMANCE = "performance"
+
+    @property
+    def delays_turbo(self) -> bool:
+        """Whether this bias inserts the ~1 s EET delay before turbo."""
+        return self is not EnergyPerformanceBias.PERFORMANCE
+
+
+@dataclass(frozen=True)
+class PState:
+    """One step of a frequency ladder."""
+
+    index: int
+    ghz: float
+
+
+class FrequencyLadder:
+    """A discrete, sorted ladder of allowed frequencies with snapping."""
+
+    def __init__(self, steps_ghz: tuple[float, ...]):
+        if not steps_ghz:
+            raise ConfigurationError("frequency ladder must not be empty")
+        ordered = tuple(sorted(steps_ghz))
+        if len(set(ordered)) != len(ordered):
+            raise ConfigurationError(f"duplicate P-states in ladder {steps_ghz}")
+        self._steps = ordered
+
+    @property
+    def steps(self) -> tuple[float, ...]:
+        """All frequencies in ascending order."""
+        return self._steps
+
+    @property
+    def minimum(self) -> float:
+        """Lowest frequency on the ladder."""
+        return self._steps[0]
+
+    @property
+    def maximum(self) -> float:
+        """Highest frequency on the ladder."""
+        return self._steps[-1]
+
+    def validate(self, ghz: float) -> float:
+        """Return ``ghz`` unchanged if it is an exact ladder step.
+
+        Raises:
+            ConfigurationError: if the frequency is not a valid P-state.
+        """
+        for step in self._steps:
+            if abs(step - ghz) < 1e-9:
+                return step
+        raise ConfigurationError(
+            f"{ghz} GHz is not a valid P-state; ladder is "
+            f"{self.minimum}-{self.maximum} GHz"
+        )
+
+    def snap(self, ghz: float) -> float:
+        """Snap an arbitrary frequency to the nearest ladder step."""
+        return min(self._steps, key=lambda step: abs(step - ghz))
+
+    def pstate(self, ghz: float) -> PState:
+        """Return the :class:`PState` for an exact ladder frequency."""
+        value = self.validate(ghz)
+        return PState(index=self._steps.index(value), ghz=value)
+
+    def subset(self, count: int, include_turbo: bool = True) -> tuple[float, ...]:
+        """Pick ``count`` representative frequencies for profile generation.
+
+        Always includes the lowest and highest step; intermediate steps are
+        spaced evenly across the ladder.  With ``include_turbo=False`` the
+        top step is excluded before selection (used for the uncore ladder,
+        which has no turbo, this is a no-op concept-wise).
+        """
+        steps = self._steps if include_turbo else self._steps[:-1]
+        if count <= 0:
+            raise ConfigurationError(f"subset count must be >= 1, got {count}")
+        if count >= len(steps):
+            return steps
+        if count == 1:
+            return (steps[-1],)
+        picks = {
+            steps[round(i * (len(steps) - 1) / (count - 1))] for i in range(count)
+        }
+        return tuple(sorted(picks))
+
+
+class FrequencyDomains:
+    """Mutable clock state of the whole machine.
+
+    Tracks the *requested* frequency of every core clock and uncore clock
+    plus per-thread EPB, and resolves the *effective* frequencies at a
+    given simulation time (applying the EET delay and auto-UFS policy).
+    """
+
+    def __init__(self, topology: Topology, params: HaswellEPParameters):
+        self._topology = topology
+        self._params = params
+        self.core_ladder = FrequencyLadder(params.core_pstates_ghz)
+        self.uncore_ladder = FrequencyLadder(params.uncore_pstates_ghz)
+
+        cores = [
+            (s.socket_id, c.core_id) for s in topology.sockets for c in s.cores
+        ]
+        self._core_request: dict[tuple[int, int], float] = {
+            key: params.core_nominal_ghz for key in cores
+        }
+        #: Simulation time at which each core last requested the turbo step.
+        self._turbo_request_time: dict[tuple[int, int], float | None] = {
+            key: None for key in cores
+        }
+        self._uncore_request: dict[int, float | None] = {
+            s.socket_id: None for s in topology.sockets
+        }  # None = automatic UFS
+        self._epb: dict[int, EnergyPerformanceBias] = {
+            t.global_id: EnergyPerformanceBias.BALANCED
+            for t in topology.iter_threads()
+        }
+
+    # -- core clocks ---------------------------------------------------------
+
+    def set_core_frequency(
+        self, socket_id: int, core_id: int, ghz: float, now: float
+    ) -> None:
+        """Request a new P-state for one physical core at time ``now``."""
+        value = self.core_ladder.validate(ghz)
+        key = (socket_id, core_id)
+        if key not in self._core_request:
+            raise ConfigurationError(f"unknown core {core_id} on socket {socket_id}")
+        previous = self._core_request[key]
+        self._core_request[key] = value
+        is_turbo = abs(value - self._params.core_turbo_ghz) < 1e-9
+        if is_turbo and abs(previous - self._params.core_turbo_ghz) >= 1e-9:
+            self._turbo_request_time[key] = now
+        elif not is_turbo:
+            self._turbo_request_time[key] = None
+
+    def set_all_core_frequencies(self, ghz: float, now: float) -> None:
+        """Request the same P-state for every physical core."""
+        for socket_id, core_id in list(self._core_request):
+            self.set_core_frequency(socket_id, core_id, ghz, now)
+
+    def requested_core_frequency(self, socket_id: int, core_id: int) -> float:
+        """The last requested frequency of a core."""
+        return self._core_request[(socket_id, core_id)]
+
+    def effective_core_frequency(
+        self, socket_id: int, core_id: int, now: float
+    ) -> float:
+        """The frequency the core actually runs at time ``now``.
+
+        Applies the energy-efficient turbo: under a powersave/balanced EPB
+        the core dwells at the nominal frequency for
+        :attr:`HaswellEPParameters.eet_delay_s` after a turbo request.
+        """
+        key = (socket_id, core_id)
+        requested = self._core_request[key]
+        if abs(requested - self._params.core_turbo_ghz) >= 1e-9:
+            return requested
+        if not self._core_epb(socket_id, core_id).delays_turbo:
+            return requested
+        since = self._turbo_request_time[key]
+        if since is None or now - since >= self._params.eet_delay_s:
+            return requested
+        return self._params.core_nominal_ghz
+
+    def _core_epb(self, socket_id: int, core_id: int) -> EnergyPerformanceBias:
+        """EPB governing a core: PERFORMANCE only if all siblings request it."""
+        core = self._topology.socket(socket_id).cores[core_id]
+        biases = {self._epb[tid] for tid in core.thread_ids()}
+        if biases == {EnergyPerformanceBias.PERFORMANCE}:
+            return EnergyPerformanceBias.PERFORMANCE
+        if EnergyPerformanceBias.POWERSAVE in biases:
+            return EnergyPerformanceBias.POWERSAVE
+        return EnergyPerformanceBias.BALANCED
+
+    # -- uncore clock ----------------------------------------------------------
+
+    def set_uncore_frequency(self, socket_id: int, ghz: float) -> None:
+        """Pin a socket's uncore clock to a fixed P-state."""
+        if socket_id not in self._uncore_request:
+            raise ConfigurationError(f"unknown socket id {socket_id}")
+        self._uncore_request[socket_id] = self.uncore_ladder.validate(ghz)
+
+    def set_uncore_auto(self, socket_id: int) -> None:
+        """Hand the socket's uncore clock back to automatic UFS."""
+        if socket_id not in self._uncore_request:
+            raise ConfigurationError(f"unknown socket id {socket_id}")
+        self._uncore_request[socket_id] = None
+
+    def uncore_is_auto(self, socket_id: int) -> bool:
+        """Whether automatic UFS controls this socket's uncore clock."""
+        return self._uncore_request[socket_id] is None
+
+    def effective_uncore_frequency(
+        self, socket_id: int, socket_has_active_core: bool
+    ) -> float:
+        """Resolve the uncore clock of a socket.
+
+        In automatic mode the hardware's UFS heuristic is reproduced as the
+        paper measured it: the highest uncore frequency whenever any core
+        of the socket is active (a poor decision for compute-bound work,
+        Fig. 8) and the lowest frequency otherwise.  Pinned mode returns the
+        pinned value.  Whether the uncore may *halt* entirely is decided by
+        the C-state model, not here.
+        """
+        requested = self._uncore_request[socket_id]
+        if requested is not None:
+            return requested
+        if socket_has_active_core:
+            return self.uncore_ladder.maximum
+        return self.uncore_ladder.minimum
+
+    # -- EPB -------------------------------------------------------------------
+
+    def set_epb(self, thread_id: int, bias: EnergyPerformanceBias) -> None:
+        """Set the energy-performance bias of one hardware thread."""
+        if thread_id not in self._epb:
+            raise ConfigurationError(f"unknown hardware thread id {thread_id}")
+        self._epb[thread_id] = bias
+
+    def set_epb_all(self, bias: EnergyPerformanceBias) -> None:
+        """Set the EPB of every hardware thread."""
+        for thread_id in self._epb:
+            self._epb[thread_id] = bias
+
+    def epb(self, thread_id: int) -> EnergyPerformanceBias:
+        """The EPB currently set for a hardware thread."""
+        if thread_id not in self._epb:
+            raise ConfigurationError(f"unknown hardware thread id {thread_id}")
+        return self._epb[thread_id]

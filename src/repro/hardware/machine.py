@@ -1,0 +1,412 @@
+"""The :class:`Machine` facade — the simulated server as one object.
+
+A ``Machine`` owns the topology, clock domains, C-state tracker, power and
+performance models, and the RAPL / instruction counters.  Everything the
+DBMS runtime and the ECL do to "hardware" goes through this facade:
+
+* the DBMS reports per-socket demand via :meth:`Machine.set_socket_load`,
+* the ECL applies hardware configurations via the frequency / C-state
+  setters (or :meth:`repro.profiles.configuration.Configuration.apply`),
+* the simulation advances via :meth:`Machine.step`, which resolves the
+  performance model, burns energy into the RAPL counters, and retires
+  instructions into the performance counters.
+
+The machine is deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hardware.counters import CounterReading, InstructionCounter
+from repro.hardware.cstates import CState, CStateModel
+from repro.hardware.frequency import EnergyPerformanceBias, FrequencyDomains
+from repro.hardware.perfmodel import (
+    ActiveCore,
+    PerformanceModel,
+    SocketLoad,
+    SocketPerformance,
+    WorkloadCharacteristics,
+)
+from repro.hardware.power import CorePowerState, PowerBreakdown, PowerModel
+from repro.hardware.presets import HaswellEPParameters, haswell_ep_two_socket
+from repro.hardware.rapl import RaplCounter, RaplDomain, RaplReading
+from repro.hardware.topology import Topology
+
+#: Placeholder characteristics for a socket with no assigned workload.
+IDLE_CHARACTERISTICS = WorkloadCharacteristics(name="idle", base_cpi=1.0)
+
+
+@dataclass(frozen=True)
+class SocketStepResult:
+    """Outcome of one simulation step for a single socket."""
+
+    performance: SocketPerformance
+    power: PowerBreakdown
+    executed_instructions: float
+    uncore_ghz: float
+    uncore_halted: bool
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one :meth:`Machine.step` call."""
+
+    time_s: float
+    dt_s: float
+    sockets: Mapping[int, SocketStepResult]
+    psu_power_w: float
+
+    @property
+    def rapl_power_w(self) -> float:
+        """Total power visible to RAPL across all sockets."""
+        return sum(s.power.socket_total_w for s in self.sockets.values())
+
+
+@dataclass(frozen=True)
+class MachineState:
+    """Introspection snapshot of the machine's control state."""
+
+    time_s: float
+    active_threads: frozenset[int]
+    core_frequencies_ghz: Mapping[tuple[int, int], float]
+    uncore_frequencies_ghz: Mapping[int, float]
+    uncore_halted: Mapping[int, bool]
+
+
+class Machine:
+    """Simulated 2-socket NUMA server (see module docstring)."""
+
+    def __init__(
+        self,
+        params: HaswellEPParameters | None = None,
+        seed: int = 0,
+    ):
+        self.params = params if params is not None else haswell_ep_two_socket()
+        self.topology = Topology.build(
+            self.params.socket_count,
+            self.params.cores_per_socket,
+            self.params.threads_per_core,
+        )
+        self.frequency = FrequencyDomains(self.topology, self.params)
+        self.cstates = CStateModel(self.topology, self.params)
+        self.power_model = PowerModel(self.topology, self.params)
+        self.perf_model = PerformanceModel(self.topology, self.params)
+
+        rng = np.random.default_rng(seed)
+        self._rapl: dict[tuple[int, RaplDomain], RaplCounter] = {}
+        self._instructions: dict[int, InstructionCounter] = {}
+        for sock in self.topology.sockets:
+            for domain in RaplDomain:
+                child = np.random.default_rng(rng.integers(0, 2**63))
+                self._rapl[(sock.socket_id, domain)] = RaplCounter(
+                    self.params, domain, child
+                )
+            self._instructions[sock.socket_id] = InstructionCounter()
+
+        self._loads: dict[int, SocketLoad] = {
+            sock.socket_id: SocketLoad(
+                characteristics=IDLE_CHARACTERISTICS, demand_instructions_per_s=0.0
+            )
+            for sock in self.topology.sockets
+        }
+        self._time_s = 0.0
+        self._last_step: StepResult | None = None
+        #: Remaining above-TDP headroom per socket (thermal throttling).
+        self._thermal_credit_s: dict[int, float] = {
+            sock.socket_id: self.params.thermal_budget_s
+            for sock in self.topology.sockets
+        }
+        self._throttled: dict[int, bool] = {
+            sock.socket_id: False for sock in self.topology.sockets
+        }
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def time_s(self) -> float:
+        """Current simulation time."""
+        return self._time_s
+
+    @property
+    def last_step(self) -> StepResult | None:
+        """Result of the most recent :meth:`step` call (None before any)."""
+        return self._last_step
+
+    # -- load ---------------------------------------------------------------
+
+    def set_socket_load(self, socket_id: int, load: SocketLoad) -> None:
+        """Declare the demand a socket faces until changed again."""
+        if socket_id not in self._loads:
+            raise ConfigurationError(f"unknown socket id {socket_id}")
+        self._loads[socket_id] = load
+
+    def socket_load(self, socket_id: int) -> SocketLoad:
+        """The load currently declared for a socket."""
+        if socket_id not in self._loads:
+            raise ConfigurationError(f"unknown socket id {socket_id}")
+        return self._loads[socket_id]
+
+    def set_idle(self, socket_id: int) -> None:
+        """Clear a socket's demand."""
+        self.set_socket_load(
+            socket_id,
+            SocketLoad(
+                characteristics=IDLE_CHARACTERISTICS, demand_instructions_per_s=0.0
+            ),
+        )
+
+    # -- configuration shortcuts ------------------------------------------------
+
+    def apply_socket_threads(
+        self, socket_id: int, active_thread_ids: frozenset[int] | set[int]
+    ) -> None:
+        """Set exactly this active-thread set on one socket.
+
+        Threads of other sockets are left untouched.  Notifies the RAPL
+        counters that a reconfiguration happened (transient read noise).
+        """
+        own = set(self.topology.threads_on_socket(socket_id))
+        foreign = set(active_thread_ids) - own
+        if foreign:
+            raise ConfigurationError(
+                f"threads {sorted(foreign)} do not belong to socket {socket_id}"
+            )
+        keep = {
+            tid
+            for tid in self.cstates.active_threads
+            if self.topology.socket_of(tid) != socket_id
+        }
+        self.cstates.set_active_threads(keep | set(active_thread_ids))
+        self._note_switch(socket_id)
+
+    def set_epb_all(self, bias: EnergyPerformanceBias) -> None:
+        """Set the EPB of every hardware thread."""
+        self.frequency.set_epb_all(bias)
+
+    def _note_switch(self, socket_id: int) -> None:
+        for domain in RaplDomain:
+            self._rapl[(socket_id, domain)].note_configuration_switch(self._time_s)
+
+    def note_configuration_switch(self, socket_id: int) -> None:
+        """Record an external reconfiguration (frequency changes etc.)."""
+        self._note_switch(socket_id)
+
+    # -- counters ---------------------------------------------------------------
+
+    def read_rapl(self, socket_id: int, domain: RaplDomain) -> RaplReading:
+        """Read a RAPL counter (published value — lagged, quantized, noisy)."""
+        key = (socket_id, domain)
+        if key not in self._rapl:
+            raise ConfigurationError(f"unknown socket id {socket_id}")
+        return self._rapl[key].read()
+
+    def rapl_counter(self, socket_id: int, domain: RaplDomain) -> RaplCounter:
+        """Direct access to a RAPL counter object (for windowed helpers)."""
+        key = (socket_id, domain)
+        if key not in self._rapl:
+            raise ConfigurationError(f"unknown socket id {socket_id}")
+        return self._rapl[key]
+
+    def read_instructions(self, socket_id: int) -> CounterReading:
+        """Read a socket's instructions-retired counter."""
+        if socket_id not in self._instructions:
+            raise ConfigurationError(f"unknown socket id {socket_id}")
+        return self._instructions[socket_id].read()
+
+    def true_socket_energy_j(self, socket_id: int) -> float:
+        """Ground-truth package+DRAM energy of a socket (for evaluation)."""
+        return (
+            self._rapl[(socket_id, RaplDomain.PACKAGE)].true_energy_j
+            + self._rapl[(socket_id, RaplDomain.DRAM)].true_energy_j
+        )
+
+    def true_total_energy_j(self) -> float:
+        """Ground-truth energy across all sockets (RAPL-visible domains)."""
+        return sum(
+            self.true_socket_energy_j(s.socket_id) for s in self.topology.sockets
+        )
+
+    # -- stepping ----------------------------------------------------------------
+
+    def thermally_throttled(self, socket_id: int) -> bool:
+        """Whether the socket currently caps turbo at the nominal clock."""
+        return self._throttled[socket_id]
+
+    def thermal_credit_s(self, socket_id: int) -> float:
+        """Remaining above-TDP operation budget of a socket."""
+        return self._thermal_credit_s[socket_id]
+
+    def _active_cores(self, socket_id: int) -> list[ActiveCore]:
+        """Active physical cores of a socket with their effective clocks.
+
+        Thermal throttling caps turbo-clocked cores at the nominal
+        frequency once the socket's above-TDP budget is exhausted (the
+        paper's 500 W turbo peak "can only endure for about 1 s").
+        """
+        cores = []
+        socket = self.topology.socket(socket_id)
+        active = set(self.cstates.active_threads_on_socket(socket_id))
+        nominal = self.params.core_nominal_ghz
+        for core in socket.cores:
+            siblings = [tid for tid in core.thread_ids() if tid in active]
+            if not siblings:
+                continue
+            freq = self.frequency.effective_core_frequency(
+                socket_id, core.core_id, self._time_s
+            )
+            if self._throttled[socket_id] and freq > nominal:
+                freq = nominal
+            cores.append(
+                ActiveCore(
+                    socket_id=socket_id,
+                    core_id=core.core_id,
+                    frequency_ghz=freq,
+                    sibling_count=len(siblings),
+                )
+            )
+        return cores
+
+    def resolve_uncore(self, socket_id: int) -> tuple[float, bool]:
+        """Effective (uncore frequency, halted) of a socket right now."""
+        has_active = not self.cstates.socket_is_idle(socket_id)
+        freq = self.frequency.effective_uncore_frequency(socket_id, has_active)
+        halted = self.cstates.uncore_may_halt(socket_id)
+        return freq, halted
+
+    def step(self, dt_s: float) -> StepResult:
+        """Advance the machine by ``dt_s`` seconds.
+
+        Resolves performance for every socket under its declared load,
+        accumulates RAPL energy and retired instructions, and returns the
+        step outcome.
+        """
+        if dt_s <= 0:
+            raise ConfigurationError(f"step duration must be > 0, got {dt_s}")
+
+        breakdowns: dict[int, PowerBreakdown] = {}
+        socket_results: dict[int, SocketStepResult] = {}
+        new_time = self._time_s + dt_s
+
+        for sock in self.topology.sockets:
+            sid = sock.socket_id
+            load = self._loads[sid]
+            active_cores = self._active_cores(sid)
+            uncore_ghz, uncore_halted = self.resolve_uncore(sid)
+
+            perf = self.perf_model.resolve(active_cores, uncore_ghz, load)
+            parallel = self.perf_model.parallel_throughput_ips(
+                active_cores, uncore_ghz, load.characteristics
+            )
+            socket_scale = 0.0 if parallel <= 0 else perf.executed_ips / parallel
+
+            core_states = []
+            for core in active_cores:
+                activity = self.perf_model.core_activity(
+                    core, uncore_ghz, load.characteristics, socket_scale
+                )
+                core_states.append(
+                    CorePowerState(
+                        frequency_ghz=core.frequency_ghz,
+                        active_sibling_count=core.sibling_count,
+                        activity=activity,
+                    )
+                )
+            # Shallow-parked (C1) cores draw a residual.
+            for core in sock.cores:
+                state = self.cstates.core_state(sid, core.core_id)
+                if state is CState.C1:
+                    freq = self.frequency.effective_core_frequency(
+                        sid, core.core_id, self._time_s
+                    )
+                    core_states.append(
+                        CorePowerState(
+                            frequency_ghz=freq,
+                            active_sibling_count=0,
+                            shallow=True,
+                        )
+                    )
+
+            power = self.power_model.socket_power(
+                socket_id=sid,
+                core_states=core_states,
+                uncore_ghz=uncore_ghz,
+                uncore_halted=uncore_halted,
+                traffic_gbs=perf.traffic_gbs,
+            )
+            breakdowns[sid] = power
+
+            executed = perf.executed_ips * dt_s
+            # The counters see *retired* instructions — inflated by latch
+            # spinning for transaction-oriented workloads (section 5.3).
+            self._instructions[sid].accumulate(perf.retired_ips * dt_s, new_time)
+            self._rapl[(sid, RaplDomain.PACKAGE)].accumulate(
+                power.package_w, dt_s, new_time
+            )
+            self._rapl[(sid, RaplDomain.DRAM)].accumulate(
+                power.dram_w, dt_s, new_time
+            )
+
+            # Thermal bookkeeping: above-TDP operation drains the budget,
+            # below-TDP operation slowly restores it.
+            p = self.params
+            credit = self._thermal_credit_s[sid]
+            if power.package_w > p.tdp_w:
+                credit -= dt_s
+                if credit <= 0.0:
+                    credit = 0.0
+                    self._throttled[sid] = True
+            else:
+                credit = min(
+                    p.thermal_budget_s,
+                    credit + p.thermal_recovery_rate * dt_s,
+                )
+                if credit >= 0.5 * p.thermal_budget_s:
+                    self._throttled[sid] = False
+            self._thermal_credit_s[sid] = credit
+
+            socket_results[sid] = SocketStepResult(
+                performance=perf,
+                power=power,
+                executed_instructions=executed,
+                uncore_ghz=uncore_ghz,
+                uncore_halted=uncore_halted,
+            )
+
+        psu = self.power_model.psu_power(breakdowns)
+        self._time_s = new_time
+        result = StepResult(
+            time_s=new_time, dt_s=dt_s, sockets=socket_results, psu_power_w=psu
+        )
+        self._last_step = result
+        return result
+
+    # -- introspection ---------------------------------------------------------
+
+    def state(self) -> MachineState:
+        """Snapshot the control state (frequencies, active threads)."""
+        core_freqs = {}
+        uncore_freqs = {}
+        uncore_halted = {}
+        for sock in self.topology.sockets:
+            sid = sock.socket_id
+            for core in sock.cores:
+                core_freqs[(sid, core.core_id)] = (
+                    self.frequency.effective_core_frequency(
+                        sid, core.core_id, self._time_s
+                    )
+                )
+            freq, halted = self.resolve_uncore(sid)
+            uncore_freqs[sid] = freq
+            uncore_halted[sid] = halted
+        return MachineState(
+            time_s=self._time_s,
+            active_threads=self.cstates.active_threads,
+            core_frequencies_ghz=core_freqs,
+            uncore_frequencies_ghz=uncore_freqs,
+            uncore_halted=uncore_halted,
+        )

@@ -1,0 +1,30 @@
+"""Load profiles: queries-per-second curves over time.
+
+"Additionally, we use load profiles that define the number of queries per
+second sent to the database system over time, because energy efficiency
+depends on the load" (paper §6).  Profiles yield a *fraction* of the
+workload's nominal peak rate, so the same profile drives every benchmark.
+
+* :mod:`repro.loadprofiles.spike` — the synthetic profile covering the
+  full load range including a deliberate overload phase (Fig. 13);
+* :mod:`repro.loadprofiles.twitter` — a deterministic replica of the
+  2-hour Twitter load trace compressed to 3 minutes: diurnal drift with
+  sudden spikes and frequent alternation (Fig. 14);
+* :mod:`repro.loadprofiles.synthetic` — constant/step/sine helpers for
+  tests and ablation studies.
+"""
+
+from repro.loadprofiles.base import LoadProfile, SegmentProfile
+from repro.loadprofiles.spike import spike_profile
+from repro.loadprofiles.twitter import twitter_profile
+from repro.loadprofiles.synthetic import constant_profile, sine_profile, step_profile
+
+__all__ = [
+    "LoadProfile",
+    "SegmentProfile",
+    "spike_profile",
+    "twitter_profile",
+    "constant_profile",
+    "step_profile",
+    "sine_profile",
+]

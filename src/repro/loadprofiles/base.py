@@ -1,0 +1,95 @@
+"""Load-profile abstraction.
+
+A load profile is a function ``fraction(t) -> load ∈ [0, ...]`` over a
+finite duration.  1.0 means 100 % of the workload's nominal peak rate;
+values above 1.0 model deliberate overload (more queries arrive than the
+system can process, Fig. 13's 80–100 s phase).
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+class LoadProfile(abc.ABC):
+    """A queries-per-second curve, normalized to the workload peak."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Profile name as used in reports ("spike", "twitter", ...)."""
+
+    @property
+    @abc.abstractmethod
+    def duration_s(self) -> float:
+        """Length of the profile."""
+
+    @abc.abstractmethod
+    def fraction(self, t_s: float) -> float:
+        """Load fraction at time ``t_s`` (0.0 outside the duration)."""
+
+    def average_fraction(self, resolution_s: float = 0.5) -> float:
+        """Time-average of the profile (for report normalization)."""
+        if resolution_s <= 0:
+            raise SimulationError(f"resolution must be > 0, got {resolution_s}")
+        steps = max(1, int(self.duration_s / resolution_s))
+        total = sum(
+            self.fraction((i + 0.5) * self.duration_s / steps) for i in range(steps)
+        )
+        return total / steps
+
+    def peak_fraction(self, resolution_s: float = 0.1) -> float:
+        """Maximum of the profile (sampled)."""
+        steps = max(1, int(self.duration_s / resolution_s))
+        return max(
+            self.fraction((i + 0.5) * self.duration_s / steps) for i in range(steps)
+        )
+
+
+@dataclass(frozen=True)
+class _Point:
+    t_s: float
+    fraction: float
+
+
+class SegmentProfile(LoadProfile):
+    """Piecewise-linear profile through (time, fraction) control points."""
+
+    def __init__(self, name: str, points: list[tuple[float, float]]):
+        if len(points) < 2:
+            raise SimulationError("segment profile needs >= 2 control points")
+        times = [t for t, _ in points]
+        if times != sorted(times):
+            raise SimulationError("control points must be time-ordered")
+        if any(f < 0 for _, f in points):
+            raise SimulationError("load fractions must be >= 0")
+        self._name = name
+        self._points = [_Point(t, f) for t, f in points]
+        self._times = times
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def duration_s(self) -> float:
+        return self._points[-1].t_s
+
+    def fraction(self, t_s: float) -> float:
+        if t_s < self._points[0].t_s or t_s > self._points[-1].t_s:
+            return 0.0
+        i = bisect.bisect_right(self._times, t_s)
+        if i >= len(self._points):
+            return self._points[-1].fraction
+        if i == 0:
+            return self._points[0].fraction
+        before, after = self._points[i - 1], self._points[i]
+        span = after.t_s - before.t_s
+        if span <= 0:
+            return after.fraction
+        w = (t_s - before.t_s) / span
+        return before.fraction * (1.0 - w) + after.fraction * w

@@ -1,0 +1,84 @@
+"""Synthetic load profiles for tests, calibration, and ablations."""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SimulationError
+from repro.loadprofiles.base import LoadProfile, SegmentProfile
+
+
+def constant_profile(
+    fraction: float, duration_s: float = 60.0, name: str | None = None
+) -> LoadProfile:
+    """A flat profile at a fixed load fraction."""
+    if fraction < 0:
+        raise SimulationError(f"fraction must be >= 0, got {fraction}")
+    return SegmentProfile(
+        name or f"constant-{fraction:.0%}",
+        [(0.0, fraction), (duration_s, fraction)],
+    )
+
+
+def step_profile(
+    levels: list[tuple[float, float]], name: str = "step"
+) -> LoadProfile:
+    """A staircase profile from (duration, fraction) segments.
+
+    Each segment holds its fraction for its duration; transitions are
+    instantaneous (realized as 1 ms ramps so the profile stays a valid
+    piecewise-linear curve).
+    """
+    if not levels:
+        raise SimulationError("step profile needs >= 1 segment")
+    points: list[tuple[float, float]] = []
+    t = 0.0
+    for duration, fraction in levels:
+        if duration <= 0:
+            raise SimulationError(f"segment duration must be > 0, got {duration}")
+        if points:
+            points.append((t + 1e-3, fraction))
+        else:
+            points.append((0.0, fraction))
+        t += duration
+        points.append((t, fraction))
+    return SegmentProfile(name, points)
+
+
+class SineProfile(LoadProfile):
+    """A sinusoid between ``low`` and ``high`` with a given period."""
+
+    def __init__(
+        self, low: float, high: float, period_s: float, duration_s: float
+    ):
+        if not 0 <= low <= high:
+            raise SimulationError(f"need 0 <= low <= high, got {low}, {high}")
+        if period_s <= 0 or duration_s <= 0:
+            raise SimulationError("period and duration must be > 0")
+        self.low = low
+        self.high = high
+        self.period_s = period_s
+        self._duration_s = duration_s
+
+    @property
+    def name(self) -> str:
+        return f"sine-{self.low:.0%}-{self.high:.0%}"
+
+    @property
+    def duration_s(self) -> float:
+        return self._duration_s
+
+    def fraction(self, t_s: float) -> float:
+        if not 0 <= t_s <= self._duration_s:
+            return 0.0
+        mid = (self.low + self.high) / 2.0
+        amp = (self.high - self.low) / 2.0
+        return mid + amp * math.sin(2 * math.pi * t_s / self.period_s)
+
+
+def sine_profile(
+    low: float = 0.1, high: float = 0.9, period_s: float = 30.0,
+    duration_s: float = 120.0,
+) -> LoadProfile:
+    """Convenience constructor for :class:`SineProfile`."""
+    return SineProfile(low, high, period_s, duration_s)

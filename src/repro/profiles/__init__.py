@@ -1,0 +1,29 @@
+"""Energy profiles — the knowledge base of the Energy-Control Loop.
+
+A *configuration* (paper §4.1) is one hardware state of a single socket:
+the set of active hardware threads, the core frequencies of the active
+physical cores (inactive cores sit at their minimum), and the uncore
+frequency.  The *configuration generator* (§4.2) enumerates a bounded,
+homogeneity-deduplicated set of configurations; evaluating each under the
+live workload (power via RAPL, performance via instructions retired)
+yields the *energy profile*, whose skyline tells the socket-level ECL the
+most energy-efficient configuration for any demanded performance level.
+Ruling zones (§4.3) split the profile into under-utilization / optimal /
+over-utilization regions that select the control strategy.
+"""
+
+from repro.profiles.configuration import Configuration, ConfigurationMeasurement
+from repro.profiles.generator import ConfigurationGenerator, GeneratorParameters
+from repro.profiles.profile import EnergyProfile, ProfileEntry
+from repro.profiles.zones import RulingZone, classify_zones
+
+__all__ = [
+    "Configuration",
+    "ConfigurationMeasurement",
+    "ConfigurationGenerator",
+    "GeneratorParameters",
+    "EnergyProfile",
+    "ProfileEntry",
+    "RulingZone",
+    "classify_zones",
+]

@@ -1,0 +1,150 @@
+"""Energy-profile persistence: export/import as JSON.
+
+The paper's profiles live only in the ECL's memory and are rebuilt after
+every restart via the multiplexed sweep.  Operationally that sweep costs
+tens of seconds of degraded control, so a deployment would snapshot
+profiles across restarts and let online adaptation reconcile any drift.
+This module provides that: a stable JSON representation of a profile's
+configurations and measurements.
+
+Loaded measurements are marked *stale* by default — they describe the
+workload at snapshot time, and the ECL should re-validate them through
+its normal adaptation machinery rather than trust them blindly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ProfileError
+from repro.profiles.configuration import Configuration, ConfigurationMeasurement
+from repro.profiles.profile import EnergyProfile
+
+#: Format marker for forward compatibility.
+FORMAT_VERSION = 1
+
+
+def configuration_to_dict(configuration: Configuration) -> dict[str, Any]:
+    """JSON-compatible representation of one configuration."""
+    return {
+        "socket_id": configuration.socket_id,
+        "active_threads": sorted(configuration.active_threads),
+        "core_frequencies": [
+            [core_id, freq] for core_id, freq in configuration.core_frequencies
+        ],
+        "uncore_ghz": configuration.uncore_ghz,
+    }
+
+
+def configuration_from_dict(data: dict[str, Any]) -> Configuration:
+    """Rebuild a configuration from its dict form.
+
+    Raises:
+        ProfileError: on malformed input.
+    """
+    try:
+        return Configuration.build(
+            socket_id=int(data["socket_id"]),
+            active_threads={int(t) for t in data["active_threads"]},
+            core_frequencies={
+                int(core_id): float(freq)
+                for core_id, freq in data["core_frequencies"]
+            },
+            uncore_ghz=float(data["uncore_ghz"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProfileError(f"malformed configuration record: {exc}") from exc
+
+
+def profile_to_dict(profile: EnergyProfile) -> dict[str, Any]:
+    """JSON-compatible representation of a whole profile."""
+    entries = []
+    for configuration in profile.configurations():
+        entry = profile.entry(configuration)
+        record: dict[str, Any] = {
+            "configuration": configuration_to_dict(configuration),
+        }
+        if entry.measurement is not None:
+            record["measurement"] = {
+                "power_w": entry.measurement.power_w,
+                "performance_score": entry.measurement.performance_score,
+                "measured_at_s": entry.measurement.measured_at_s,
+            }
+        entries.append(record)
+    return {
+        "format_version": FORMAT_VERSION,
+        "socket_id": profile.socket_id,
+        "os_idle_power_w": profile.os_idle_power_w,
+        "entries": entries,
+    }
+
+
+def profile_from_dict(
+    data: dict[str, Any], mark_stale: bool = True
+) -> EnergyProfile:
+    """Rebuild a profile from its dict form.
+
+    ``mark_stale=True`` (default) flags every loaded measurement for
+    re-validation by the multiplexed adaptation.
+
+    Raises:
+        ProfileError: on malformed input or unsupported format versions.
+    """
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ProfileError(
+            f"unsupported profile format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    try:
+        records = list(data["entries"])
+    except (KeyError, TypeError) as exc:
+        raise ProfileError(f"malformed profile record: {exc}") from exc
+    if not records:
+        raise ProfileError("profile snapshot contains no configurations")
+
+    configurations = [
+        configuration_from_dict(record["configuration"]) for record in records
+    ]
+    profile = EnergyProfile(configurations)
+    for configuration, record in zip(configurations, records):
+        measurement = record.get("measurement")
+        if measurement is None:
+            continue
+        try:
+            profile.record(
+                configuration,
+                ConfigurationMeasurement(
+                    power_w=float(measurement["power_w"]),
+                    performance_score=float(measurement["performance_score"]),
+                    measured_at_s=float(measurement["measured_at_s"]),
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProfileError(f"malformed measurement record: {exc}") from exc
+        if mark_stale:
+            profile.entry(configuration).stale = True
+    os_idle = data.get("os_idle_power_w")
+    profile.os_idle_power_w = None if os_idle is None else float(os_idle)
+    return profile
+
+
+def save_profile(profile: EnergyProfile, path: str) -> None:
+    """Write a profile snapshot to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(profile_to_dict(profile), handle, indent=2)
+
+
+def load_profile(path: str, mark_stale: bool = True) -> EnergyProfile:
+    """Read a profile snapshot from a JSON file.
+
+    Raises:
+        ProfileError: on malformed files.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ProfileError(f"cannot load profile from {path}: {exc}") from exc
+    return profile_from_dict(data, mark_stale=mark_stale)

@@ -1,0 +1,329 @@
+"""The energy profile: configurations with live measurements (paper §4).
+
+An :class:`EnergyProfile` is the per-socket knowledge base the socket-
+level ECL consults: every generated configuration, each annotated (once
+evaluated) with power, performance score, and energy efficiency under
+the *current* workload.  Only the profile's skyline matters to control
+decisions — for any demanded performance level, the most energy-efficient
+configuration that still satisfies it.
+
+Also computed here:
+
+* the **ECL RTI line**: the efficiency achievable below the optimal zone
+  by duty-cycling between the most energy-efficient configuration and the
+  idle configuration (paper Fig. 9/10);
+* the **baseline line**: the race-to-idle behaviour of an uncontrolled
+  DBMS — duty-cycling between "all cores at maximum frequency" and idle;
+* staleness bookkeeping driving the online/multiplexed adaptation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ProfileError
+from repro.profiles.configuration import Configuration, ConfigurationMeasurement
+
+
+@dataclass
+class ProfileEntry:
+    """One configuration and its (possibly missing) measurement."""
+
+    configuration: Configuration
+    measurement: ConfigurationMeasurement | None = None
+    stale: bool = True
+
+    @property
+    def evaluated(self) -> bool:
+        """Whether this entry carries a measurement."""
+        return self.measurement is not None
+
+
+@dataclass(frozen=True)
+class SkylinePoint:
+    """One point of the profile skyline."""
+
+    configuration: Configuration
+    performance_score: float
+    energy_efficiency: float
+    power_w: float
+
+
+class EnergyProfile:
+    """Per-socket set of configurations with runtime measurements."""
+
+    def __init__(self, configurations: list[Configuration]):
+        if not configurations:
+            raise ProfileError("an energy profile needs >= 1 configuration")
+        socket_ids = {c.socket_id for c in configurations}
+        if len(socket_ids) != 1:
+            raise ProfileError(
+                f"profile configurations span sockets {sorted(socket_ids)}"
+            )
+        self.socket_id = socket_ids.pop()
+        self._entries: dict[Configuration, ProfileEntry] = {
+            c: ProfileEntry(configuration=c) for c in configurations
+        }
+        idle = [c for c in configurations if c.is_idle]
+        self._idle_config: Configuration | None = idle[0] if idle else None
+        #: Power the *uncontrolled* system draws when out of work: the OS
+        #: parks cores, but without the ECL's cross-socket synchronization
+        #: the uncore never halts and the package never reaches its
+        #: deepest sleep.  Set by the profile builder; falls back to the
+        #: (deep) idle measurement when unset.
+        self.os_idle_power_w: float | None = None
+
+    # -- access -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, configuration: Configuration) -> bool:
+        return configuration in self._entries
+
+    def configurations(self) -> Iterator[Configuration]:
+        """All configurations, idle included."""
+        return iter(self._entries)
+
+    def entry(self, configuration: Configuration) -> ProfileEntry:
+        """Entry of one configuration.
+
+        Raises:
+            ProfileError: for configurations not in the profile.
+        """
+        try:
+            return self._entries[configuration]
+        except KeyError:
+            raise ProfileError(
+                f"configuration {configuration.describe()} not in profile"
+            ) from None
+
+    @property
+    def idle_configuration(self) -> Configuration:
+        """The idle configuration.
+
+        Raises:
+            ProfileError: if the profile was built without one.
+        """
+        if self._idle_config is None:
+            raise ProfileError("profile has no idle configuration")
+        return self._idle_config
+
+    # -- recording ----------------------------------------------------------
+
+    def record(
+        self,
+        configuration: Configuration,
+        measurement: ConfigurationMeasurement,
+        blend_weight: float | None = None,
+    ) -> None:
+        """Store (or blend in) a measurement for a configuration.
+
+        ``blend_weight`` enables the EWMA update used by online
+        adaptation; ``None`` replaces the measurement outright.
+        """
+        entry = self.entry(configuration)
+        if blend_weight is not None and entry.measurement is not None:
+            entry.measurement = entry.measurement.blended_with(
+                measurement, blend_weight
+            )
+        else:
+            entry.measurement = measurement
+        entry.stale = False
+
+    # -- staleness ----------------------------------------------------------
+
+    def mark_all_stale(self) -> None:
+        """Flag every entry for re-evaluation (major workload change)."""
+        for entry in self._entries.values():
+            entry.stale = True
+
+    def stale_entries(self) -> list[ProfileEntry]:
+        """Entries needing (re-)evaluation."""
+        return [e for e in self._entries.values() if e.stale]
+
+    def evaluated_entries(self) -> list[ProfileEntry]:
+        """Entries carrying a measurement."""
+        return [e for e in self._entries.values() if e.evaluated]
+
+    def coverage(self) -> float:
+        """Fraction of configurations evaluated."""
+        return len(self.evaluated_entries()) / len(self._entries)
+
+    # -- control queries ------------------------------------------------------
+
+    def _scored(self) -> list[ProfileEntry]:
+        """Evaluated, non-idle entries."""
+        return [
+            e
+            for e in self.evaluated_entries()
+            if not e.configuration.is_idle
+        ]
+
+    def most_efficient(self) -> ProfileEntry:
+        """The globally most energy-efficient evaluated configuration.
+
+        Raises:
+            ProfileError: when nothing is evaluated yet.
+        """
+        scored = self._scored()
+        if not scored:
+            raise ProfileError("profile has no evaluated configurations")
+        return max(scored, key=lambda e: e.measurement.energy_efficiency)
+
+    def peak_performance(self) -> float:
+        """Highest measured performance score."""
+        scored = self._scored()
+        if not scored:
+            raise ProfileError("profile has no evaluated configurations")
+        return max(e.measurement.performance_score for e in scored)
+
+    def best_for_performance(self, demand_score: float) -> ProfileEntry:
+        """Most efficient configuration delivering ``demand_score``.
+
+        Falls back to the highest-performance configuration when the
+        demand exceeds everything measured (saturation).
+
+        Raises:
+            ProfileError: when nothing is evaluated yet.
+        """
+        if demand_score < 0:
+            raise ProfileError(f"demand must be >= 0, got {demand_score}")
+        scored = self._scored()
+        if not scored:
+            raise ProfileError("profile has no evaluated configurations")
+        satisfying = [
+            e
+            for e in scored
+            if e.measurement.performance_score >= demand_score
+        ]
+        if satisfying:
+            return max(
+                satisfying, key=lambda e: e.measurement.energy_efficiency
+            )
+        return max(scored, key=lambda e: e.measurement.performance_score)
+
+    def skyline(self) -> list[SkylinePoint]:
+        """The Pareto frontier on (performance, efficiency), ascending.
+
+        A configuration belongs to the skyline iff no other configuration
+        offers at least its performance with strictly better efficiency.
+        """
+        scored = sorted(
+            self._scored(),
+            key=lambda e: (
+                e.measurement.performance_score,
+                e.measurement.energy_efficiency,
+            ),
+            reverse=True,
+        )
+        points: list[SkylinePoint] = []
+        best_eff = float("-inf")
+        for entry in scored:
+            m = entry.measurement
+            if m.energy_efficiency > best_eff:
+                best_eff = m.energy_efficiency
+                points.append(
+                    SkylinePoint(
+                        configuration=entry.configuration,
+                        performance_score=m.performance_score,
+                        energy_efficiency=m.energy_efficiency,
+                        power_w=m.power_w,
+                    )
+                )
+        points.reverse()
+        return points
+
+    # -- RTI / baseline lines --------------------------------------------------
+
+    def idle_power_w(self) -> float:
+        """Measured power of the idle configuration.
+
+        Raises:
+            ProfileError: if the idle configuration is unevaluated.
+        """
+        entry = self.entry(self.idle_configuration)
+        if entry.measurement is None:
+            raise ProfileError("idle configuration not evaluated yet")
+        return entry.measurement.power_w
+
+    def rti_power_w(self, performance_score: float) -> float:
+        """Average power of ECL race-to-idle at a performance level.
+
+        Duty-cycles between the most energy-efficient configuration and
+        idle.  Levels above the optimal configuration's performance are
+        served by the optimal configuration's power (the RTI controller
+        stops idling).
+        """
+        optimal = self.most_efficient().measurement
+        idle_w = self.idle_power_w()
+        if performance_score <= 0:
+            return idle_w
+        if performance_score >= optimal.performance_score:
+            return optimal.power_w
+        duty = performance_score / optimal.performance_score
+        return duty * optimal.power_w + (1.0 - duty) * idle_w
+
+    def rti_efficiency(self, performance_score: float) -> float:
+        """Efficiency of ECL race-to-idle at a performance level."""
+        if performance_score <= 0:
+            return 0.0
+        return performance_score / self.rti_power_w(performance_score)
+
+    def baseline_entry(self) -> ProfileEntry:
+        """The race-to-idle baseline configuration: most threads, max clocks.
+
+        Raises:
+            ProfileError: when nothing is evaluated yet.
+        """
+        scored = self._scored()
+        if not scored:
+            raise ProfileError("profile has no evaluated configurations")
+        return max(
+            scored,
+            key=lambda e: (
+                e.configuration.thread_count,
+                e.configuration.average_core_ghz,
+                e.configuration.uncore_ghz,
+            ),
+        )
+
+    def baseline_efficiency(self, performance_score: float) -> float:
+        """Efficiency of the uncontrolled baseline at a performance level.
+
+        The baseline runs all cores at maximum clocks whenever work is
+        available (race-to-idle), so at partial load it duty-cycles the
+        peak configuration against the *OS idle* state — which, unlike the
+        ECL's synchronized deep sleep, keeps the uncore awake.
+        """
+        if performance_score <= 0:
+            return 0.0
+        base = self.baseline_entry().measurement
+        idle_w = (
+            self.os_idle_power_w
+            if self.os_idle_power_w is not None
+            else self.idle_power_w()
+        )
+        level = min(performance_score, base.performance_score)
+        duty = level / base.performance_score
+        power = duty * base.power_w + (1.0 - duty) * idle_w
+        return level / power
+
+    def max_rti_saving(self) -> float:
+        """Largest relative saving of ECL RTI over the baseline line.
+
+        Sampled across performance levels up to the optimal zone; this is
+        the "maximum possible energy savings" number quoted per profile in
+        the paper (e.g. ~40 % for the memory-bound workload).
+        """
+        optimal = self.most_efficient().measurement
+        best = 0.0
+        for i in range(1, 100):
+            level = optimal.performance_score * i / 100.0
+            base_eff = self.baseline_efficiency(level)
+            rti_eff = self.rti_efficiency(level)
+            if base_eff <= 0 or rti_eff <= base_eff:
+                continue
+            best = max(best, 1.0 - base_eff / rti_eff)
+        return best

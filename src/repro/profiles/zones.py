@@ -1,0 +1,86 @@
+"""Ruling zones (paper §4.3).
+
+The socket-level ECL splits the performance spectrum at the most
+energy-efficient configuration:
+
+* **under-utilization zone** — performance levels below the optimal
+  configuration; the ECL applies race-to-idle between the optimal
+  configuration and idle (over-provisioned servers spend most time here);
+* **optimal zone** — the most energy-efficient configuration itself;
+* **over-utilization zone** — levels above it, applied only when the
+  optimal zone cannot satisfy demand within the latency limit; depending
+  on the workload this zone can be small or absent (Fig. 10(b)/(c)).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ProfileError
+from repro.profiles.configuration import Configuration
+from repro.profiles.profile import EnergyProfile
+
+
+class RulingZone(enum.Enum):
+    """Zone of a configuration or performance level."""
+
+    UNDER_UTILIZATION = "under-utilization"
+    OPTIMAL = "optimal"
+    OVER_UTILIZATION = "over-utilization"
+
+
+def classify_zones(profile: EnergyProfile) -> dict[Configuration, RulingZone]:
+    """Assign each evaluated, non-idle configuration to its ruling zone.
+
+    Raises:
+        ProfileError: when the profile has no evaluated configurations.
+    """
+    optimal = profile.most_efficient()
+    optimal_perf = optimal.measurement.performance_score
+    zones: dict[Configuration, RulingZone] = {}
+    for entry in profile.evaluated_entries():
+        if entry.configuration.is_idle:
+            continue
+        perf = entry.measurement.performance_score
+        if entry.configuration == optimal.configuration:
+            zones[entry.configuration] = RulingZone.OPTIMAL
+        elif perf <= optimal_perf:
+            zones[entry.configuration] = RulingZone.UNDER_UTILIZATION
+        else:
+            zones[entry.configuration] = RulingZone.OVER_UTILIZATION
+    return zones
+
+
+def zone_for_level(profile: EnergyProfile, performance_score: float) -> RulingZone:
+    """Zone of a demanded performance level.
+
+    Levels within 2 % of the optimal configuration's performance count as
+    the optimal zone (the RTI duty cycle would be ≈ 1 there anyway).
+
+    Raises:
+        ProfileError: when the profile has no evaluated configurations or
+            the level is negative.
+    """
+    if performance_score < 0:
+        raise ProfileError(f"performance level must be >= 0, got {performance_score}")
+    optimal_perf = profile.most_efficient().measurement.performance_score
+    if performance_score > optimal_perf:
+        return RulingZone.OVER_UTILIZATION
+    if performance_score >= 0.98 * optimal_perf:
+        return RulingZone.OPTIMAL
+    return RulingZone.UNDER_UTILIZATION
+
+
+def over_utilization_span(profile: EnergyProfile) -> float:
+    """Relative width of the over-utilization zone.
+
+    ``(peak performance - optimal performance) / peak performance`` —
+    0.0 means the most efficient configuration is also the most
+    performing one (the zone is absent, as for the contended workloads of
+    Fig. 10(b)).
+    """
+    peak = profile.peak_performance()
+    if peak <= 0:
+        raise ProfileError("profile has no positive performance measurements")
+    optimal_perf = profile.most_efficient().measurement.performance_score
+    return max(0.0, (peak - optimal_perf) / peak)

@@ -1,0 +1,27 @@
+"""End-to-end simulation: load generation, policies, runner, metrics.
+
+This package stitches everything together for the paper's §6 experiments:
+a :class:`~repro.sim.loadgen.LoadGenerator` turns a (workload, load
+profile) pair into query arrivals; a policy — the full ECL or the
+uncontrolled race-to-idle :class:`~repro.sim.baseline.BaselinePolicy` —
+drives the hardware knobs; the :class:`~repro.sim.runner.SimulationRunner`
+advances everything tick by tick and produces a
+:class:`~repro.sim.metrics.RunResult` with time series and totals.
+"""
+
+from repro.sim.loadgen import LoadGenerator
+from repro.sim.baseline import BaselinePolicy
+from repro.sim.governor import OndemandGovernorPolicy
+from repro.sim.metrics import RunResult, SamplePoint
+from repro.sim.runner import RunConfiguration, SimulationRunner, run_experiment
+
+__all__ = [
+    "LoadGenerator",
+    "BaselinePolicy",
+    "OndemandGovernorPolicy",
+    "RunResult",
+    "SamplePoint",
+    "RunConfiguration",
+    "SimulationRunner",
+    "run_experiment",
+]

@@ -1,0 +1,72 @@
+"""The uncontrolled baseline policy (paper §6 experiments).
+
+"The baseline uses all available hardware threads with CPU and OS
+frequency control resembling ... a race-to-idle strategy."  Concretely:
+
+* every hardware thread stays active — the data-oriented runtime's
+  polling-based messaging never lets cores enter a sleep state on its
+  own (§3, "Polling-Based Messaging");
+* all core clocks sit at the maximum sustained frequency (the OS
+  performance/ondemand governor under load);
+* the uncore clock stays in automatic UFS mode, which the paper showed
+  picks the maximum whenever any core is active (Fig. 8);
+* the CPU's own energy management (EPB balanced, EET) is all that is
+  left to save power.
+
+An optional OS-idle grace model parks the cores after the machine has
+been completely out of work for a while (tickless idle), which is what
+lets the baseline's power fall at zero load in Fig. 13(a) — without ever
+reaching the ECL's synchronized deep sleep during *partial* load.
+"""
+
+from __future__ import annotations
+
+from repro.dbms.engine import DatabaseEngine
+from repro.hardware.frequency import EnergyPerformanceBias
+
+
+class BaselinePolicy:
+    """Drives the machine the way an ECL-less deployment would."""
+
+    def __init__(self, engine: DatabaseEngine, idle_grace_s: float = 0.25):
+        self.engine = engine
+        self.machine = engine.machine
+        self.idle_grace_s = idle_grace_s
+        self._idle_since: float | None = None
+        self._parked = False
+        self._initialized = False
+
+    def _apply_active_state(self) -> None:
+        machine = self.machine
+        all_threads = {t.global_id for t in machine.topology.iter_threads()}
+        machine.cstates.set_active_threads(all_threads)
+        machine.frequency.set_all_core_frequencies(
+            machine.params.core_nominal_ghz, machine.time_s
+        )
+        machine.set_epb_all(EnergyPerformanceBias.BALANCED)
+        for sock in machine.topology.sockets:
+            machine.frequency.set_uncore_auto(sock.socket_id)
+        self._parked = False
+
+    def on_tick(self, now_s: float, dt_s: float) -> None:
+        """Apply the baseline state; park only after a long idle spell."""
+        if not self._initialized:
+            self._apply_active_state()
+            self._initialized = True
+
+        has_work = (
+            self.engine.pending_messages() > 0
+            or self.engine.tracker.in_flight > 0
+        )
+        if has_work:
+            self._idle_since = None
+            if self._parked:
+                self._apply_active_state()
+            return
+        if self._idle_since is None:
+            self._idle_since = now_s
+            return
+        if not self._parked and now_s - self._idle_since >= self.idle_grace_s:
+            # Tickless OS idle: cores C6; automatic UFS drops the uncore.
+            self.machine.cstates.set_active_threads(set())
+            self._parked = True

@@ -1,0 +1,104 @@
+"""An OS-style ondemand DVFS governor — the related-work comparison.
+
+The paper's §7 discusses prior feedback controllers (e.g. Tu et al.'s
+E²DBMS) that adjust *one DVFS setting per processor* based on load,
+without uncore control, C-state orchestration, race-to-idle, or an
+energy profile.  This policy reproduces that class of control as an
+additional comparison point between the uncontrolled baseline and the
+full ECL:
+
+* every hardware thread stays active (the DBMS polls);
+* each socket's core clocks step up when utilization is high and down
+  when it is low (the classic ondemand ladder walk);
+* the uncore clock stays in automatic (hardware) UFS mode;
+* there is no latency feedback and no idle orchestration.
+
+Expectation (and what the ablation bench asserts): the governor lands
+between baseline and ECL — it saves core DVFS power at partial load but
+cannot touch the uncore, cannot park threads, and mis-clocks
+bandwidth-bound workloads.
+"""
+
+from __future__ import annotations
+
+from repro.dbms.engine import DatabaseEngine
+from repro.errors import ControlError
+from repro.hardware.frequency import EnergyPerformanceBias
+
+
+class OndemandGovernorPolicy:
+    """Per-socket DVFS ladder walking on a fixed period."""
+
+    def __init__(
+        self,
+        engine: DatabaseEngine,
+        period_s: float = 0.1,
+        up_threshold: float = 0.80,
+        down_threshold: float = 0.40,
+    ):
+        if period_s <= 0:
+            raise ControlError(f"period must be > 0, got {period_s}")
+        if not 0 < down_threshold < up_threshold <= 1:
+            raise ControlError(
+                f"need 0 < down < up <= 1, got {down_threshold}, {up_threshold}"
+            )
+        self.engine = engine
+        self.machine = engine.machine
+        self.period_s = period_s
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        ladder = self.machine.frequency.core_ladder.steps
+        #: Sustained steps only: ondemand does not request turbo itself.
+        self._steps = tuple(
+            f for f in ladder if f <= self.machine.params.core_nominal_ghz
+        )
+        self._index: dict[int, int] = {}
+        self._next_decision_s = 0.0
+        self._initialized = False
+
+    def _apply_initial_state(self) -> None:
+        machine = self.machine
+        all_threads = {t.global_id for t in machine.topology.iter_threads()}
+        machine.cstates.set_active_threads(all_threads)
+        machine.set_epb_all(EnergyPerformanceBias.BALANCED)
+        for sock in machine.topology.sockets:
+            machine.frequency.set_uncore_auto(sock.socket_id)
+            self._index[sock.socket_id] = len(self._steps) - 1
+            self._set_socket_frequency(sock.socket_id)
+
+    def _set_socket_frequency(self, socket_id: int) -> None:
+        freq = self._steps[self._index[socket_id]]
+        socket = self.machine.topology.socket(socket_id)
+        for core in socket.cores:
+            self.machine.frequency.set_core_frequency(
+                socket_id, core.core_id, freq, self.machine.time_s
+            )
+
+    def socket_frequency_ghz(self, socket_id: int) -> float:
+        """The frequency the governor currently applies to a socket."""
+        return self._steps[self._index[socket_id]]
+
+    def on_tick(self, now_s: float, dt_s: float) -> None:
+        """Walk the frequency ladder once per period."""
+        if not self._initialized:
+            self._apply_initial_state()
+            self._initialized = True
+            self._next_decision_s = now_s + self.period_s
+            return
+        if now_s + 1e-12 < self._next_decision_s:
+            return
+        self._next_decision_s = now_s + self.period_s
+
+        for sock in self.machine.topology.sockets:
+            sid = sock.socket_id
+            utilization = self.engine.utilization.utilization(sid, now_s)
+            index = self._index[sid]
+            if utilization > self.up_threshold:
+                # Classic ondemand: jump straight to the top on pressure.
+                index = len(self._steps) - 1
+            elif utilization < self.down_threshold and index > 0:
+                index -= 1
+            if index != self._index[sid]:
+                self._index[sid] = index
+                self._set_socket_frequency(sid)
+                self.machine.note_configuration_switch(sid)

@@ -1,0 +1,109 @@
+"""Run results: time series and aggregate metrics of a simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class SamplePoint:
+    """One periodic sample of the running system."""
+
+    time_s: float
+    load_qps: float
+    rapl_power_w: float
+    psu_power_w: float
+    avg_latency_s: float | None
+    pending_messages: int
+    in_flight_queries: int
+    performance_levels: tuple[float, ...] = ()
+    applied: tuple[str, ...] = ()
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one simulation run."""
+
+    policy: str
+    workload_name: str
+    profile_name: str
+    duration_s: float
+    samples: list[SamplePoint] = field(default_factory=list)
+    total_energy_j: float = 0.0
+    queries_submitted: int = 0
+    queries_completed: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+    latency_limit_s: float | None = None
+
+    # -- latency statistics ---------------------------------------------------
+
+    def mean_latency_s(self) -> float | None:
+        """Mean end-to-end query latency."""
+        if not self.latencies_s:
+            return None
+        return sum(self.latencies_s) / len(self.latencies_s)
+
+    def percentile_latency_s(self, percentile: float) -> float | None:
+        """Latency percentile (e.g. 99.0)."""
+        if not self.latencies_s:
+            return None
+        if not 0 < percentile <= 100:
+            raise SimulationError(f"percentile must be in (0, 100], got {percentile}")
+        ordered = sorted(self.latencies_s)
+        index = min(
+            len(ordered) - 1, max(0, round(percentile / 100 * len(ordered)) - 1)
+        )
+        return ordered[index]
+
+    def violation_fraction(self) -> float:
+        """Fraction of queries exceeding the latency limit."""
+        if not self.latencies_s or self.latency_limit_s is None:
+            return 0.0
+        over = sum(1 for v in self.latencies_s if v > self.latency_limit_s)
+        return over / len(self.latencies_s)
+
+    # -- power / energy ----------------------------------------------------------
+
+    def average_power_w(self) -> float:
+        """Time-average RAPL power."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.total_energy_j / self.duration_s
+
+    def overload_exit_time_s(self, capacity_qps: float) -> float | None:
+        """First sample time after which the backlog stays cleared.
+
+        Used by the Fig. 13 analysis ("the baseline stays for about 50 s
+        in the overload state, while the ECL only resides for about 20 s
+        there"): the moment pending work returns to a trivial level after
+        the overload peak.
+        """
+        if not self.samples:
+            return None
+        peak_pending = max(s.pending_messages for s in self.samples)
+        if peak_pending == 0:
+            return None
+        peak_time = next(
+            s.time_s
+            for s in self.samples
+            if s.pending_messages == peak_pending
+        )
+        for sample in self.samples:
+            if sample.time_s <= peak_time:
+                continue
+            if sample.pending_messages <= max(4, peak_pending * 0.01):
+                return sample.time_s
+        return None
+
+
+def energy_saving_fraction(baseline: RunResult, controlled: RunResult) -> float:
+    """Relative energy saving of ``controlled`` versus ``baseline``.
+
+    Raises:
+        SimulationError: when the baseline consumed no energy.
+    """
+    if baseline.total_energy_j <= 0:
+        raise SimulationError("baseline consumed no energy")
+    return 1.0 - controlled.total_energy_j / baseline.total_energy_j

@@ -1,0 +1,191 @@
+"""The end-to-end simulation runner (paper §6 experiment harness).
+
+One :class:`SimulationRunner` executes a (workload, load profile, policy)
+triple on a fresh machine + engine and returns a
+:class:`~repro.sim.metrics.RunResult`.  The per-tick order mirrors the
+real system: arrivals are enqueued, the control policy reconfigures the
+hardware, then the engine advances runtime and hardware together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.dbms.engine import DatabaseEngine
+from repro.ecl.controller import EnergyControlLoop
+from repro.ecl.socket_ecl import EclParameters
+from repro.hardware.machine import Machine
+from repro.hardware.presets import HaswellEPParameters
+from repro.loadprofiles.base import LoadProfile
+from repro.profiles.generator import GeneratorParameters
+from repro.sim.baseline import BaselinePolicy
+from repro.sim.governor import OndemandGovernorPolicy
+from repro.sim.loadgen import LoadGenerator
+from repro.sim.metrics import RunResult, SamplePoint
+from repro.workloads.base import Workload
+
+
+@dataclass
+class RunConfiguration:
+    """Everything needed to run one experiment."""
+
+    workload: Workload
+    profile: LoadProfile
+    policy: str = "ecl"  #: "ecl", "baseline", or "ondemand"
+    tick_s: float = 0.002
+    sample_every_s: float = 0.25
+    seed: int = 0
+    ecl_params: EclParameters = field(default_factory=EclParameters)
+    generator_params: GeneratorParameters = field(
+        default_factory=GeneratorParameters
+    )
+    machine_params: HaswellEPParameters | None = None
+    #: Fill the ECL's profiles from the analytical model at t=0 instead of
+    #: simulating the initial multiplexed sweep.
+    warm_start: bool = True
+    poisson_arrivals: bool = False
+    #: Optional workload switch: at ``switch_at_s`` the load generator and
+    #: the engine's declared characteristics flip to ``switch_workload``
+    #: (the section 6.3 profile-adaptation experiment).
+    switch_at_s: float | None = None
+    switch_workload: Workload | None = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("ecl", "baseline", "ondemand"):
+            raise SimulationError(f"unknown policy {self.policy!r}")
+        if self.tick_s <= 0 or self.sample_every_s <= 0:
+            raise SimulationError("tick and sample periods must be > 0")
+        if (self.switch_at_s is None) != (self.switch_workload is None):
+            raise SimulationError(
+                "switch_at_s and switch_workload must be given together"
+            )
+
+
+class SimulationRunner:
+    """Runs one experiment configuration."""
+
+    def __init__(self, config: RunConfiguration):
+        self.config = config
+        self.machine = Machine(params=config.machine_params, seed=config.seed)
+        self.engine = DatabaseEngine(
+            self.machine,
+            utilization_window_s=config.ecl_params.interval_s,
+        )
+        self.engine.set_workload_characteristics(
+            config.workload.characteristics
+        )
+        self.loadgen = LoadGenerator(
+            config.workload,
+            config.profile,
+            self.engine.partitions,
+            seed=config.seed + 1,
+            poisson=config.poisson_arrivals,
+        )
+        self.ecl: EnergyControlLoop | None = None
+        self.baseline: BaselinePolicy | None = None
+        self.governor: OndemandGovernorPolicy | None = None
+        if config.policy == "ecl":
+            self.ecl = EnergyControlLoop(
+                self.engine,
+                params=config.ecl_params,
+                generator_params=config.generator_params,
+            )
+            if config.warm_start:
+                self.ecl.warm_start_from_model(
+                    chars=config.workload.characteristics
+                )
+            else:
+                self.ecl.bootstrap_multiplexed()
+        elif config.policy == "ondemand":
+            self.governor = OndemandGovernorPolicy(self.engine)
+        else:
+            self.baseline = BaselinePolicy(self.engine)
+
+    def run(self, duration_s: float | None = None) -> RunResult:
+        """Execute the experiment and collect metrics."""
+        config = self.config
+        if duration_s is None:
+            duration_s = config.profile.duration_s
+        result = RunResult(
+            policy=config.policy,
+            workload_name=config.workload.full_name,
+            profile_name=config.profile.name,
+            duration_s=duration_s,
+            latency_limit_s=config.ecl_params.latency_limit_s,
+        )
+
+        tick = config.tick_s
+        steps = int(round(duration_s / tick))
+        next_sample_s = 0.0
+        energy_before = self.machine.true_total_energy_j()
+        switched = config.switch_at_s is None
+
+        for _ in range(steps):
+            now = self.machine.time_s
+            if not switched and now + 1e-12 >= config.switch_at_s:
+                switched = True
+                assert config.switch_workload is not None
+                self.loadgen.workload = config.switch_workload
+                self.engine.set_workload_characteristics(
+                    config.switch_workload.characteristics
+                )
+            for query in self.loadgen.arrivals(now, tick):
+                self.engine.submit(query)
+                result.queries_submitted += 1
+
+            if self.ecl is not None:
+                self.ecl.on_tick(now, tick)
+            elif self.governor is not None:
+                self.governor.on_tick(now, tick)
+            elif self.baseline is not None:
+                self.baseline.on_tick(now, tick)
+
+            tick_result = self.engine.tick(tick)
+            for completion in tick_result.completions:
+                result.queries_completed += 1
+                result.latencies_s.append(completion.latency_s)
+
+            if now + 1e-12 >= next_sample_s:
+                next_sample_s += config.sample_every_s
+                result.samples.append(self._sample(tick_result, now))
+
+        result.total_energy_j = (
+            self.machine.true_total_energy_j() - energy_before
+        )
+        return result
+
+    def _sample(self, tick_result, now_s: float) -> SamplePoint:
+        step = tick_result.step
+        levels: tuple[float, ...] = ()
+        applied: tuple[str, ...] = ()
+        if self.ecl is not None:
+            levels = tuple(
+                self.ecl.sockets[sid].performance_level
+                for sid in sorted(self.ecl.sockets)
+            )
+            applied = tuple(
+                (
+                    cfg.describe()
+                    if (cfg := self.ecl.sockets[sid].applied_configuration)
+                    else "none"
+                )
+                for sid in sorted(self.ecl.sockets)
+            )
+        avg_latency = self.engine.latency.average_latency_s(now_s)
+        return SamplePoint(
+            time_s=now_s,
+            load_qps=self.loadgen.rate_qps(now_s),
+            rapl_power_w=step.rapl_power_w,
+            psu_power_w=step.psu_power_w,
+            avg_latency_s=avg_latency,
+            pending_messages=self.engine.pending_messages(),
+            in_flight_queries=self.engine.tracker.in_flight,
+            performance_levels=levels,
+            applied=applied,
+        )
+
+
+def run_experiment(config: RunConfiguration, duration_s: float | None = None) -> RunResult:
+    """Convenience wrapper: build a runner and run it."""
+    return SimulationRunner(config).run(duration_s)

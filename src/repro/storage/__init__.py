@@ -1,0 +1,37 @@
+"""In-memory columnar storage substrate for the data-oriented DBMS.
+
+The paper's (anonymized) DBMS partitions all data objects implicitly and
+grants exclusive partition access to whichever worker currently owns the
+partition.  This package provides the storage layer underneath:
+
+* typed columnar storage (:mod:`repro.storage.column`),
+* schemas and tables (:mod:`repro.storage.schema`,
+  :mod:`repro.storage.table`),
+* an open-addressing hash index (:mod:`repro.storage.hashindex`),
+* partitions bundling table fragments and their indexes
+  (:mod:`repro.storage.partition`) plus hash partitioning of keys.
+
+Everything executes for real — inserts insert, scans scan — while the
+simulation clock charges time through the cost model in
+:mod:`repro.dbms.execution`.
+"""
+
+from repro.storage.schema import ColumnSpec, DataType, Schema
+from repro.storage.column import Column
+from repro.storage.table import Table
+from repro.storage.hashindex import HashIndex
+from repro.storage.orderedindex import OrderedIndex
+from repro.storage.partition import Partition, PartitionMap, hash_partition
+
+__all__ = [
+    "ColumnSpec",
+    "DataType",
+    "Schema",
+    "Column",
+    "Table",
+    "HashIndex",
+    "OrderedIndex",
+    "Partition",
+    "PartitionMap",
+    "hash_partition",
+]

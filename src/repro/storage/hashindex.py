@@ -1,0 +1,209 @@
+"""Open-addressing hash index over int64 keys.
+
+A real index implementation (not a dict wrapper): linear probing over
+numpy buckets, power-of-two capacity, tombstone-free deletes via
+backward-shift, and probe-count statistics that feed the execution cost
+model (an index lookup costs instructions proportional to probes and one
+potential DRAM miss).
+
+Duplicate keys are supported by chaining row ids in an overflow list per
+slot, since benchmark tables (e.g. TATP ``call_forwarding``) contain
+non-unique secondary keys.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import StorageError
+
+_MIN_CAPACITY = 16
+_MAX_LOAD = 0.7
+
+#: Multiplicative constant of the 64-bit Fibonacci hash.
+_FIB = 11400714819323198485
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _hash(key: int, mask: int) -> int:
+    """Fibonacci hash of an int64 key into [0, mask]."""
+    h = ((int(key) & _MASK64) * _FIB) & _MASK64
+    return (h >> (64 - (mask + 1).bit_length() + 1)) & mask
+
+
+class HashIndex:
+    """Hash index mapping int64 keys to row positions."""
+
+    def __init__(self, initial_capacity: int = _MIN_CAPACITY):
+        capacity = max(_MIN_CAPACITY, initial_capacity)
+        capacity = 1 << (capacity - 1).bit_length()  # round up to power of two
+        self._keys = np.zeros(capacity, dtype=np.int64)
+        self._rows = np.zeros(capacity, dtype=np.int64)
+        self._used = np.zeros(capacity, dtype=bool)
+        #: Overflow row ids for duplicate keys, per occupied slot.
+        self._overflow: dict[int, list[int]] = {}
+        self._size = 0  # occupied slots
+        self._entries = 0  # total (key, row) pairs incl. duplicates
+        self.probe_count = 0  # cumulative probes, for cost accounting
+
+    # -- size -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._entries
+
+    @property
+    def distinct_keys(self) -> int:
+        """Number of distinct keys stored."""
+        return self._size
+
+    @property
+    def capacity(self) -> int:
+        """Current bucket-array capacity."""
+        return len(self._keys)
+
+    @property
+    def load_factor(self) -> float:
+        """Occupied slots / capacity."""
+        return self._size / len(self._keys)
+
+    # -- internals ------------------------------------------------------------
+
+    def _mask(self) -> int:
+        return len(self._keys) - 1
+
+    def _probe(self, key: int) -> Iterator[int]:
+        """Yield slot indices of the linear-probe sequence for ``key``."""
+        mask = self._mask()
+        slot = _hash(key, mask)
+        for _ in range(len(self._keys)):
+            yield slot
+            slot = (slot + 1) & mask
+
+    def _grow(self) -> None:
+        old_keys, old_rows, old_overflow = self._keys, self._rows, self._overflow
+        old_used = self._used
+        capacity = len(old_keys) * 2
+        self._keys = np.zeros(capacity, dtype=np.int64)
+        self._rows = np.zeros(capacity, dtype=np.int64)
+        self._used = np.zeros(capacity, dtype=bool)
+        self._overflow = {}
+        self._size = 0
+        self._entries = 0
+        for slot in range(len(old_keys)):
+            if not old_used[slot]:
+                continue
+            key = int(old_keys[slot])
+            self.insert(key, int(old_rows[slot]))
+            for row in old_overflow.get(slot, ()):
+                self.insert(key, row)
+
+    # -- operations ------------------------------------------------------------
+
+    def insert(self, key: int, row: int) -> None:
+        """Insert a (key, row) pair; duplicates chain in overflow lists."""
+        if row < 0:
+            raise StorageError(f"row positions must be >= 0, got {row}")
+        if (self._size + 1) / len(self._keys) > _MAX_LOAD:
+            self._grow()
+        for slot in self._probe(key):
+            self.probe_count += 1
+            if not self._used[slot]:
+                self._keys[slot] = key
+                self._rows[slot] = row
+                self._used[slot] = True
+                self._size += 1
+                self._entries += 1
+                return
+            if self._keys[slot] == key:
+                self._overflow.setdefault(slot, []).append(row)
+                self._entries += 1
+                return
+        raise StorageError("hash index full despite load-factor guard")
+
+    def lookup(self, key: int) -> list[int]:
+        """All row positions stored under ``key`` (empty list if absent)."""
+        for slot in self._probe(key):
+            self.probe_count += 1
+            if not self._used[slot]:
+                return []
+            if self._keys[slot] == key:
+                rows = [int(self._rows[slot])]
+                rows.extend(self._overflow.get(slot, ()))
+                return rows
+        return []
+
+    def lookup_one(self, key: int) -> int | None:
+        """First row position stored under ``key``, or None."""
+        rows = self.lookup(key)
+        return rows[0] if rows else None
+
+    def contains(self, key: int) -> bool:
+        """Whether any row is stored under ``key``."""
+        return self.lookup_one(key) is not None
+
+    def delete(self, key: int, row: int | None = None) -> int:
+        """Delete entries for ``key``.
+
+        With ``row`` given, removes only that pairing; otherwise removes
+        all entries of the key.  Returns the number of removed pairs.
+        Slot vacation uses backward-shift deletion to keep probe chains
+        intact without tombstones.
+        """
+        for slot in self._probe(key):
+            self.probe_count += 1
+            if not self._used[slot]:
+                return 0
+            if self._keys[slot] != key:
+                continue
+            overflow = self._overflow.get(slot, [])
+            removed = 0
+            if row is not None:
+                if int(self._rows[slot]) == row:
+                    if overflow:
+                        self._rows[slot] = overflow.pop(0)
+                    else:
+                        self._vacate(slot)
+                        self._size -= 1
+                    removed = 1
+                elif row in overflow:
+                    overflow.remove(row)
+                    removed = 1
+            else:
+                removed = 1 + len(overflow)
+                self._overflow.pop(slot, None)
+                self._vacate(slot)
+                self._size -= 1
+            if slot in self._overflow and not self._overflow[slot]:
+                del self._overflow[slot]
+            self._entries -= removed
+            return removed
+        return 0
+
+    def _vacate(self, slot: int) -> None:
+        """Backward-shift deletion starting at ``slot``."""
+        mask = self._mask()
+        self._used[slot] = False
+        nxt = (slot + 1) & mask
+        while self._used[nxt]:
+            key = int(self._keys[nxt])
+            home = _hash(key, mask)
+            # Move the entry back if its home slot lies "behind" the gap.
+            distance_home = (nxt - home) & mask
+            distance_gap = (nxt - slot) & mask
+            if distance_home >= distance_gap:
+                self._keys[slot] = self._keys[nxt]
+                self._rows[slot] = self._rows[nxt]
+                self._used[slot] = True
+                if nxt in self._overflow:
+                    self._overflow[slot] = self._overflow.pop(nxt)
+                self._used[nxt] = False
+                slot = nxt
+            nxt = (nxt + 1) & mask
+
+    def keys(self) -> Iterator[int]:
+        """Iterate over all distinct keys (unspecified order)."""
+        for slot in range(len(self._keys)):
+            if self._used[slot]:
+                yield int(self._keys[slot])

@@ -1,0 +1,124 @@
+"""Ordered secondary index: binary-searchable key → rows mapping.
+
+Point lookups are the hash index's job (:mod:`repro.storage.hashindex`);
+range predicates — SSB's ``lo_orderdate BETWEEN a AND b``, TATP's
+time-window scans — need an *ordered* structure.  This implementation
+keeps a sorted numpy array of (key, row) pairs with a small unsorted
+append buffer that is merged on demand (the classic "sorted run + delta"
+design): appends stay O(1) amortized, range queries are two binary
+searches plus a slice, and the periodic merge costs O(n) but is charged
+to the inserts that caused it.
+
+Like the hash index, it counts comparison steps so the execution layer
+can charge realistic instruction costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StorageError
+
+#: Delta buffer capacity before an automatic merge into the sorted run.
+_DELTA_LIMIT = 256
+
+
+class OrderedIndex:
+    """Sorted (key, row) index over int64 keys supporting range queries."""
+
+    def __init__(self) -> None:
+        self._keys = np.empty(0, dtype=np.int64)
+        self._rows = np.empty(0, dtype=np.int64)
+        self._delta: list[tuple[int, int]] = []
+        self.comparison_count = 0
+        self.merge_count = 0
+
+    # -- size -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._keys) + len(self._delta)
+
+    @property
+    def sorted_size(self) -> int:
+        """Entries in the sorted run (excludes the delta buffer)."""
+        return len(self._keys)
+
+    @property
+    def delta_size(self) -> int:
+        """Entries waiting in the unsorted delta buffer."""
+        return len(self._delta)
+
+    # -- mutation ------------------------------------------------------------
+
+    def insert(self, key: int, row: int) -> None:
+        """Insert a (key, row) pair; duplicates are allowed.
+
+        Raises:
+            StorageError: on negative row positions.
+        """
+        if row < 0:
+            raise StorageError(f"row positions must be >= 0, got {row}")
+        self._delta.append((int(key), int(row)))
+        if len(self._delta) >= _DELTA_LIMIT:
+            self._merge()
+
+    def _merge(self) -> None:
+        """Fold the delta buffer into the sorted run."""
+        if not self._delta:
+            return
+        delta_keys = np.array([k for k, _ in self._delta], dtype=np.int64)
+        delta_rows = np.array([r for _, r in self._delta], dtype=np.int64)
+        keys = np.concatenate([self._keys, delta_keys])
+        rows = np.concatenate([self._rows, delta_rows])
+        order = np.argsort(keys, kind="stable")
+        self._keys = keys[order]
+        self._rows = rows[order]
+        self._delta.clear()
+        self.merge_count += 1
+
+    def compact(self) -> None:
+        """Force-merge the delta buffer (e.g. after bulk loading)."""
+        self._merge()
+
+    # -- queries ------------------------------------------------------------
+
+    def range_rows(self, low: int, high: int) -> list[int]:
+        """Row positions with ``low <= key <= high`` (unordered).
+
+        Raises:
+            StorageError: if ``low > high``.
+        """
+        if low > high:
+            raise StorageError(f"empty range [{low}, {high}]")
+        left = int(np.searchsorted(self._keys, low, side="left"))
+        right = int(np.searchsorted(self._keys, high, side="right"))
+        # Two binary searches over the sorted run...
+        if len(self._keys):
+            self.comparison_count += 2 * int(np.log2(len(self._keys)) + 1)
+        result = [int(r) for r in self._rows[left:right]]
+        # ...plus a linear pass over the (small) delta buffer.
+        self.comparison_count += len(self._delta)
+        result.extend(r for k, r in self._delta if low <= k <= high)
+        return result
+
+    def lookup(self, key: int) -> list[int]:
+        """Row positions stored under exactly ``key``."""
+        return self.range_rows(key, key)
+
+    def min_key(self) -> int | None:
+        """Smallest stored key, or None when empty."""
+        candidates = []
+        if len(self._keys):
+            candidates.append(int(self._keys[0]))
+        if self._delta:
+            candidates.append(min(k for k, _ in self._delta))
+        return min(candidates) if candidates else None
+
+    def max_key(self) -> int | None:
+        """Largest stored key, or None when empty."""
+        candidates = []
+        if len(self._keys):
+            candidates.append(int(self._keys[-1]))
+        if self._delta:
+            candidates.append(max(k for k, _ in self._delta))
+        return max(candidates) if candidates else None

@@ -1,0 +1,135 @@
+"""Partitions and partition maps.
+
+In the data-oriented architecture every data object is implicitly
+partitioned and a partition is accessed exclusively by whichever worker
+currently *owns* it (paper §3).  A :class:`Partition` bundles the table
+fragments of one partition; the :class:`PartitionMap` routes keys and
+partition ids to sockets.
+
+Partition-to-socket placement is static (data stays NUMA-local); what the
+elasticity extensions remove is only the static partition-to-*worker*
+binding, handled by :mod:`repro.dbms.intra_socket`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import PartitionError
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+
+#: Multiplicative constant of the 64-bit Fibonacci hash (key routing).
+_FIB = 11400714819323198485
+
+
+def hash_partition(key: int, partition_count: int) -> int:
+    """Map an integer key to a partition id by Fibonacci hashing."""
+    if partition_count <= 0:
+        raise PartitionError(f"partition_count must be >= 1, got {partition_count}")
+    h = (key * _FIB) & 0xFFFFFFFFFFFFFFFF
+    return (h >> 33) % partition_count
+
+
+@dataclass
+class Partition:
+    """One data partition: table fragments plus bookkeeping."""
+
+    partition_id: int
+    socket_id: int
+    tables: dict[str, Table] = field(default_factory=dict)
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        """Create a table fragment inside this partition.
+
+        Raises:
+            PartitionError: if the fragment already exists.
+        """
+        if name in self.tables:
+            raise PartitionError(
+                f"table {name!r} already exists in partition {self.partition_id}"
+            )
+        table = Table(f"{name}@p{self.partition_id}", schema)
+        self.tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a table fragment.
+
+        Raises:
+            PartitionError: if the fragment does not exist.
+        """
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise PartitionError(
+                f"no table {name!r} in partition {self.partition_id}"
+            ) from None
+
+    @property
+    def bytes_used(self) -> int:
+        """Approximate bytes held by all fragments."""
+        return sum(t.bytes_used for t in self.tables.values())
+
+    @property
+    def row_count(self) -> int:
+        """Total rows across all fragments."""
+        return sum(t.row_count for t in self.tables.values())
+
+
+class PartitionMap:
+    """All partitions of a database and their socket placement.
+
+    Partitions are placed round-robin across sockets so every socket holds
+    an equal share (the paper sets the worker:partition ratio to 1:1 with
+    one partition per hardware thread).
+    """
+
+    def __init__(self, partition_count: int, socket_count: int):
+        if partition_count <= 0:
+            raise PartitionError(
+                f"partition_count must be >= 1, got {partition_count}"
+            )
+        if socket_count <= 0:
+            raise PartitionError(f"socket_count must be >= 1, got {socket_count}")
+        self.socket_count = socket_count
+        self._partitions = [
+            Partition(partition_id=pid, socket_id=pid % socket_count)
+            for pid in range(partition_count)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._partitions)
+
+    def __iter__(self) -> Iterator[Partition]:
+        return iter(self._partitions)
+
+    def partition(self, partition_id: int) -> Partition:
+        """Look up a partition by id.
+
+        Raises:
+            PartitionError: for unknown ids.
+        """
+        if not 0 <= partition_id < len(self._partitions):
+            raise PartitionError(f"unknown partition id {partition_id}")
+        return self._partitions[partition_id]
+
+    def partition_for_key(self, key: int) -> Partition:
+        """The partition responsible for an integer key."""
+        return self._partitions[hash_partition(key, len(self._partitions))]
+
+    def socket_of(self, partition_id: int) -> int:
+        """Socket holding a partition."""
+        return self.partition(partition_id).socket_id
+
+    def partitions_on_socket(self, socket_id: int) -> tuple[Partition, ...]:
+        """All partitions resident on one socket."""
+        return tuple(
+            p for p in self._partitions if p.socket_id == socket_id
+        )
+
+    def create_table_everywhere(self, name: str, schema: Schema) -> None:
+        """Create a table fragment in every partition."""
+        for partition in self._partitions:
+            partition.create_table(name, schema)

@@ -1,0 +1,149 @@
+"""Schemas: typed column definitions for tables.
+
+Kept deliberately small — the benchmarks (TATP, SSB, key-value) only need
+fixed-width integers/floats and strings — but validation is strict so
+schema bugs surface at insert time, not as corrupt columns later.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.errors import SchemaError
+
+
+class DataType(enum.Enum):
+    """Column data types supported by the storage layer."""
+
+    INT32 = "int32"
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    STRING = "string"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this type support arithmetic aggregation."""
+        return self is not DataType.STRING
+
+    @property
+    def width_bytes(self) -> int:
+        """Storage width per value (strings are estimated at 16 bytes)."""
+        if self is DataType.INT32:
+            return 4
+        if self in (DataType.INT64, DataType.FLOAT64):
+            return 8
+        return 16
+
+    def validate(self, value: Any) -> Any:
+        """Coerce and validate one value for this type.
+
+        Raises:
+            SchemaError: on type mismatch or out-of-range integers.
+        """
+        if self is DataType.STRING:
+            if not isinstance(value, str):
+                raise SchemaError(f"expected str, got {type(value).__name__}")
+            return value
+        if self is DataType.FLOAT64:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SchemaError(f"expected number, got {type(value).__name__}")
+            return float(value)
+        # integer types
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise SchemaError(f"expected int, got {type(value).__name__}")
+        if self is DataType.INT32 and not -(2**31) <= value < 2**31:
+            raise SchemaError(f"value {value} out of int32 range")
+        if self is DataType.INT64 and not -(2**63) <= value < 2**63:
+            raise SchemaError(f"value {value} out of int64 range")
+        return value
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Name and type of one column."""
+
+    name: str
+    dtype: DataType
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name {self.name!r}")
+
+
+class Schema:
+    """An ordered, named collection of column specs."""
+
+    def __init__(self, columns: Sequence[ColumnSpec]):
+        if not columns:
+            raise SchemaError("schema needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        self._columns = tuple(columns)
+        self._index = {c.name: i for i, c in enumerate(self._columns)}
+
+    @property
+    def columns(self) -> tuple[ColumnSpec, ...]:
+        """All column specs in declaration order."""
+        return self._columns
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Column names in declaration order."""
+        return tuple(c.name for c in self._columns)
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def position(self, name: str) -> int:
+        """Index of a column by name.
+
+        Raises:
+            SchemaError: for unknown columns.
+        """
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {name!r}; schema has {self.names}"
+            ) from None
+
+    def column(self, name: str) -> ColumnSpec:
+        """Spec of a column by name."""
+        return self._columns[self.position(name)]
+
+    def validate_row(self, row: Sequence[Any]) -> tuple[Any, ...]:
+        """Validate and coerce a full row.
+
+        Raises:
+            SchemaError: on arity or type mismatch.
+        """
+        if len(row) != len(self._columns):
+            raise SchemaError(
+                f"row has {len(row)} values, schema has {len(self._columns)} columns"
+            )
+        out = []
+        for spec, value in zip(self._columns, row):
+            try:
+                out.append(spec.dtype.validate(value))
+            except SchemaError as exc:
+                raise SchemaError(f"column {spec.name!r}: {exc}") from None
+        return tuple(out)
+
+    def row_width_bytes(self) -> int:
+        """Estimated storage bytes per row."""
+        return sum(c.dtype.width_bytes for c in self._columns)
+
+    @staticmethod
+    def of(**specs: DataType) -> "Schema":
+        """Convenience constructor: ``Schema.of(id=DataType.INT64, ...)``."""
+        return Schema([ColumnSpec(name, dtype) for name, dtype in specs.items()])
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """A new schema containing only the given columns, in given order."""
+        return Schema([self.column(n) for n in names])

@@ -1,0 +1,205 @@
+"""Tables: schema-validated collections of columns with optional indexes.
+
+A table fragment lives inside exactly one partition (see
+:mod:`repro.storage.partition`); the table itself does not know about
+partitioning.  Indexes are maintained transparently on insert/update.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import SchemaError, StorageError
+from repro.storage.column import Column
+from repro.storage.hashindex import HashIndex
+from repro.storage.orderedindex import OrderedIndex
+from repro.storage.schema import DataType, Schema
+
+
+class Table:
+    """One in-memory columnar table (fragment)."""
+
+    def __init__(self, name: str, schema: Schema):
+        self.name = name
+        self.schema = schema
+        self._columns = [
+            Column(spec.dtype, name=spec.name) for spec in schema.columns
+        ]
+        self._indexes: dict[str, HashIndex] = {}
+        self._ordered_indexes: dict[str, OrderedIndex] = {}
+        self._row_count = 0
+
+    # -- size -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._row_count
+
+    @property
+    def row_count(self) -> int:
+        """Number of rows stored."""
+        return self._row_count
+
+    @property
+    def bytes_used(self) -> int:
+        """Approximate live data bytes across all columns."""
+        return sum(c.bytes_used for c in self._columns)
+
+    # -- columns / indexes ---------------------------------------------------------
+
+    def column(self, name: str) -> Column:
+        """Access a column by name."""
+        return self._columns[self.schema.position(name)]
+
+    def create_index(self, column_name: str) -> HashIndex:
+        """Create (or return) a hash index over an integer column."""
+        spec = self.schema.column(column_name)
+        if spec.dtype not in (DataType.INT32, DataType.INT64):
+            raise StorageError(
+                f"hash indexes require integer columns, {column_name} is "
+                f"{spec.dtype.value}"
+            )
+        if column_name in self._indexes:
+            return self._indexes[column_name]
+        index = HashIndex(initial_capacity=max(16, self._row_count * 2))
+        col = self.column(column_name)
+        for row in range(self._row_count):
+            index.insert(int(col.get(row)), row)
+        self._indexes[column_name] = index
+        return index
+
+    def index(self, column_name: str) -> HashIndex | None:
+        """The index on a column, or None."""
+        return self._indexes.get(column_name)
+
+    def create_ordered_index(self, column_name: str) -> OrderedIndex:
+        """Create (or return) an ordered index over an integer column.
+
+        Ordered indexes serve range predicates (``scan_range`` uses one
+        automatically when present); they are maintained on insert and
+        rebuilt on update of the indexed column.
+        """
+        spec = self.schema.column(column_name)
+        if spec.dtype not in (DataType.INT32, DataType.INT64):
+            raise StorageError(
+                f"ordered indexes require integer columns, {column_name} is "
+                f"{spec.dtype.value}"
+            )
+        if column_name in self._ordered_indexes:
+            return self._ordered_indexes[column_name]
+        index = OrderedIndex()
+        col = self.column(column_name)
+        for row in range(self._row_count):
+            index.insert(int(col.get(row)), row)
+        index.compact()
+        self._ordered_indexes[column_name] = index
+        return index
+
+    def ordered_index(self, column_name: str) -> OrderedIndex | None:
+        """The ordered index on a column, or None."""
+        return self._ordered_indexes.get(column_name)
+
+    @property
+    def indexed_columns(self) -> tuple[str, ...]:
+        """Names of indexed columns."""
+        return tuple(self._indexes)
+
+    # -- mutation -----------------------------------------------------------------
+
+    def insert(self, row: Sequence[Any]) -> int:
+        """Insert one row; returns its position."""
+        values = self.schema.validate_row(row)
+        position = self._row_count
+        for column, value in zip(self._columns, values):
+            column.append(value)
+        self._row_count += 1
+        for name, idx in self._indexes.items():
+            idx.insert(int(values[self.schema.position(name)]), position)
+        for name, ordered in self._ordered_indexes.items():
+            ordered.insert(int(values[self.schema.position(name)]), position)
+        return position
+
+    def insert_many(self, rows: Sequence[Sequence[Any]]) -> None:
+        """Insert several rows."""
+        for row in rows:
+            self.insert(row)
+
+    def update(self, position: int, column_name: str, value: Any) -> None:
+        """Update one field of one row, keeping indexes consistent."""
+        if not 0 <= position < self._row_count:
+            raise StorageError(f"row {position} out of range")
+        column = self.column(column_name)
+        if column_name in self._indexes:
+            old = int(column.get(position))
+            column.set(position, value)
+            idx = self._indexes[column_name]
+            idx.delete(old, position)
+            idx.insert(int(value), position)
+        else:
+            column.set(position, value)
+        if column_name in self._ordered_indexes:
+            # Sorted runs do not support point deletion; rebuild lazily.
+            del self._ordered_indexes[column_name]
+            self.create_ordered_index(column_name)
+
+    # -- access -----------------------------------------------------------------
+
+    def get_row(self, position: int) -> tuple[Any, ...]:
+        """Materialize a full row."""
+        if not 0 <= position < self._row_count:
+            raise StorageError(f"row {position} out of range")
+        return tuple(c.get(position) for c in self._columns)
+
+    def get_value(self, position: int, column_name: str) -> Any:
+        """One field of one row."""
+        return self.column(column_name).get(position)
+
+    def rows(self) -> Iterator[tuple[Any, ...]]:
+        """Iterate over all rows."""
+        for position in range(self._row_count):
+            yield self.get_row(position)
+
+    # -- query operators ------------------------------------------------------------
+
+    def lookup(self, column_name: str, key: int) -> list[int]:
+        """Index lookup (falls back to a scan when no index exists)."""
+        idx = self._indexes.get(column_name)
+        if idx is not None:
+            return idx.lookup(key)
+        return [int(p) for p in self.column(column_name).scan_equal(key)]
+
+    def scan_equal(self, column_name: str, value: Any) -> np.ndarray:
+        """Full scan for equality, returning row positions."""
+        return self.column(column_name).scan_equal(value)
+
+    def scan_range(self, column_name: str, low: Any, high: Any) -> np.ndarray:
+        """Row positions for a closed range.
+
+        Served by the ordered index when one exists (two binary searches),
+        else by a full column scan.
+        """
+        ordered = self._ordered_indexes.get(column_name)
+        if ordered is not None:
+            return np.array(
+                sorted(ordered.range_rows(int(low), int(high))), dtype=np.int64
+            )
+        return self.column(column_name).scan_range(low, high)
+
+    def select(
+        self, positions: np.ndarray | Sequence[int], column_names: Sequence[str]
+    ) -> list[tuple[Any, ...]]:
+        """Materialize a projection of the given rows."""
+        columns = [self.column(n) for n in column_names]
+        return [
+            tuple(c.get(int(p)) for c in columns) for p in positions
+        ]
+
+    def aggregate_sum(
+        self, column_name: str, positions: np.ndarray | None = None
+    ) -> float:
+        """Sum a numeric column over all rows or a position subset."""
+        spec = self.schema.column(column_name)
+        if not spec.dtype.is_numeric:
+            raise SchemaError(f"cannot sum string column {column_name!r}")
+        return self.column(column_name).sum(positions)

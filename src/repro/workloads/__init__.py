@@ -1,0 +1,46 @@
+"""Benchmark workloads used in the paper's evaluation (Table 1, §6).
+
+* :mod:`repro.workloads.micro` — the four §2/§4 micro workloads that
+  shape the energy-profile figures: compute-bound counter increments,
+  memory-bandwidth-bound column scans, a contended atomic increment, and
+  shared hash-table inserts.
+* :mod:`repro.workloads.kv` — the custom key-value store benchmark
+  (4-byte uniformly distributed keys/values), indexed (memory
+  latency-bound) or non-indexed (memory bandwidth-bound).
+* :mod:`repro.workloads.tatp` — the TATP telecom OLTP benchmark.
+* :mod:`repro.workloads.ssb` — the Star Schema Benchmark (OLAP).
+
+Every workload provides hardware characteristics (for the performance
+model), a modeled query generator (for high-rate end-to-end simulation),
+and a real-execution mode that loads data into partitions and issues
+operator messages (for tests and examples).
+"""
+
+from repro.workloads.base import Workload, WorkloadVariant
+from repro.workloads.micro import (
+    ATOMIC_CONTENTION,
+    COMPUTE_BOUND,
+    HASHTABLE_INSERT,
+    MEMORY_BOUND,
+    MICRO_WORKLOADS,
+)
+from repro.workloads.kv import KeyValueWorkload
+from repro.workloads.tatp import TatpWorkload
+from repro.workloads.ssb import SsbWorkload
+from repro.workloads.toa import TransactionOrientedTatpWorkload
+from repro.workloads.mixed import MixedWorkload
+
+__all__ = [
+    "Workload",
+    "WorkloadVariant",
+    "COMPUTE_BOUND",
+    "MEMORY_BOUND",
+    "ATOMIC_CONTENTION",
+    "HASHTABLE_INSERT",
+    "MICRO_WORKLOADS",
+    "KeyValueWorkload",
+    "TatpWorkload",
+    "SsbWorkload",
+    "TransactionOrientedTatpWorkload",
+    "MixedWorkload",
+]

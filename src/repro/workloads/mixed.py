@@ -1,0 +1,109 @@
+"""Mixed (HTAP-style) workloads: concurrent heterogeneous query streams.
+
+The paper's energy profiles explicitly "consider mutual interferences of
+simultaneously running queries" — profiles are properties of the *mix* a
+socket currently serves, not of a single benchmark.  This module makes
+such mixes runnable end-to-end: a :class:`MixedWorkload` interleaves the
+query streams of its components (e.g. TATP transactions next to SSB
+analytics), tagging every message with its component's characteristics
+so the engine reports the true instruction-weighted blend per socket.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.dbms.queries import Query
+from repro.hardware.perfmodel import (
+    WorkloadCharacteristics,
+    blend_characteristics,
+)
+from repro.storage.partition import PartitionMap
+from repro.workloads.base import Workload, WorkloadVariant
+
+
+class MixedWorkload(Workload):
+    """A weighted interleaving of component workloads.
+
+    ``components`` are (workload, weight) pairs; weights give each
+    component's share of the *query stream*.  At load fraction ``f`` the
+    mix issues ``f × Σ weight_i × peak_i`` queries per second, each drawn
+    from a component with probability proportional to
+    ``weight_i × peak_i`` — i.e. every component runs at ``f`` of its own
+    nominal rate, scaled by its weight.
+    """
+
+    def __init__(self, components: list[tuple[Workload, float]]):
+        if not components:
+            raise WorkloadError("a mixed workload needs >= 1 component")
+        if any(weight <= 0 for _, weight in components):
+            raise WorkloadError("component weights must be > 0")
+        super().__init__(WorkloadVariant.INDEXED)
+        self.components = components
+        self._rates = [
+            weight * workload.nominal_peak_qps for workload, weight in components
+        ]
+        total = sum(self._rates)
+        self._pick_probabilities = [rate / total for rate in self._rates]
+
+    @property
+    def name(self) -> str:
+        inner = "+".join(w.name for w, _ in self.components)
+        return f"mix({inner})"
+
+    @property
+    def full_name(self) -> str:
+        inner = ", ".join(
+            f"{w.full_name}×{weight:g}" for w, weight in self.components
+        )
+        return f"mix[{inner}]"
+
+    @property
+    def characteristics(self) -> WorkloadCharacteristics:
+        """Rate-weighted blend — the warm-start/profile-seed view."""
+        return blend_characteristics(
+            [
+                (workload.characteristics, rate)
+                for (workload, _), rate in zip(self.components, self._rates)
+            ]
+        )
+
+    @property
+    def nominal_peak_qps(self) -> float:
+        return sum(self._rates)
+
+    def _pick(self, rng: np.random.Generator) -> Workload:
+        index = int(
+            rng.choice(len(self.components), p=self._pick_probabilities)
+        )
+        return self.components[index][0]
+
+    def make_modeled_query(
+        self, rng: np.random.Generator, arrival_s: float, partitions: PartitionMap
+    ) -> Query:
+        """One query from a randomly drawn component, messages tagged."""
+        component = self._pick(rng)
+        query = component.make_modeled_query(rng, arrival_s, partitions)
+        for stage in query.stages:
+            for message in stage.messages:
+                message.characteristics = component.characteristics
+        return query
+
+    def setup_real(
+        self, partitions: PartitionMap, scale: int, rng: np.random.Generator
+    ) -> None:
+        """Load every component's data side by side."""
+        for workload, _ in self.components:
+            workload.setup_real(partitions, scale, rng)
+
+    def make_real_query(
+        self, rng: np.random.Generator, arrival_s: float, partitions: PartitionMap
+    ) -> Query:
+        """One real query from a randomly drawn component, tagged."""
+        component = self._pick(rng)
+        query = component.make_real_query(rng, arrival_s, partitions)
+        for stage in query.stages:
+            for message in stage.messages:
+                message.characteristics = component.characteristics
+        return query

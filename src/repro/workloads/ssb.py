@@ -1,0 +1,341 @@
+"""SSB — the Star Schema Benchmark (OLAP workload of Table 1).
+
+Schema: a ``lineorder`` fact table hash-partitioned by order key plus
+four dimension tables (``date``, ``customer``, ``supplier``, ``part``)
+that are small and replicated into every partition, which is how
+data-oriented systems avoid shuffling dimension data.
+
+Execution follows the paper's data-oriented flow: stage 0 fans a scan ⋈
+filter ⋈ dimension-join task to *every* partition (queries read the whole
+fact table), stage 1 ships the partial aggregates to a coordinator
+partition and merges them.  That second stage is the "data volume that
+needs to be shipped between partitions" the paper blames for SSB's
+higher uncore-clock demand relative to TATP.
+
+The 13 standard queries are grouped into their four flights; each flight
+has a per-row work factor (more dimension joins = more instructions per
+fact row) and a selectivity used for the result-shipping volume.  Query
+2.1 is the paper's appendix representative (Fig. 19/20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dbms.execution import (
+    INSTR_PER_PROBE,
+    aggregate_op,
+    hash_join_aggregate_op,
+    modeled_scan_cost,
+)
+from repro.dbms.messages import Message, WorkCost
+from repro.dbms.queries import Query, QueryStage
+from repro.hardware.perfmodel import WorkloadCharacteristics
+from repro.storage.partition import PartitionMap
+from repro.storage.schema import DataType, Schema
+from repro.workloads.base import Workload, WorkloadVariant
+
+LINEORDER_SCHEMA = Schema.of(
+    lo_orderkey=DataType.INT64,
+    lo_custkey=DataType.INT64,
+    lo_partkey=DataType.INT64,
+    lo_suppkey=DataType.INT64,
+    lo_orderdate=DataType.INT32,
+    lo_quantity=DataType.INT32,
+    lo_extendedprice=DataType.INT64,
+    lo_discount=DataType.INT32,
+    lo_revenue=DataType.INT64,
+)
+DATE_SCHEMA = Schema.of(
+    d_datekey=DataType.INT32,
+    d_year=DataType.INT32,
+    d_yearmonthnum=DataType.INT32,
+    d_weeknuminyear=DataType.INT32,
+)
+CUSTOMER_SCHEMA = Schema.of(
+    c_custkey=DataType.INT64,
+    c_city=DataType.STRING,
+    c_nation=DataType.STRING,
+    c_region=DataType.STRING,
+)
+SUPPLIER_SCHEMA = Schema.of(
+    s_suppkey=DataType.INT64,
+    s_city=DataType.STRING,
+    s_nation=DataType.STRING,
+    s_region=DataType.STRING,
+)
+PART_SCHEMA = Schema.of(
+    p_partkey=DataType.INT64,
+    p_category=DataType.STRING,
+    p_brand1=DataType.STRING,
+    p_mfgr=DataType.STRING,
+)
+
+
+@dataclass(frozen=True)
+class SsbQueryClass:
+    """One SSB query flight's cost shape.
+
+    Attributes:
+        flight: flight number (1–4).
+        name: representative query id (e.g. "Q2.1").
+        joins: dimension joins performed per fact row.
+        selectivity: fraction of fact rows surviving the filters.
+        result_bytes: partial-aggregate bytes shipped per partition.
+    """
+
+    flight: int
+    name: str
+    joins: int
+    selectivity: float
+    result_bytes: float
+
+
+SSB_QUERY_CLASSES: tuple[SsbQueryClass, ...] = (
+    SsbQueryClass(flight=1, name="Q1.1", joins=1, selectivity=0.019, result_bytes=64),
+    SsbQueryClass(flight=1, name="Q1.2", joins=1, selectivity=0.0016, result_bytes=64),
+    SsbQueryClass(flight=1, name="Q1.3", joins=1, selectivity=0.0002, result_bytes=64),
+    SsbQueryClass(flight=2, name="Q2.1", joins=3, selectivity=0.008, result_bytes=2240),
+    SsbQueryClass(flight=2, name="Q2.2", joins=3, selectivity=0.0016, result_bytes=448),
+    SsbQueryClass(flight=2, name="Q2.3", joins=3, selectivity=0.0002, result_bytes=56),
+    SsbQueryClass(flight=3, name="Q3.1", joins=3, selectivity=0.034, result_bytes=4200),
+    SsbQueryClass(flight=3, name="Q3.2", joins=3, selectivity=0.0014, result_bytes=600),
+    SsbQueryClass(flight=3, name="Q3.3", joins=3, selectivity=0.000055, result_bytes=240),
+    SsbQueryClass(flight=3, name="Q3.4", joins=3, selectivity=0.0000076, result_bytes=240),
+    SsbQueryClass(flight=4, name="Q4.1", joins=4, selectivity=0.016, result_bytes=1400),
+    SsbQueryClass(flight=4, name="Q4.2", joins=4, selectivity=0.0046, result_bytes=2800),
+    SsbQueryClass(flight=4, name="Q4.3", joins=4, selectivity=0.00091, result_bytes=3360),
+)
+
+#: The appendix uses Q2.1 as the representative profile (Fig. 19/20).
+REPRESENTATIVE_QUERY = SSB_QUERY_CLASSES[3]
+
+INDEXED_CHARACTERISTICS = WorkloadCharacteristics(
+    name="ssb-indexed",
+    base_cpi=0.70,
+    ht_speedup=1.25,
+    bytes_per_instr=0.80,
+    miss_rate=0.0035,
+)
+
+NON_INDEXED_CHARACTERISTICS = WorkloadCharacteristics(
+    name="ssb-non-indexed",
+    base_cpi=0.70,
+    ht_speedup=1.10,
+    bytes_per_instr=3.5,
+)
+
+#: Fact rows per partition used in modeled costs (SF≈1 across 48 parts).
+FACT_ROWS_PER_PARTITION = 125_000
+#: Bytes of fact columns touched per row scanned (orderdate + measures).
+FACT_ROW_BYTES = 24
+
+
+class SsbWorkload(Workload):
+    """Star Schema Benchmark, indexed or non-indexed."""
+
+    def __init__(self, variant: WorkloadVariant = WorkloadVariant.NON_INDEXED):
+        super().__init__(variant)
+
+    @property
+    def name(self) -> str:
+        return "ssb"
+
+    @property
+    def characteristics(self) -> WorkloadCharacteristics:
+        if self.is_indexed:
+            return INDEXED_CHARACTERISTICS
+        return NON_INDEXED_CHARACTERISTICS
+
+    @property
+    def nominal_peak_qps(self) -> float:
+        return 560.0 if self.is_indexed else 330.0
+
+    # -- modeled mode ---------------------------------------------------------
+
+    def partition_task_cost(self, query_class: SsbQueryClass) -> WorkCost:
+        """Modeled cost of one partition's stage-0 task for a query class."""
+        rows = FACT_ROWS_PER_PARTITION
+        if self.is_indexed:
+            # Index-assisted: probe the orderdate index, join survivors.
+            survivors = rows * max(query_class.selectivity, 1e-5) * 20
+            instructions = (
+                500.0
+                + survivors * INSTR_PER_PROBE * query_class.joins
+                + survivors * 30.0
+            )
+            bytes_accessed = survivors * 64.0 * query_class.joins
+        else:
+            scan = modeled_scan_cost(rows, FACT_ROW_BYTES, query_class.selectivity)
+            join_work = rows * 2.0 * query_class.joins
+            instructions = scan.instructions + join_work
+            bytes_accessed = scan.bytes_accessed + rows * 2.0
+        return WorkCost(instructions=instructions, bytes_accessed=bytes_accessed)
+
+    def make_modeled_query(
+        self, rng: np.random.Generator, arrival_s: float, partitions: PartitionMap
+    ) -> Query:
+        """One SSB query: full fan-out scan + coordinator merge."""
+        query_class = SSB_QUERY_CLASSES[int(rng.integers(0, len(SSB_QUERY_CLASSES)))]
+        task = self.partition_task_cost(query_class)
+        stage0 = [
+            Message(
+                query_id=-1,
+                target_partition=p.partition_id,
+                cost=task,
+            )
+            for p in partitions
+        ]
+        merge_partition = int(rng.integers(0, len(partitions)))
+        merge_cost = WorkCost(
+            instructions=800.0 + 50.0 * len(partitions),
+            bytes_accessed=query_class.result_bytes * len(partitions),
+        )
+        stage1 = [
+            Message(query_id=-1, target_partition=merge_partition, cost=merge_cost)
+        ]
+        coordinator = int(rng.integers(0, partitions.socket_count))
+        return Query(
+            arrival_s=arrival_s,
+            stages=[QueryStage(stage0), QueryStage(stage1)],
+            coordinator_socket=coordinator,
+        )
+
+    # -- real mode ---------------------------------------------------------------
+
+    def setup_real(
+        self, partitions: PartitionMap, scale: int, rng: np.random.Generator
+    ) -> None:
+        """Load ``scale`` fact rows plus proportional dimensions.
+
+        Dimensions are replicated into every partition (they are small);
+        the fact table is hash-partitioned by order key.
+        """
+        partitions.create_table_everywhere("lineorder", LINEORDER_SCHEMA)
+        partitions.create_table_everywhere("date", DATE_SCHEMA)
+        partitions.create_table_everywhere("customer", CUSTOMER_SCHEMA)
+        partitions.create_table_everywhere("supplier", SUPPLIER_SCHEMA)
+        partitions.create_table_everywhere("part", PART_SCHEMA)
+
+        date_keys = [19920101 + d for d in range(64)]
+        regions = ("AMERICA", "ASIA", "EUROPE", "AFRICA", "MIDDLE EAST")
+        for partition in partitions:
+            for key in date_keys:
+                partition.table("date").insert(
+                    (key, 1992 + (key % 7), key // 100, key % 52)
+                )
+            for ck in range(1, 32):
+                partition.table("customer").insert(
+                    (ck, f"city{ck % 10}", f"nation{ck % 5}", regions[ck % 5])
+                )
+            for sk in range(1, 16):
+                partition.table("supplier").insert(
+                    (sk, f"city{sk % 10}", f"nation{sk % 5}", regions[sk % 5])
+                )
+            for pk in range(1, 32):
+                partition.table("part").insert(
+                    (pk, f"MFGR#{pk % 5}", f"MFGR#{pk % 5}{pk % 40}", f"MFGR#{pk % 5}")
+                )
+
+        for orderkey in range(1, scale + 1):
+            partition = partitions.partition_for_key(orderkey)
+            price = int(rng.integers(100, 10_000))
+            discount = int(rng.integers(0, 11))
+            partition.table("lineorder").insert(
+                (
+                    orderkey,
+                    int(rng.integers(1, 32)),
+                    int(rng.integers(1, 32)),
+                    int(rng.integers(1, 16)),
+                    date_keys[int(rng.integers(0, len(date_keys)))],
+                    int(rng.integers(1, 51)),
+                    price,
+                    discount,
+                    price * (100 - discount) // 100,
+                )
+            )
+        if self.is_indexed:
+            for partition in partitions:
+                # Date predicates are ranges: the ordered index serves
+                # them with two binary searches instead of full scans.
+                partition.table("lineorder").create_ordered_index("lo_orderdate")
+
+    def make_real_join_query(
+        self, rng: np.random.Generator, arrival_s: float, partitions: PartitionMap
+    ) -> Query:
+        """A real Q2.1-style query: lineorder ⋈ part with a category filter.
+
+        Stage 0 runs the hash-join-aggregate pipeline in every partition
+        (dimensions are replicated, the fact table is partitioned); stage
+        1 merges the partial sums at a coordinator partition.
+        """
+        category = f"MFGR#{int(rng.integers(0, 5))}"
+        stage0 = [
+            Message(
+                query_id=-1,
+                target_partition=p.partition_id,
+                operation=hash_join_aggregate_op(
+                    fact_table="lineorder",
+                    fact_key="lo_partkey",
+                    dim_table="part",
+                    dim_key="p_partkey",
+                    dim_filter="p_category",
+                    dim_value=category,
+                    sum_column="lo_revenue",
+                ),
+            )
+            for p in partitions
+        ]
+        merge_partition = int(rng.integers(0, len(partitions)))
+        stage1 = [
+            Message(
+                query_id=-1,
+                target_partition=merge_partition,
+                cost=WorkCost(
+                    instructions=800.0 + 50.0 * len(partitions),
+                    bytes_accessed=64.0 * len(partitions),
+                ),
+            )
+        ]
+        coordinator = int(rng.integers(0, partitions.socket_count))
+        return Query(
+            arrival_s=arrival_s,
+            stages=[QueryStage(stage0), QueryStage(stage1)],
+            coordinator_socket=coordinator,
+        )
+
+    def make_real_query(
+        self, rng: np.random.Generator, arrival_s: float, partitions: PartitionMap
+    ) -> Query:
+        """A real flight-1-style query: filtered revenue sum, full fan-out."""
+        low = 19920101
+        high = low + int(rng.integers(8, 32))
+        stage0 = [
+            Message(
+                query_id=-1,
+                target_partition=p.partition_id,
+                operation=aggregate_op(
+                    "lineorder", "lo_orderdate", low, high, "lo_revenue"
+                ),
+            )
+            for p in partitions
+        ]
+        merge_partition = int(rng.integers(0, len(partitions)))
+        stage1 = [
+            Message(
+                query_id=-1,
+                target_partition=merge_partition,
+                cost=WorkCost(
+                    instructions=800.0 + 50.0 * len(partitions),
+                    bytes_accessed=64.0 * len(partitions),
+                ),
+            )
+        ]
+        coordinator = int(rng.integers(0, partitions.socket_count))
+        return Query(
+            arrival_s=arrival_s,
+            stages=[QueryStage(stage0), QueryStage(stage1)],
+            coordinator_socket=coordinator,
+        )

@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.dbms.engine import DatabaseEngine
+from repro.hardware.machine import Machine
+from repro.hardware.presets import HaswellEPParameters, haswell_ep_two_socket
+
+
+@pytest.fixture
+def params() -> HaswellEPParameters:
+    """The default Haswell-EP parameter set."""
+    return haswell_ep_two_socket()
+
+
+@pytest.fixture
+def small_params() -> HaswellEPParameters:
+    """A downsized platform (2 sockets × 4 cores) for cheap sweeps."""
+    return dataclasses.replace(haswell_ep_two_socket(), cores_per_socket=4)
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A fresh default machine, deterministic seed."""
+    return Machine(seed=42)
+
+
+@pytest.fixture
+def small_machine(small_params: HaswellEPParameters) -> Machine:
+    """A fresh downsized machine."""
+    return Machine(params=small_params, seed=42)
+
+
+@pytest.fixture
+def engine(machine: Machine) -> DatabaseEngine:
+    """A database engine bound to the default machine."""
+    return DatabaseEngine(machine)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for workload generation."""
+    return np.random.default_rng(7)

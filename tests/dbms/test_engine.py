@@ -1,0 +1,131 @@
+"""Integration tests for the DatabaseEngine facade."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.dbms.engine import DatabaseEngine
+from repro.dbms.messages import Message, WorkCost
+from repro.dbms.queries import Query, QueryStage
+from repro.hardware.machine import Machine
+from repro.workloads.micro import COMPUTE_BOUND
+
+
+def modeled_query(arrival, partitions, instructions=50_000):
+    stage = QueryStage(
+        [
+            Message(query_id=-1, target_partition=p, cost=WorkCost(instructions))
+            for p in partitions
+        ]
+    )
+    return Query(arrival_s=arrival, stages=[stage], coordinator_socket=0)
+
+
+@pytest.fixture
+def loaded_engine(engine: DatabaseEngine):
+    engine.set_workload_characteristics(COMPUTE_BOUND)
+    return engine
+
+
+class TestSetup:
+    def test_default_partition_count_matches_threads(self, engine):
+        assert len(engine.partitions) == engine.machine.params.total_threads
+
+    def test_partitions_split_across_sockets(self, engine):
+        assert set(engine.hubs) == {0, 1}
+        assert len(engine.hubs[0].partition_ids) == 24
+
+    def test_custom_partition_count(self, machine):
+        engine = DatabaseEngine(machine, partition_count=8)
+        assert len(engine.partitions) == 8
+
+    def test_too_few_partitions_rejected(self, machine):
+        with pytest.raises(SimulationError):
+            DatabaseEngine(machine, partition_count=1)
+
+
+class TestTick:
+    def test_simple_query_completes(self, loaded_engine):
+        q = modeled_query(0.0, [0, 1])
+        loaded_engine.submit(q)
+        result = loaded_engine.tick(0.001)
+        assert len(result.completions) == 1
+        assert result.completions[0].latency_s <= 0.0011
+
+    def test_remote_messages_cross_the_router(self, loaded_engine):
+        # Partition 1 lives on socket 1, coordinator is socket 0: the
+        # message is buffered at submit time and delivered by the next
+        # communication-thread flush (the start of the following tick).
+        q = modeled_query(0.0, [1])
+        loaded_engine.submit(q)
+        assert loaded_engine.router.total_buffered == 1
+        first = loaded_engine.tick(0.001)
+        assert len(first.completions) == 1
+        # Both sides paid communication-thread instructions.
+        assert first.consumed_by_socket[1] > 50_000
+
+    def test_two_stage_query(self, loaded_engine):
+        stage0 = QueryStage(
+            [Message(query_id=-1, target_partition=0, cost=WorkCost(1000))]
+        )
+        stage1 = QueryStage(
+            [Message(query_id=-1, target_partition=2, cost=WorkCost(1000))]
+        )
+        q = Query(arrival_s=0.0, stages=[stage0, stage1], coordinator_socket=0)
+        loaded_engine.submit(q)
+        done = []
+        for _ in range(4):
+            done.extend(loaded_engine.tick(0.001).completions)
+        assert len(done) == 1
+
+    def test_latency_recorded(self, loaded_engine):
+        loaded_engine.submit(modeled_query(0.0, [0]))
+        loaded_engine.tick(0.001)
+        assert loaded_engine.latency.total_completed == 1
+
+    def test_utilization_saturates_under_heavy_load(self, loaded_engine):
+        for i in range(50):
+            loaded_engine.submit(modeled_query(0.0, [0, 2, 4], instructions=5e8))
+        loaded_engine.tick(0.01)
+        assert loaded_engine.utilization.utilization(0, 0.01) == pytest.approx(
+            1.0
+        )
+
+    def test_idle_socket_reports_zero(self, loaded_engine):
+        loaded_engine.tick(0.01)
+        assert loaded_engine.utilization.utilization(1, 0.01) == 0.0
+
+    def test_invalid_tick_rejected(self, loaded_engine):
+        with pytest.raises(SimulationError):
+            loaded_engine.tick(0.0)
+
+    def test_overhead_consumes_budget(self, loaded_engine):
+        loaded_engine.add_overhead_instructions(0, 1e7)
+        loaded_engine.submit(modeled_query(0.0, [0]))
+        result = loaded_engine.tick(0.001)
+        assert result.consumed_by_socket[0] >= 1e7
+
+    def test_overhead_validation(self, loaded_engine):
+        with pytest.raises(SimulationError):
+            loaded_engine.add_overhead_instructions(9, 1.0)
+        with pytest.raises(SimulationError):
+            loaded_engine.add_overhead_instructions(0, -1.0)
+
+    def test_parked_socket_does_not_process(self, loaded_engine):
+        machine: Machine = loaded_engine.machine
+        machine.apply_socket_threads(0, set())
+        loaded_engine.submit(modeled_query(0.0, [0]))
+        result = loaded_engine.tick(0.001)
+        assert not result.completions
+        assert loaded_engine.hubs[0].pending_messages == 1
+
+    def test_throughput_conservation(self, loaded_engine):
+        """Everything submitted eventually completes once; nothing twice."""
+        total = 40
+        for i in range(total):
+            loaded_engine.submit(modeled_query(0.0, [i % 48], instructions=10_000))
+        done = 0
+        for _ in range(20):
+            done += len(loaded_engine.tick(0.001).completions)
+        assert done == total
+        assert loaded_engine.pending_messages() == 0
+        assert loaded_engine.tracker.in_flight == 0

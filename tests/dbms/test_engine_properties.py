@@ -1,0 +1,123 @@
+"""Property-based tests on the engine: conservation and blending."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dbms.engine import DatabaseEngine
+from repro.dbms.messages import Message, WorkCost
+from repro.dbms.queries import Query, QueryStage
+from repro.hardware.machine import Machine
+from repro.workloads.micro import COMPUTE_BOUND, MEMORY_BOUND
+
+
+@st.composite
+def query_specs(draw):
+    """A batch of query shapes: (partitions, instructions, stages)."""
+    count = draw(st.integers(min_value=1, max_value=12))
+    specs = []
+    for _ in range(count):
+        fan = draw(st.integers(min_value=1, max_value=6))
+        targets = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=47),
+                min_size=fan,
+                max_size=fan,
+                unique=True,
+            )
+        )
+        instructions = draw(st.floats(min_value=1e3, max_value=5e6))
+        two_stage = draw(st.booleans())
+        specs.append((targets, instructions, two_stage))
+    return specs
+
+
+@settings(max_examples=25, deadline=None)
+@given(specs=query_specs())
+def test_property_every_query_completes_exactly_once(specs):
+    """Conservation: submitted = completed once the queues drain."""
+    machine = Machine(seed=1)
+    engine = DatabaseEngine(machine)
+    engine.set_workload_characteristics(COMPUTE_BOUND)
+
+    for targets, instructions, two_stage in specs:
+        stage0 = QueryStage(
+            [
+                Message(
+                    query_id=-1,
+                    target_partition=p,
+                    cost=WorkCost(instructions / len(targets)),
+                )
+                for p in targets
+            ]
+        )
+        stages = [stage0]
+        if two_stage:
+            stages.append(
+                QueryStage(
+                    [
+                        Message(
+                            query_id=-1,
+                            target_partition=targets[0],
+                            cost=WorkCost(1000.0),
+                        )
+                    ]
+                )
+            )
+        engine.submit(Query(arrival_s=0.0, stages=stages))
+
+    completed = 0
+    for _ in range(200):
+        completed += len(engine.tick(0.001).completions)
+        if engine.pending_messages() == 0 and engine.tracker.in_flight == 0:
+            break
+    assert completed == len(specs)
+    assert engine.tracker.in_flight == 0
+    assert engine.pending_messages() == 0
+    # Latency samples exist for every completion.
+    assert engine.latency.total_completed == len(specs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    compute_weight=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_property_blend_stays_within_component_bounds(compute_weight):
+    """The socket blend never leaves the envelope of its components."""
+    machine = Machine(seed=2)
+    engine = DatabaseEngine(machine)
+    machine.cstates.set_active_threads(set())  # freeze queues
+
+    total = 1e6
+    compute_instr = total * compute_weight
+    mem_instr = total - compute_instr
+    stage = []
+    if compute_instr > 0:
+        stage.append(
+            Message(
+                query_id=-1,
+                target_partition=0,
+                cost=WorkCost(compute_instr),
+                characteristics=COMPUTE_BOUND,
+            )
+        )
+    if mem_instr > 0:
+        stage.append(
+            Message(
+                query_id=-1,
+                target_partition=2,
+                cost=WorkCost(mem_instr),
+                characteristics=MEMORY_BOUND,
+            )
+        )
+    engine.submit(Query(arrival_s=0.0, stages=[QueryStage(stage)]))
+    engine.tick(0.001)
+
+    blended = machine.socket_load(0).characteristics
+    low_bpi = min(COMPUTE_BOUND.bytes_per_instr, MEMORY_BOUND.bytes_per_instr)
+    high_bpi = max(COMPUTE_BOUND.bytes_per_instr, MEMORY_BOUND.bytes_per_instr)
+    assert low_bpi - 1e-9 <= blended.bytes_per_instr <= high_bpi + 1e-9
+    expected_bpi = (
+        COMPUTE_BOUND.bytes_per_instr * compute_weight
+        + MEMORY_BOUND.bytes_per_instr * (1.0 - compute_weight)
+    )
+    assert blended.bytes_per_instr == pytest.approx(expected_bpi, abs=1e-6)

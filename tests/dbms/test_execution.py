@@ -1,0 +1,115 @@
+"""Tests for cost-accounted operator execution."""
+
+import pytest
+
+from repro.dbms.execution import (
+    aggregate_op,
+    insert_op,
+    lookup_op,
+    modeled_insert_cost,
+    modeled_lookup_cost,
+    modeled_scan_cost,
+    scan_op,
+    update_op,
+)
+from repro.storage.partition import Partition
+from repro.storage.schema import DataType, Schema
+
+
+@pytest.fixture
+def partition():
+    p = Partition(partition_id=0, socket_id=0)
+    table = p.create_table(
+        "t", Schema.of(k=DataType.INT64, v=DataType.INT64)
+    )
+    for i in range(100):
+        table.insert((i, i * 10))
+    return p
+
+
+@pytest.fixture
+def indexed_partition(partition):
+    partition.table("t").create_index("k")
+    return partition
+
+
+class TestRealOperators:
+    def test_insert(self, partition):
+        result, cost = insert_op("t", (200, 2000))(partition)
+        assert partition.table("t").row_count == 101
+        assert cost.instructions > 0
+        assert cost.bytes_accessed > 0
+
+    def test_insert_with_index_costs_more(self, indexed_partition):
+        plain_partition = _strip_index(indexed_partition)
+        _, plain = insert_op("t", (201, 1))(plain_partition)
+        _, indexed = insert_op("t", (202, 1))(indexed_partition)
+        assert indexed.instructions > plain.instructions
+
+    def test_lookup_indexed(self, indexed_partition):
+        rows, cost = lookup_op("t", "k", 42)(indexed_partition)
+        assert rows == [(42, 420)]
+        # An index probe is far cheaper than a 100-row scan.
+        _, scan_cost_value = lookup_op("t", "k", 42)(
+            _strip_index(indexed_partition)
+        )
+        assert cost.instructions < scan_cost_value.instructions
+
+    def test_lookup_missing_key(self, indexed_partition):
+        rows, _ = lookup_op("t", "k", 999999)(indexed_partition)
+        assert rows == []
+
+    def test_lookup_projection(self, indexed_partition):
+        rows, _ = lookup_op("t", "k", 5, project=("v",))(indexed_partition)
+        assert rows == [(50,)]
+
+    def test_update(self, indexed_partition):
+        count, cost = update_op("t", "k", 10, "v", 77)(indexed_partition)
+        assert count == 1
+        assert indexed_partition.table("t").get_value(10, "v") == 77
+        assert cost.instructions > 0
+
+    def test_scan_range(self, partition):
+        rows, cost = scan_op("t", "k", 10, 14, project=("k",))(partition)
+        assert [r[0] for r in rows] == [10, 11, 12, 13, 14]
+        assert cost.bytes_accessed >= 100 * 8  # whole column touched
+
+    def test_aggregate(self, partition):
+        total, cost = aggregate_op("t", "k", 0, 9, "v")(partition)
+        assert total == pytest.approx(sum(i * 10 for i in range(10)))
+        assert cost.instructions > 100
+
+
+def _strip_index(partition: Partition) -> Partition:
+    """A copy-free trick: build an identical partition without the index."""
+    fresh = Partition(partition_id=1, socket_id=0)
+    table = fresh.create_table("t", partition.table("t").schema)
+    for row in partition.table("t").rows():
+        table.insert(row)
+    return fresh
+
+
+class TestModeledCosts:
+    def test_lookup_cost_scales_with_probes(self):
+        assert (
+            modeled_lookup_cost(probes=4.0).instructions
+            > modeled_lookup_cost(probes=1.0).instructions
+        )
+
+    def test_scan_cost_scales_with_rows(self):
+        small = modeled_scan_cost(1000, 8)
+        big = modeled_scan_cost(100_000, 8)
+        assert big.instructions > 50 * small.instructions
+        assert big.bytes_accessed == pytest.approx(800_000)
+
+    def test_insert_cost_index_overhead(self):
+        assert (
+            modeled_insert_cost(indexed=True).instructions
+            > modeled_insert_cost(indexed=False).instructions
+        )
+
+    def test_modeled_close_to_real_lookup(self, indexed_partition):
+        """Modeled costs should be in the ballpark of executed ones."""
+        _, real = lookup_op("t", "k", 42)(indexed_partition)
+        modeled = modeled_lookup_cost()
+        assert modeled.instructions == pytest.approx(real.instructions, rel=0.5)

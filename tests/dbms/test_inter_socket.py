@@ -1,0 +1,103 @@
+"""Tests for the inter-socket communication threads."""
+
+import pytest
+
+from repro.errors import MessagingError
+from repro.dbms.inter_socket import InterSocketRouter
+from repro.dbms.intra_socket import IntraSocketHub
+from repro.dbms.messages import Message, WorkCost
+
+
+def msg(partition: int) -> Message:
+    return Message(query_id=0, target_partition=partition, cost=WorkCost(100))
+
+
+@pytest.fixture
+def router():
+    hubs = {
+        0: IntraSocketHub(0, [0, 2]),
+        1: IntraSocketHub(1, [1, 3]),
+    }
+    return InterSocketRouter(hubs), hubs
+
+
+class TestRouting:
+    def test_local_delivery_immediate(self, router):
+        r, hubs = router
+        delivered = r.route(0, msg(0))
+        assert delivered
+        assert hubs[0].pending_messages == 1
+
+    def test_remote_buffered(self, router):
+        r, hubs = router
+        delivered = r.route(0, msg(1))
+        assert not delivered
+        assert hubs[1].pending_messages == 0
+        assert r.buffered_count(0, 1) == 1
+        assert r.total_buffered == 1
+
+    def test_home_socket(self, router):
+        r, _ = router
+        assert r.home_socket(0) == 0
+        assert r.home_socket(3) == 1
+
+    def test_unknown_partition(self, router):
+        r, _ = router
+        with pytest.raises(MessagingError):
+            r.home_socket(9)
+
+    def test_unknown_source(self, router):
+        r, _ = router
+        with pytest.raises(MessagingError):
+            r.route(7, msg(0))
+
+    def test_unknown_buffer(self, router):
+        r, _ = router
+        with pytest.raises(MessagingError):
+            r.buffered_count(0, 0)
+
+    def test_empty_router_rejected(self):
+        with pytest.raises(MessagingError):
+            InterSocketRouter({})
+
+
+class TestFlush:
+    def test_flush_delivers(self, router):
+        r, hubs = router
+        r.route(0, msg(1))
+        r.route(0, msg(3))
+        r.route(1, msg(0))
+        stats = r.flush()
+        assert stats.messages_moved == 3
+        assert hubs[1].pending_messages == 2
+        assert hubs[0].pending_messages == 1
+        assert r.total_buffered == 0
+        assert r.total_messages_moved == 3
+
+    def test_flush_charges_both_sides(self, router):
+        r, _ = router
+        r.route(0, msg(1))
+        stats = r.flush()
+        assert stats.cost_by_socket[0].instructions > 0
+        assert stats.cost_by_socket[1].instructions > 0
+        # Sender pays the per-flush overhead on top.
+        assert (
+            stats.cost_by_socket[0].instructions
+            > stats.cost_by_socket[1].instructions
+        )
+
+    def test_empty_flush_is_free(self, router):
+        r, _ = router
+        stats = r.flush()
+        assert stats.messages_moved == 0
+        assert stats.flushes == 0
+        assert all(c.instructions == 0 for c in stats.cost_by_socket.values())
+
+    def test_batching_amortizes_flush_overhead(self, router):
+        r, _ = router
+        for _ in range(10):
+            r.route(0, msg(1))
+        batched = r.flush().cost_by_socket[0].instructions
+        r.route(0, msg(1))
+        single = r.flush().cost_by_socket[0].instructions
+        assert batched < 10 * single

@@ -1,0 +1,157 @@
+"""Tests for the intra-socket hub: queues + ownership protocol."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MessagingError, OwnershipError
+from repro.dbms.intra_socket import IntraSocketHub
+from repro.dbms.messages import Message, WorkCost
+
+
+def msg(partition: int, instructions: float = 100.0) -> Message:
+    return Message(
+        query_id=0, target_partition=partition, cost=WorkCost(instructions)
+    )
+
+
+@pytest.fixture
+def hub():
+    return IntraSocketHub(0, [0, 1, 2, 3])
+
+
+class TestQueues:
+    def test_enqueue_dequeue(self, hub):
+        hub.enqueue(msg(1))
+        assert hub.pending_messages == 1
+        assert hub.queue_depth(1) == 1
+        pid = hub.acquire_partition(worker_id=9)
+        assert pid == 1
+        batch = hub.dequeue_batch(9, 1)
+        assert len(batch) == 1
+        assert hub.pending_messages == 0
+
+    def test_foreign_partition_rejected(self, hub):
+        with pytest.raises(MessagingError):
+            hub.enqueue(msg(99))
+
+    def test_empty_hub_rejected(self):
+        with pytest.raises(MessagingError):
+            IntraSocketHub(0, [])
+
+    def test_pending_cost_incremental(self, hub):
+        hub.enqueue(msg(0, 100))
+        hub.enqueue(msg(1, 250))
+        assert hub.pending_cost_instructions() == pytest.approx(350)
+        pid = hub.acquire_partition(1)
+        hub.dequeue_batch(1, pid)
+        assert hub.pending_cost_instructions() < 350
+
+    def test_batch_size_respected(self, hub):
+        for _ in range(10):
+            hub.enqueue(msg(2))
+        hub.acquire_specific(1, 2)
+        batch = hub.dequeue_batch(1, 2, batch_size=4)
+        assert len(batch) == 4
+        assert hub.queue_depth(2) == 6
+
+    def test_invalid_batch_size(self, hub):
+        hub.acquire_specific(1, 2)
+        with pytest.raises(MessagingError):
+            hub.dequeue_batch(1, 2, batch_size=0)
+
+    def test_requeue_front_preserves_order(self, hub):
+        first, second = msg(0, 1), msg(0, 2)
+        hub.enqueue(first)
+        hub.enqueue(second)
+        hub.acquire_specific(1, 0)
+        batch = hub.dequeue_batch(1, 0)
+        hub.requeue_front(1, batch)
+        redrawn = hub.dequeue_batch(1, 0)
+        assert [m.message_id for m in redrawn] == [
+            first.message_id,
+            second.message_id,
+        ]
+
+
+class TestOwnership:
+    def test_exclusive_ownership(self, hub):
+        hub.enqueue(msg(0))
+        assert hub.acquire_specific(1, 0)
+        assert not hub.acquire_specific(2, 0)
+        assert hub.owner_of(0) == 1
+
+    def test_acquire_skips_owned(self, hub):
+        hub.enqueue(msg(0))
+        hub.enqueue(msg(1))
+        hub.acquire_specific(1, 0)
+        pid = hub.acquire_partition(2)
+        assert pid == 1
+
+    def test_acquire_prefers_deepest_queue(self, hub):
+        hub.enqueue(msg(0))
+        for _ in range(3):
+            hub.enqueue(msg(2))
+        assert hub.acquire_partition(1) == 2
+
+    def test_acquire_returns_none_without_work(self, hub):
+        assert hub.acquire_partition(1) is None
+
+    def test_release_requires_ownership(self, hub):
+        hub.acquire_specific(1, 0)
+        with pytest.raises(OwnershipError):
+            hub.release_partition(2, 0)
+        hub.release_partition(1, 0)
+        assert hub.owner_of(0) is None
+
+    def test_dequeue_requires_ownership(self, hub):
+        hub.enqueue(msg(0))
+        with pytest.raises(OwnershipError):
+            hub.dequeue_batch(5, 0)
+
+    def test_release_all(self, hub):
+        hub.acquire_specific(1, 0)
+        hub.acquire_specific(1, 2)
+        hub.acquire_specific(2, 3)
+        hub.release_all(1)
+        assert hub.owner_of(0) is None
+        assert hub.owner_of(2) is None
+        assert hub.owner_of(3) == 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    actions=st.lists(
+        st.tuples(
+            st.sampled_from(["enqueue", "acquire", "drain", "release"]),
+            st.integers(min_value=0, max_value=3),  # partition / worker
+        ),
+        max_size=120,
+    )
+)
+def test_property_ownership_invariants(actions):
+    """No partition ever has two owners; no message is lost or duplicated."""
+    hub = IntraSocketHub(0, [0, 1, 2, 3])
+    owners: dict[int, int] = {}
+    enqueued = 0
+    drained = 0
+    for action, value in actions:
+        if action == "enqueue":
+            hub.enqueue(msg(value))
+            enqueued += 1
+        elif action == "acquire":
+            worker = value + 10
+            pid = hub.acquire_partition(worker)
+            if pid is not None:
+                assert pid not in owners
+                owners[pid] = worker
+        elif action == "drain":
+            for pid, worker in list(owners.items()):
+                drained += len(hub.dequeue_batch(worker, pid, batch_size=1))
+        else:  # release
+            for pid, worker in list(owners.items()):
+                hub.release_partition(worker, pid)
+                del owners[pid]
+    assert hub.pending_messages == enqueued - drained
+    assert hub.pending_messages >= 0
+    for pid, worker in owners.items():
+        assert hub.owner_of(pid) == worker

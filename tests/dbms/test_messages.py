@@ -1,0 +1,55 @@
+"""Tests for message construction and cost accounting."""
+
+import pytest
+
+from repro.errors import MessagingError
+from repro.dbms.messages import Message, MessageKind, WorkCost
+
+
+class TestWorkCost:
+    def test_addition(self):
+        total = WorkCost(100, 10) + WorkCost(50, 5)
+        assert total.instructions == 150
+        assert total.bytes_accessed == 15
+
+    def test_negative_rejected(self):
+        with pytest.raises(MessagingError):
+            WorkCost(-1)
+        with pytest.raises(MessagingError):
+            WorkCost(1, -2)
+
+
+class TestMessage:
+    def test_modeled_message(self):
+        msg = Message(query_id=1, target_partition=0, cost=WorkCost(100))
+        assert msg.is_modeled
+        assert msg.charged_cost().instructions == 100
+
+    def test_real_message(self):
+        msg = Message(
+            query_id=1, target_partition=0, operation=lambda p: (None, WorkCost(1))
+        )
+        assert not msg.is_modeled
+        with pytest.raises(MessagingError):
+            msg.charged_cost()
+
+    def test_work_needs_exactly_one_source(self):
+        with pytest.raises(MessagingError):
+            Message(query_id=1, target_partition=0)
+        with pytest.raises(MessagingError):
+            Message(
+                query_id=1,
+                target_partition=0,
+                cost=WorkCost(1),
+                operation=lambda p: (None, WorkCost(1)),
+            )
+
+    def test_result_messages_get_default_cost(self):
+        msg = Message(query_id=1, target_partition=0, kind=MessageKind.RESULT)
+        assert msg.cost is not None
+        assert msg.cost.instructions > 0
+
+    def test_unique_ids(self):
+        a = Message(query_id=1, target_partition=0, cost=WorkCost(1))
+        b = Message(query_id=1, target_partition=0, cost=WorkCost(1))
+        assert a.message_id != b.message_id

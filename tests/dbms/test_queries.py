@@ -1,0 +1,93 @@
+"""Tests for multi-stage query tracking."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.dbms.messages import Message, WorkCost
+from repro.dbms.queries import Query, QueryStage, QueryTracker
+
+
+def stage(partitions):
+    return QueryStage(
+        [
+            Message(query_id=-1, target_partition=p, cost=WorkCost(10))
+            for p in partitions
+        ]
+    )
+
+
+class TestQueryConstruction:
+    def test_messages_adopt_query_id(self):
+        q = Query(arrival_s=1.0, stages=[stage([0, 1])])
+        for message in q.stages[0].messages:
+            assert message.query_id == q.query_id
+            assert message.created_at_s == 1.0
+
+    def test_empty_stages_rejected(self):
+        with pytest.raises(SimulationError):
+            Query(arrival_s=0.0, stages=[])
+
+    def test_empty_stage_rejected(self):
+        with pytest.raises(SimulationError):
+            QueryStage([])
+
+
+class TestTracker:
+    def test_single_stage_completion(self):
+        tracker = QueryTracker()
+        q = Query(arrival_s=1.0, stages=[stage([0, 1])])
+        messages = tracker.dispatch(q)
+        assert len(messages) == 2
+        assert tracker.in_flight == 1
+
+        followups, completion = tracker.on_message_done(messages[0], 1.5)
+        assert not followups and completion is None
+        followups, completion = tracker.on_message_done(messages[1], 2.0)
+        assert not followups
+        assert completion is not None
+        assert completion.latency_s == pytest.approx(1.0)
+        assert tracker.in_flight == 0
+        assert tracker.completed_count == 1
+
+    def test_two_stage_flow(self):
+        tracker = QueryTracker()
+        q = Query(arrival_s=0.0, stages=[stage([0]), stage([1, 2])])
+        first = tracker.dispatch(q)
+        followups, completion = tracker.on_message_done(first[0], 0.5)
+        assert completion is None
+        assert len(followups) == 2
+        assert all(m.created_at_s == 0.5 for m in followups)
+
+        _, completion = tracker.on_message_done(followups[0], 0.7)
+        assert completion is None
+        _, completion = tracker.on_message_done(followups[1], 0.9)
+        assert completion is not None
+        assert completion.latency_s == pytest.approx(0.9)
+
+    def test_double_dispatch_rejected(self):
+        tracker = QueryTracker()
+        q = Query(arrival_s=0.0, stages=[stage([0])])
+        tracker.dispatch(q)
+        with pytest.raises(SimulationError):
+            tracker.dispatch(q)
+
+    def test_unknown_query_rejected(self):
+        tracker = QueryTracker()
+        orphan = Message(query_id=424242, target_partition=0, cost=WorkCost(1))
+        with pytest.raises(SimulationError):
+            tracker.on_message_done(orphan, 0.0)
+
+    def test_many_queries_interleaved(self):
+        tracker = QueryTracker()
+        queries = [Query(arrival_s=float(i), stages=[stage([0, 1])]) for i in range(5)]
+        all_messages = {q.query_id: tracker.dispatch(q) for q in queries}
+        completions = []
+        # Finish in reverse order.
+        for q in reversed(queries):
+            for message in all_messages[q.query_id]:
+                _, completion = tracker.on_message_done(message, 10.0)
+                if completion:
+                    completions.append(completion)
+        assert len(completions) == 5
+        assert tracker.in_flight == 0
+        assert tracker.dispatched_count == 5

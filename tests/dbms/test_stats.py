@@ -1,0 +1,123 @@
+"""Tests for latency and utilization statistics."""
+
+import pytest
+
+from repro.errors import ControlError
+from repro.dbms.stats import LatencyTracker, UtilizationTracker
+
+
+class TestLatencyTracker:
+    def test_average(self):
+        tracker = LatencyTracker(window_s=10.0)
+        tracker.record(1.0, 0.010)
+        tracker.record(2.0, 0.030)
+        assert tracker.average_latency_s(3.0) == pytest.approx(0.020)
+
+    def test_empty_average_is_none(self):
+        tracker = LatencyTracker()
+        assert tracker.average_latency_s(1.0) is None
+
+    def test_window_pruning(self):
+        tracker = LatencyTracker(window_s=1.0)
+        tracker.record(0.0, 0.5)
+        tracker.record(5.0, 0.1)
+        assert tracker.average_latency_s(5.5) == pytest.approx(0.1)
+        assert tracker.sample_count() == 1
+
+    def test_negative_latency_rejected(self):
+        tracker = LatencyTracker()
+        with pytest.raises(ControlError):
+            tracker.record(0.0, -1.0)
+
+    def test_trend_positive_when_growing(self):
+        tracker = LatencyTracker(window_s=10.0)
+        for i in range(10):
+            tracker.record(float(i), 0.01 * (i + 1))
+        assert tracker.trend_s_per_s(9.0) == pytest.approx(0.01, rel=0.01)
+
+    def test_trend_zero_with_flat_latency(self):
+        tracker = LatencyTracker(window_s=10.0)
+        for i in range(10):
+            tracker.record(float(i), 0.02)
+        assert tracker.trend_s_per_s(9.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_trend_needs_two_samples(self):
+        tracker = LatencyTracker()
+        tracker.record(0.0, 0.01)
+        assert tracker.trend_s_per_s(0.5) == 0.0
+
+    def test_time_to_violation_estimates(self):
+        tracker = LatencyTracker(window_s=100.0)
+        for i in range(10):
+            tracker.record(float(i), 0.01 + 0.005 * i)
+        ttv = tracker.time_to_violation_s(0.1, 9.0)
+        assert 0.0 < ttv < 15.0
+
+    def test_time_to_violation_violated(self):
+        tracker = LatencyTracker()
+        tracker.record(0.0, 0.5)
+        assert tracker.time_to_violation_s(0.1, 0.1) == 0.0
+
+    def test_time_to_violation_relaxed(self):
+        tracker = LatencyTracker()
+        for i in range(5):
+            tracker.record(float(i), 0.01)
+        assert tracker.time_to_violation_s(0.1, 5.0) == float("inf")
+
+    def test_invalid_limit(self):
+        tracker = LatencyTracker()
+        with pytest.raises(ControlError):
+            tracker.time_to_violation_s(0.0, 1.0)
+
+    def test_max_latency(self):
+        tracker = LatencyTracker()
+        tracker.record(0.0, 0.2)
+        tracker.record(1.0, 0.05)
+        assert tracker.max_latency_s == pytest.approx(0.2)
+
+
+class TestUtilizationTracker:
+    @pytest.fixture
+    def tracker(self):
+        return UtilizationTracker((0, 1), window_s=1.0)
+
+    def test_basic_ratio(self, tracker):
+        tracker.record_tick(0, 0.5, offered_instructions=100, consumed_instructions=40)
+        assert tracker.utilization(0, 0.5) == pytest.approx(0.4)
+
+    def test_saturated_is_one(self, tracker):
+        tracker.record_tick(0, 0.5, 100, 100)
+        assert tracker.utilization(0, 0.5) == 1.0
+
+    def test_backlog_raises_utilization(self, tracker):
+        tracker.record_tick(0, 0.5, 100, 40, pending_instructions=60)
+        assert tracker.utilization(0, 0.5) == 1.0
+
+    def test_parked_with_backlog_is_full(self, tracker):
+        tracker.record_tick(0, 0.5, 0, 0, pending_instructions=10)
+        assert tracker.utilization(0, 0.5) == 1.0
+
+    def test_parked_without_backlog_is_zero(self, tracker):
+        tracker.record_tick(0, 0.5, 0, 0, pending_instructions=0)
+        assert tracker.utilization(0, 0.5) == 0.0
+
+    def test_busy_fraction_ignores_backlog(self, tracker):
+        tracker.record_tick(0, 0.5, 100, 40, pending_instructions=1000)
+        assert tracker.busy_fraction(0, 0.5) == pytest.approx(0.4)
+
+    def test_window_prunes(self, tracker):
+        tracker.record_tick(0, 0.0, 100, 100)
+        tracker.record_tick(0, 2.0, 100, 10)
+        assert tracker.utilization(0, 2.0) == pytest.approx(0.1)
+
+    def test_unknown_socket(self, tracker):
+        with pytest.raises(ControlError):
+            tracker.utilization(9, 0.0)
+        with pytest.raises(ControlError):
+            tracker.record_tick(9, 0.0, 1, 1)
+
+    def test_negative_rejected(self, tracker):
+        with pytest.raises(ControlError):
+            tracker.record_tick(0, 0.0, -1, 0)
+        with pytest.raises(ControlError):
+            tracker.record_tick(0, 0.0, 1, 0, pending_instructions=-5)

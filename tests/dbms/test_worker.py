@@ -1,0 +1,133 @@
+"""Tests for worker processing and the elastic pool."""
+
+import pytest
+
+from repro.errors import MessagingError
+from repro.dbms.elasticity import ElasticWorkerPool
+from repro.dbms.intra_socket import IntraSocketHub
+from repro.dbms.messages import Message, WorkCost
+from repro.dbms.worker import Worker, WorkerState
+from repro.hardware.topology import Topology
+from repro.storage.partition import PartitionMap
+
+
+def msg(partition: int, instructions: float = 100.0) -> Message:
+    return Message(query_id=0, target_partition=partition, cost=WorkCost(instructions))
+
+
+@pytest.fixture
+def setup():
+    hub = IntraSocketHub(0, [0, 1, 2])
+    partitions = PartitionMap(3, 1)
+    worker = Worker(worker_id=1, socket_id=0, hw_thread_id=1)
+    return hub, partitions, worker
+
+
+class TestProcessing:
+    def test_processes_within_budget(self, setup):
+        hub, partitions, worker = setup
+        for _ in range(5):
+            hub.enqueue(msg(0, 100))
+        used, done = worker.process_quantum(hub, partitions, 250.0)
+        assert len(done) == 2
+        assert used == pytest.approx(200.0)
+        assert hub.pending_messages == 3
+
+    def test_drains_all_with_big_budget(self, setup):
+        hub, partitions, worker = setup
+        for p in range(3):
+            hub.enqueue(msg(p, 50))
+        used, done = worker.process_quantum(hub, partitions, 1e6)
+        assert len(done) == 3
+        assert hub.pending_messages == 0
+
+    def test_releases_ownership_after_run(self, setup):
+        hub, partitions, worker = setup
+        hub.enqueue(msg(0))
+        worker.process_quantum(hub, partitions, 1e6)
+        assert hub.owner_of(0) is None
+
+    def test_first_message_may_overdraw(self, setup):
+        hub, partitions, worker = setup
+        hub.enqueue(msg(0, 500))
+        used, done = worker.process_quantum(hub, partitions, 100.0)
+        assert len(done) == 1
+        assert used == pytest.approx(500.0)
+
+    def test_parked_worker_refuses(self, setup):
+        hub, partitions, worker = setup
+        worker.state = WorkerState.PARKED
+        with pytest.raises(MessagingError):
+            worker.process_quantum(hub, partitions, 100.0)
+
+    def test_stats_accumulate(self, setup):
+        hub, partitions, worker = setup
+        hub.enqueue(msg(0, 100))
+        worker.process_quantum(hub, partitions, 1e6)
+        assert worker.stats.messages_processed == 1
+        assert worker.stats.instructions_consumed == pytest.approx(100.0)
+        assert worker.stats.acquisitions == 1
+
+    def test_real_operation_executes(self, setup):
+        hub, partitions, worker = setup
+        from repro.storage.schema import DataType, Schema
+
+        partitions.create_table_everywhere("t", Schema.of(k=DataType.INT64))
+
+        def operation(partition):
+            position = partition.table("t").insert((7,))
+            return position, WorkCost(instructions=42.0)
+
+        real = Message(query_id=0, target_partition=0, operation=operation)
+        hub.enqueue(real)
+        used, done = worker.process_quantum(hub, partitions, 1e6)
+        assert done[0].result == 0
+        assert partitions.partition(0).table("t").row_count == 1
+        assert used == pytest.approx(42.0)
+
+
+class TestElasticPool:
+    @pytest.fixture
+    def pool(self):
+        topo = Topology.build(2, 2, 2)  # 8 threads
+        hubs = {0: IntraSocketHub(0, [0, 2]), 1: IntraSocketHub(1, [1, 3])}
+        return ElasticWorkerPool(topo, hubs), hubs
+
+    def test_one_worker_per_thread(self, pool):
+        p, _ = pool
+        assert len(p.workers_on_socket(0)) == 4
+        assert len(p.workers_on_socket(1)) == 4
+
+    def test_sync_parks_and_unparks(self, pool):
+        p, _ = pool
+        p.sync_with_threads(0, {0})
+        assert p.active_count(0) == 1
+        assert p.worker(0).is_active
+        assert not p.worker(1).is_active
+        p.sync_with_threads(0, {0, 1})
+        assert p.active_count(0) == 2
+
+    def test_sync_releases_ownership_on_park(self, pool):
+        p, hubs = pool
+        hubs[0].enqueue(msg(0))
+        hubs[0].acquire_specific(0, 0)  # worker 0 owns partition 0
+        p.sync_with_threads(0, set())
+        assert hubs[0].owner_of(0) is None
+        # messages survive the park
+        assert hubs[0].pending_messages == 1
+
+    def test_park_all(self, pool):
+        p, _ = pool
+        p.park_all(1)
+        assert p.active_count(1) == 0
+        assert p.active_count(0) == 4
+
+    def test_unknown_worker(self, pool):
+        p, _ = pool
+        with pytest.raises(MessagingError):
+            p.worker(99)
+
+    def test_total_stats(self, pool):
+        p, _ = pool
+        stats = p.total_stats()
+        assert stats["messages_processed"] == 0.0

@@ -1,0 +1,120 @@
+"""Tests for online/multiplexed profile maintenance bookkeeping."""
+
+import pytest
+
+from repro.errors import ControlError
+from repro.ecl.adaptation import ProfileMaintainer
+from repro.profiles.configuration import Configuration, ConfigurationMeasurement
+from repro.profiles.profile import EnergyProfile
+
+
+@pytest.fixture
+def profile():
+    configs = [Configuration.idle(0, 1.2)] + [
+        Configuration.build(0, set(range(n)), {i: 1.9 for i in range(n)}, 2.1)
+        for n in (1, 2, 4)
+    ]
+    profile = EnergyProfile(configs)
+    for i, config in enumerate(configs):
+        profile.record(
+            config, ConfigurationMeasurement(20.0 + 10 * i, 1e9 * i, 0.0)
+        )
+    return profile
+
+
+@pytest.fixture
+def maintainer(profile):
+    return ProfileMaintainer(profile, ewma_weight=0.5, drift_threshold=0.15)
+
+
+def cfg_of(profile, threads):
+    for config in profile.configurations():
+        if config.thread_count == threads:
+            return config
+    raise AssertionError
+
+
+class TestOnline:
+    def test_record_blends_ewma(self, maintainer, profile):
+        config = cfg_of(profile, 2)
+        before = profile.entry(config).measurement
+        drifted = maintainer.record_online(
+            config, ConfigurationMeasurement(before.power_w * 1.1, before.performance_score, 1.0)
+        )
+        assert not drifted
+        after = profile.entry(config).measurement
+        assert after.power_w == pytest.approx(before.power_w * 1.05)
+        assert maintainer.online_updates == 1
+
+    def test_large_drift_marks_stale(self, maintainer, profile):
+        config = cfg_of(profile, 2)
+        drifted = maintainer.record_online(
+            config, ConfigurationMeasurement(40.0, 5e9, 1.0)
+        )
+        assert drifted
+        assert maintainer.drift_events == 1
+        stale = profile.stale_entries()
+        assert len(stale) == len(profile) - 1  # everything but the measured one
+        assert not profile.entry(config).stale
+
+    def test_drift_without_marking(self, profile):
+        maintainer = ProfileMaintainer(profile, mark_stale_on_drift=False)
+        config = cfg_of(profile, 2)
+        drifted = maintainer.record_online(
+            config, ConfigurationMeasurement(40.0, 5e9, 1.0)
+        )
+        assert drifted
+        assert not profile.stale_entries()
+
+    def test_power_drift_detected(self, maintainer, profile):
+        config = cfg_of(profile, 2)
+        before = profile.entry(config).measurement
+        drifted = maintainer.record_online(
+            config,
+            ConfigurationMeasurement(
+                before.power_w * 1.4, before.performance_score, 1.0
+            ),
+        )
+        assert drifted
+
+
+class TestMultiplexed:
+    def test_sweep_order_small_first(self, maintainer, profile):
+        profile.mark_all_stale()
+        config = maintainer.next_stale_configuration()
+        assert config is not None
+        assert config.thread_count == 1  # not the idle configuration
+
+    def test_idle_excluded(self, maintainer, profile):
+        profile.mark_all_stale()
+        assert maintainer.multiplexing_needed
+        seen = []
+        while (config := maintainer.next_stale_configuration()) is not None:
+            seen.append(config)
+            maintainer.record_multiplexed(
+                config, ConfigurationMeasurement(30.0, 2e9, 2.0)
+            )
+        assert all(not c.is_idle for c in seen)
+        assert len(seen) == 3
+        # Only the idle entry stays stale; it does not demand multiplexing.
+        assert not maintainer.multiplexing_needed
+
+    def test_record_replaces_outright(self, maintainer, profile):
+        config = cfg_of(profile, 4)
+        maintainer.record_multiplexed(
+            config, ConfigurationMeasurement(99.0, 9e9, 3.0)
+        )
+        m = profile.entry(config).measurement
+        assert m.power_w == pytest.approx(99.0)
+        assert maintainer.multiplexed_updates == 1
+        assert not profile.entry(config).stale
+
+
+class TestValidation:
+    def test_bad_ewma(self, profile):
+        with pytest.raises(ControlError):
+            ProfileMaintainer(profile, ewma_weight=0.0)
+
+    def test_bad_threshold(self, profile):
+        with pytest.raises(ControlError):
+            ProfileMaintainer(profile, drift_threshold=0.0)

@@ -1,0 +1,50 @@
+"""Tests for the meta calibration (Fig. 12)."""
+
+import pytest
+
+from repro.errors import ControlError
+from repro.ecl.calibration import (
+    APPLY_CANDIDATES,
+    MEASURE_CANDIDATES,
+    MetaCalibrator,
+)
+from repro.hardware.machine import Machine
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    """Run the (slow-ish) calibration once for the whole module."""
+    machine = Machine(seed=21)
+    return MetaCalibrator(machine, 0).run()
+
+
+class TestCalibrationOutcome:
+    def test_apply_time_fast(self, calibration):
+        """Fig. 12: applying a configuration is accurate even at 1 ms."""
+        assert calibration.apply_time_s <= 0.005
+
+    def test_measure_time_around_100ms(self, calibration):
+        """Fig. 12: ~100 ms is the shortest trustworthy RAPL window."""
+        assert 0.02 <= calibration.measure_time_s <= 0.2
+
+    def test_measure_deviation_grows_for_short_windows(self, calibration):
+        devs = calibration.measure_deviation
+        longest = max(devs)
+        shortest = min(devs)
+        assert devs[shortest] > devs[longest]
+
+    def test_deviation_curves_cover_probed_candidates(self, calibration):
+        assert set(calibration.measure_deviation) <= set(MEASURE_CANDIDATES)
+        assert set(calibration.apply_deviation) <= set(APPLY_CANDIDATES)
+        assert calibration.measure_deviation
+        assert calibration.apply_deviation
+
+
+class TestValidation:
+    def test_invalid_threshold(self):
+        with pytest.raises(ControlError):
+            MetaCalibrator(Machine(), deviation_threshold=0.0)
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ControlError):
+            MetaCalibrator(Machine(), repetitions=0)

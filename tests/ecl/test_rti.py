@@ -1,0 +1,124 @@
+"""Tests for the race-to-idle controller."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ControlError
+from repro.ecl.rti import RtiController, RtiPlan
+from repro.profiles.configuration import Configuration
+
+
+@pytest.fixture
+def optimal():
+    return Configuration.build(0, {0, 24}, {0: 1.9}, 1.2)
+
+
+@pytest.fixture
+def controller():
+    return RtiController()
+
+
+class TestPlan:
+    def test_under_utilization_duty_cycles(self, controller, optimal):
+        plan = controller.plan(5e9, optimal, 1e10, 1.0, float("inf"))
+        assert plan.uses_rti
+        # Duty covers demand × headroom, rounded up to the slot grid.
+        assert 0.55 <= plan.duty < 0.7
+        assert plan.active_configuration == optimal
+
+    def test_demand_at_optimum_disables_rti(self, controller, optimal):
+        plan = controller.plan(1e10, optimal, 1e10, 1.0, float("inf"))
+        assert not plan.uses_rti
+        assert plan.duty == 1.0
+
+    def test_critical_headroom_disables_rti(self, controller, optimal):
+        plan = controller.plan(2e9, optimal, 1e10, 1.0, 1.0)
+        assert not plan.uses_rti
+
+    def test_duty_never_below_demand(self, controller, optimal):
+        """Quantization must round the duty UP, never down."""
+        for demand_fraction in (0.03, 0.11, 0.27, 0.5, 0.73, 0.9):
+            plan = controller.plan(
+                demand_fraction * 1e10, optimal, 1e10, 1.0, float("inf")
+            )
+            assert plan.duty >= min(1.0, demand_fraction * 1.10) - 1e-9
+
+    def test_idle_stint_bounded_under_pressure(self, controller, optimal):
+        relaxed = controller.plan(3e9, optimal, 1e10, 1.0, float("inf"))
+        pressured = controller.plan(3e9, optimal, 1e10, 1.0, 3.0)
+        relaxed_stint = (1 - relaxed.duty) * relaxed.period_s
+        pressured_stint = (1 - pressured.duty) * pressured.period_s
+        assert pressured_stint <= relaxed_stint + 1e-9
+
+    def test_tiny_duty_keeps_active_quantum(self, controller, optimal):
+        plan = controller.plan(1e8, optimal, 1e10, 1.0, float("inf"))
+        if plan.uses_rti:
+            assert plan.duty * plan.period_s >= controller.min_duty_quantum_s - 1e-9
+
+    def test_validation(self, controller, optimal):
+        with pytest.raises(ControlError):
+            controller.plan(1e9, optimal, 0.0, 1.0, float("inf"))
+        with pytest.raises(ControlError):
+            controller.plan(1e9, optimal, 1e10, 1.0, float("inf"), headroom=0.9)
+
+
+class TestPhases:
+    def test_phase_grid_anchored_globally(self, optimal):
+        plan = RtiPlan(optimal, duty=0.5, period_s=0.02)
+        assert plan.is_active_phase(0.0)
+        assert plan.is_active_phase(0.005)
+        assert not plan.is_active_phase(0.015)
+        assert plan.is_active_phase(0.020)  # next cycle starts active
+
+    def test_float_boundary_is_active(self, optimal):
+        plan = RtiPlan(optimal, duty=0.5, period_s=0.02)
+        # 5.0 % 0.02 suffers float error; boundaries must stay active.
+        assert plan.is_active_phase(5.0)
+        assert plan.is_active_phase(1.0)
+
+    def test_full_duty_always_active(self, optimal):
+        plan = RtiPlan(optimal, duty=1.0, period_s=0.02)
+        assert all(plan.is_active_phase(t * 0.001) for t in range(100))
+
+    def test_duty_fraction_of_time_active(self, optimal):
+        plan = RtiPlan(optimal, duty=0.3, period_s=0.02)
+        ticks = [plan.is_active_phase(t * 0.001) for t in range(2000)]
+        active_fraction = sum(ticks) / len(ticks)
+        assert active_fraction == pytest.approx(0.3, abs=0.05)
+
+    def test_sockets_share_idle_windows(self, optimal):
+        """Equal-period plans idle simultaneously (uncore-halt sync)."""
+        a = RtiPlan(optimal, duty=0.4, period_s=0.02)
+        b = RtiPlan(optimal, duty=0.6, period_s=0.02)
+        # Wherever the higher-duty plan is idle, the lower-duty one is too.
+        for t in range(0, 2000):
+            now = t * 0.001
+            if not b.is_active_phase(now):
+                assert not a.is_active_phase(now)
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ControlError):
+            RtiController(max_cycles_per_interval=0)
+        with pytest.raises(ControlError):
+            RtiController(min_period_s=0.0)
+
+    def test_period_validation(self, controller):
+        with pytest.raises(ControlError):
+            controller.period_for(0.5, 0.0, float("inf"))
+
+
+@given(
+    demand_fraction=st.floats(min_value=0.0, max_value=1.2),
+    ttv=st.floats(min_value=0.0, max_value=100.0) | st.just(float("inf")),
+)
+def test_property_plan_always_valid(demand_fraction, ttv, ):
+    controller = RtiController()
+    optimal = Configuration.build(0, {0}, {0: 1.9}, 1.2)
+    plan = controller.plan(demand_fraction * 1e10, optimal, 1e10, 1.0, ttv)
+    assert 0.0 <= plan.duty <= 1.0
+    assert plan.period_s > 0
+    if plan.uses_rti:
+        # Delivered capacity covers the demand.
+        assert plan.duty * 1e10 >= min(1e10, demand_fraction * 1e10) - 1e-6

@@ -1,0 +1,62 @@
+"""Tests for the system-level ECL latency supervision."""
+
+import pytest
+
+from repro.errors import ControlError
+from repro.dbms.stats import LatencyTracker
+from repro.ecl.system_ecl import SystemEcl
+
+
+@pytest.fixture
+def tracker():
+    return LatencyTracker(window_s=10.0)
+
+
+class TestSupervision:
+    def test_no_data_is_relaxed(self, tracker):
+        ecl = SystemEcl(tracker, latency_limit_s=0.1)
+        ecl.on_tick(0.0)
+        assert ecl.time_to_violation_s() == float("inf")
+        assert ecl.average_latency_s() is None
+        assert not ecl.limit_violated
+
+    def test_growing_latency_produces_finite_estimate(self, tracker):
+        ecl = SystemEcl(tracker, latency_limit_s=0.1)
+        for i in range(10):
+            tracker.record(float(i), 0.01 + 0.008 * i)
+        ecl.on_tick(9.0)
+        ttv = ecl.time_to_violation_s()
+        assert 0.0 < ttv < 20.0
+
+    def test_violation_detected(self, tracker):
+        ecl = SystemEcl(tracker, latency_limit_s=0.1)
+        tracker.record(0.0, 0.5)
+        ecl.on_tick(0.0)
+        assert ecl.limit_violated
+        assert ecl.time_to_violation_s() == 0.0
+        assert ecl.violations == 1
+
+    def test_check_interval_caches(self, tracker):
+        ecl = SystemEcl(tracker, latency_limit_s=0.1, check_interval_s=1.0)
+        ecl.on_tick(0.0)
+        tracker.record(0.1, 0.9)  # violation arrives after the check
+        ecl.on_tick(0.5)  # within the interval: cached value reused
+        assert not ecl.limit_violated
+        ecl.on_tick(1.0)
+        assert ecl.limit_violated
+
+    def test_violation_fraction(self):
+        short = LatencyTracker(window_s=1.0)
+        ecl = SystemEcl(short, latency_limit_s=0.1, check_interval_s=1.0)
+        short.record(0.0, 0.5)
+        ecl.on_tick(0.0)
+        short.record(2.0, 0.01)
+        short.record(2.1, 0.01)
+        ecl.on_tick(2.5)  # the violating sample has left the window
+        assert 0.0 < ecl.violation_fraction() < 1.0
+
+    def test_validation(self, tracker):
+        with pytest.raises(ControlError):
+            SystemEcl(tracker, latency_limit_s=0.0)
+        with pytest.raises(ControlError):
+            SystemEcl(tracker, latency_limit_s=0.1, check_interval_s=0.0)

@@ -1,0 +1,86 @@
+"""Tests for the utilization controller (demand estimation)."""
+
+import pytest
+
+from repro.errors import ControlError
+from repro.ecl.utilization import UtilizationController
+
+
+@pytest.fixture
+def controller():
+    return UtilizationController()
+
+
+class TestExactScaling:
+    """Paper Eq. 3: level_new = utilization × level_old below saturation."""
+
+    def test_partial_utilization(self, controller):
+        assert controller.next_level(0.5, 1e10, float("inf"), 1.0) == pytest.approx(
+            5e9
+        )
+
+    def test_idle_drops_to_zero(self, controller):
+        assert controller.next_level(0.0, 1e10, float("inf"), 1.0) == 0.0
+
+    def test_validation(self, controller):
+        with pytest.raises(ControlError):
+            controller.next_level(1.5, 1e9, float("inf"), 1.0)
+        with pytest.raises(ControlError):
+            controller.next_level(0.5, -1.0, float("inf"), 1.0)
+
+
+class TestDiscovery:
+    def test_full_utilization_grows_exponentially(self, controller):
+        level = controller.next_level(1.0, 1e10, float("inf"), 1.0)
+        assert level == pytest.approx(1e10 * controller.discovery_factor)
+
+    def test_threshold_counts_as_full(self, controller):
+        level = controller.next_level(0.98, 1e10, float("inf"), 1.0)
+        assert level > 1e10
+
+    def test_zero_level_bootstraps_from_minimum(self, controller):
+        level = controller.next_level(1.0, 0.0, float("inf"), 1.0)
+        assert level >= controller.minimum_level
+
+    def test_urgency_raises_aggressiveness(self, controller):
+        relaxed = controller.next_level(1.0, 1e10, float("inf"), 1.0)
+        urgent = controller.next_level(1.0, 1e10, 0.5, 1.0)
+        assert urgent > relaxed
+        assert urgent == pytest.approx(
+            1e10 * controller.urgent_discovery_factor
+        )
+
+    def test_violated_limit_is_fully_urgent(self, controller):
+        assert controller.discovery_multiplier(0.0, 1.0) == pytest.approx(
+            controller.urgent_discovery_factor
+        )
+
+    def test_multiplier_interpolates(self, controller):
+        mid = controller.discovery_multiplier(8.0, 1.0)
+        assert (
+            controller.discovery_factor
+            < mid
+            < controller.urgent_discovery_factor
+        )
+
+    def test_invalid_interval(self, controller):
+        with pytest.raises(ControlError):
+            controller.discovery_multiplier(1.0, 0.0)
+
+
+class TestConstruction:
+    def test_invalid_threshold(self):
+        with pytest.raises(ControlError):
+            UtilizationController(full_threshold=0.2)
+
+    def test_invalid_factors(self):
+        with pytest.raises(ControlError):
+            UtilizationController(discovery_factor=0.9)
+        with pytest.raises(ControlError):
+            UtilizationController(
+                discovery_factor=2.0, urgent_discovery_factor=1.5
+            )
+
+    def test_invalid_minimum(self):
+        with pytest.raises(ControlError):
+            UtilizationController(minimum_level=0.0)

@@ -1,0 +1,99 @@
+"""Tests for C-states and the cross-socket uncore-halt dependency."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.hardware.cstates import CState, CStateModel
+from repro.hardware.presets import haswell_ep_two_socket
+from repro.hardware.topology import Topology
+
+
+@pytest.fixture
+def model():
+    params = haswell_ep_two_socket()
+    topo = Topology.build(
+        params.socket_count, params.cores_per_socket, params.threads_per_core
+    )
+    return CStateModel(topo, params)
+
+
+class TestActiveSet:
+    def test_starts_all_active(self, model):
+        assert len(model.active_threads) == 48
+
+    def test_set_active_threads(self, model):
+        model.set_active_threads({0, 1, 24})
+        assert model.active_threads == frozenset({0, 1, 24})
+
+    def test_unknown_thread_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.set_active_threads({0, 99})
+
+    def test_park_unpark_roundtrip(self, model):
+        model.park_thread(5)
+        assert not model.thread_is_active(5)
+        model.unpark_thread(5)
+        assert model.thread_is_active(5)
+
+    def test_park_unknown_raises(self, model):
+        with pytest.raises(TopologyError):
+            model.park_thread(99)
+
+    def test_active_threads_on_socket(self, model):
+        model.set_active_threads({0, 13, 24})
+        assert model.active_threads_on_socket(0) == (0, 24)
+        assert model.active_threads_on_socket(1) == (13,)
+
+
+class TestCoreStates:
+    def test_active_core_is_c0(self, model):
+        model.set_active_threads({0})
+        assert model.core_state(0, 0) is CState.C0
+
+    def test_sibling_keeps_core_c0(self, model):
+        model.set_active_threads({24})  # HT sibling of core (0,0)
+        assert model.core_state(0, 0) is CState.C0
+
+    def test_parked_core_is_c6(self, model):
+        model.set_active_threads(set())
+        assert model.core_state(0, 0) is CState.C6
+
+    def test_shallow_park_is_c1(self, model):
+        model.set_active_threads(set())
+        model.park_thread(0, shallow=True)
+        assert model.core_state(0, 0) is CState.C1
+
+    def test_unpark_clears_shallow(self, model):
+        model.park_thread(0, shallow=True)
+        model.unpark_thread(0)
+        model.park_thread(0)  # deep this time
+        model.park_thread(24)
+        assert model.core_state(0, 0) is CState.C6
+
+    def test_active_core_count(self, model):
+        model.set_active_threads({0, 24, 1, 13})
+        assert model.active_core_count(0) == 2  # cores (0,0) and (0,1)
+        assert model.active_core_count(1) == 1
+
+
+class TestUncoreHaltDependency:
+    """Fig. 5: a socket's uncore may halt only when ALL sockets idle."""
+
+    def test_all_idle_allows_halt(self, model):
+        model.set_active_threads(set())
+        assert model.machine_is_idle()
+        assert model.uncore_may_halt(0)
+        assert model.uncore_may_halt(1)
+
+    def test_remote_activity_blocks_halt(self, model):
+        model.set_active_threads({13})  # only socket 1 active
+        assert model.socket_is_idle(0)
+        assert not model.uncore_may_halt(0)
+        assert not model.uncore_may_halt(1)
+
+    def test_local_activity_blocks_halt(self, model):
+        model.set_active_threads({0})
+        assert not model.uncore_may_halt(0)
+
+    def test_wake_latency_positive(self, model):
+        assert model.wake_latency_s() > 0

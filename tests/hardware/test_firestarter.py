@@ -1,0 +1,55 @@
+"""Tests for the FIRESTARTER full-load analog."""
+
+import pytest
+
+from repro.hardware.firestarter import (
+    FIRESTARTER_CHARACTERISTICS,
+    apply_full_load,
+    apply_idle,
+)
+from repro.hardware.frequency import EnergyPerformanceBias
+from repro.hardware.machine import Machine
+
+
+class TestFullLoad:
+    def test_activates_everything(self, machine: Machine):
+        apply_idle(machine)
+        apply_full_load(machine)
+        assert (
+            len(machine.cstates.active_threads) == machine.params.total_threads
+        )
+        for sock in machine.topology.sockets:
+            freq, halted = machine.resolve_uncore(sock.socket_id)
+            assert freq == machine.params.uncore_max_ghz
+            assert not halted
+
+    def test_performance_epb(self, machine: Machine):
+        apply_full_load(machine, turbo=True)
+        assert machine.frequency.epb(0) is EnergyPerformanceBias.PERFORMANCE
+        # Performance EPB: turbo is effective immediately.
+        assert machine.frequency.effective_core_frequency(
+            0, 0, machine.time_s
+        ) == pytest.approx(machine.params.core_turbo_ghz)
+
+    def test_balanced_mix_not_bandwidth_limited(self, machine: Machine):
+        """FIRESTARTER balances compute and memory: neither starves."""
+        apply_full_load(machine)
+        result = machine.step(0.5)
+        perf = result.sockets[0].performance
+        assert perf.traffic_gbs > 20.0  # memory controllers genuinely busy
+        assert perf.executed_ips > 0.8 * perf.capacity_ips
+
+    def test_characteristics_shape(self):
+        assert FIRESTARTER_CHARACTERISTICS.bytes_per_instr > 0
+        assert FIRESTARTER_CHARACTERISTICS.atomic_ops_per_instr == 0
+
+
+class TestIdle:
+    def test_parks_everything(self, machine: Machine):
+        apply_full_load(machine)
+        apply_idle(machine)
+        assert not machine.cstates.active_threads
+        result = machine.step(0.5)
+        for socket in result.sockets.values():
+            assert socket.uncore_halted
+            assert socket.executed_instructions == 0.0

@@ -1,0 +1,172 @@
+"""Tests for clock domains: P-states, EPB, EET, auto-UFS."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.frequency import (
+    EnergyPerformanceBias,
+    FrequencyDomains,
+    FrequencyLadder,
+)
+from repro.hardware.topology import Topology
+from repro.hardware.presets import haswell_ep_two_socket
+
+
+@pytest.fixture
+def domains():
+    params = haswell_ep_two_socket()
+    topo = Topology.build(
+        params.socket_count, params.cores_per_socket, params.threads_per_core
+    )
+    return FrequencyDomains(topo, params)
+
+
+class TestLadder:
+    def test_default_core_ladder_bounds(self, domains):
+        assert domains.core_ladder.minimum == pytest.approx(1.2)
+        assert domains.core_ladder.maximum == pytest.approx(3.1)
+
+    def test_default_uncore_ladder_bounds(self, domains):
+        assert domains.uncore_ladder.minimum == pytest.approx(1.2)
+        assert domains.uncore_ladder.maximum == pytest.approx(3.0)
+
+    def test_validate_rejects_off_ladder(self, domains):
+        with pytest.raises(ConfigurationError):
+            domains.core_ladder.validate(2.65)
+
+    def test_snap(self, domains):
+        assert domains.core_ladder.snap(2.64) == pytest.approx(2.6)
+        assert domains.core_ladder.snap(5.0) == pytest.approx(3.1)
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyLadder(())
+
+    def test_duplicate_steps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyLadder((1.2, 1.2, 1.4))
+
+    def test_subset_includes_endpoints(self, domains):
+        subset = domains.uncore_ladder.subset(3)
+        assert subset[0] == pytest.approx(1.2)
+        assert subset[-1] == pytest.approx(3.0)
+        assert len(subset) == 3
+
+    def test_subset_count_one(self, domains):
+        assert domains.uncore_ladder.subset(1) == (3.0,)
+
+    def test_subset_rejects_zero(self, domains):
+        with pytest.raises(ConfigurationError):
+            domains.core_ladder.subset(0)
+
+    def test_pstate_index(self, domains):
+        p = domains.core_ladder.pstate(1.2)
+        assert p.index == 0
+        assert p.ghz == pytest.approx(1.2)
+
+
+class TestCoreClocks:
+    def test_default_is_nominal(self, domains):
+        assert domains.requested_core_frequency(0, 0) == pytest.approx(2.6)
+
+    def test_set_and_read(self, domains):
+        domains.set_core_frequency(0, 3, 1.5, now=0.0)
+        assert domains.requested_core_frequency(0, 3) == pytest.approx(1.5)
+        assert domains.effective_core_frequency(0, 3, 0.0) == pytest.approx(1.5)
+
+    def test_set_all(self, domains):
+        domains.set_all_core_frequencies(1.2, now=0.0)
+        for socket in (0, 1):
+            for core in range(12):
+                assert domains.requested_core_frequency(socket, core) == 1.2
+
+    def test_unknown_core_rejected(self, domains):
+        with pytest.raises(ConfigurationError):
+            domains.set_core_frequency(0, 12, 1.2, now=0.0)
+
+
+class TestEnergyEfficientTurbo:
+    """Fig. 7: turbo engages after ~1 s unless the EPB is performance."""
+
+    def test_balanced_epb_delays_turbo(self, domains):
+        domains.set_core_frequency(0, 0, 3.1, now=5.0)
+        assert domains.effective_core_frequency(0, 0, 5.0) == pytest.approx(2.6)
+        assert domains.effective_core_frequency(0, 0, 5.5) == pytest.approx(2.6)
+        assert domains.effective_core_frequency(0, 0, 6.0) == pytest.approx(3.1)
+
+    def test_performance_epb_enters_turbo_immediately(self, domains):
+        for tid in (0, 24):  # both siblings of core (0, 0)
+            domains.set_epb(tid, EnergyPerformanceBias.PERFORMANCE)
+        domains.set_core_frequency(0, 0, 3.1, now=5.0)
+        assert domains.effective_core_frequency(0, 0, 5.0) == pytest.approx(3.1)
+
+    def test_mixed_epb_still_delays(self, domains):
+        domains.set_epb(0, EnergyPerformanceBias.PERFORMANCE)
+        # sibling 24 stays balanced
+        domains.set_core_frequency(0, 0, 3.1, now=0.0)
+        assert domains.effective_core_frequency(0, 0, 0.1) == pytest.approx(2.6)
+
+    def test_leaving_turbo_resets_delay(self, domains):
+        domains.set_core_frequency(0, 0, 3.1, now=0.0)
+        domains.set_core_frequency(0, 0, 2.0, now=0.5)
+        domains.set_core_frequency(0, 0, 3.1, now=0.6)
+        # new request: the 1 s clock restarts at 0.6
+        assert domains.effective_core_frequency(0, 0, 1.5) == pytest.approx(2.6)
+        assert domains.effective_core_frequency(0, 0, 1.7) == pytest.approx(3.1)
+
+    def test_non_turbo_requests_unaffected(self, domains):
+        domains.set_core_frequency(0, 0, 2.6, now=0.0)
+        assert domains.effective_core_frequency(0, 0, 0.0) == pytest.approx(2.6)
+
+    def test_powersave_delays_like_balanced(self, domains):
+        for tid in (0, 24):
+            domains.set_epb(tid, EnergyPerformanceBias.POWERSAVE)
+        domains.set_core_frequency(0, 0, 3.1, now=0.0)
+        assert domains.effective_core_frequency(0, 0, 0.5) == pytest.approx(2.6)
+
+
+class TestUncore:
+    def test_pinning(self, domains):
+        domains.set_uncore_frequency(0, 1.2)
+        assert not domains.uncore_is_auto(0)
+        assert domains.effective_uncore_frequency(0, True) == pytest.approx(1.2)
+        assert domains.effective_uncore_frequency(0, False) == pytest.approx(1.2)
+
+    def test_auto_ufs_picks_max_under_load(self, domains):
+        """Fig. 8: automatic UFS always chooses the highest uncore clock."""
+        assert domains.uncore_is_auto(0)
+        assert domains.effective_uncore_frequency(0, True) == pytest.approx(3.0)
+
+    def test_auto_ufs_drops_to_min_when_idle(self, domains):
+        assert domains.effective_uncore_frequency(0, False) == pytest.approx(1.2)
+
+    def test_back_to_auto(self, domains):
+        domains.set_uncore_frequency(1, 2.0)
+        domains.set_uncore_auto(1)
+        assert domains.uncore_is_auto(1)
+
+    def test_unknown_socket_rejected(self, domains):
+        with pytest.raises(ConfigurationError):
+            domains.set_uncore_frequency(5, 1.2)
+
+    def test_invalid_pstate_rejected(self, domains):
+        with pytest.raises(ConfigurationError):
+            domains.set_uncore_frequency(0, 3.2)
+
+
+class TestEpb:
+    def test_default_balanced(self, domains):
+        assert domains.epb(0) is EnergyPerformanceBias.BALANCED
+
+    def test_set_all(self, domains):
+        domains.set_epb_all(EnergyPerformanceBias.PERFORMANCE)
+        assert domains.epb(47) is EnergyPerformanceBias.PERFORMANCE
+
+    def test_unknown_thread_rejected(self, domains):
+        with pytest.raises(ConfigurationError):
+            domains.set_epb(48, EnergyPerformanceBias.POWERSAVE)
+
+    def test_delays_turbo_flag(self):
+        assert EnergyPerformanceBias.BALANCED.delays_turbo
+        assert EnergyPerformanceBias.POWERSAVE.delays_turbo
+        assert not EnergyPerformanceBias.PERFORMANCE.delays_turbo

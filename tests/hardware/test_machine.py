@@ -1,0 +1,155 @@
+"""Tests for the Machine facade and counters wiring."""
+
+import pytest
+
+from repro.errors import ConfigurationError, HardwareError
+from repro.hardware.counters import InstructionCounter
+from repro.hardware.firestarter import apply_full_load, apply_idle
+from repro.hardware.machine import IDLE_CHARACTERISTICS, Machine
+from repro.hardware.perfmodel import SocketLoad
+from repro.hardware.rapl import RaplDomain
+from repro.workloads.micro import COMPUTE_BOUND, MEMORY_BOUND
+
+
+class TestStepping:
+    def test_time_advances(self, machine: Machine):
+        machine.step(0.25)
+        machine.step(0.25)
+        assert machine.time_s == pytest.approx(0.5)
+
+    def test_zero_step_rejected(self, machine: Machine):
+        with pytest.raises(ConfigurationError):
+            machine.step(0.0)
+
+    def test_idle_machine_executes_nothing(self, machine: Machine):
+        apply_idle(machine)
+        result = machine.step(1.0)
+        for socket in result.sockets.values():
+            assert socket.executed_instructions == 0.0
+            assert socket.uncore_halted
+
+    def test_loaded_machine_executes(self, machine: Machine):
+        apply_full_load(machine)
+        result = machine.step(1.0)
+        for socket in result.sockets.values():
+            assert socket.executed_instructions > 1e9
+
+    def test_energy_accumulates(self, machine: Machine):
+        apply_full_load(machine)
+        machine.step(1.0)
+        e1 = machine.true_total_energy_j()
+        machine.step(1.0)
+        e2 = machine.true_total_energy_j()
+        assert e2 > e1 > 0
+
+    def test_rapl_counters_follow_truth(self, machine: Machine):
+        apply_full_load(machine)
+        machine.step(2.0)
+        reading = machine.read_rapl(0, RaplDomain.PACKAGE)
+        truth = machine.rapl_counter(0, RaplDomain.PACKAGE).true_energy_j
+        assert reading.energy_j == pytest.approx(truth, rel=0.02)
+
+    def test_instruction_counter_matches_executed(self, machine: Machine):
+        apply_full_load(machine)
+        result = machine.step(1.0)
+        counted = machine.read_instructions(0).instructions
+        assert counted == pytest.approx(
+            result.sockets[0].executed_instructions, rel=1e-9
+        )
+
+    def test_psu_power_above_rapl(self, machine: Machine):
+        apply_full_load(machine)
+        result = machine.step(0.5)
+        assert result.psu_power_w > result.rapl_power_w
+
+
+class TestLoadManagement:
+    def test_set_and_get_load(self, machine: Machine):
+        load = SocketLoad(COMPUTE_BOUND, demand_instructions_per_s=1e9)
+        machine.set_socket_load(0, load)
+        assert machine.socket_load(0) is load
+
+    def test_set_idle(self, machine: Machine):
+        machine.set_socket_load(0, SocketLoad(MEMORY_BOUND, None))
+        machine.set_idle(0)
+        assert machine.socket_load(0).characteristics is IDLE_CHARACTERISTICS
+
+    def test_unknown_socket_rejected(self, machine: Machine):
+        with pytest.raises(ConfigurationError):
+            machine.set_socket_load(9, SocketLoad(COMPUTE_BOUND, None))
+
+
+class TestThreadApplication:
+    def test_apply_threads_per_socket(self, machine: Machine):
+        machine.apply_socket_threads(0, {0, 1})
+        machine.apply_socket_threads(1, {13})
+        assert machine.cstates.active_threads == frozenset({0, 1, 13})
+
+    def test_foreign_threads_rejected(self, machine: Machine):
+        with pytest.raises(ConfigurationError):
+            machine.apply_socket_threads(0, {13})
+
+    def test_other_socket_untouched(self, machine: Machine):
+        machine.apply_socket_threads(1, {13, 14})
+        machine.apply_socket_threads(0, {0})
+        assert 13 in machine.cstates.active_threads
+        assert 14 in machine.cstates.active_threads
+
+
+class TestStateSnapshot:
+    def test_snapshot_contents(self, machine: Machine):
+        machine.apply_socket_threads(0, {0})
+        machine.frequency.set_core_frequency(0, 0, 1.5, machine.time_s)
+        machine.frequency.set_uncore_frequency(0, 2.0)
+        state = machine.state()
+        assert state.core_frequencies_ghz[(0, 0)] == pytest.approx(1.5)
+        assert state.uncore_frequencies_ghz[0] == pytest.approx(2.0)
+        assert 0 in state.active_threads
+        assert not state.uncore_halted[0]
+
+    def test_idle_snapshot_halts_uncore(self, machine: Machine):
+        apply_idle(machine)
+        state = machine.state()
+        assert state.uncore_halted[0] and state.uncore_halted[1]
+
+
+class TestInstructionCounter:
+    def test_window_rate(self):
+        counter = InstructionCounter()
+        counter.accumulate(1e9, 1.0)
+        start = counter.read()
+        counter.accumulate(2e9, 2.0)
+        end = counter.read()
+        assert InstructionCounter.window_rate(start, end) == pytest.approx(2e9)
+
+    def test_negative_rejected(self):
+        counter = InstructionCounter()
+        with pytest.raises(HardwareError):
+            counter.accumulate(-1.0, 0.0)
+
+    def test_unordered_window_rejected(self):
+        counter = InstructionCounter()
+        counter.accumulate(1.0, 1.0)
+        reading = counter.read()
+        with pytest.raises(HardwareError):
+            InstructionCounter.window_rate(reading, reading)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self):
+        readings = []
+        for _ in range(2):
+            machine = Machine(seed=123)
+            apply_full_load(machine)
+            machine.step(0.5)
+            readings.append(machine.read_rapl(0, RaplDomain.PACKAGE).energy_j)
+        assert readings[0] == readings[1]
+
+    def test_different_seed_different_noise(self):
+        values = []
+        for seed in (1, 2):
+            machine = Machine(seed=seed)
+            apply_full_load(machine)
+            machine.step(0.013)
+            values.append(machine.read_rapl(0, RaplDomain.PACKAGE).energy_j)
+        assert values[0] != values[1]

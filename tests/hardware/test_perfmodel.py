@@ -1,0 +1,248 @@
+"""Tests for the performance model: throughput, bandwidth, contention."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hardware.machine import Machine
+from repro.hardware.perfmodel import (
+    ActiveCore,
+    PerformanceModel,
+    SocketLoad,
+    WorkloadCharacteristics,
+    blend_characteristics,
+)
+from repro.hardware.presets import haswell_ep_two_socket
+from repro.hardware.topology import Topology
+from repro.workloads.micro import (
+    ATOMIC_CONTENTION,
+    COMPUTE_BOUND,
+    HASHTABLE_INSERT,
+    MEMORY_BOUND,
+)
+
+
+@pytest.fixture
+def model():
+    params = haswell_ep_two_socket()
+    topo = Topology.build(2, 12, 2)
+    return PerformanceModel(topo, params)
+
+
+def cores(n, freq, siblings=1):
+    return [
+        ActiveCore(socket_id=0, core_id=i, frequency_ghz=freq, sibling_count=siblings)
+        for i in range(n)
+    ]
+
+
+class TestCharacteristicsValidation:
+    def test_rejects_bad_cpi(self):
+        with pytest.raises(ValueError):
+            WorkloadCharacteristics(name="x", base_cpi=0.0)
+
+    def test_rejects_bad_ht(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadCharacteristics(name="x", base_cpi=1.0, ht_speedup=2.5)
+
+    def test_blend_weights(self):
+        a = WorkloadCharacteristics(name="a", base_cpi=1.0)
+        b = WorkloadCharacteristics(name="b", base_cpi=2.0)
+        mixed = a.blended_with(b, 0.5)
+        assert mixed.base_cpi == pytest.approx(1.5)
+
+    def test_blend_identity_edges(self):
+        a = WorkloadCharacteristics(name="a", base_cpi=1.0)
+        b = WorkloadCharacteristics(name="b", base_cpi=2.0)
+        assert a.blended_with(b, 0.0) is a
+        assert a.blended_with(b, 1.0) is b
+
+    def test_blend_many(self):
+        a = WorkloadCharacteristics(name="a", base_cpi=1.0)
+        b = WorkloadCharacteristics(name="b", base_cpi=3.0)
+        mixed = blend_characteristics([(a, 1.0), (b, 1.0)])
+        assert mixed.base_cpi == pytest.approx(2.0)
+
+    def test_blend_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            blend_characteristics([])
+
+    def test_scaled_intensity(self):
+        mem = MEMORY_BOUND.scaled_intensity(0.5)
+        assert mem.bytes_per_instr == pytest.approx(
+            MEMORY_BOUND.bytes_per_instr * 0.5
+        )
+
+
+class TestBandwidth:
+    def test_bandwidth_scales_with_uncore(self, model):
+        """Fig. 6: memory bandwidth is governed by the uncore clock."""
+        low = model.bandwidth_gbs(1.2)
+        high = model.bandwidth_gbs(3.0)
+        assert high == pytest.approx(56.0)
+        assert low == pytest.approx(56.0 * 0.42)
+        assert low < model.bandwidth_gbs(2.1) < high
+
+    def test_min_core_freq_reaches_full_bandwidth(self, model):
+        """Fig. 6: all cores at 1.2 GHz saturate bandwidth at max uncore."""
+        perf = model.socket_capacity(cores(12, 1.2, 1), 3.0, MEMORY_BOUND)
+        assert perf.bandwidth_limited
+        assert perf.traffic_gbs == pytest.approx(
+            model.bandwidth_gbs(3.0), rel=0.02
+        )
+
+    def test_ht_oversubscription_loses_bandwidth(self, model):
+        """More streams than cores thrash the memory controllers."""
+        single = model.socket_capacity(cores(12, 1.2, 1), 3.0, MEMORY_BOUND)
+        doubled = model.socket_capacity(cores(12, 1.2, 2), 3.0, MEMORY_BOUND)
+        assert doubled.traffic_gbs < single.traffic_gbs
+
+    def test_memory_latency_stretches_at_low_uncore(self, model):
+        assert model.memory_latency_ns(1.2) > model.memory_latency_ns(3.0)
+
+
+class TestComputeThroughput:
+    def test_scales_linearly_with_frequency(self, model):
+        slow = model.socket_capacity(cores(4, 1.2), 3.0, COMPUTE_BOUND)
+        fast = model.socket_capacity(cores(4, 2.4), 3.0, COMPUTE_BOUND)
+        assert fast.capacity_ips == pytest.approx(
+            2.0 * slow.capacity_ips, rel=0.01
+        )
+
+    def test_scales_with_core_count(self, model):
+        one = model.socket_capacity(cores(1, 2.6), 3.0, COMPUTE_BOUND)
+        six = model.socket_capacity(cores(6, 2.6), 3.0, COMPUTE_BOUND)
+        assert six.capacity_ips == pytest.approx(6.0 * one.capacity_ips, rel=0.01)
+
+    def test_ht_speedup_applied(self, model):
+        single = model.socket_capacity(cores(1, 2.6, 1), 3.0, COMPUTE_BOUND)
+        smt = model.socket_capacity(cores(1, 2.6, 2), 3.0, COMPUTE_BOUND)
+        assert smt.capacity_ips == pytest.approx(
+            single.capacity_ips * COMPUTE_BOUND.ht_speedup, rel=0.01
+        )
+
+    def test_no_cores_no_throughput(self, model):
+        perf = model.resolve([], 3.0, SocketLoad(COMPUTE_BOUND))
+        assert perf.capacity_ips == 0.0
+        assert perf.executed_ips == 0.0
+
+    def test_demand_caps_execution(self, model):
+        load = SocketLoad(COMPUTE_BOUND, demand_instructions_per_s=1e9)
+        perf = model.resolve(cores(12, 2.6, 2), 3.0, load)
+        assert perf.executed_ips == pytest.approx(1e9)
+        assert perf.utilization < 0.1
+
+    def test_latency_bound_ipc_saturates_in_core_clock(self, model):
+        """Doubling the clock on a latency-bound workload gains < 2×."""
+        chars = WorkloadCharacteristics(
+            name="pointer-chase", base_cpi=0.8, miss_rate=0.004
+        )
+        slow = model.socket_capacity(cores(4, 1.2), 3.0, chars)
+        fast = model.socket_capacity(cores(4, 2.4), 3.0, chars)
+        assert fast.capacity_ips < 1.8 * slow.capacity_ips
+
+
+class TestBandwidthContention:
+    def test_oversubscription_degrades_throughput(self, model):
+        """§6.1: piling on threads past the bandwidth cap loses capacity."""
+        lean = model.socket_capacity(cores(9, 1.9, 2), 3.0, MEMORY_BOUND)
+        all_on = model.socket_capacity(cores(12, 3.1, 2), 3.0, MEMORY_BOUND)
+        assert all_on.bandwidth_limited
+        assert all_on.capacity_ips < lean.capacity_ips
+
+    def test_degradation_has_floor(self, model):
+        params = haswell_ep_two_socket()
+        perf = model.socket_capacity(cores(12, 3.1, 2), 1.2, MEMORY_BOUND)
+        floor_ips = (
+            model.bandwidth_gbs(1.2)
+            * 1e9
+            * params.bandwidth_contention_floor
+            / MEMORY_BOUND.bytes_per_instr
+        )
+        assert perf.capacity_ips >= floor_ips - 1.0
+
+
+class TestAtomicContention:
+    def test_single_core_handoff_is_uncore_independent(self, model):
+        low = model.atomic_handoff_ns(1, 1.2, ATOMIC_CONTENTION, core_ghz=3.1)
+        high = model.atomic_handoff_ns(1, 3.0, ATOMIC_CONTENTION, core_ghz=3.1)
+        assert low == pytest.approx(high)
+
+    def test_single_core_handoff_shrinks_with_core_clock(self, model):
+        """Fig. 10(b): turbo speeds up the core-local hand-off."""
+        slow = model.atomic_handoff_ns(1, 1.2, ATOMIC_CONTENTION, core_ghz=1.2)
+        fast = model.atomic_handoff_ns(1, 1.2, ATOMIC_CONTENTION, core_ghz=3.1)
+        assert fast < slow
+
+    def test_cross_core_handoff_grows_with_contenders(self, model):
+        two = model.atomic_handoff_ns(2, 3.0, ATOMIC_CONTENTION)
+        twelve = model.atomic_handoff_ns(12, 3.0, ATOMIC_CONTENTION)
+        assert twelve > two
+
+    def test_cross_core_handoff_slows_at_low_uncore(self, model):
+        fast = model.atomic_handoff_ns(4, 3.0, ATOMIC_CONTENTION)
+        slow = model.atomic_handoff_ns(4, 1.2, ATOMIC_CONTENTION)
+        assert slow > fast
+
+    def test_two_siblings_beat_all_cores(self, model):
+        """Fig. 10(b): 2 HT of one core at turbo beat the full socket ~3×."""
+        pair = model.socket_capacity(cores(1, 3.1, 2), 1.2, ATOMIC_CONTENTION)
+        everyone = model.socket_capacity(cores(12, 2.6, 2), 3.0, ATOMIC_CONTENTION)
+        advantage = pair.capacity_ips / everyone.capacity_ips
+        assert 2.0 < advantage < 6.0
+        assert pair.contention_limited
+
+    def test_uncontended_workload_has_no_cap(self, model):
+        cap = model.contention_cap_ips(12, 3.0, COMPUTE_BOUND)
+        assert cap == float("inf")
+
+    def test_hashtable_contention_milder(self, model):
+        """Fig. 10(c): the shared hash table shows the effect at small scale."""
+        pair = model.socket_capacity(cores(1, 3.1, 2), 1.2, HASHTABLE_INSERT)
+        everyone = model.socket_capacity(
+            cores(12, 2.6, 2), 3.0, HASHTABLE_INSERT
+        )
+        advantage = pair.capacity_ips / everyone.capacity_ips
+        assert 1.0 < advantage < 1.6
+
+
+class TestActivity:
+    def test_activity_in_unit_interval(self, model):
+        core = cores(1, 2.6)[0]
+        for scale in (0.0, 0.3, 1.0):
+            a = model.core_activity(core, 3.0, MEMORY_BOUND, scale)
+            assert 0.0 <= a <= 1.0
+
+    def test_stalls_reduce_activity(self, model):
+        core = cores(1, 2.6)[0]
+        compute = model.core_activity(core, 3.0, COMPUTE_BOUND, 1.0)
+        latency_bound = model.core_activity(
+            core,
+            3.0,
+            WorkloadCharacteristics(name="lb", base_cpi=0.8, miss_rate=0.004),
+            1.0,
+        )
+        assert latency_bound < compute
+
+
+@given(
+    n_cores=st.integers(min_value=1, max_value=12),
+    freq=st.sampled_from([1.2, 1.9, 2.6, 3.1]),
+    uncore=st.sampled_from([1.2, 2.1, 3.0]),
+    siblings=st.sampled_from([1, 2]),
+)
+def test_property_capacity_positive_and_demand_never_exceeded(
+    n_cores, freq, uncore, siblings
+):
+    machine = Machine()
+    model = machine.perf_model
+    for chars in (COMPUTE_BOUND, MEMORY_BOUND, ATOMIC_CONTENTION, HASHTABLE_INSERT):
+        perf = model.resolve(
+            cores(n_cores, freq, siblings),
+            uncore,
+            SocketLoad(chars, demand_instructions_per_s=5e9),
+        )
+        assert perf.capacity_ips > 0
+        assert 0.0 <= perf.executed_ips <= perf.capacity_ips + 1e-6
+        assert perf.executed_ips <= 5e9 + 1e-6
+        assert perf.traffic_gbs >= 0

@@ -1,0 +1,176 @@
+"""Tests for the power model's calibration targets (DESIGN.md §5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hardware.power import CorePowerState, PowerModel
+from repro.hardware.presets import haswell_ep_two_socket
+from repro.hardware.topology import Topology
+
+
+@pytest.fixture
+def model():
+    params = haswell_ep_two_socket()
+    topo = Topology.build(
+        params.socket_count, params.cores_per_socket, params.threads_per_core
+    )
+    return PowerModel(topo, params)
+
+
+@pytest.fixture
+def params():
+    return haswell_ep_two_socket()
+
+
+class TestVoltageCurve:
+    def test_monotone_in_frequency(self, model, params):
+        freqs = params.core_pstates_ghz
+        volts = [model.core_voltage(f) for f in freqs]
+        assert volts == sorted(volts)
+
+    def test_anchor_points(self, model, params):
+        assert model.core_voltage(1.2) == pytest.approx(params.core_volt_min)
+        assert model.core_voltage(2.6) == pytest.approx(params.core_volt_nominal)
+        assert model.core_voltage(3.1) == pytest.approx(params.core_volt_turbo)
+
+    def test_clamps_below_minimum(self, model, params):
+        assert model.core_voltage(0.8) == pytest.approx(params.core_volt_min)
+
+
+class TestCorePower:
+    def test_busy_core_at_nominal(self, model):
+        state = CorePowerState(frequency_ghz=2.6, active_sibling_count=1)
+        watts = model.core_power(state)
+        assert 5.0 < watts < 9.0  # ~6.5 W dynamic + ~1 W leakage
+
+    def test_power_grows_superlinearly_with_frequency(self, model):
+        """P ∝ f·V² — doubling the clock more than doubles the power."""
+        low = model.core_power(CorePowerState(1.2, 1))
+        high = model.core_power(CorePowerState(2.6, 1))
+        assert high > low * (2.6 / 1.2)
+
+    def test_ht_sibling_nearly_free(self, model):
+        """Fig. 4: activating a HyperThread sibling costs almost nothing."""
+        one = model.core_power(CorePowerState(2.6, 1))
+        two = model.core_power(CorePowerState(2.6, 2))
+        assert two > one
+        assert (two - one) / one < 0.12
+
+    def test_c6_core_draws_nothing(self, model):
+        state = CorePowerState(frequency_ghz=2.6, active_sibling_count=0)
+        assert model.core_power(state) == 0.0
+
+    def test_c1_core_draws_residual(self, model):
+        state = CorePowerState(2.6, 0, shallow=True)
+        residual = model.core_power(state)
+        busy = model.core_power(CorePowerState(2.6, 1))
+        assert 0 < residual < busy
+
+    def test_polling_floor(self, model):
+        """An active-but-stalled core still draws a large share (polling)."""
+        stalled = model.core_power(CorePowerState(2.6, 1, activity=0.0))
+        busy = model.core_power(CorePowerState(2.6, 1, activity=1.0))
+        assert stalled > 0.4 * busy
+
+    def test_invalid_frequency_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.core_power(CorePowerState(0.0, 1))
+
+
+class TestUncorePower:
+    def test_halt_saves_up_to_30w(self, model, params):
+        """Fig. 4/5: halting the uncore gates the LLC, saving ≤ ~30 W."""
+        active_max = model.uncore_power(params.uncore_max_ghz, halted=False)
+        halted = model.uncore_power(params.uncore_max_ghz, halted=True)
+        saving = active_max - halted
+        assert 20.0 < saving < 32.0
+
+    def test_uncore_span_is_about_12w(self, model, params):
+        """Fig. 8: 3.0 GHz draws ~12 W more than 1.2 GHz."""
+        low = model.uncore_power(params.uncore_min_ghz, halted=False)
+        high = model.uncore_power(params.uncore_max_ghz, halted=False)
+        assert high - low == pytest.approx(12.0, abs=1.0)
+
+    def test_traffic_adds_power(self, model, params):
+        quiet = model.uncore_power(3.0, False, traffic_gbs=0.0)
+        busy = model.uncore_power(3.0, False, traffic_gbs=40.0)
+        assert busy > quiet
+
+    def test_out_of_range_frequency_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.uncore_power(3.5, halted=False)
+
+    def test_negative_traffic_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.uncore_power(3.0, False, traffic_gbs=-1.0)
+
+
+class TestSocketAggregation:
+    def _full_load_states(self, params):
+        return [
+            CorePowerState(params.core_nominal_ghz, 2, activity=1.0)
+            for _ in range(params.cores_per_socket)
+        ]
+
+    def test_full_load_package_near_tdp(self, model, params):
+        power = model.socket_power(
+            0, self._full_load_states(params), 3.0, False, traffic_gbs=40.0
+        )
+        assert 110.0 < power.package_w < 150.0  # 135 W TDP part
+
+    def test_socket_asymmetry(self, model, params):
+        """Fig. 5: socket 1 statically draws slightly less than socket 0."""
+        states = self._full_load_states(params)
+        s0 = model.socket_power(0, states, 3.0, False, 40.0)
+        s1 = model.socket_power(1, states, 3.0, False, 40.0)
+        assert s0.package_w > s1.package_w
+        assert s0.package_w - s1.package_w == pytest.approx(
+            params.socket_static_asymmetry_w
+        )
+
+    def test_dram_split(self, model, params):
+        power = model.socket_power(0, [], 1.2, True, traffic_gbs=0.0)
+        assert power.dram_w == pytest.approx(params.dram_static_w)
+
+    def test_psu_adds_overhead(self, model, params):
+        states = self._full_load_states(params)
+        breakdowns = {
+            sid: model.socket_power(sid, states, 3.0, False, 40.0)
+            for sid in (0, 1)
+        }
+        rapl = sum(b.socket_total_w for b in breakdowns.values())
+        psu = model.psu_power(breakdowns)
+        assert psu > rapl * 1.1  # ≥ 10 % overhead plus static draw
+
+    def test_idle_vs_peak_ratio(self, model, params):
+        """Fig. 3: static power ≈ 18 % of peak at the PSU."""
+        idle = {
+            sid: model.socket_power(sid, [], params.uncore_min_ghz, True, 0.0)
+            for sid in (0, 1)
+        }
+        peak = {
+            sid: model.socket_power(
+                sid, self._full_load_states(params), 3.0, False, 44.0
+            )
+            for sid in (0, 1)
+        }
+        ratio = model.psu_power(idle) / model.psu_power(peak)
+        assert 0.13 < ratio < 0.23
+
+
+@given(
+    freq=st.sampled_from([1.2, 1.5, 1.9, 2.2, 2.6, 3.1]),
+    activity=st.floats(min_value=0.0, max_value=1.0),
+    siblings=st.sampled_from([1, 2]),
+)
+def test_property_core_power_positive_and_activity_monotone(freq, activity, siblings):
+    params = haswell_ep_two_socket()
+    topo = Topology.build(2, 12, 2)
+    model = PowerModel(topo, params)
+    power = model.core_power(CorePowerState(freq, siblings, activity=activity))
+    assert power > 0
+    more = model.core_power(
+        CorePowerState(freq, siblings, activity=min(1.0, activity + 0.1))
+    )
+    assert more >= power - 1e-9

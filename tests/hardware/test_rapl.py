@@ -1,0 +1,99 @@
+"""Tests for the RAPL counter model: lag, quantization, window noise."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareError
+from repro.hardware.presets import haswell_ep_two_socket
+from repro.hardware.rapl import RaplCounter, RaplDomain
+
+
+@pytest.fixture
+def counter():
+    return RaplCounter(
+        haswell_ep_two_socket(), RaplDomain.PACKAGE, np.random.default_rng(3)
+    )
+
+
+class TestAccumulation:
+    def test_true_energy_tracks_exactly(self, counter):
+        counter.accumulate(100.0, 0.5, 0.5)
+        counter.accumulate(50.0, 0.5, 1.0)
+        assert counter.true_energy_j == pytest.approx(75.0)
+
+    def test_negative_interval_rejected(self, counter):
+        with pytest.raises(HardwareError):
+            counter.accumulate(10.0, -0.1, 0.0)
+
+    def test_negative_power_rejected(self, counter):
+        with pytest.raises(HardwareError):
+            counter.accumulate(-1.0, 0.1, 0.1)
+
+
+class TestReads:
+    def test_read_is_quantized(self, counter):
+        params = haswell_ep_two_socket()
+        counter.accumulate(100.0, 1.0, 1.0)
+        reading = counter.read()
+        remainder = reading.energy_j % params.rapl_energy_unit_j
+        assert remainder == pytest.approx(0.0, abs=1e-9) or remainder == pytest.approx(
+            params.rapl_energy_unit_j, abs=1e-9
+        )
+
+    def test_read_close_to_truth_for_large_windows(self, counter):
+        counter.accumulate(100.0, 10.0, 10.0)
+        reading = counter.read()
+        assert reading.energy_j == pytest.approx(1000.0, rel=0.01)
+
+    def test_long_window_power_accurate(self, counter):
+        counter.accumulate(100.0, 0.01, 0.01)
+        start = counter.read()
+        counter.accumulate(100.0, 1.0, 1.01)
+        end = counter.read()
+        power = counter.window_power_w(start, end)
+        assert power == pytest.approx(100.0, rel=0.02)
+
+    def test_short_windows_noisier_than_long(self):
+        """The property the meta calibration exploits (Fig. 12)."""
+        params = haswell_ep_two_socket()
+
+        def window_errors(window_s: float, n: int = 60) -> float:
+            rng = np.random.default_rng(5)
+            counter = RaplCounter(params, RaplDomain.PACKAGE, rng)
+            t = 0.0
+            errors = []
+            for _ in range(n):
+                start = counter.read()
+                t += window_s
+                counter.accumulate(100.0, window_s, t)
+                end = counter.read()
+                measured = counter.window_energy_j(start, end)
+                errors.append(abs(measured - 100.0 * window_s) / (100.0 * window_s))
+            return float(np.mean(errors))
+
+        assert window_errors(0.002) > 3.0 * window_errors(0.1)
+
+    def test_switch_noise_decays(self):
+        params = haswell_ep_two_socket()
+        rng = np.random.default_rng(11)
+        counter = RaplCounter(params, RaplDomain.PACKAGE, rng)
+        counter.accumulate(100.0, 0.5, 0.5)
+        counter.note_configuration_switch(0.5)
+        # Right after the switch, repeated reads scatter more than later.
+        early = [counter.read().energy_j for _ in range(50)]
+        counter.accumulate(100.0, 0.5, 1.0)  # 0.5 s later
+        late = [counter.read().energy_j for _ in range(50)]
+        assert np.std(early) > np.std(late)
+
+    def test_unordered_window_rejected(self, counter):
+        counter.accumulate(100.0, 1.0, 1.0)
+        reading = counter.read()
+        with pytest.raises(HardwareError):
+            counter.window_power_w(reading, reading)
+
+    def test_window_energy_never_negative(self, counter):
+        counter.accumulate(100.0, 0.001, 0.001)
+        a = counter.read()
+        counter.accumulate(100.0, 0.001, 0.002)
+        b = counter.read()
+        assert counter.window_energy_j(a, b) >= 0.0

@@ -1,0 +1,115 @@
+"""Tests for the socket/core/thread topology."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TopologyError
+from repro.hardware.topology import Topology
+
+
+class TestBuild:
+    def test_default_dimensions(self):
+        topo = Topology.build(2, 12, 2)
+        assert topo.socket_count == 2
+        assert topo.cores_per_socket == 12
+        assert topo.threads_per_core == 2
+        assert topo.total_threads == 48
+
+    def test_thread_ids_are_dense(self):
+        topo = Topology.build(2, 12, 2)
+        ids = sorted(t.global_id for t in topo.iter_threads())
+        assert ids == list(range(48))
+
+    def test_linux_style_numbering(self):
+        """First siblings occupy 0..23; HT siblings 24..47."""
+        topo = Topology.build(2, 12, 2)
+        first = topo.thread(0)
+        assert (first.socket_id, first.core_id, first.sibling_index) == (0, 0, 0)
+        ht = topo.thread(24)
+        assert (ht.socket_id, ht.core_id, ht.sibling_index) == (0, 0, 1)
+        second_socket = topo.thread(12)
+        assert (second_socket.socket_id, second_socket.core_id) == (1, 0)
+
+    def test_single_threaded_cores(self):
+        topo = Topology.build(1, 4, 1)
+        assert topo.total_threads == 4
+        assert topo.sibling_of(0) is None
+
+    @pytest.mark.parametrize("sockets,cores", [(0, 4), (2, 0), (-1, 2)])
+    def test_rejects_non_positive_sizes(self, sockets, cores):
+        with pytest.raises(TopologyError):
+            Topology.build(sockets, cores)
+
+    def test_rejects_wide_smt(self):
+        with pytest.raises(TopologyError):
+            Topology.build(1, 2, threads_per_core=4)
+
+
+class TestLookups:
+    @pytest.fixture
+    def topo(self):
+        return Topology.build(2, 12, 2)
+
+    def test_unknown_thread_raises(self, topo):
+        with pytest.raises(TopologyError):
+            topo.thread(48)
+
+    def test_unknown_socket_raises(self, topo):
+        with pytest.raises(TopologyError):
+            topo.socket(2)
+
+    def test_sibling_is_symmetric(self, topo):
+        for tid in range(topo.total_threads):
+            sibling = topo.sibling_of(tid)
+            assert sibling is not None
+            assert topo.sibling_of(sibling) == tid
+            assert sibling != tid
+
+    def test_siblings_share_core(self, topo):
+        for tid in range(topo.total_threads):
+            sibling = topo.sibling_of(tid)
+            assert topo.core_of(tid) is topo.core_of(sibling)
+
+    def test_socket_thread_partition(self, topo):
+        """Every thread belongs to exactly one socket."""
+        all_ids = set()
+        for sock in topo.sockets:
+            ids = set(sock.thread_ids())
+            assert not ids & all_ids
+            all_ids |= ids
+        assert all_ids == {t.global_id for t in topo.iter_threads()}
+
+    def test_first_sibling_ids(self, topo):
+        firsts = topo.socket(0).first_sibling_ids()
+        assert firsts == tuple(range(12))
+
+    def test_group_by_core(self, topo):
+        groups = topo.group_by_core([0, 24, 1, 13])
+        assert groups[(0, 0)] == [0, 24]
+        assert groups[(0, 1)] == [1]
+        assert groups[(1, 1)] == [13]
+
+    def test_socket_of(self, topo):
+        assert topo.socket_of(0) == 0
+        assert topo.socket_of(13) == 1
+        assert topo.socket_of(36) == 1
+
+
+@given(
+    sockets=st.integers(min_value=1, max_value=4),
+    cores=st.integers(min_value=1, max_value=16),
+    smt=st.sampled_from([1, 2]),
+)
+def test_property_total_threads_and_unique_ids(sockets, cores, smt):
+    """Thread ids are always dense 0..N-1 and coordinates round-trip."""
+    topo = Topology.build(sockets, cores, smt)
+    assert topo.total_threads == sockets * cores * smt
+    seen = set()
+    for thread in topo.iter_threads():
+        assert thread.global_id not in seen
+        seen.add(thread.global_id)
+        core = topo.core_of(thread.global_id)
+        assert core.socket_id == thread.socket_id
+        assert core.core_id == thread.core_id
+        assert thread.global_id in core.thread_ids()
+    assert seen == set(range(topo.total_threads))

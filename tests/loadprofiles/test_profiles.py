@@ -1,0 +1,126 @@
+"""Tests for load profiles."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.loadprofiles import (
+    constant_profile,
+    sine_profile,
+    spike_profile,
+    step_profile,
+    twitter_profile,
+)
+from repro.loadprofiles.base import SegmentProfile
+
+
+class TestSegmentProfile:
+    def test_interpolation(self):
+        profile = SegmentProfile("p", [(0.0, 0.0), (10.0, 1.0)])
+        assert profile.fraction(5.0) == pytest.approx(0.5)
+        assert profile.fraction(0.0) == pytest.approx(0.0)
+        assert profile.fraction(10.0) == pytest.approx(1.0)
+
+    def test_outside_duration_is_zero(self):
+        profile = SegmentProfile("p", [(0.0, 0.5), (10.0, 0.5)])
+        assert profile.fraction(-1.0) == 0.0
+        assert profile.fraction(11.0) == 0.0
+
+    def test_unordered_points_rejected(self):
+        with pytest.raises(SimulationError):
+            SegmentProfile("p", [(5.0, 0.1), (1.0, 0.2)])
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(SimulationError):
+            SegmentProfile("p", [(0.0, -0.1), (1.0, 0.2)])
+
+    def test_single_point_rejected(self):
+        with pytest.raises(SimulationError):
+            SegmentProfile("p", [(0.0, 0.1)])
+
+    def test_average_and_peak(self):
+        profile = SegmentProfile("p", [(0.0, 0.0), (10.0, 1.0)])
+        assert profile.average_fraction() == pytest.approx(0.5, abs=0.02)
+        assert profile.peak_fraction() == pytest.approx(1.0, abs=0.05)
+
+
+class TestSpike:
+    def test_covers_full_range(self):
+        profile = spike_profile()
+        assert profile.duration_s == pytest.approx(180.0)
+        assert profile.peak_fraction() > 1.0  # deliberate overload
+        fractions = [profile.fraction(t) for t in range(0, 180, 5)]
+        assert min(fractions) < 0.1
+        assert max(fractions) > 1.0
+
+    def test_overload_window_location(self):
+        """The overload plateau sits around 80-100 s (Fig. 13)."""
+        profile = spike_profile()
+        assert profile.fraction(90.0) > 1.0
+        assert profile.fraction(40.0) < 1.0
+        assert profile.fraction(150.0) < 0.5
+
+    def test_scaling(self):
+        profile = spike_profile(duration_s=60.0)
+        assert profile.duration_s == pytest.approx(60.0)
+        assert profile.fraction(30.0) > 1.0  # overload scaled to 1/3 position
+
+
+class TestTwitter:
+    def test_deterministic(self):
+        a = twitter_profile(seed=1)
+        b = twitter_profile(seed=1)
+        assert [a.fraction(t) for t in range(0, 180, 7)] == [
+            b.fraction(t) for t in range(0, 180, 7)
+        ]
+
+    def test_has_bursts(self):
+        """The profile must alternate sharply (sudden spikes, Fig. 14)."""
+        profile = twitter_profile()
+        values = [profile.fraction(t * 0.5) for t in range(360)]
+        rises = max(
+            values[i + 1] - values[i] for i in range(len(values) - 1)
+        )
+        assert rises > 0.2  # a sharp jump exists
+
+    def test_mean_moderate(self):
+        profile = twitter_profile()
+        assert 0.25 < profile.average_fraction() < 0.6
+
+    def test_never_negative(self):
+        profile = twitter_profile()
+        assert all(profile.fraction(t * 0.25) >= 0 for t in range(720))
+
+
+class TestSynthetic:
+    def test_constant(self):
+        profile = constant_profile(0.3, duration_s=20.0)
+        assert profile.fraction(10.0) == pytest.approx(0.3)
+        assert profile.duration_s == 20.0
+
+    def test_constant_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            constant_profile(-0.1)
+
+    def test_step(self):
+        profile = step_profile([(10.0, 0.2), (10.0, 0.8)])
+        assert profile.fraction(5.0) == pytest.approx(0.2)
+        assert profile.fraction(15.0) == pytest.approx(0.8)
+        assert profile.duration_s == pytest.approx(20.0)
+
+    def test_step_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            step_profile([])
+
+    def test_step_bad_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            step_profile([(0.0, 0.5)])
+
+    def test_sine_range(self):
+        profile = sine_profile(low=0.2, high=0.8, period_s=10.0, duration_s=40.0)
+        values = [profile.fraction(t * 0.1) for t in range(400)]
+        assert min(values) == pytest.approx(0.2, abs=0.01)
+        assert max(values) == pytest.approx(0.8, abs=0.01)
+
+    def test_sine_validation(self):
+        with pytest.raises(SimulationError):
+            sine_profile(low=0.8, high=0.2)

@@ -1,0 +1,67 @@
+"""Tests for the model-based profile evaluator."""
+
+import pytest
+
+from repro.profiles.configuration import Configuration
+from repro.profiles.evaluate import build_profile, measure_configuration
+from repro.workloads.micro import COMPUTE_BOUND, MEMORY_BOUND
+
+
+class TestMeasureConfiguration:
+    def test_saturating_demand(self, machine):
+        config = Configuration.build(0, {0, 24}, {0: 2.6}, 3.0)
+        m = measure_configuration(machine, config, COMPUTE_BOUND)
+        assert m.power_w > 0
+        assert m.performance_score > 1e9
+
+    def test_idle_halted_vs_os_idle(self, machine):
+        idle = Configuration.idle(0, 1.2)
+        deep = measure_configuration(
+            machine, idle, COMPUTE_BOUND, assume_machine_idle_for_idle=True
+        )
+        os_idle = measure_configuration(
+            machine, idle, COMPUTE_BOUND, assume_machine_idle_for_idle=False
+        )
+        assert deep.power_w < os_idle.power_w
+        assert deep.performance_score == 0.0
+
+    def test_timestamp_override(self, machine):
+        config = Configuration.build(0, {0}, {0: 1.2}, 1.2)
+        m = measure_configuration(machine, config, COMPUTE_BOUND, at_time_s=42.0)
+        assert m.measured_at_s == 42.0
+
+    def test_does_not_mutate_machine(self, machine):
+        before = machine.state()
+        config = Configuration.build(0, set(range(12)), {i: 2.6 for i in range(12)}, 3.0)
+        measure_configuration(machine, config, MEMORY_BOUND)
+        after = machine.state()
+        assert before.active_threads == after.active_threads
+        assert before.core_frequencies_ghz == after.core_frequencies_ghz
+
+    def test_more_threads_more_power(self, machine):
+        small = Configuration.build(0, {0}, {0: 2.6}, 3.0)
+        large = Configuration.build(
+            0, set(range(12)), {i: 2.6 for i in range(12)}, 3.0
+        )
+        m_small = measure_configuration(machine, small, COMPUTE_BOUND)
+        m_large = measure_configuration(machine, large, COMPUTE_BOUND)
+        assert m_large.power_w > m_small.power_w
+        assert m_large.performance_score > m_small.performance_score
+
+
+class TestBuildProfile:
+    def test_full_coverage(self, machine):
+        profile = build_profile(machine, 0, COMPUTE_BOUND)
+        assert profile.coverage() == 1.0
+        assert profile.os_idle_power_w is not None
+        assert not profile.stale_entries()
+
+    def test_socket1_profiles_buildable(self, machine):
+        profile = build_profile(machine, 1, MEMORY_BOUND)
+        assert profile.socket_id == 1
+        # The socket asymmetry shows up in the measurements.
+        p0 = build_profile(machine, 0, MEMORY_BOUND)
+        assert (
+            profile.most_efficient().measurement.power_w
+            < p0.most_efficient().measurement.power_w
+        )

@@ -1,0 +1,99 @@
+"""Tests for energy-profile persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.profiles.evaluate import build_profile
+from repro.profiles.persistence import (
+    FORMAT_VERSION,
+    configuration_from_dict,
+    configuration_to_dict,
+    load_profile,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+)
+from repro.workloads.micro import COMPUTE_BOUND
+
+
+class TestConfigurationRoundtrip:
+    def test_roundtrip(self, machine):
+        from repro.profiles.configuration import Configuration
+
+        original = Configuration.build(1, {13, 37}, {1: 1.9, 2: 2.6}, 2.1)
+        restored = configuration_from_dict(configuration_to_dict(original))
+        assert restored == original
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ProfileError):
+            configuration_from_dict({"socket_id": 0})
+
+
+class TestProfileRoundtrip:
+    @pytest.fixture
+    def profile(self, machine):
+        return build_profile(machine, 0, COMPUTE_BOUND)
+
+    def test_roundtrip_preserves_decisions(self, profile):
+        restored = profile_from_dict(profile_to_dict(profile), mark_stale=False)
+        assert len(restored) == len(profile)
+        assert restored.socket_id == profile.socket_id
+        assert restored.os_idle_power_w == pytest.approx(
+            profile.os_idle_power_w
+        )
+        assert (
+            restored.most_efficient().configuration
+            == profile.most_efficient().configuration
+        )
+        assert restored.peak_performance() == pytest.approx(
+            profile.peak_performance()
+        )
+
+    def test_loaded_entries_marked_stale_by_default(self, profile):
+        restored = profile_from_dict(profile_to_dict(profile))
+        assert len(restored.stale_entries()) == len(restored)
+        # ...but the measurements themselves are preserved for decisions.
+        assert restored.coverage() == 1.0
+
+    def test_file_roundtrip(self, profile, tmp_path):
+        path = str(tmp_path / "profile.json")
+        save_profile(profile, path)
+        restored = load_profile(path, mark_stale=False)
+        assert (
+            restored.most_efficient().configuration
+            == profile.most_efficient().configuration
+        )
+
+    def test_snapshot_is_plain_json(self, profile, tmp_path):
+        path = str(tmp_path / "profile.json")
+        save_profile(profile, path)
+        with open(path) as handle:
+            data = json.load(handle)
+        assert data["format_version"] == FORMAT_VERSION
+        assert len(data["entries"]) == len(profile)
+
+    def test_version_check(self, profile):
+        data = profile_to_dict(profile)
+        data["format_version"] = 999
+        with pytest.raises(ProfileError):
+            profile_from_dict(data)
+
+    def test_empty_snapshot_rejected(self):
+        with pytest.raises(ProfileError):
+            profile_from_dict({"format_version": FORMAT_VERSION, "entries": []})
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ProfileError):
+            load_profile(str(tmp_path / "nope.json"))
+
+    def test_unevaluated_entries_survive(self, machine):
+        from repro.profiles.generator import ConfigurationGenerator
+        from repro.profiles.profile import EnergyProfile
+
+        generator = ConfigurationGenerator(machine.topology, machine.params, 0)
+        sparse = EnergyProfile(generator.generate())
+        restored = profile_from_dict(profile_to_dict(sparse))
+        assert len(restored) == len(sparse)
+        assert restored.coverage() == 0.0

@@ -1,0 +1,255 @@
+"""Tests for the energy profile: skyline, zones, RTI lines."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ProfileError
+from repro.profiles.configuration import Configuration, ConfigurationMeasurement
+from repro.profiles.evaluate import build_profile, measure_configuration
+from repro.profiles.profile import EnergyProfile
+from repro.profiles.zones import (
+    RulingZone,
+    classify_zones,
+    over_utilization_span,
+    zone_for_level,
+)
+from repro.workloads.micro import ATOMIC_CONTENTION, COMPUTE_BOUND, MEMORY_BOUND
+
+
+def config(threads, freq, uncore, socket=0):
+    cores = {i: freq for i in range(max(1, threads // 2))}
+    ids = set()
+    for core in range(max(1, threads // 2)):
+        ids.add(core)
+        if len(ids) < threads:
+            ids.add(core + 24)
+    ids = set(list(range(threads)))  # simple distinct ids
+    return Configuration.build(socket, ids, {i: freq for i in ids}, uncore)
+
+
+def simple_profile():
+    """A hand-built profile with known measurements."""
+    idle = Configuration.idle(0, 1.2)
+    small = Configuration.build(0, {0}, {0: 1.2}, 1.2)
+    medium = Configuration.build(0, {0, 1}, {0: 1.9, 1: 1.9}, 2.1)
+    large = Configuration.build(0, {0, 1, 2}, {0: 3.1, 1: 3.1, 2: 3.1}, 3.0)
+    profile = EnergyProfile([idle, small, medium, large])
+    profile.record(idle, ConfigurationMeasurement(20.0, 0.0, 0.0))
+    profile.record(small, ConfigurationMeasurement(40.0, 4e9, 0.0))   # eff 1e8
+    profile.record(medium, ConfigurationMeasurement(60.0, 9e9, 0.0))  # eff 1.5e8
+    profile.record(large, ConfigurationMeasurement(120.0, 12e9, 0.0))  # eff 1e8
+    return profile, idle, small, medium, large
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ProfileError):
+            EnergyProfile([])
+
+    def test_cross_socket_rejected(self):
+        with pytest.raises(ProfileError):
+            EnergyProfile(
+                [Configuration.idle(0, 1.2), Configuration.idle(1, 1.2)]
+            )
+
+    def test_unknown_configuration_rejected(self):
+        profile, *_ = simple_profile()
+        foreign = Configuration.build(0, {9}, {9: 1.2}, 1.2)
+        with pytest.raises(ProfileError):
+            profile.entry(foreign)
+
+
+class TestControlQueries:
+    def test_most_efficient(self):
+        profile, _, _, medium, _ = simple_profile()
+        assert profile.most_efficient().configuration == medium
+
+    def test_peak_performance(self):
+        profile, *_ = simple_profile()
+        assert profile.peak_performance() == pytest.approx(12e9)
+
+    def test_best_for_performance_prefers_efficiency(self):
+        profile, _, small, medium, large = simple_profile()
+        assert profile.best_for_performance(3e9).configuration == medium
+        assert profile.best_for_performance(10e9).configuration == large
+
+    def test_best_for_performance_saturates(self):
+        profile, _, _, _, large = simple_profile()
+        assert profile.best_for_performance(99e9).configuration == large
+
+    def test_best_rejects_negative(self):
+        profile, *_ = simple_profile()
+        with pytest.raises(ProfileError):
+            profile.best_for_performance(-1)
+
+    def test_unevaluated_profile_raises(self):
+        profile = EnergyProfile([Configuration.idle(0, 1.2)])
+        with pytest.raises(ProfileError):
+            profile.most_efficient()
+
+    def test_skyline_ordering_and_dominance(self):
+        profile, _, small, medium, large = simple_profile()
+        skyline = profile.skyline()
+        perfs = [p.performance_score for p in skyline]
+        assert perfs == sorted(perfs)
+        # medium dominates small (more perf AND more efficiency).
+        assert small not in [p.configuration for p in skyline]
+        assert medium in [p.configuration for p in skyline]
+        assert large in [p.configuration for p in skyline]
+
+    def test_coverage_and_staleness(self):
+        profile, idle, small, *_ = simple_profile()
+        assert profile.coverage() == 1.0
+        profile.mark_all_stale()
+        assert len(profile.stale_entries()) == 4
+        profile.record(small, ConfigurationMeasurement(40.0, 4e9, 1.0))
+        assert len(profile.stale_entries()) == 3
+
+
+class TestRtiLines:
+    def test_rti_power_interpolates(self):
+        profile, *_ = simple_profile()
+        # optimal: 60 W @ 9e9; idle: 20 W
+        assert profile.rti_power_w(0.0) == pytest.approx(20.0)
+        assert profile.rti_power_w(4.5e9) == pytest.approx(40.0)
+        assert profile.rti_power_w(9e9) == pytest.approx(60.0)
+        assert profile.rti_power_w(11e9) == pytest.approx(60.0)
+
+    def test_rti_efficiency_beats_baseline_at_low_load(self):
+        profile, *_ = simple_profile()
+        level = 2e9
+        assert profile.rti_efficiency(level) > profile.baseline_efficiency(level)
+
+    def test_baseline_uses_os_idle_power(self):
+        profile, *_ = simple_profile()
+        reference = profile.baseline_efficiency(2e9)
+        profile.os_idle_power_w = 45.0  # much worse OS idle
+        assert profile.baseline_efficiency(2e9) < reference
+
+    def test_max_rti_saving_positive(self):
+        profile, *_ = simple_profile()
+        profile.os_idle_power_w = 40.0
+        assert 0.0 < profile.max_rti_saving() < 1.0
+
+    def test_idle_power_requires_measurement(self):
+        profile = EnergyProfile(
+            [Configuration.idle(0, 1.2), Configuration.build(0, {0}, {0: 1.2}, 1.2)]
+        )
+        with pytest.raises(ProfileError):
+            profile.idle_power_w()
+
+
+class TestZones:
+    def test_classification(self):
+        profile, _, small, medium, large = simple_profile()
+        zones = classify_zones(profile)
+        assert zones[medium] is RulingZone.OPTIMAL
+        assert zones[small] is RulingZone.UNDER_UTILIZATION
+        assert zones[large] is RulingZone.OVER_UTILIZATION
+
+    def test_zone_for_level(self):
+        profile, *_ = simple_profile()
+        assert zone_for_level(profile, 1e9) is RulingZone.UNDER_UTILIZATION
+        assert zone_for_level(profile, 9e9) is RulingZone.OPTIMAL
+        assert zone_for_level(profile, 11e9) is RulingZone.OVER_UTILIZATION
+
+    def test_zone_for_negative_level(self):
+        profile, *_ = simple_profile()
+        with pytest.raises(ProfileError):
+            zone_for_level(profile, -1.0)
+
+    def test_over_span(self):
+        profile, *_ = simple_profile()
+        assert over_utilization_span(profile) == pytest.approx(0.25)
+
+    def test_contended_workload_has_no_over_zone(self, machine):
+        profile = build_profile(machine, 0, ATOMIC_CONTENTION)
+        assert over_utilization_span(profile) == pytest.approx(0.0, abs=0.02)
+
+
+class TestModelEvaluation:
+    def test_idle_configuration_cheapest(self, machine):
+        profile = build_profile(machine, 0, COMPUTE_BOUND)
+        idle_power = profile.idle_power_w()
+        for entry in profile.evaluated_entries():
+            assert entry.measurement.power_w >= idle_power - 1e-9
+
+    def test_os_idle_above_deep_idle(self, machine):
+        profile = build_profile(machine, 0, COMPUTE_BOUND)
+        assert profile.os_idle_power_w > profile.idle_power_w()
+
+    def test_memory_bound_prefers_high_uncore(self, machine):
+        profile = build_profile(machine, 0, MEMORY_BOUND)
+        assert profile.most_efficient().configuration.uncore_ghz == pytest.approx(
+            3.0
+        )
+
+    def test_compute_bound_prefers_low_uncore(self, machine):
+        profile = build_profile(machine, 0, COMPUTE_BOUND)
+        assert profile.most_efficient().configuration.uncore_ghz == pytest.approx(
+            1.2
+        )
+
+    def test_atomic_prefers_one_core_turbo(self, machine):
+        """Fig. 10(b): two HT of one core at turbo, lowest uncore."""
+        profile = build_profile(machine, 0, ATOMIC_CONTENTION)
+        best = profile.most_efficient().configuration
+        assert best.thread_count == 2
+        assert best.core_count == 1
+        assert best.average_core_ghz == pytest.approx(3.1)
+        assert best.uncore_ghz == pytest.approx(1.2)
+
+    def test_invalid_configuration_rejected(self, machine):
+        bad = Configuration.build(0, {13}, {1: 1.2}, 1.2)
+        with pytest.raises(ProfileError):
+            measure_configuration(machine, bad, COMPUTE_BOUND)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    measurements=st.lists(
+        st.tuples(
+            st.floats(min_value=10.0, max_value=300.0),  # power
+            st.floats(min_value=1e8, max_value=1e11),  # perf
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_property_skyline_is_pareto_front(measurements):
+    """No skyline point is dominated; every non-skyline point is."""
+    configs = [Configuration.idle(0, 1.2)]
+    for i in range(len(measurements)):
+        configs.append(Configuration.build(0, {i % 24}, {i % 24: 1.2}, 1.2 + 0.1 * (i % 19)))
+    # Deduplicate (hypothesis may generate identical coordinates).
+    configs = list(dict.fromkeys(configs))
+    profile = EnergyProfile(configs)
+    scored = []
+    for cfg, (power, perf) in zip(configs[1:], measurements):
+        m = ConfigurationMeasurement(power, perf, 0.0)
+        profile.record(cfg, m)
+        scored.append((cfg, m))
+    skyline = profile.skyline()
+    skyline_set = {p.configuration for p in skyline}
+
+    def dominated(m):
+        return any(
+            other.performance_score >= m.performance_score
+            and other.energy_efficiency > m.energy_efficiency
+            for _, other in scored
+        )
+
+    def has_skyline_twin(m):
+        return any(
+            p.performance_score == m.performance_score
+            and p.energy_efficiency == m.energy_efficiency
+            for p in skyline
+        )
+
+    for cfg, m in scored:
+        if cfg in skyline_set:
+            assert not dominated(m)
+        else:
+            # Excluded points are strictly dominated, except exact ties
+            # where one representative stays on the skyline.
+            assert dominated(m) or has_skyline_twin(m)

@@ -1,0 +1,73 @@
+"""Tests for the ondemand-governor comparison policy."""
+
+import pytest
+
+from repro.errors import ControlError
+from repro.dbms.engine import DatabaseEngine
+from repro.hardware.machine import Machine
+from repro.loadprofiles import constant_profile, step_profile
+from repro.sim import OndemandGovernorPolicy, RunConfiguration, run_experiment
+from repro.workloads import KeyValueWorkload, WorkloadVariant
+
+
+@pytest.fixture
+def governor_setup():
+    machine = Machine(seed=17)
+    engine = DatabaseEngine(machine)
+    workload = KeyValueWorkload(WorkloadVariant.NON_INDEXED)
+    engine.set_workload_characteristics(workload.characteristics)
+    return machine, engine, OndemandGovernorPolicy(engine)
+
+
+class TestGovernorMechanics:
+    def test_validation(self, governor_setup):
+        _, engine, _ = governor_setup
+        with pytest.raises(ControlError):
+            OndemandGovernorPolicy(engine, period_s=0.0)
+        with pytest.raises(ControlError):
+            OndemandGovernorPolicy(engine, up_threshold=0.3, down_threshold=0.5)
+
+    def test_starts_at_max_sustained(self, governor_setup):
+        machine, engine, governor = governor_setup
+        governor.on_tick(0.0, 0.002)
+        assert governor.socket_frequency_ghz(0) == pytest.approx(
+            machine.params.core_nominal_ghz
+        )
+        assert len(machine.cstates.active_threads) == machine.params.total_threads
+
+    def test_steps_down_when_idle(self, governor_setup):
+        machine, engine, governor = governor_setup
+        for _ in range(1500):  # 3 s of idle ticks
+            governor.on_tick(machine.time_s, 0.002)
+            engine.tick(0.002)
+        assert governor.socket_frequency_ghz(0) == pytest.approx(
+            machine.params.core_min_ghz
+        )
+
+    def test_never_requests_turbo(self, governor_setup):
+        machine, _, governor = governor_setup
+        assert max(governor._steps) <= machine.params.core_nominal_ghz
+
+
+class TestGovernorEndToEnd:
+    def test_sits_between_baseline_and_ecl(self):
+        """The paper's argument: DVFS-only control leaves savings behind."""
+        workload = KeyValueWorkload(WorkloadVariant.NON_INDEXED)
+        profile = constant_profile(0.3, duration_s=8.0)
+        energy = {}
+        for policy in ("baseline", "ondemand", "ecl"):
+            energy[policy] = run_experiment(
+                RunConfiguration(workload=workload, profile=profile, policy=policy)
+            ).total_energy_j
+        assert energy["ecl"] < energy["ondemand"] < energy["baseline"]
+
+    def test_reacts_to_load_steps(self):
+        workload = KeyValueWorkload(WorkloadVariant.NON_INDEXED)
+        profile = step_profile([(4.0, 0.05), (4.0, 0.9)])
+        result = run_experiment(
+            RunConfiguration(workload=workload, profile=profile, policy="ondemand")
+        )
+        low = [s.rapl_power_w for s in result.samples if 2.0 < s.time_s < 3.8]
+        high = [s.rapl_power_w for s in result.samples if 6.0 < s.time_s < 7.8]
+        assert sum(high) / len(high) > sum(low) / len(low) + 15
+        assert result.queries_completed >= 0.95 * result.queries_submitted

@@ -1,0 +1,99 @@
+"""Tests for the load generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.loadprofiles import constant_profile
+from repro.sim.loadgen import LoadGenerator
+from repro.storage.partition import PartitionMap
+from repro.workloads import KeyValueWorkload, WorkloadVariant
+
+
+@pytest.fixture
+def pmap():
+    return PartitionMap(48, 2)
+
+
+def make_generator(pmap, fraction=0.5, poisson=False, seed=0):
+    workload = KeyValueWorkload(WorkloadVariant.NON_INDEXED)
+    profile = constant_profile(fraction, duration_s=10.0)
+    return LoadGenerator(workload, profile, pmap, seed=seed, poisson=poisson), workload
+
+
+class TestDeterministicArrivals:
+    def test_rate_matches_profile(self, pmap):
+        gen, workload = make_generator(pmap, fraction=0.5)
+        assert gen.rate_qps(1.0) == pytest.approx(workload.nominal_peak_qps / 2)
+
+    def test_arrival_count_over_a_second(self, pmap):
+        gen, workload = make_generator(pmap, fraction=0.5)
+        total = 0
+        for i in range(1000):
+            total += len(gen.arrivals(i * 0.001, 0.001))
+        expected = workload.nominal_peak_qps * 0.5
+        assert total == pytest.approx(expected, rel=0.01)
+
+    def test_zero_load_generates_nothing(self, pmap):
+        gen, _ = make_generator(pmap, fraction=0.0)
+        assert gen.arrivals(0.0, 0.01) == []
+
+    def test_arrival_times_inside_tick(self, pmap):
+        gen, _ = make_generator(pmap, fraction=1.0)
+        queries = gen.arrivals(5.0, 0.01)
+        assert queries
+        for query in queries:
+            assert 5.0 <= query.arrival_s < 5.01
+
+    def test_reproducible(self, pmap):
+        counts = []
+        for _ in range(2):
+            gen, _ = make_generator(pmap, fraction=0.4, seed=3)
+            counts.append(
+                [len(gen.arrivals(i * 0.002, 0.002)) for i in range(500)]
+            )
+        assert counts[0] == counts[1]
+
+    def test_invalid_tick(self, pmap):
+        gen, _ = make_generator(pmap)
+        with pytest.raises(SimulationError):
+            gen.arrivals(0.0, 0.0)
+
+
+class TestPoissonArrivals:
+    def test_mean_rate_preserved(self, pmap):
+        gen, workload = make_generator(pmap, fraction=0.5, poisson=True, seed=5)
+        total = sum(len(gen.arrivals(i * 0.001, 0.001)) for i in range(2000))
+        expected = workload.nominal_peak_qps * 0.5 * 2.0
+        assert total == pytest.approx(expected, rel=0.1)
+
+    def test_has_variance(self, pmap):
+        gen, _ = make_generator(pmap, fraction=1.0, poisson=True, seed=5)
+        counts = [len(gen.arrivals(i * 0.01, 0.01)) for i in range(200)]
+        assert np.std(counts) > 0
+
+
+class TestRealMode:
+    def test_real_mode_produces_operation_messages(self, pmap):
+        import numpy as np
+
+        from repro.workloads import TatpWorkload, WorkloadVariant
+
+        rng = np.random.default_rng(1)
+        workload = TatpWorkload(WorkloadVariant.INDEXED)
+        workload.setup_real(pmap, scale=50, rng=rng)
+        gen = LoadGenerator(
+            workload,
+            constant_profile(1.0, duration_s=10.0),
+            pmap,
+            seed=2,
+            real_mode=True,
+        )
+        queries = []
+        t = 0.0
+        while not queries:
+            queries = gen.arrivals(t, 0.001)
+            t += 0.001
+        for query in queries:
+            for message in query.stages[0].messages:
+                assert not message.is_modeled

@@ -1,0 +1,97 @@
+"""Tests for run-result metrics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.metrics import RunResult, SamplePoint, energy_saving_fraction
+
+
+def make_result(latencies=(), energy=100.0, samples=(), limit=0.1):
+    result = RunResult(
+        policy="ecl",
+        workload_name="kv",
+        profile_name="test",
+        duration_s=10.0,
+        latency_limit_s=limit,
+    )
+    result.latencies_s = list(latencies)
+    result.total_energy_j = energy
+    result.samples = list(samples)
+    return result
+
+
+def sample(t, pending=0):
+    return SamplePoint(
+        time_s=t,
+        load_qps=0.0,
+        rapl_power_w=100.0,
+        psu_power_w=120.0,
+        avg_latency_s=None,
+        pending_messages=pending,
+        in_flight_queries=0,
+    )
+
+
+class TestLatencyStats:
+    def test_mean(self):
+        result = make_result([0.01, 0.03])
+        assert result.mean_latency_s() == pytest.approx(0.02)
+
+    def test_empty_mean_none(self):
+        assert make_result().mean_latency_s() is None
+
+    def test_percentile(self):
+        result = make_result([0.001 * i for i in range(1, 101)])
+        assert result.percentile_latency_s(50) == pytest.approx(0.05)
+        assert result.percentile_latency_s(99) == pytest.approx(0.099)
+
+    def test_percentile_validation(self):
+        result = make_result([0.01])
+        with pytest.raises(SimulationError):
+            result.percentile_latency_s(0)
+        with pytest.raises(SimulationError):
+            result.percentile_latency_s(101)
+
+    def test_violation_fraction(self):
+        result = make_result([0.05, 0.15, 0.25, 0.01], limit=0.1)
+        assert result.violation_fraction() == pytest.approx(0.5)
+
+    def test_violation_without_limit(self):
+        result = make_result([0.5], limit=None)
+        assert result.violation_fraction() == 0.0
+
+
+class TestEnergy:
+    def test_average_power(self):
+        result = make_result(energy=500.0)
+        assert result.average_power_w() == pytest.approx(50.0)
+
+    def test_saving_fraction(self):
+        baseline = make_result(energy=200.0)
+        controlled = make_result(energy=150.0)
+        assert energy_saving_fraction(baseline, controlled) == pytest.approx(0.25)
+
+    def test_saving_requires_baseline_energy(self):
+        with pytest.raises(SimulationError):
+            energy_saving_fraction(make_result(energy=0.0), make_result())
+
+
+class TestOverloadExit:
+    def test_detects_backlog_clearance(self):
+        samples = [
+            sample(0.0, 0),
+            sample(1.0, 500),
+            sample(2.0, 900),
+            sample(3.0, 400),
+            sample(4.0, 5),
+            sample(5.0, 0),
+        ]
+        result = make_result(samples=samples)
+        assert result.overload_exit_time_s(1000) == pytest.approx(4.0)
+
+    def test_none_without_backlog(self):
+        result = make_result(samples=[sample(0.0), sample(1.0)])
+        assert result.overload_exit_time_s(1000) is None
+
+    def test_none_without_samples(self):
+        assert make_result().overload_exit_time_s(1000) is None

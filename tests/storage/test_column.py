@@ -1,0 +1,120 @@
+"""Tests for typed growable columns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import StorageError
+from repro.storage.column import Column
+from repro.storage.schema import DataType
+
+
+class TestAppendGet:
+    def test_roundtrip_int(self):
+        col = Column(DataType.INT64)
+        for i in range(200):  # force buffer growth past 64
+            assert col.append(i * 3) == i
+        assert len(col) == 200
+        assert col.get(150) == 450
+
+    def test_roundtrip_string(self):
+        col = Column(DataType.STRING)
+        col.extend(["a", "b", "c"])
+        assert col.get(1) == "b"
+
+    def test_roundtrip_float(self):
+        col = Column(DataType.FLOAT64)
+        col.append(1.5)
+        assert col.get(0) == pytest.approx(1.5)
+
+    def test_out_of_range(self):
+        col = Column(DataType.INT32)
+        col.append(1)
+        with pytest.raises(StorageError):
+            col.get(1)
+        with pytest.raises(StorageError):
+            col.get(-1)
+
+    def test_type_validated(self):
+        col = Column(DataType.INT32)
+        with pytest.raises(Exception):
+            col.append("nope")
+
+    def test_set(self):
+        col = Column(DataType.INT32)
+        col.append(5)
+        col.set(0, 9)
+        assert col.get(0) == 9
+
+    def test_bytes_used(self):
+        col = Column(DataType.INT64)
+        col.extend(range(10))
+        assert col.bytes_used == 80
+
+
+class TestScans:
+    @pytest.fixture
+    def col(self):
+        c = Column(DataType.INT32)
+        c.extend([5, 3, 5, 8, 1, 5])
+        return c
+
+    def test_scan_equal(self, col):
+        assert list(col.scan_equal(5)) == [0, 2, 5]
+
+    def test_scan_equal_missing(self, col):
+        assert list(col.scan_equal(42)) == []
+
+    def test_scan_range(self, col):
+        assert list(col.scan_range(3, 5)) == [0, 1, 2, 5]
+
+    def test_scan_range_string_rejected(self):
+        col = Column(DataType.STRING)
+        col.append("x")
+        with pytest.raises(StorageError):
+            col.scan_range("a", "z")
+
+    def test_scan_predicate(self, col):
+        assert col.scan_predicate(lambda v: v > 4) == [0, 2, 3, 5]
+
+    def test_string_scan_equal(self):
+        col = Column(DataType.STRING)
+        col.extend(["a", "b", "a"])
+        assert list(col.scan_equal("a")) == [0, 2]
+
+    def test_sum(self, col):
+        assert col.sum() == pytest.approx(27.0)
+        assert col.sum(np.array([0, 2])) == pytest.approx(10.0)
+
+    def test_sum_string_rejected(self):
+        col = Column(DataType.STRING)
+        col.append("x")
+        with pytest.raises(StorageError):
+            col.sum()
+
+    def test_gather(self, col):
+        assert col.gather(np.array([3, 0])) == [8, 5]
+
+    def test_view_zero_copy(self, col):
+        view = col.view()
+        assert view.shape == (6,)
+        assert view[3] == 8
+
+    def test_string_view_rejected(self):
+        col = Column(DataType.STRING)
+        with pytest.raises(StorageError):
+            col.view()
+
+
+@given(st.lists(st.integers(min_value=-(2**31), max_value=2**31 - 1), max_size=300))
+def test_property_column_matches_python_list(values):
+    """A column behaves exactly like a list of validated values."""
+    col = Column(DataType.INT32)
+    col.extend(values)
+    assert len(col) == len(values)
+    assert list(col.values()) == values
+    if values:
+        target = values[0]
+        expected = [i for i, v in enumerate(values) if v == target]
+        assert list(col.scan_equal(target)) == expected
+        assert col.sum() == pytest.approx(float(sum(values)))

@@ -1,0 +1,152 @@
+"""Tests for the open-addressing hash index, incl. model-based property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StorageError
+from repro.storage.hashindex import HashIndex
+
+
+class TestBasics:
+    def test_insert_lookup(self):
+        idx = HashIndex()
+        idx.insert(42, 7)
+        assert idx.lookup(42) == [7]
+        assert idx.lookup_one(42) == 7
+        assert idx.contains(42)
+
+    def test_missing_key(self):
+        idx = HashIndex()
+        assert idx.lookup(1) == []
+        assert idx.lookup_one(1) is None
+        assert not idx.contains(1)
+
+    def test_duplicates_chain(self):
+        idx = HashIndex()
+        idx.insert(5, 1)
+        idx.insert(5, 2)
+        idx.insert(5, 3)
+        assert sorted(idx.lookup(5)) == [1, 2, 3]
+        assert len(idx) == 3
+        assert idx.distinct_keys == 1
+
+    def test_negative_row_rejected(self):
+        idx = HashIndex()
+        with pytest.raises(StorageError):
+            idx.insert(1, -1)
+
+    def test_growth_preserves_entries(self):
+        idx = HashIndex(initial_capacity=16)
+        for key in range(500):
+            idx.insert(key, key * 2)
+        assert idx.capacity >= 512
+        for key in range(500):
+            assert idx.lookup(key) == [key * 2]
+
+    def test_load_factor_bounded(self):
+        idx = HashIndex()
+        for key in range(1000):
+            idx.insert(key, key)
+        assert idx.load_factor <= 0.7 + 1e-9
+
+    def test_negative_keys(self):
+        idx = HashIndex()
+        idx.insert(-17, 3)
+        assert idx.lookup(-17) == [3]
+
+    def test_probe_count_grows(self):
+        idx = HashIndex()
+        before = idx.probe_count
+        idx.insert(1, 1)
+        idx.lookup(1)
+        assert idx.probe_count > before
+
+
+class TestDelete:
+    def test_delete_whole_key(self):
+        idx = HashIndex()
+        idx.insert(1, 10)
+        idx.insert(1, 11)
+        assert idx.delete(1) == 2
+        assert idx.lookup(1) == []
+        assert len(idx) == 0
+
+    def test_delete_specific_row(self):
+        idx = HashIndex()
+        idx.insert(1, 10)
+        idx.insert(1, 11)
+        assert idx.delete(1, row=10) == 1
+        assert idx.lookup(1) == [11]
+
+    def test_delete_overflow_row(self):
+        idx = HashIndex()
+        idx.insert(1, 10)
+        idx.insert(1, 11)
+        assert idx.delete(1, row=11) == 1
+        assert idx.lookup(1) == [10]
+
+    def test_delete_missing(self):
+        idx = HashIndex()
+        assert idx.delete(99) == 0
+        idx.insert(1, 1)
+        assert idx.delete(1, row=555) == 0
+
+    def test_backward_shift_keeps_chains_intact(self):
+        """Deleting from a probe chain must not orphan later entries."""
+        idx = HashIndex(initial_capacity=16)
+        keys = list(range(0, 200, 3))
+        for key in keys:
+            idx.insert(key, key)
+        for key in keys[::2]:
+            assert idx.delete(key) == 1
+        for key in keys[1::2]:
+            assert idx.lookup(key) == [key], f"lost key {key}"
+
+    def test_keys_iteration(self):
+        idx = HashIndex()
+        for key in (3, 1, 2):
+            idx.insert(key, key)
+        assert sorted(idx.keys()) == [1, 2, 3]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete", "delete_row"]),
+            st.integers(min_value=-50, max_value=50),
+            st.integers(min_value=0, max_value=9),
+        ),
+        max_size=200,
+    )
+)
+def test_property_matches_dict_model(ops):
+    """The index always agrees with a dict-of-lists reference model."""
+    idx = HashIndex(initial_capacity=16)
+    model: dict[int, list[int]] = {}
+    for op, key, row in ops:
+        if op == "insert":
+            idx.insert(key, row)
+            model.setdefault(key, []).append(row)
+        elif op == "delete":
+            removed = idx.delete(key)
+            expected = len(model.pop(key, []))
+            assert removed == expected
+        else:  # delete_row
+            removed = idx.delete(key, row=row)
+            rows = model.get(key, [])
+            if row in rows:
+                rows.remove(row)
+                if not rows:
+                    del model[key]
+                assert removed == 1
+            else:
+                assert removed == 0
+    assert len(idx) == sum(len(v) for v in model.values())
+    assert idx.distinct_keys == len(model)
+    for key, rows in model.items():
+        assert sorted(idx.lookup(key)) == sorted(rows)
+    # Absent keys in a wide range around the used keys are truly absent.
+    for key in range(-60, 60):
+        if key not in model:
+            assert idx.lookup(key) == []

@@ -1,0 +1,140 @@
+"""Tests for the ordered index, incl. model-based property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StorageError
+from repro.storage.orderedindex import OrderedIndex
+from repro.storage.schema import DataType, Schema
+from repro.storage.table import Table
+
+
+class TestBasics:
+    def test_insert_lookup(self):
+        idx = OrderedIndex()
+        idx.insert(10, 0)
+        idx.insert(20, 1)
+        assert idx.lookup(10) == [0]
+        assert idx.lookup(15) == []
+
+    def test_range_includes_bounds(self):
+        idx = OrderedIndex()
+        for i, key in enumerate((5, 10, 15, 20)):
+            idx.insert(key, i)
+        assert sorted(idx.range_rows(10, 15)) == [1, 2]
+        assert sorted(idx.range_rows(0, 100)) == [0, 1, 2, 3]
+
+    def test_empty_range_rejected(self):
+        idx = OrderedIndex()
+        with pytest.raises(StorageError):
+            idx.range_rows(5, 4)
+
+    def test_negative_row_rejected(self):
+        idx = OrderedIndex()
+        with pytest.raises(StorageError):
+            idx.insert(1, -1)
+
+    def test_duplicates(self):
+        idx = OrderedIndex()
+        idx.insert(7, 0)
+        idx.insert(7, 1)
+        assert sorted(idx.lookup(7)) == [0, 1]
+
+    def test_delta_merges_automatically(self):
+        idx = OrderedIndex()
+        for i in range(600):
+            idx.insert(i, i)
+        assert idx.merge_count >= 2
+        assert idx.delta_size < 256
+        assert len(idx) == 600
+
+    def test_queries_see_unmerged_delta(self):
+        idx = OrderedIndex()
+        idx.insert(42, 3)  # stays in the delta buffer
+        assert idx.delta_size == 1
+        assert idx.lookup(42) == [3]
+
+    def test_compact(self):
+        idx = OrderedIndex()
+        idx.insert(1, 0)
+        idx.compact()
+        assert idx.delta_size == 0
+        assert idx.sorted_size == 1
+
+    def test_min_max(self):
+        idx = OrderedIndex()
+        assert idx.min_key() is None and idx.max_key() is None
+        idx.insert(5, 0)
+        idx.compact()
+        idx.insert(-3, 1)  # in delta
+        assert idx.min_key() == -3
+        assert idx.max_key() == 5
+
+    def test_comparison_accounting(self):
+        idx = OrderedIndex()
+        for i in range(300):
+            idx.insert(i, i)
+        before = idx.comparison_count
+        idx.range_rows(50, 60)
+        assert idx.comparison_count > before
+
+
+class TestTableIntegration:
+    @pytest.fixture
+    def table(self):
+        t = Table("t", Schema.of(k=DataType.INT32, v=DataType.INT32))
+        for i in range(200):
+            t.insert((i % 37, i))
+        return t
+
+    def test_scan_range_uses_ordered_index(self, table):
+        reference = sorted(table.scan_range("k", 5, 8).tolist())
+        table.create_ordered_index("k")
+        indexed = sorted(table.scan_range("k", 5, 8).tolist())
+        assert indexed == reference
+        assert table.ordered_index("k") is not None
+
+    def test_index_maintained_on_insert(self, table):
+        table.create_ordered_index("k")
+        position = table.insert((999, 1))
+        assert table.scan_range("k", 999, 999).tolist() == [position]
+
+    def test_index_rebuilt_on_update(self, table):
+        table.create_ordered_index("k")
+        table.update(0, "k", 500)
+        assert 0 in table.scan_range("k", 500, 500).tolist()
+        assert 0 not in table.scan_range("k", 0, 0).tolist()
+
+    def test_string_column_rejected(self):
+        t = Table("s", Schema.of(name=DataType.STRING))
+        with pytest.raises(StorageError):
+            t.create_ordered_index("name")
+
+    def test_create_twice_returns_same(self, table):
+        a = table.create_ordered_index("k")
+        b = table.create_ordered_index("k")
+        assert a is b
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    entries=st.lists(
+        st.tuples(
+            st.integers(min_value=-1000, max_value=1000),
+            st.integers(min_value=0, max_value=5000),
+        ),
+        max_size=400,
+    ),
+    bounds=st.tuples(
+        st.integers(min_value=-1100, max_value=1100),
+        st.integers(min_value=-1100, max_value=1100),
+    ),
+)
+def test_property_range_matches_bruteforce(entries, bounds):
+    low, high = min(bounds), max(bounds)
+    idx = OrderedIndex()
+    for key, row in entries:
+        idx.insert(key, row)
+    expected = sorted(row for key, row in entries if low <= key <= high)
+    assert sorted(idx.range_rows(low, high)) == expected
+    assert len(idx) == len(entries)

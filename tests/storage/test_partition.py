@@ -1,0 +1,96 @@
+"""Tests for partitions, placement, and key routing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PartitionError
+from repro.storage.partition import PartitionMap, hash_partition
+from repro.storage.schema import DataType, Schema
+
+
+class TestHashPartition:
+    def test_deterministic(self):
+        assert hash_partition(123, 48) == hash_partition(123, 48)
+
+    def test_in_range(self):
+        for key in range(1000):
+            assert 0 <= hash_partition(key, 48) < 48
+
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(PartitionError):
+            hash_partition(1, 0)
+
+    def test_roughly_uniform(self):
+        counts = [0] * 16
+        for key in range(16000):
+            counts[hash_partition(key, 16)] += 1
+        assert min(counts) > 700  # perfectly uniform would be 1000
+
+
+class TestPartitionMap:
+    @pytest.fixture
+    def pmap(self):
+        return PartitionMap(48, 2)
+
+    def test_len(self, pmap):
+        assert len(pmap) == 48
+
+    def test_round_robin_placement(self, pmap):
+        assert pmap.socket_of(0) == 0
+        assert pmap.socket_of(1) == 1
+        assert pmap.socket_of(2) == 0
+
+    def test_partitions_per_socket_balanced(self, pmap):
+        assert len(pmap.partitions_on_socket(0)) == 24
+        assert len(pmap.partitions_on_socket(1)) == 24
+
+    def test_unknown_partition(self, pmap):
+        with pytest.raises(PartitionError):
+            pmap.partition(48)
+
+    def test_partition_for_key_consistent(self, pmap):
+        p1 = pmap.partition_for_key(999)
+        p2 = pmap.partition_for_key(999)
+        assert p1 is p2
+
+    def test_invalid_sizes(self):
+        with pytest.raises(PartitionError):
+            PartitionMap(0, 2)
+        with pytest.raises(PartitionError):
+            PartitionMap(4, 0)
+
+    def test_create_table_everywhere(self, pmap):
+        schema = Schema.of(k=DataType.INT64)
+        pmap.create_table_everywhere("t", schema)
+        for partition in pmap:
+            assert partition.table("t").row_count == 0
+
+    def test_duplicate_table_rejected(self, pmap):
+        schema = Schema.of(k=DataType.INT64)
+        pmap.partition(0).create_table("t", schema)
+        with pytest.raises(PartitionError):
+            pmap.partition(0).create_table("t", schema)
+
+    def test_missing_table_rejected(self, pmap):
+        with pytest.raises(PartitionError):
+            pmap.partition(0).table("missing")
+
+    def test_partition_accounting(self, pmap):
+        schema = Schema.of(k=DataType.INT64)
+        partition = pmap.partition(3)
+        partition.create_table("t", schema)
+        partition.table("t").insert((5,))
+        assert partition.row_count == 1
+        assert partition.bytes_used == 8
+
+
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=2**40), max_size=100),
+    partitions=st.integers(min_value=1, max_value=64),
+)
+def test_property_routing_total_and_stable(keys, partitions):
+    pmap = PartitionMap(partitions, socket_count=2)
+    for key in keys:
+        partition = pmap.partition_for_key(key)
+        assert partition.partition_id == hash_partition(key, partitions)
+        assert pmap.socket_of(partition.partition_id) in (0, 1)

@@ -1,0 +1,92 @@
+"""Tests for schemas and data types."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.schema import ColumnSpec, DataType, Schema
+
+
+class TestDataType:
+    def test_widths(self):
+        assert DataType.INT32.width_bytes == 4
+        assert DataType.INT64.width_bytes == 8
+        assert DataType.FLOAT64.width_bytes == 8
+        assert DataType.STRING.width_bytes == 16
+
+    def test_numeric_flags(self):
+        assert DataType.INT64.is_numeric
+        assert not DataType.STRING.is_numeric
+
+    def test_int32_range(self):
+        assert DataType.INT32.validate(2**31 - 1) == 2**31 - 1
+        with pytest.raises(SchemaError):
+            DataType.INT32.validate(2**31)
+
+    def test_int64_range(self):
+        with pytest.raises(SchemaError):
+            DataType.INT64.validate(2**63)
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(SchemaError):
+            DataType.INT32.validate(True)
+
+    def test_float_accepts_int(self):
+        assert DataType.FLOAT64.validate(3) == 3.0
+
+    def test_string_type_checked(self):
+        with pytest.raises(SchemaError):
+            DataType.STRING.validate(42)
+
+
+class TestColumnSpec:
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec("1bad", DataType.INT32)
+        with pytest.raises(SchemaError):
+            ColumnSpec("", DataType.INT32)
+
+
+class TestSchema:
+    @pytest.fixture
+    def schema(self):
+        return Schema.of(key=DataType.INT64, value=DataType.INT32, tag=DataType.STRING)
+
+    def test_positions(self, schema):
+        assert schema.position("key") == 0
+        assert schema.position("tag") == 2
+
+    def test_unknown_column(self, schema):
+        with pytest.raises(SchemaError):
+            schema.position("missing")
+
+    def test_contains(self, schema):
+        assert "key" in schema
+        assert "missing" not in schema
+
+    def test_validate_row_ok(self, schema):
+        row = schema.validate_row((1, 2, "x"))
+        assert row == (1, 2, "x")
+
+    def test_validate_row_arity(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_row((1, 2))
+
+    def test_validate_row_types(self, schema):
+        with pytest.raises(SchemaError) as excinfo:
+            schema.validate_row((1, "no", "x"))
+        assert "value" in str(excinfo.value)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([ColumnSpec("a", DataType.INT32), ColumnSpec("a", DataType.INT64)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_row_width(self, schema):
+        assert schema.row_width_bytes() == 8 + 4 + 16
+
+    def test_project(self, schema):
+        projected = schema.project(["tag", "key"])
+        assert projected.names == ("tag", "key")

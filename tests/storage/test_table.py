@@ -1,0 +1,109 @@
+"""Tests for tables with index maintenance."""
+
+import pytest
+
+from repro.errors import SchemaError, StorageError
+from repro.storage.schema import DataType, Schema
+from repro.storage.table import Table
+
+
+@pytest.fixture
+def table():
+    t = Table("kv", Schema.of(key=DataType.INT64, value=DataType.INT32))
+    t.insert_many([(1, 10), (2, 20), (3, 30), (2, 21)])
+    return t
+
+
+class TestInsertAccess:
+    def test_row_count(self, table):
+        assert table.row_count == 4
+        assert len(table) == 4
+
+    def test_get_row(self, table):
+        assert table.get_row(1) == (2, 20)
+
+    def test_get_row_out_of_range(self, table):
+        with pytest.raises(StorageError):
+            table.get_row(4)
+
+    def test_get_value(self, table):
+        assert table.get_value(2, "value") == 30
+
+    def test_rows_iteration(self, table):
+        assert list(table.rows())[0] == (1, 10)
+
+    def test_schema_validation_on_insert(self, table):
+        with pytest.raises(SchemaError):
+            table.insert((1,))
+
+    def test_bytes_used(self, table):
+        assert table.bytes_used == 4 * (8 + 4)
+
+
+class TestIndexes:
+    def test_create_index_backfills(self, table):
+        idx = table.create_index("key")
+        assert sorted(idx.lookup(2)) == [1, 3]
+
+    def test_create_index_twice_returns_same(self, table):
+        a = table.create_index("key")
+        b = table.create_index("key")
+        assert a is b
+
+    def test_index_maintained_on_insert(self, table):
+        table.create_index("key")
+        position = table.insert((9, 90))
+        assert table.lookup("key", 9) == [position]
+
+    def test_index_on_string_rejected(self):
+        t = Table("s", Schema.of(name=DataType.STRING))
+        with pytest.raises(StorageError):
+            t.create_index("name")
+
+    def test_indexed_columns(self, table):
+        table.create_index("key")
+        assert table.indexed_columns == ("key",)
+
+    def test_lookup_without_index_scans(self, table):
+        assert sorted(table.lookup("key", 2)) == [1, 3]
+
+
+class TestUpdate:
+    def test_update_plain_column(self, table):
+        table.update(0, "value", 99)
+        assert table.get_value(0, "value") == 99
+
+    def test_update_indexed_column_moves_entry(self, table):
+        table.create_index("key")
+        table.update(0, "key", 77)
+        assert table.lookup("key", 77) == [0]
+        assert table.lookup("key", 1) == []
+
+    def test_update_out_of_range(self, table):
+        with pytest.raises(StorageError):
+            table.update(10, "value", 1)
+
+
+class TestQueries:
+    def test_scan_equal(self, table):
+        assert list(table.scan_equal("key", 2)) == [1, 3]
+
+    def test_scan_range(self, table):
+        assert list(table.scan_range("value", 20, 30)) == [1, 2, 3]
+
+    def test_select_projection(self, table):
+        rows = table.select([0, 2], ["value"])
+        assert rows == [(10,), (30,)]
+
+    def test_aggregate_sum(self, table):
+        assert table.aggregate_sum("value") == pytest.approx(81.0)
+
+    def test_aggregate_sum_subset(self, table):
+        positions = table.scan_equal("key", 2)
+        assert table.aggregate_sum("value", positions) == pytest.approx(41.0)
+
+    def test_aggregate_string_rejected(self):
+        t = Table("s", Schema.of(name=DataType.STRING))
+        t.insert(("x",))
+        with pytest.raises(SchemaError):
+            t.aggregate_sum("name")

@@ -1,0 +1,134 @@
+"""Tests for the analysis helpers (savings, proportionality, reports)."""
+
+import pytest
+
+from repro.analysis import (
+    comparison_table,
+    power_load_curve,
+    proportionality_index,
+    run_summary,
+    summarize_savings,
+)
+from repro.errors import SimulationError
+from repro.sim.metrics import RunResult, SamplePoint
+
+
+def make_result(samples, latencies=(0.01,), energy=100.0, workload="kv",
+                profile="test"):
+    result = RunResult(
+        policy="ecl",
+        workload_name=workload,
+        profile_name=profile,
+        duration_s=10.0,
+        latency_limit_s=0.1,
+    )
+    result.samples = samples
+    result.latencies_s = list(latencies)
+    result.total_energy_j = energy
+    return result
+
+
+def sample(load, power, t=0.0):
+    return SamplePoint(
+        time_s=t,
+        load_qps=load,
+        rapl_power_w=power,
+        psu_power_w=power * 1.2,
+        avg_latency_s=0.01,
+        pending_messages=0,
+        in_flight_queries=0,
+    )
+
+
+def linear_samples(idle=50.0, peak=250.0, n=100):
+    return [
+        sample(load=i / (n - 1) * 1000, power=idle + i / (n - 1) * (peak - idle))
+        for i in range(n)
+    ]
+
+
+class TestProportionality:
+    def test_proportional_through_origin_scores_one(self):
+        result = make_result(linear_samples(idle=0.0, peak=250.0))
+        assert proportionality_index(result) == pytest.approx(1.0, abs=0.02)
+
+    def test_static_floor_lowers_the_score(self):
+        floored = proportionality_index(
+            make_result(linear_samples(idle=100.0, peak=250.0))
+        )
+        clean = proportionality_index(
+            make_result(linear_samples(idle=0.0, peak=250.0))
+        )
+        assert floored < clean - 0.1
+
+    def test_flat_power_scores_low(self):
+        # Idle draws 60 W but any load at all jumps straight to 240 W —
+        # the classic non-proportional server shape.
+        flat = [sample(load=0.0, power=60.0) for _ in range(10)]
+        flat += [sample(load=100.0 + i * 9.0, power=240.0) for i in range(100)]
+        result = make_result(flat)
+        assert proportionality_index(result) < 0.8
+
+    def test_curve_buckets(self):
+        curve = power_load_curve(make_result(linear_samples()), buckets=5)
+        assert len(curve) == 5
+        loads = [l for l, _ in curve]
+        assert loads == sorted(loads)
+        powers = [p for _, p in curve]
+        assert powers == sorted(powers)
+
+    def test_requires_samples(self):
+        with pytest.raises(SimulationError):
+            power_load_curve(make_result([]))
+
+    def test_requires_load(self):
+        with pytest.raises(SimulationError):
+            power_load_curve(make_result([sample(0.0, 100.0)]))
+
+    def test_bucket_validation(self):
+        with pytest.raises(SimulationError):
+            power_load_curve(make_result(linear_samples()), buckets=0)
+
+
+class TestSavingsSummary:
+    def test_summary_fields(self):
+        base = make_result(linear_samples(), latencies=[0.01], energy=200.0)
+        base.policy = "baseline"
+        ecl = make_result(linear_samples(), latencies=[0.02], energy=150.0)
+        summary = summarize_savings(base, ecl)
+        assert summary.saving_fraction == pytest.approx(0.25)
+        assert summary.latency_penalty_s == pytest.approx(0.01)
+        assert summary.baseline_energy_j == 200.0
+
+    def test_mismatched_workloads_rejected(self):
+        base = make_result(linear_samples(), workload="kv")
+        other = make_result(linear_samples(), workload="tatp")
+        with pytest.raises(SimulationError):
+            summarize_savings(base, other)
+
+    def test_mismatched_profiles_rejected(self):
+        base = make_result(linear_samples(), profile="spike")
+        other = make_result(linear_samples(), profile="twitter")
+        with pytest.raises(SimulationError):
+            summarize_savings(base, other)
+
+
+class TestReports:
+    def test_run_summary_contains_key_figures(self):
+        text = run_summary(make_result(linear_samples(), energy=123.0))
+        assert "123 J" in text
+        assert "mean latency" in text
+
+    def test_comparison_table_aligned(self):
+        runs = {
+            "baseline": make_result(linear_samples(), energy=200.0),
+            "ecl": make_result(linear_samples(), energy=120.0),
+        }
+        table = comparison_table(runs)
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert all(len(line) == len(lines[0]) for line in lines[2:])
+
+    def test_empty_comparison_rejected(self):
+        with pytest.raises(SimulationError):
+            comparison_table({})

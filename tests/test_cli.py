@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import WORKLOADS, build_parser, main, make_profile, make_workload
+
+
+class TestParsing:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.policy == "ecl"
+        assert args.workload == "kv-non-indexed"
+        assert args.profile == "spike"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "magic"])
+
+
+class TestFactories:
+    def test_all_workloads_constructible(self):
+        for name in WORKLOADS:
+            workload = make_workload(name)
+            assert workload.nominal_peak_qps > 0
+
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            make_workload("oracle")
+
+    def test_profiles(self):
+        for name in ("spike", "twitter", "constant", "sine"):
+            profile = make_profile(name, 30.0, 0.5)
+            assert profile.duration_s > 0
+
+    def test_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            make_profile("square", 30.0, 0.5)
+
+
+class TestCommands:
+    def test_run_constant(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--workload",
+                "kv-non-indexed",
+                "--profile",
+                "constant",
+                "--level",
+                "0.3",
+                "--duration",
+                "5",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "total energy" in out
+        assert "mean latency" in out
+
+    def test_profile_micro(self, capsys):
+        rc = main(["profile", "--workload", "compute-bound"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "optimal configuration" in out
+        assert "skyline" in out
+
+    def test_profile_benchmark(self, capsys):
+        rc = main(["profile", "--workload", "ssb-non-indexed"])
+        assert rc == 0
+        assert "u3.0GHz" in capsys.readouterr().out
