@@ -3,11 +3,39 @@
 from __future__ import annotations
 
 import os
+from typing import Sequence
+
+from repro.sim import ExperimentSuite, RunConfiguration, RunResult
+from repro.sim.suite import suite_worker_count
 
 
 def bench_duration_s() -> float:
     """Configured duration of end-to-end load-profile runs."""
     return float(os.environ.get("REPRO_BENCH_DURATION", "45"))
+
+
+def suite_workers() -> int:
+    """Worker processes per experiment batch.
+
+    Set with ``--suite-workers`` (see conftest.py) or the
+    ``REPRO_SUITE_WORKERS`` environment variable; defaults to 1 (inline,
+    no subprocesses).
+    """
+    return suite_worker_count(default=1)
+
+
+def run_experiments(
+    configs: Sequence[RunConfiguration],
+    durations: Sequence[float | None] | None = None,
+) -> list[RunResult]:
+    """Run a batch of configurations through the shared experiment suite.
+
+    Fans out across ``suite_workers()`` processes and serves repeats from
+    the on-disk result cache (``REPRO_CACHE_DIR``, default
+    ``.repro_cache/``) — a second benchmark invocation with unchanged
+    configurations replays from disk.
+    """
+    return ExperimentSuite(workers=suite_workers()).run(configs, durations)
 
 
 def heading(title: str) -> None:

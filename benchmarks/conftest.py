@@ -11,11 +11,35 @@ Environment knobs:
 * ``REPRO_BENCH_DURATION`` — seconds per end-to-end load-profile run
   (default 45; the paper replays 3-minute profiles, use 180 for the full
   reproduction).
+* ``REPRO_SUITE_WORKERS`` — processes per experiment batch (default 1 =
+  inline); also settable via the ``--suite-workers`` pytest option.
+* ``REPRO_CACHE_DIR`` — experiment result cache (default
+  ``.repro_cache/``); delete it to force recomputation.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--suite-workers",
+        type=int,
+        default=None,
+        help="processes per experiment batch (default: REPRO_SUITE_WORKERS "
+             "or 1 = inline)",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    workers = config.getoption("--suite-workers")
+    if workers is not None:
+        # Published as the env knob so helpers (and worker subprocesses
+        # they spawn) see one consistent setting.
+        os.environ["REPRO_SUITE_WORKERS"] = str(workers)
 
 
 @pytest.fixture

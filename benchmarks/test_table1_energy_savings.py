@@ -12,7 +12,7 @@ workload, which is mostly static per workload.
 from repro.loadprofiles import spike_profile, twitter_profile
 from repro.profiles.evaluate import build_profile
 from repro.hardware.machine import Machine
-from repro.sim import RunConfiguration, run_experiment
+from repro.sim import RunConfiguration
 from repro.sim.metrics import energy_saving_fraction
 from repro.workloads import (
     KeyValueWorkload,
@@ -21,7 +21,7 @@ from repro.workloads import (
     WorkloadVariant,
 )
 
-from _shared import bench_duration_s, heading
+from _shared import bench_duration_s, heading, run_experiments
 
 WORKLOADS = [
     TatpWorkload(WorkloadVariant.INDEXED),
@@ -40,20 +40,37 @@ def run_table():
         "twitter": twitter_profile(duration_s=duration),
     }
     machine = Machine(seed=1)
+    # One flat batch — the whole grid fans out across the suite's worker
+    # processes and repeats replay from the on-disk cache.
+    grid = [
+        (workload, profile_name, policy)
+        for workload in WORKLOADS
+        for profile_name in profiles
+        for policy in ("ecl", "baseline")
+    ]
+    results = run_experiments(
+        [
+            RunConfiguration(
+                workload=workload,
+                profile=profiles[profile_name],
+                policy=policy,
+            )
+            for workload, profile_name, policy in grid
+        ]
+    )
+    by_key = {
+        (workload.full_name, profile_name, policy): result
+        for (workload, profile_name, policy), result in zip(grid, results)
+    }
+
     table = {}
     for workload in WORKLOADS:
         energy_profile = build_profile(machine, 0, workload.characteristics)
         optimal = energy_profile.most_efficient().configuration.describe()
         savings = {}
-        for profile_name, load_profile in profiles.items():
-            ecl = run_experiment(
-                RunConfiguration(workload=workload, profile=load_profile)
-            )
-            base = run_experiment(
-                RunConfiguration(
-                    workload=workload, profile=load_profile, policy="baseline"
-                )
-            )
+        for profile_name in profiles:
+            ecl = by_key[(workload.full_name, profile_name, "ecl")]
+            base = by_key[(workload.full_name, profile_name, "baseline")]
             savings[profile_name] = (
                 energy_saving_fraction(base, ecl),
                 ecl.violation_fraction(),

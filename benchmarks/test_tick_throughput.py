@@ -1,0 +1,60 @@
+"""Simulation-core throughput: engine+machine ticks per second.
+
+Not a paper figure — a harness microbenchmark guarding the fast
+simulation core (memoized hardware step resolution, idle fast path,
+heap-based partition acquisition).  It reports ticks/second for a
+baseline (all-on) run and an ECL-controlled run and asserts the floor
+that keeps the full experiment grid tractable.
+"""
+
+import time
+
+from repro.loadprofiles import sine_profile
+from repro.sim import RunConfiguration, SimulationRunner
+from repro.workloads import SsbWorkload
+
+from _shared import heading
+
+#: Simulated seconds per measured run (small: this is a microbenchmark).
+DURATION_S = 4.0
+
+#: Conservative floor — the seed tree ran ~1.6k ticks/s for the ECL
+#: policy on the reference container; the fast core runs ~3x that.
+MIN_TICKS_PER_S = 1000.0
+
+
+def _measure(policy: str) -> tuple[float, float]:
+    config = RunConfiguration(
+        workload=SsbWorkload(),
+        profile=sine_profile(low=0.1, high=0.8, period_s=2.0, duration_s=DURATION_S),
+        policy=policy,
+        seed=7,
+    )
+    runner = SimulationRunner(config)
+    ticks = round(DURATION_S / config.tick_s)
+    start = time.perf_counter()
+    result = runner.run()
+    elapsed = time.perf_counter() - start
+    assert result.queries_completed > 0
+    return ticks / elapsed, elapsed
+
+
+def test_tick_throughput(run_once):
+    rates = run_once(
+        lambda: {policy: _measure(policy) for policy in ("baseline", "ecl")}
+    )
+
+    heading("Simulation core — engine ticks per second")
+    for policy, (ticks_per_s, elapsed) in rates.items():
+        print(f"{policy:>9}: {ticks_per_s:10,.0f} ticks/s  ({elapsed:.2f} s wall)")
+
+    for policy, (ticks_per_s, _) in rates.items():
+        assert ticks_per_s > MIN_TICKS_PER_S, policy
+
+
+def test_tick_throughput_extra_info(benchmark):
+    """Record the ECL tick rate in the pytest-benchmark report."""
+    ticks_per_s, _ = benchmark.pedantic(
+        _measure, args=("ecl",), rounds=1, iterations=1
+    )
+    benchmark.extra_info["ticks_per_s"] = round(ticks_per_s)

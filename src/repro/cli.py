@@ -28,7 +28,7 @@ from repro.loadprofiles import (
 )
 from repro.loadprofiles.base import LoadProfile
 from repro.profiles.evaluate import build_profile
-from repro.sim import RunConfiguration, run_experiment
+from repro.sim import ExperimentSuite, RunConfiguration, run_experiment
 from repro.sim.metrics import RunResult, energy_saving_fraction
 from repro.workloads import (
     KeyValueWorkload,
@@ -114,16 +114,23 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     profile = make_profile(args.profile, args.duration, args.level)
-    results = {}
-    for policy in POLICIES:
-        print(f"running {policy} ...", file=sys.stderr)
-        results[policy] = run_experiment(
-            RunConfiguration(
-                workload=make_workload(args.workload),
-                profile=profile,
-                policy=policy,
-                seed=args.seed,
-            )
+    configs = [
+        RunConfiguration(
+            workload=make_workload(args.workload),
+            profile=profile,
+            policy=policy,
+            seed=args.seed,
+        )
+        for policy in POLICIES
+    ]
+    suite = ExperimentSuite(workers=args.workers, use_cache=not args.no_cache)
+    print(f"running {', '.join(POLICIES)} ...", file=sys.stderr)
+    results = dict(zip(POLICIES, suite.run(configs)))
+    if suite.cache_hits:
+        print(
+            f"({suite.cache_hits} of {len(configs)} runs served from "
+            f"{suite.cache_dir}/)",
+            file=sys.stderr,
         )
     print(comparison_table(results))
     base = results["baseline"]
@@ -205,6 +212,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     cmp_p = sub.add_parser("compare", help="run all policies and compare")
     common(cmp_p)
+    cmp_p.add_argument("--workers", type=int, default=None,
+                       help="parallel run processes (default: "
+                            "REPRO_SUITE_WORKERS or 1)")
+    cmp_p.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache")
     cmp_p.set_defaults(func=cmd_compare)
 
     prof_p = sub.add_parser("profile", help="print a workload's energy profile")

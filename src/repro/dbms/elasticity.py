@@ -29,12 +29,20 @@ class ElasticWorkerPool:
         self._topology = topology
         self._hubs = hubs
         self._workers: dict[int, Worker] = {}
+        by_socket: dict[int, list[Worker]] = {}
         for thread in topology.iter_threads():
-            self._workers[thread.global_id] = Worker(
+            worker = Worker(
                 worker_id=thread.global_id,
                 socket_id=thread.socket_id,
                 hw_thread_id=thread.global_id,
             )
+            self._workers[thread.global_id] = worker
+            by_socket.setdefault(thread.socket_id, []).append(worker)
+        #: Workers never migrate between sockets, so the per-socket view
+        #: is fixed at construction.
+        self._by_socket: dict[int, tuple[Worker, ...]] = {
+            sid: tuple(workers) for sid, workers in by_socket.items()
+        }
 
     # -- lookup -----------------------------------------------------------
 
@@ -51,9 +59,7 @@ class ElasticWorkerPool:
 
     def workers_on_socket(self, socket_id: int) -> tuple[Worker, ...]:
         """All workers of a socket (active and parked)."""
-        return tuple(
-            w for w in self._workers.values() if w.socket_id == socket_id
-        )
+        return self._by_socket.get(socket_id, ())
 
     def active_workers(self, socket_id: int) -> tuple[Worker, ...]:
         """Active workers of a socket."""

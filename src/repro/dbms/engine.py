@@ -99,6 +99,10 @@ class DatabaseEngine:
         self._overhead_instructions: dict[int, float] = {
             sid: 0.0 for sid in socket_ids
         }
+        #: C-state version last mirrored into the worker pool; the pool is
+        #: only mutated through :meth:`sync_workers`, so an unchanged
+        #: version means the sync would be a no-op.
+        self._synced_cstates_version: int | None = None
 
     # -- workload declaration ---------------------------------------------------
 
@@ -150,7 +154,16 @@ class DatabaseEngine:
     # -- main loop ---------------------------------------------------------------
 
     def sync_workers(self) -> None:
-        """Align the worker pool with the machine's active threads."""
+        """Align the worker pool with the machine's active threads.
+
+        Skipped when the C-state model's version is unchanged since the
+        last sync — parking/unparking is driven exclusively by the
+        machine's active-thread set, so the sync is a no-op then.
+        """
+        version = self.machine.cstates.version
+        if version == self._synced_cstates_version:
+            return
+        self._synced_cstates_version = version
         for sock in self.machine.topology.sockets:
             active = self.machine.cstates.active_threads_on_socket(sock.socket_id)
             self.pool.sync_with_threads(sock.socket_id, active)
@@ -215,7 +228,14 @@ class DatabaseEngine:
             self._overhead_instructions[sid] -= overhead
             budget = executed - overhead
             consumed = overhead
-            workers = self.pool.active_workers(sid)
+            # Idle fast path: with no queued messages every worker's
+            # quantum is a no-op (acquire returns None, no stats change),
+            # so the scheduling loop is skipped outright.
+            workers = (
+                self.pool.active_workers(sid)
+                if budget > 0 and hub.pending_messages
+                else ()
+            )
             if workers and budget > 0:
                 progress = True
                 while budget > 0 and progress:

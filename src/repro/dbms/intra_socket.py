@@ -16,6 +16,7 @@ and *release* it again.  Consequences the implementation enforces:
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from typing import Iterable
 
@@ -52,6 +53,30 @@ class IntraSocketHub:
         self._pending_instructions = 0.0
         #: Pending instructions per characteristics tag (None = untagged).
         self._pending_by_tag: dict[object, tuple[object, float]] = {}
+        #: Declaration order of partitions — the tie-break of
+        #: :meth:`acquire_partition` (matches the original dict-scan order).
+        self._order: dict[int, int] = {
+            pid: index for index, pid in enumerate(self._queues)
+        }
+        #: Lazy max-heap of (-depth, order, pid, generation) snapshots.
+        #: Entries are pushed on enqueue and on release; while a partition
+        #: is unowned its depth only changes through pushes, so the entry
+        #: with the newest generation is always exact and every older one
+        #: can be discarded on sight.  Acquisition therefore disposes each
+        #: entry exactly once — O(log n) amortized per queue mutation,
+        #: replacing the original linear scan over all partitions.
+        self._depth_heap: list[tuple[int, int, int, int]] = []
+        self._entry_gen: dict[int, int] = {}
+
+    def _push_depth(self, partition_id: int) -> None:
+        depth = len(self._queues[partition_id])
+        if depth:
+            gen = self._entry_gen.get(partition_id, 0) + 1
+            self._entry_gen[partition_id] = gen
+            heapq.heappush(
+                self._depth_heap,
+                (-depth, self._order[partition_id], partition_id, gen),
+            )
 
     # -- queue side -----------------------------------------------------------
 
@@ -87,6 +112,7 @@ class IntraSocketHub:
         instructions = _message_instructions(message)
         self._pending_instructions += instructions
         self._tally_tag(message, instructions)
+        self._push_depth(message.target_partition)
 
     def pending_cost_instructions(self) -> float:
         """Total modeled instructions waiting in all queues.
@@ -130,18 +156,29 @@ class IntraSocketHub:
         partition has pending messages.  Preferring the deepest queue
         approximates the implicit load balancing of the paper's design.
         """
-        best: int | None = None
-        best_depth = 0
-        for pid, queue in self._queues.items():
-            if pid in self._owners or not queue:
+        heap = self._depth_heap
+        while heap:
+            neg_depth, order, pid, gen = heap[0]
+            if (
+                pid in self._owners
+                or gen != self._entry_gen.get(pid)
+                or not self._queues[pid]
+            ):
+                # Owned partitions re-push on release; superseded or
+                # emptied entries are simply dropped.
+                heapq.heappop(heap)
                 continue
-            if len(queue) > best_depth:
-                best = pid
-                best_depth = len(queue)
-        if best is None:
-            return None
-        self._owners[best] = worker_id
-        return best
+            depth = len(self._queues[pid])
+            if -neg_depth != depth:
+                # Unreachable through the engine's call sequence (the
+                # newest entry of an unowned partition is exact), kept as
+                # insurance for external API orderings.
+                heapq.heapreplace(heap, (-depth, order, pid, gen))
+                continue
+            heapq.heappop(heap)
+            self._owners[pid] = worker_id
+            return pid
+        return None
 
     def acquire_specific(self, worker_id: int, partition_id: int) -> bool:
         """Try to acquire one specific partition; False if already owned."""
@@ -198,12 +235,14 @@ class IntraSocketHub:
         """
         self._require_owner(worker_id, partition_id)
         del self._owners[partition_id]
+        self._push_depth(partition_id)
 
     def release_all(self, worker_id: int) -> None:
         """Release every partition owned by a worker (park-time cleanup)."""
         owned = [pid for pid, wid in self._owners.items() if wid == worker_id]
         for pid in owned:
             del self._owners[pid]
+            self._push_depth(pid)
 
     def _require_partition(self, partition_id: int) -> None:
         if partition_id not in self._queues:

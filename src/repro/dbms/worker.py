@@ -89,32 +89,31 @@ class Worker:
                 break
             self.stats.acquisitions += 1
             try:
-                while remaining > 0 and not out_of_budget:
-                    batch = hub.dequeue_batch(
-                        self.worker_id, partition_id, self.batch_size
-                    )
+                # Messages are pulled one at a time: dequeuing a large
+                # batch up front would only push the unprocessed tail back
+                # (the budget decides how far we get, not the batch size),
+                # and that round trip dominated the tick cost on deep
+                # queues.  The processing decisions are identical.
+                while remaining > 0:
+                    batch = hub.dequeue_batch(self.worker_id, partition_id, 1)
                     if not batch:
                         break
-                    for index, message in enumerate(batch):
-                        if message.is_modeled:
-                            cost = message.charged_cost()
-                            if cost.instructions > remaining and completed:
-                                # Budget exhausted: push back the rest.
-                                hub.requeue_front(self.worker_id, batch[index:])
-                                out_of_budget = True
-                                break
-                            self._charge(cost.instructions, cost.bytes_accessed)
-                            remaining -= cost.instructions
-                        else:
-                            cost = self._execute_real(message, partitions)
-                            self._charge(cost.instructions, cost.bytes_accessed)
-                            remaining -= cost.instructions
-                        completed.append(message)
-                        self.stats.messages_processed += 1
-                        if remaining <= 0 and index + 1 < len(batch):
-                            hub.requeue_front(self.worker_id, batch[index + 1:])
+                    message = batch[0]
+                    if message.is_modeled:
+                        cost = message.charged_cost()
+                        if cost.instructions > remaining and completed:
+                            # Budget exhausted: push the message back.
+                            hub.requeue_front(self.worker_id, batch)
                             out_of_budget = True
                             break
+                        self._charge(cost.instructions, cost.bytes_accessed)
+                        remaining -= cost.instructions
+                    else:
+                        cost = self._execute_real(message, partitions)
+                        self._charge(cost.instructions, cost.bytes_accessed)
+                        remaining -= cost.instructions
+                    completed.append(message)
+                    self.stats.messages_processed += 1
             finally:
                 hub.release_partition(self.worker_id, partition_id)
 

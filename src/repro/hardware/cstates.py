@@ -50,6 +50,14 @@ class CStateModel:
         )
         #: Threads in a shallow halt (C1) rather than parked deep (C6).
         self._shallow_threads: set[int] = set()
+        #: Monotonic counter bumped on every park/unpark mutation; lets
+        #: callers detect that the active-thread set is unchanged.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Control-state version (bumps on any thread-set mutation)."""
+        return self._version
 
     # -- mutation -------------------------------------------------------------
 
@@ -66,6 +74,7 @@ class CStateModel:
             raise ConfigurationError(f"unknown hardware thread ids {sorted(unknown)}")
         self._active_threads = ids
         self._shallow_threads -= ids
+        self._version += 1
 
     def park_thread(self, thread_id: int, shallow: bool = False) -> None:
         """Park one thread; ``shallow=True`` leaves it in C1 instead of C6."""
@@ -75,12 +84,14 @@ class CStateModel:
             self._shallow_threads.add(thread_id)
         else:
             self._shallow_threads.discard(thread_id)
+        self._version += 1
 
     def unpark_thread(self, thread_id: int) -> None:
         """Wake one thread into the active set."""
         self._require_known(thread_id)
         self._active_threads.add(thread_id)
         self._shallow_threads.discard(thread_id)
+        self._version += 1
 
     def _require_known(self, thread_id: int) -> None:
         self._topology.thread(thread_id)  # raises TopologyError if unknown

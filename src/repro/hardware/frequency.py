@@ -142,6 +142,8 @@ class FrequencyDomains:
         self._turbo_request_time: dict[tuple[int, int], float | None] = {
             key: None for key in cores
         }
+        #: Cores with an outstanding turbo request (possibly in EET dwell).
+        self._pending_turbo: set[tuple[int, int]] = set()
         self._uncore_request: dict[int, float | None] = {
             s.socket_id: None for s in topology.sockets
         }  # None = automatic UFS
@@ -149,6 +151,15 @@ class FrequencyDomains:
             t.global_id: EnergyPerformanceBias.BALANCED
             for t in topology.iter_threads()
         }
+        #: Monotonic counter bumped on every control-state mutation; lets
+        #: callers (the machine's step-resolution cache) detect that no
+        #: clock request or EPB changed between two steps.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Control-state version (bumps on any frequency/EPB mutation)."""
+        return self._version
 
     # -- core clocks ---------------------------------------------------------
 
@@ -162,11 +173,16 @@ class FrequencyDomains:
             raise ConfigurationError(f"unknown core {core_id} on socket {socket_id}")
         previous = self._core_request[key]
         self._core_request[key] = value
+        self._version += 1
         is_turbo = abs(value - self._params.core_turbo_ghz) < 1e-9
         if is_turbo and abs(previous - self._params.core_turbo_ghz) >= 1e-9:
             self._turbo_request_time[key] = now
         elif not is_turbo:
             self._turbo_request_time[key] = None
+        if self._turbo_request_time[key] is None:
+            self._pending_turbo.discard(key)
+        else:
+            self._pending_turbo.add(key)
 
     def set_all_core_frequencies(self, ghz: float, now: float) -> None:
         """Request the same P-state for every physical core."""
@@ -207,6 +223,28 @@ class FrequencyDomains:
             return EnergyPerformanceBias.POWERSAVE
         return EnergyPerformanceBias.BALANCED
 
+    def turbo_dwell_signature(self, socket_id: int, now: float) -> tuple[int, ...]:
+        """Core ids of a socket still inside their EET dwell at ``now``.
+
+        Together with :attr:`version`, this captures the only way an
+        *effective* core frequency can change without a control-state
+        mutation: the energy-efficient turbo dwell elapsing.  The machine's
+        step-resolution cache keys on it.
+        """
+        if not self._pending_turbo:
+            return ()
+        delay = self._params.eet_delay_s
+        dwelling = []
+        for sid, core_id in self._pending_turbo:
+            if sid != socket_id:
+                continue
+            since = self._turbo_request_time[(sid, core_id)]
+            if since is None or now - since >= delay:
+                continue
+            if self._core_epb(sid, core_id).delays_turbo:
+                dwelling.append(core_id)
+        return tuple(sorted(dwelling))
+
     # -- uncore clock ----------------------------------------------------------
 
     def set_uncore_frequency(self, socket_id: int, ghz: float) -> None:
@@ -214,12 +252,14 @@ class FrequencyDomains:
         if socket_id not in self._uncore_request:
             raise ConfigurationError(f"unknown socket id {socket_id}")
         self._uncore_request[socket_id] = self.uncore_ladder.validate(ghz)
+        self._version += 1
 
     def set_uncore_auto(self, socket_id: int) -> None:
         """Hand the socket's uncore clock back to automatic UFS."""
         if socket_id not in self._uncore_request:
             raise ConfigurationError(f"unknown socket id {socket_id}")
         self._uncore_request[socket_id] = None
+        self._version += 1
 
     def uncore_is_auto(self, socket_id: int) -> bool:
         """Whether automatic UFS controls this socket's uncore clock."""
@@ -251,11 +291,13 @@ class FrequencyDomains:
         if thread_id not in self._epb:
             raise ConfigurationError(f"unknown hardware thread id {thread_id}")
         self._epb[thread_id] = bias
+        self._version += 1
 
     def set_epb_all(self, bias: EnergyPerformanceBias) -> None:
         """Set the EPB of every hardware thread."""
         for thread_id in self._epb:
             self._epb[thread_id] = bias
+        self._version += 1
 
     def epb(self, thread_id: int) -> EnergyPerformanceBias:
         """The EPB currently set for a hardware thread."""

@@ -14,6 +14,13 @@ from repro.sim.baseline import BaselinePolicy
 from repro.sim.governor import OndemandGovernorPolicy
 from repro.sim.metrics import RunResult, SamplePoint
 from repro.sim.runner import RunConfiguration, SimulationRunner, run_experiment
+from repro.sim.suite import (
+    ExperimentSuite,
+    config_signature,
+    default_cache_dir,
+    derive_seed,
+    suite_worker_count,
+)
 
 __all__ = [
     "LoadGenerator",
@@ -24,4 +31,9 @@ __all__ = [
     "RunConfiguration",
     "SimulationRunner",
     "run_experiment",
+    "ExperimentSuite",
+    "config_signature",
+    "default_cache_dir",
+    "derive_seed",
+    "suite_worker_count",
 ]

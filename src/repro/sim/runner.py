@@ -50,6 +50,9 @@ class RunConfiguration:
     #: (the section 6.3 profile-adaptation experiment).
     switch_at_s: float | None = None
     switch_workload: Workload | None = None
+    #: LRU size of the machine's step-resolution cache; ``0`` disables
+    #: memoization (the exact uncached path, for A/B validation).
+    step_cache_size: int = 1024
 
     def __post_init__(self) -> None:
         if self.policy not in ("ecl", "baseline", "ondemand"):
@@ -67,7 +70,11 @@ class SimulationRunner:
 
     def __init__(self, config: RunConfiguration):
         self.config = config
-        self.machine = Machine(params=config.machine_params, seed=config.seed)
+        self.machine = Machine(
+            params=config.machine_params,
+            seed=config.seed,
+            step_cache_size=config.step_cache_size,
+        )
         self.engine = DatabaseEngine(
             self.machine,
             utilization_window_s=config.ecl_params.interval_s,

@@ -1,0 +1,269 @@
+"""Parallel experiment suite with an on-disk result cache.
+
+The paper's evaluation (§6) is a grid of independent (workload, load
+profile, policy) runs.  :class:`ExperimentSuite` executes such a batch:
+
+* runs fan out across a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (each simulation is CPU-bound single-thread Python, so processes are
+  the only way to use more than one core);
+* every run is keyed by a content hash over its full
+  :class:`~repro.sim.runner.RunConfiguration` (plus duration), and the
+  resulting :class:`~repro.sim.metrics.RunResult` is pickled into a cache
+  directory — re-running an experiment script recomputes only what
+  changed.
+
+Determinism is unaffected: a configuration fully determines its run (the
+simulation is seeded), so executing in a pool, inline, or from the cache
+yields the same result object.
+
+Environment knobs:
+
+* ``REPRO_SUITE_WORKERS`` — default pool size (default 1: inline, no
+  subprocesses).
+* ``REPRO_CACHE_DIR`` — cache directory (default ``.repro_cache/`` under
+  the current working directory).
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import os
+import pickle
+import tempfile
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import fields, is_dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.metrics import RunResult
+from repro.sim.runner import RunConfiguration, run_experiment
+
+#: Bump to invalidate every cached result (e.g. after changing the
+#: simulation model in a way that alters run outcomes).
+CACHE_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def suite_worker_count(default: int = 1) -> int:
+    """Worker-process count from ``REPRO_SUITE_WORKERS`` (min 1)."""
+    raw = os.environ.get("REPRO_SUITE_WORKERS", "")
+    if not raw:
+        return max(1, default)
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise SimulationError(
+            f"REPRO_SUITE_WORKERS must be an integer, got {raw!r}"
+        ) from None
+
+
+def default_cache_dir() -> Path:
+    """Cache directory from ``REPRO_CACHE_DIR`` (default .repro_cache/)."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """A stable, well-mixed per-run seed for building config batches."""
+    digest = hashlib.sha256(f"{base_seed}:{index}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce an object to a deterministic, repr-stable structure.
+
+    Covers everything a :class:`RunConfiguration` transitively contains:
+    dataclasses (by field), enums (by name), numpy arrays (by bytes),
+    floats (by ``repr``, so -0.0 and precision survive), callables (by
+    qualified name), and plain objects (by sorted ``__dict__``).
+    """
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return obj
+    if isinstance(obj, float):
+        return ("float", repr(obj))
+    if isinstance(obj, enum.Enum):
+        return ("enum", type(obj).__qualname__, obj.name)
+    if isinstance(obj, np.ndarray):
+        return ("ndarray", str(obj.dtype), obj.shape, obj.tobytes())
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return (
+            type(obj).__qualname__,
+            tuple(
+                (f.name, _canonical(getattr(obj, f.name)))
+                for f in fields(obj)
+            ),
+        )
+    if isinstance(obj, (list, tuple)):
+        return tuple(_canonical(v) for v in obj)
+    if isinstance(obj, (set, frozenset)):
+        return ("set", tuple(sorted(repr(_canonical(v)) for v in obj)))
+    if isinstance(obj, dict):
+        return (
+            "dict",
+            tuple(
+                sorted(
+                    (repr(_canonical(k)), _canonical(v))
+                    for k, v in obj.items()
+                )
+            ),
+        )
+    if callable(obj):
+        return (
+            "callable",
+            getattr(obj, "__module__", ""),
+            getattr(obj, "__qualname__", repr(obj)),
+        )
+    state = getattr(obj, "__dict__", None)
+    if state is not None:
+        return (
+            type(obj).__qualname__,
+            tuple(
+                sorted((k, repr(_canonical(v))) for k, v in state.items())
+            ),
+        )
+    return ("repr", repr(obj))
+
+
+def config_signature(
+    config: RunConfiguration, duration_s: float | None = None
+) -> str:
+    """Content hash identifying one experiment run."""
+    payload = repr(
+        (CACHE_VERSION, _canonical(config), _canonical(duration_s))
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ExperimentSuite:
+    """Executes a batch of experiment configurations.
+
+    Args:
+        workers: process-pool size; ``None`` reads ``REPRO_SUITE_WORKERS``
+            (default 1 = run inline in this process).
+        cache_dir: result cache directory; ``None`` reads
+            ``REPRO_CACHE_DIR`` (default ``.repro_cache/``).
+        use_cache: disable to always recompute (results are still not
+            written).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache_dir: str | os.PathLike | None = None,
+        use_cache: bool = True,
+    ):
+        self.workers = suite_worker_count() if workers is None else max(1, workers)
+        self.cache_dir = (
+            default_cache_dir() if cache_dir is None else Path(cache_dir)
+        )
+        self.use_cache = use_cache
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- cache -----------------------------------------------------------
+
+    def _cache_path(self, signature: str) -> Path:
+        return self.cache_dir / f"{signature}.pkl"
+
+    def _load(self, signature: str) -> RunResult | None:
+        path = self._cache_path(signature)
+        try:
+            with open(path, "rb") as fh:
+                result = pickle.load(fh)
+        except Exception:
+            # Missing, corrupt, or version-incompatible entries are misses.
+            return None
+        return result if isinstance(result, RunResult) else None
+
+    def _store(self, signature: str, result: RunResult) -> None:
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._cache_path(signature)
+        # Atomic publish: concurrent suites may race on the same key.
+        fd, tmp = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- execution --------------------------------------------------------
+
+    def run(
+        self,
+        configs: Sequence[RunConfiguration],
+        durations: Sequence[float | None] | None = None,
+    ) -> list[RunResult]:
+        """Run every configuration, returning results in input order.
+
+        ``durations`` optionally overrides each run's duration (same
+        meaning as the second argument of
+        :func:`~repro.sim.runner.run_experiment`).
+        """
+        configs = list(configs)
+        if durations is None:
+            durations = [None] * len(configs)
+        else:
+            durations = list(durations)
+            if len(durations) != len(configs):
+                raise SimulationError(
+                    f"{len(durations)} durations for {len(configs)} configs"
+                )
+
+        results: list[RunResult | None] = [None] * len(configs)
+        signatures: list[str | None] = [None] * len(configs)
+        pending: list[int] = []
+        for index, (config, duration) in enumerate(zip(configs, durations)):
+            if self.use_cache:
+                signature = config_signature(config, duration)
+                signatures[index] = signature
+                cached = self._load(signature)
+                if cached is not None:
+                    self.cache_hits += 1
+                    results[index] = cached
+                    continue
+                self.cache_misses += 1
+            pending.append(index)
+
+        if pending:
+            if self.workers <= 1 or len(pending) == 1:
+                for index in pending:
+                    results[index] = run_experiment(
+                        configs[index], durations[index]
+                    )
+                    self._publish(signatures[index], results[index])
+            else:
+                pool_size = min(self.workers, len(pending))
+                with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                    futures = {
+                        pool.submit(
+                            run_experiment, configs[index], durations[index]
+                        ): index
+                        for index in pending
+                    }
+                    outstanding = set(futures)
+                    while outstanding:
+                        done, outstanding = wait(
+                            outstanding, return_when=FIRST_COMPLETED
+                        )
+                        for future in done:
+                            index = futures[future]
+                            results[index] = future.result()
+                            self._publish(signatures[index], results[index])
+
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def _publish(self, signature: str | None, result: RunResult) -> None:
+        if self.use_cache and signature is not None:
+            self._store(signature, result)

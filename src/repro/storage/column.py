@@ -65,10 +65,78 @@ class Column:
         self._length += 1
         return self._length - 1
 
+    def _reserve(self, additional: int) -> None:
+        """Grow the buffer (doubling) to fit ``additional`` more values."""
+        assert self._buffer is not None
+        needed = self._length + additional
+        capacity = len(self._buffer)
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        grown = np.zeros(capacity, dtype=self._buffer.dtype)
+        grown[: self._length] = self._buffer[: self._length]
+        self._buffer = grown
+
+    def _coerce_bulk(self, values: Any) -> np.ndarray | None:
+        """Coerce ``values`` to a clean 1-D array of this column's dtype.
+
+        Returns None when the input cannot be validated wholesale (mixed
+        types, bools, out-of-range integers, object arrays) — the caller
+        falls back to per-value appends, which raise the usual errors.
+        """
+        try:
+            array = np.asarray(values)
+        except (ValueError, TypeError, OverflowError):
+            return None
+        if array.ndim != 1:
+            return None
+        kind = array.dtype.kind
+        if self.dtype is DataType.FLOAT64:
+            if kind not in "iuf":
+                return None
+            return array.astype(np.float64, copy=False)
+        if kind not in "iu":
+            return None
+        if self.dtype is DataType.INT32:
+            if array.size and (
+                int(array.min()) < -(2**31) or int(array.max()) >= 2**31
+            ):
+                return None
+            return array.astype(np.int32, copy=False)
+        if kind == "u" and array.size and int(array.max()) >= 2**63:
+            return None
+        return array.astype(np.int64, copy=False)
+
     def extend(self, values: Any) -> None:
-        """Append many values."""
-        for value in values:
-            self.append(value)
+        """Append many values.
+
+        Numeric columns take a vectorized path — one bulk buffer copy —
+        when the input coerces to a clean numeric array.  The bulk path
+        additionally accepts numpy scalar types that the per-value
+        ``append`` would reject; anything it cannot validate wholesale
+        falls back to per-value appends with identical error behaviour.
+        """
+        if self.dtype is DataType.STRING:
+            for value in values:
+                self.append(value)
+            return
+        if not isinstance(values, np.ndarray):
+            values = list(values)
+            if not values:
+                return
+        elif not len(values):
+            return
+        array = self._coerce_bulk(values)
+        if array is None:
+            for value in values:
+                self.append(value)
+            return
+        count = len(array)
+        self._reserve(count)
+        assert self._buffer is not None
+        self._buffer[self._length : self._length + count] = array
+        self._length += count
 
     def set(self, position: int, value: Any) -> None:
         """Overwrite the value at ``position`` (in-place update)."""
@@ -134,9 +202,12 @@ class Column:
         data = self.view()
         return np.flatnonzero((data >= low) & (data <= high)).astype(np.int64)
 
-    def scan_predicate(self, predicate: Callable[[Any], bool]) -> list[int]:
+    def scan_predicate(self, predicate: Callable[[Any], bool]) -> np.ndarray:
         """Row positions satisfying an arbitrary predicate (slow path)."""
-        return [i for i, v in enumerate(self.values()) if predicate(v)]
+        return np.fromiter(
+            (i for i, v in enumerate(self.values()) if predicate(v)),
+            dtype=np.int64,
+        )
 
     def sum(self, positions: np.ndarray | None = None) -> float:
         """Sum of the column (optionally restricted to ``positions``)."""
@@ -148,5 +219,23 @@ class Column:
         return float(data[positions].sum())
 
     def gather(self, positions: np.ndarray) -> list[Any]:
-        """Materialize the values at the given row positions."""
-        return [self.get(int(p)) for p in positions]
+        """Materialize the values at the given row positions.
+
+        Numeric columns use one fancy-indexing read; bounds are checked
+        explicitly first (negative indices would otherwise wrap silently).
+
+        Raises:
+            StorageError: for out-of-range positions.
+        """
+        if self.dtype is DataType.STRING:
+            return [self.get(int(p)) for p in positions]
+        index = np.asarray(positions, dtype=np.int64)
+        if index.size:
+            low = int(index.min())
+            high = int(index.max())
+            if low < 0 or high >= self._length:
+                bad = low if low < 0 else high
+                raise StorageError(
+                    f"position {bad} out of range [0, {self._length})"
+                )
+        return self.view()[index].tolist()

@@ -189,11 +189,17 @@ class Table:
     def select(
         self, positions: np.ndarray | Sequence[int], column_names: Sequence[str]
     ) -> list[tuple[Any, ...]]:
-        """Materialize a projection of the given rows."""
+        """Materialize a projection of the given rows.
+
+        Gathers each column in one vectorized pass and zips the results
+        into row tuples.
+        """
+        if not isinstance(positions, np.ndarray):
+            positions = np.asarray(list(positions), dtype=np.int64)
         columns = [self.column(n) for n in column_names]
-        return [
-            tuple(c.get(int(p)) for c in columns) for p in positions
-        ]
+        if not columns:
+            return [() for _ in positions]
+        return list(zip(*(c.gather(positions) for c in columns)))
 
     def aggregate_sum(
         self, column_name: str, positions: np.ndarray | None = None

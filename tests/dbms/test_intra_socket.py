@@ -155,3 +155,70 @@ def test_property_ownership_invariants(actions):
     assert hub.pending_messages >= 0
     for pid, worker in owners.items():
         assert hub.owner_of(pid) == worker
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    actions=st.lists(
+        st.tuples(
+            st.sampled_from(
+                ["enqueue", "acquire_cycle", "acquire_hold", "release_held"]
+            ),
+            st.integers(min_value=0, max_value=5),  # partition / batch / worker
+        ),
+        max_size=150,
+    )
+)
+def test_property_acquire_matches_linear_scan(actions):
+    """Heap-based acquisition picks exactly what the original scan picked.
+
+    The reference is the pre-heap implementation: first partition in
+    declaration order with the strictly deepest non-empty unowned queue.
+    """
+    hub = IntraSocketHub(0, [0, 1, 2, 3, 4, 5])
+    held: dict[int, int] = {}
+
+    def reference_best():
+        best, best_depth = None, 0
+        for pid in hub.partition_ids:
+            if hub.owner_of(pid) is not None:
+                continue
+            depth = hub.queue_depth(pid)
+            if depth > best_depth:
+                best, best_depth = pid, depth
+        return best
+
+    for action, value in actions:
+        if action == "enqueue":
+            hub.enqueue(msg(value))
+        elif action == "acquire_hold":
+            worker = 200 + value
+            expected = reference_best()
+            pid = hub.acquire_partition(worker)
+            assert pid == expected
+            if pid is not None:
+                held[pid] = worker
+        elif action == "release_held":
+            for pid, worker in list(held.items()):
+                hub.release_partition(worker, pid)
+                del held[pid]
+        else:  # acquire, drain a batch, release
+            expected = reference_best()
+            pid = hub.acquire_partition(99)
+            assert pid == expected
+            if pid is not None:
+                hub.dequeue_batch(99, pid, batch_size=value + 1)
+                hub.release_partition(99, pid)
+
+    # Drain to empty: every remaining acquisition must match the scan.
+    for pid, worker in list(held.items()):
+        hub.release_partition(worker, pid)
+    while True:
+        expected = reference_best()
+        pid = hub.acquire_partition(99)
+        assert pid == expected
+        if pid is None:
+            break
+        hub.dequeue_batch(99, pid, batch_size=64)
+        hub.release_partition(99, pid)
+    assert hub.pending_messages == 0

@@ -52,6 +52,67 @@ class TestAppendGet:
         assert col.bytes_used == 80
 
 
+class TestBulkExtend:
+    def test_extend_matches_appends(self):
+        bulk = Column(DataType.INT64)
+        one_by_one = Column(DataType.INT64)
+        values = list(range(500))
+        bulk.extend(values)
+        for v in values:
+            one_by_one.append(v)
+        assert list(bulk.values()) == list(one_by_one.values())
+
+    def test_extend_numpy_array(self):
+        col = Column(DataType.FLOAT64)
+        col.extend(np.linspace(0.0, 1.0, 100))
+        assert len(col) == 100
+        assert col.get(99) == pytest.approx(1.0)
+        assert isinstance(col.get(99), float)
+
+    def test_extend_generator(self):
+        col = Column(DataType.INT32)
+        col.extend(i * 2 for i in range(10))
+        assert col.get(4) == 8
+        assert isinstance(col.get(4), int)
+
+    def test_extend_empty(self):
+        col = Column(DataType.INT64)
+        col.extend([])
+        col.extend(np.array([], dtype=np.int64))
+        assert len(col) == 0
+
+    def test_extend_grows_buffer(self):
+        col = Column(DataType.INT32)
+        col.extend(range(1000))  # well past the initial 64 capacity
+        assert len(col) == 1000
+        assert col.get(999) == 999
+
+    def test_extend_int32_overflow_rejected(self):
+        col = Column(DataType.INT32)
+        with pytest.raises(Exception):
+            col.extend([1, 2**31])
+        with pytest.raises(Exception):
+            col.extend(np.array([1, 2**31], dtype=np.int64))
+
+    def test_extend_mixed_types_rejected(self):
+        col = Column(DataType.INT64)
+        with pytest.raises(Exception):
+            col.extend([1, 2.5])
+        with pytest.raises(Exception):
+            col.extend([1, "x"])
+
+    def test_extend_bools_rejected(self):
+        col = Column(DataType.INT64)
+        with pytest.raises(Exception):
+            col.extend([True, False])
+
+    def test_extend_int_list_into_float(self):
+        col = Column(DataType.FLOAT64)
+        col.extend([1, 2, 3])
+        assert col.get(0) == pytest.approx(1.0)
+        assert isinstance(col.get(0), float)
+
+
 class TestScans:
     @pytest.fixture
     def col(self):
@@ -75,7 +136,9 @@ class TestScans:
             col.scan_range("a", "z")
 
     def test_scan_predicate(self, col):
-        assert col.scan_predicate(lambda v: v > 4) == [0, 2, 3, 5]
+        result = col.scan_predicate(lambda v: v > 4)
+        assert isinstance(result, np.ndarray)
+        assert list(result) == [0, 2, 3, 5]
 
     def test_string_scan_equal(self):
         col = Column(DataType.STRING)
