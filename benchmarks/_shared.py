@@ -3,10 +3,18 @@
 from __future__ import annotations
 
 import os
-from typing import Sequence
+from typing import Callable, Sequence
 
-from repro.sim import ExperimentSuite, RunConfiguration, RunResult
+from repro.loadprofiles.base import LoadProfile
+from repro.sim import (
+    ExperimentSuite,
+    RunConfiguration,
+    RunResult,
+    policy_grid,
+    registered_policies,
+)
 from repro.sim.suite import suite_worker_count
+from repro.workloads.base import Workload
 
 
 def bench_duration_s() -> float:
@@ -36,6 +44,24 @@ def run_experiments(
     configurations replays from disk.
     """
     return ExperimentSuite(workers=suite_workers()).run(configs, durations)
+
+
+def run_policy_grid(
+    workload_factory: Callable[[], Workload],
+    profile: LoadProfile,
+    policies: Sequence[str] | None = None,
+    **config_kwargs,
+) -> dict[str, RunResult]:
+    """Run one configuration per policy, keyed by policy name.
+
+    ``policies=None`` runs every policy in the registry — benchmarks
+    written against this helper automatically pick up new registrations.
+    """
+    names = registered_policies() if policies is None else tuple(policies)
+    configs = policy_grid(
+        workload_factory, profile, policies=names, **config_kwargs
+    )
+    return dict(zip(names, run_experiments(configs)))
 
 
 def heading(title: str) -> None:

@@ -1,27 +1,28 @@
-"""Ablation — control-policy ladder: baseline vs ondemand DVFS vs ECL.
+"""Ablation — the full control-policy ladder on the spike profile.
 
 The paper's §7 argues that prior feedback controllers (one DVFS setting
 per processor, no uncore control, no C-state orchestration, no energy
-profile) leave most of the savings behind.  This bench runs the three
-policies over the spike profile and checks the expected ladder.
+profile) leave most of the savings behind, and §4 (Fig. 7) shows the
+processor's own energy management recovering even less.  This bench
+runs *every registered policy* over the spike profile and checks the
+expected ladder:
+
+    ecl  <  ondemand  <  baseline          (§7: DVFS-only vs full ECL)
+    ecl  <  performance  <  baseline       (race-to-idle alone helps some)
+    ecl  <  epb-only     <  baseline       (§4: hardware hints alone)
 """
 
 from repro.loadprofiles import spike_profile
-from repro.sim import RunConfiguration, run_experiment
 from repro.workloads import KeyValueWorkload, WorkloadVariant
 
-from _shared import bench_duration_s, heading
+from _shared import bench_duration_s, heading, run_policy_grid
 
 
 def run_ladder():
-    workload = KeyValueWorkload(WorkloadVariant.NON_INDEXED)
     profile = spike_profile(duration_s=bench_duration_s())
-    return {
-        policy: run_experiment(
-            RunConfiguration(workload=workload, profile=profile, policy=policy)
-        )
-        for policy in ("baseline", "ondemand", "ecl")
-    }
+    return run_policy_grid(
+        lambda: KeyValueWorkload(WorkloadVariant.NON_INDEXED), profile
+    )
 
 
 def test_ablation_policies(run_once):
@@ -30,7 +31,7 @@ def test_ablation_policies(run_once):
     heading("Ablation — policy ladder on the spike profile (KV scans)")
     for policy, run in runs.items():
         print(
-            f"{policy:>9}: energy {run.total_energy_j:8.0f} J  "
+            f"{policy:>12}: energy {run.total_energy_j:8.0f} J  "
             f"power {run.average_power_w():6.1f} W  "
             f"mean lat {1000 * run.mean_latency_s():7.1f} ms  "
             f"done {run.queries_completed}/{run.queries_submitted}"
@@ -38,8 +39,12 @@ def test_ablation_policies(run_once):
     base = runs["baseline"].total_energy_j
     ondemand = runs["ondemand"].total_energy_j
     ecl = runs["ecl"].total_energy_j
+    performance = runs["performance"].total_energy_j
+    epb_only = runs["epb-only"].total_energy_j
     print(
         f"\nsavings vs baseline: ondemand {1 - ondemand / base:.1%}, "
+        f"performance {1 - performance / base:.1%}, "
+        f"epb-only {1 - epb_only / base:.1%}, "
         f"ecl {1 - ecl / base:.1%}"
     )
 
@@ -48,3 +53,6 @@ def test_ablation_policies(run_once):
     assert ecl < ondemand * 0.95
     # DBMS-integrated control roughly doubles the DVFS-only savings.
     assert (1 - ecl / base) > 1.5 * (1 - ondemand / base) * 0.8
+    # Single-technique deployments land between baseline and the ECL.
+    assert ecl < performance < base
+    assert ecl < epb_only < base

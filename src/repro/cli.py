@@ -28,7 +28,16 @@ from repro.loadprofiles import (
 )
 from repro.loadprofiles.base import LoadProfile
 from repro.profiles.evaluate import build_profile
-from repro.sim import ExperimentSuite, RunConfiguration, run_experiment
+from repro.sim import (
+    DEFAULT_POLICY,
+    ExperimentSuite,
+    RunConfiguration,
+    get_policy,
+    policy_grid,
+    reference_policy,
+    registered_policies,
+    run_experiment,
+)
 from repro.sim.metrics import RunResult, energy_saving_fraction
 from repro.workloads import (
     KeyValueWorkload,
@@ -48,7 +57,15 @@ WORKLOADS = {
     "ssb-non-indexed": lambda: SsbWorkload(WorkloadVariant.NON_INDEXED),
 }
 
-POLICIES = ("ecl", "baseline", "ondemand")
+def print_policies() -> None:
+    """List every registered control policy with its description."""
+    names = registered_policies()
+    width = max(len(name) for name in names)
+    ref = reference_policy()
+    for name in names:
+        info = get_policy(name)
+        marker = " (reference)" if name == ref else ""
+        print(f"{name:<{width}}  {info.description}{marker}")
 
 
 def make_workload(name: str) -> Workload:
@@ -92,6 +109,9 @@ def print_result(result: RunResult) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.list_policies:
+        print_policies()
+        return 0
     workload = make_workload(args.workload)
     profile = make_profile(args.profile, args.duration, args.level)
     params = EclParameters(
@@ -114,18 +134,16 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     profile = make_profile(args.profile, args.duration, args.level)
-    configs = [
-        RunConfiguration(
-            workload=make_workload(args.workload),
-            profile=profile,
-            policy=policy,
-            seed=args.seed,
-        )
-        for policy in POLICIES
-    ]
+    policies = registered_policies()
+    configs = policy_grid(
+        lambda: make_workload(args.workload),
+        profile,
+        policies=policies,
+        seed=args.seed,
+    )
     suite = ExperimentSuite(workers=args.workers, use_cache=not args.no_cache)
-    print(f"running {', '.join(POLICIES)} ...", file=sys.stderr)
-    results = dict(zip(POLICIES, suite.run(configs)))
+    print(f"running {', '.join(policies)} ...", file=sys.stderr)
+    results = dict(zip(policies, suite.run(configs)))
     if suite.cache_hits:
         print(
             f"({suite.cache_hits} of {len(configs)} runs served from "
@@ -133,10 +151,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     print(comparison_table(results))
-    base = results["baseline"]
-    for policy in ("ondemand", "ecl"):
+    reference = reference_policy()
+    base = results[reference]
+    for policy in policies:
+        if policy == reference:
+            continue
         saving = energy_saving_fraction(base, results[policy])
-        print(f"{policy} saving vs baseline: {saving:.1%}")
+        print(f"{policy} saving vs {reference}: {saving:.1%}")
     return 0
 
 
@@ -201,7 +222,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_p = sub.add_parser("run", help="run one experiment")
     common(run_p)
-    run_p.add_argument("--policy", default="ecl", choices=POLICIES)
+    run_p.add_argument("--policy", default=DEFAULT_POLICY,
+                       choices=registered_policies())
+    run_p.add_argument("--list-policies", action="store_true",
+                       help="list registered control policies and exit")
     run_p.add_argument("--interval", type=float, default=1.0,
                        help="socket-ECL period in seconds")
     run_p.add_argument("--latency-limit", type=float, default=0.1,

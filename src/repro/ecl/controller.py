@@ -19,6 +19,8 @@ Two ways to initialize the profiles:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import ControlError
 from repro.dbms.engine import DatabaseEngine
 from repro.hardware.perfmodel import WorkloadCharacteristics
@@ -26,9 +28,13 @@ from repro.profiles.configuration import Configuration
 from repro.profiles.evaluate import measure_configuration
 from repro.profiles.generator import ConfigurationGenerator, GeneratorParameters
 from repro.profiles.profile import EnergyProfile
+from repro.sim.metrics import SampleAnnotations
 from repro.ecl.calibration import CalibrationResult, MetaCalibrator
 from repro.ecl.socket_ecl import EclParameters, SocketEcl
 from repro.ecl.system_ecl import SystemEcl
+
+if TYPE_CHECKING:
+    from repro.sim.runner import RunConfiguration
 
 
 class EnergyControlLoop:
@@ -72,6 +78,27 @@ class EnergyControlLoop:
                 backlog_fn=self._backlog_fn(sid),
             )
         self.calibration: CalibrationResult | None = None
+
+    @classmethod
+    def build(
+        cls, engine: DatabaseEngine, config: "RunConfiguration"
+    ) -> "EnergyControlLoop":
+        """Control-policy factory (see :mod:`repro.sim.policy`).
+
+        Initializes the profiles the way the run configuration asks:
+        warm-started from the analytical model, or left stale for the
+        honest multiplexed runtime sweep.
+        """
+        ecl = cls(
+            engine,
+            params=config.ecl_params,
+            generator_params=config.generator_params,
+        )
+        if config.warm_start:
+            ecl.warm_start_from_model(chars=config.workload.characteristics)
+        else:
+            ecl.bootstrap_multiplexed()
+        return ecl
 
     def _utilization_fn(self, socket_id: int):
         def read(now_s: float) -> float:
@@ -172,3 +199,20 @@ class EnergyControlLoop:
         for sid, socket_ecl in self.sockets.items():
             socket_ecl.on_tick(now_s)
             self.engine.add_overhead_instructions(sid, overhead_rate * dt_s)
+
+    def annotate_sample(self) -> SampleAnnotations:
+        """Per-socket demanded levels and applied configurations."""
+        return SampleAnnotations(
+            performance_levels=tuple(
+                self.sockets[sid].performance_level
+                for sid in sorted(self.sockets)
+            ),
+            applied=tuple(
+                (
+                    cfg.describe()
+                    if (cfg := self.sockets[sid].applied_configuration)
+                    else "none"
+                )
+                for sid in sorted(self.sockets)
+            ),
+        )

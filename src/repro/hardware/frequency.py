@@ -14,7 +14,11 @@ module models:
   (Fig. 7(b)),
 * automatic *uncore frequency scaling* (UFS), which the paper found to
   always pick the highest uncore clock under load — wasting ~12 W on
-  compute-bound work (Fig. 8).
+  compute-bound work (Fig. 8).  The UFS heuristic is EPB-aware: under
+  the default balanced bias it races to the maximum, while a machine-wide
+  powersave bias makes it settle on a mid-ladder step (the behaviour
+  energy-feature surveys measured on Haswell-EP, where the auto uncore
+  clock follows the energy-performance bias).
 """
 
 from __future__ import annotations
@@ -273,16 +277,35 @@ class FrequencyDomains:
         In automatic mode the hardware's UFS heuristic is reproduced as the
         paper measured it: the highest uncore frequency whenever any core
         of the socket is active (a poor decision for compute-bound work,
-        Fig. 8) and the lowest frequency otherwise.  Pinned mode returns the
-        pinned value.  Whether the uncore may *halt* entirely is decided by
-        the C-state model, not here.
+        Fig. 8) and the lowest frequency otherwise.  The heuristic is
+        EPB-aware — when every thread of the socket carries the powersave
+        bias, the hardware settles on the mid-ladder step instead of
+        racing to the maximum (the measured Haswell-EP behaviour; the
+        ``epb-only`` policy's entire saving comes from this).  Pinned mode
+        returns the pinned value.  Whether the uncore may *halt* entirely
+        is decided by the C-state model, not here.
         """
         requested = self._uncore_request[socket_id]
         if requested is not None:
             return requested
-        if socket_has_active_core:
-            return self.uncore_ladder.maximum
-        return self.uncore_ladder.minimum
+        if not socket_has_active_core:
+            return self.uncore_ladder.minimum
+        if self.socket_bias_is_powersave(socket_id):
+            steps = self.uncore_ladder.steps
+            return steps[len(steps) // 2]
+        return self.uncore_ladder.maximum
+
+    def socket_bias_is_powersave(self, socket_id: int) -> bool:
+        """Whether every hardware thread of a socket hints powersave.
+
+        The package control unit only relaxes shared resources (the
+        uncore clock) when no thread on the socket objects.
+        """
+        threads = self._topology.threads_on_socket(socket_id)
+        return all(
+            self._epb[tid] is EnergyPerformanceBias.POWERSAVE
+            for tid in threads
+        )
 
     # -- EPB -------------------------------------------------------------------
 

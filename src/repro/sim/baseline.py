@@ -21,8 +21,14 @@ reaching the ECL's synchronized deep sleep during *partial* load.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.dbms.engine import DatabaseEngine
 from repro.hardware.frequency import EnergyPerformanceBias
+from repro.sim.metrics import SampleAnnotations
+
+if TYPE_CHECKING:
+    from repro.sim.runner import RunConfiguration
 
 
 class BaselinePolicy:
@@ -35,6 +41,13 @@ class BaselinePolicy:
         self._idle_since: float | None = None
         self._parked = False
         self._initialized = False
+
+    @classmethod
+    def build(
+        cls, engine: DatabaseEngine, config: "RunConfiguration"
+    ) -> "BaselinePolicy":
+        """Control-policy factory (see :mod:`repro.sim.policy`)."""
+        return cls(engine)
 
     def _apply_active_state(self) -> None:
         machine = self.machine
@@ -70,3 +83,7 @@ class BaselinePolicy:
             # Tickless OS idle: cores C6; automatic UFS drops the uncore.
             self.machine.cstates.set_active_threads(set())
             self._parked = True
+
+    def annotate_sample(self) -> SampleAnnotations:
+        """The baseline has no internal state worth plotting."""
+        return SampleAnnotations()

@@ -1,0 +1,139 @@
+"""Discrete tick timekeeping for the simulation pipeline.
+
+The runner used to scatter its scheduling arithmetic across the tick
+loop: ``int(round(duration_s / tick_s))`` for the step count, and
+repeated ``now + 1e-12 >= deadline`` epsilon comparisons for the sample
+cadence and the §6.3 workload switch.  Those comparisons are easy to get
+subtly wrong — accumulated float error across thousands of
+non-divisible ticks makes a bare ``>=`` fire one tick late — so they
+live here once:
+
+* :class:`TickClock` — the authoritative tick count of a run;
+* :class:`PeriodicDeadline` — a repeating deadline (sampling, governor
+  decision periods) with drift-free epsilon comparisons;
+* :class:`OneShotDeadline` — a single deadline (the workload switch).
+
+Every policy, observer, and the runner itself schedule against these
+helpers; nothing else in :mod:`repro.sim` compares simulation times
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+#: Slack for comparing accumulated simulation times against deadlines.
+#: Tick timestamps are sums of thousands of float ``dt`` additions, so a
+#: deadline that is *mathematically* on a tick boundary may be missed by
+#: a few ULPs without it.
+EPSILON_S = 1e-12
+
+
+def at_or_after(now_s: float, deadline_s: float) -> bool:
+    """Whether ``now_s`` has reached ``deadline_s``, within float slack."""
+    return now_s + EPSILON_S >= deadline_s
+
+
+@dataclass(frozen=True)
+class TickClock:
+    """The fixed-step time base of one simulation run.
+
+    Attributes:
+        tick_s: simulation step width.
+        duration_s: requested run length.
+    """
+
+    tick_s: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.tick_s <= 0:
+            raise SimulationError(f"tick_s must be > 0, got {self.tick_s}")
+        if self.duration_s < 0:
+            raise SimulationError(
+                f"duration_s must be >= 0, got {self.duration_s}"
+            )
+
+    @property
+    def tick_count(self) -> int:
+        """Number of whole ticks in the run.
+
+        A non-divisible ``duration_s / tick_s`` ratio rounds to the
+        nearest tick (not down): a 1.0 s run at 0.3 s ticks executes 3
+        ticks, a 1.0 s run at 0.4 s ticks executes 2 — the run length is
+        matched as closely as the step width allows, and a duration that
+        is one ULP short of a whole multiple still yields that multiple.
+        """
+        return int(round(self.duration_s / self.tick_s))
+
+    @property
+    def realized_duration_s(self) -> float:
+        """The duration actually simulated (``tick_count * tick_s``)."""
+        return self.tick_count * self.tick_s
+
+
+class PeriodicDeadline:
+    """A repeating deadline checked against the simulation clock.
+
+    Two advancement styles cover every periodic schedule in the tree:
+
+    * :meth:`advance` steps the deadline by exactly one period — the
+      sampling cadence: deadlines stay anchored to the original phase
+      (0, T, 2T, ...) no matter when the check happens;
+    * :meth:`restart` re-anchors the deadline at ``now + period`` — the
+      ondemand governor's decision timer: the next decision is a full
+      period after the previous one *fired*.
+    """
+
+    def __init__(self, period_s: float, first_due_s: float = 0.0):
+        if period_s <= 0:
+            raise SimulationError(f"period_s must be > 0, got {period_s}")
+        self.period_s = period_s
+        self._next_due_s = first_due_s
+
+    @property
+    def next_due_s(self) -> float:
+        """The deadline currently armed."""
+        return self._next_due_s
+
+    def due(self, now_s: float) -> bool:
+        """Whether the deadline has been reached (epsilon-tolerant)."""
+        return at_or_after(now_s, self._next_due_s)
+
+    def advance(self) -> None:
+        """Arm the next phase-anchored deadline (one period later)."""
+        self._next_due_s += self.period_s
+
+    def restart(self, now_s: float) -> None:
+        """Re-anchor: next deadline one full period after ``now_s``."""
+        self._next_due_s = now_s + self.period_s
+
+
+class OneShotDeadline:
+    """A deadline that fires exactly once (or never, when unset).
+
+    ``OneShotDeadline(None)`` is the disarmed schedule: :meth:`poll`
+    always returns False.  This lets callers model optional events (the
+    workload switch) without special-casing ``None`` at every check.
+    """
+
+    def __init__(self, at_s: float | None):
+        self._at_s = at_s
+        self._fired = at_s is None
+
+    @property
+    def fired(self) -> bool:
+        """Whether the deadline has already fired (or was never armed)."""
+        return self._fired
+
+    def poll(self, now_s: float) -> bool:
+        """True exactly once: the first check at or after the deadline."""
+        if self._fired:
+            return False
+        assert self._at_s is not None
+        if at_or_after(now_s, self._at_s):
+            self._fired = True
+            return True
+        return False

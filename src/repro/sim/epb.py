@@ -1,0 +1,78 @@
+"""Hardware-only energy management: the EPB hint is the whole policy.
+
+Section 4 of the paper (Fig. 7) studies what the processor's *own*
+energy management can do without any DBMS integration: the
+energy-performance bias (EPB) MSR hints the package control unit toward
+saving energy, the energy-efficient turbo (EET) gates turbo behind a
+~1 s dwell, and the uncore-frequency-scaling heuristic factors the bias
+into its clock decision.  This policy reproduces that deployment: set
+every thread's EPB to powersave once, then never touch the machine
+again —
+
+* every hardware thread stays active (the DBMS polls);
+* core clocks sit at the nominal frequency (no turbo requests, so the
+  EET never has anything to gate);
+* the uncore stays in automatic UFS mode, where the powersave bias
+  makes the hardware heuristic settle mid-ladder instead of racing to
+  the maximum (see
+  :meth:`repro.hardware.frequency.FrequencyDomains.effective_uncore_frequency`);
+* no parking, no latency feedback, no profile.
+
+Expectation (asserted by the ablation bench): between baseline and ECL.
+The lower uncore clock saves a steady slice of power, but it is applied
+blindly — bandwidth-bound work slows down and backlogs under load
+peaks, exactly the §4 argument for why hardware heuristics alone are
+not enough.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.dbms.engine import DatabaseEngine
+from repro.hardware.frequency import EnergyPerformanceBias
+from repro.sim.metrics import SampleAnnotations
+
+if TYPE_CHECKING:
+    from repro.sim.runner import RunConfiguration
+
+
+class EpbOnlyPolicy:
+    """Set the powersave EPB once; the hardware does the rest."""
+
+    def __init__(self, engine: DatabaseEngine):
+        self.engine = engine
+        self.machine = engine.machine
+        self._initialized = False
+
+    @classmethod
+    def build(
+        cls, engine: DatabaseEngine, config: "RunConfiguration"
+    ) -> "EpbOnlyPolicy":
+        """Control-policy factory (see :mod:`repro.sim.policy`)."""
+        return cls(engine)
+
+    def on_tick(self, now_s: float, dt_s: float) -> None:
+        """One-shot setup; afterwards the machine manages itself."""
+        if self._initialized:
+            return
+        machine = self.machine
+        all_threads = {t.global_id for t in machine.topology.iter_threads()}
+        machine.cstates.set_active_threads(all_threads)
+        machine.frequency.set_all_core_frequencies(
+            machine.params.core_nominal_ghz, machine.time_s
+        )
+        machine.set_epb_all(EnergyPerformanceBias.POWERSAVE)
+        for sock in machine.topology.sockets:
+            machine.frequency.set_uncore_auto(sock.socket_id)
+        self._initialized = True
+
+    def annotate_sample(self) -> SampleAnnotations:
+        """The (static) hardware hint in effect."""
+        if not self._initialized:
+            return SampleAnnotations()
+        return SampleAnnotations(
+            applied=tuple(
+                "epb-powersave" for _ in self.machine.topology.sockets
+            ),
+        )

@@ -21,9 +21,16 @@ bandwidth-bound workloads.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.dbms.engine import DatabaseEngine
 from repro.errors import ControlError
 from repro.hardware.frequency import EnergyPerformanceBias
+from repro.sim.clock import PeriodicDeadline
+from repro.sim.metrics import SampleAnnotations
+
+if TYPE_CHECKING:
+    from repro.sim.runner import RunConfiguration
 
 
 class OndemandGovernorPolicy:
@@ -53,8 +60,15 @@ class OndemandGovernorPolicy:
             f for f in ladder if f <= self.machine.params.core_nominal_ghz
         )
         self._index: dict[int, int] = {}
-        self._next_decision_s = 0.0
+        self._decision = PeriodicDeadline(period_s)
         self._initialized = False
+
+    @classmethod
+    def build(
+        cls, engine: DatabaseEngine, config: "RunConfiguration"
+    ) -> "OndemandGovernorPolicy":
+        """Control-policy factory (see :mod:`repro.sim.policy`)."""
+        return cls(engine)
 
     def _apply_initial_state(self) -> None:
         machine = self.machine
@@ -83,11 +97,11 @@ class OndemandGovernorPolicy:
         if not self._initialized:
             self._apply_initial_state()
             self._initialized = True
-            self._next_decision_s = now_s + self.period_s
+            self._decision.restart(now_s)
             return
-        if now_s + 1e-12 < self._next_decision_s:
+        if not self._decision.due(now_s):
             return
-        self._next_decision_s = now_s + self.period_s
+        self._decision.restart(now_s)
 
         for sock in self.machine.topology.sockets:
             sid = sock.socket_id
@@ -102,3 +116,12 @@ class OndemandGovernorPolicy:
                 self._index[sid] = index
                 self._set_socket_frequency(sid)
                 self.machine.note_configuration_switch(sid)
+
+    def annotate_sample(self) -> SampleAnnotations:
+        """No annotations: pinned by the pre-registry A/B goldens.
+
+        The governor *could* annotate its per-socket ladder position, but
+        the refactor contract is bit-identical results for the original
+        three policies — their sample annotations stay empty.
+        """
+        return SampleAnnotations()

@@ -8,8 +8,33 @@ from repro.errors import SimulationError
 
 
 @dataclass(frozen=True)
+class SampleAnnotations:
+    """Per-sample observations a control policy volunteers.
+
+    Every registered policy returns one of these from
+    ``annotate_sample()``; the sampling observer copies the fields into
+    the :class:`SamplePoint` it emits.  Policies with no internal state
+    worth plotting return the empty default.
+
+    Attributes:
+        performance_levels: per-socket demanded performance level (the
+            ECL's utilization-controller output), ascending socket id.
+        applied: per-socket human-readable description of the currently
+            applied configuration, ascending socket id.
+    """
+
+    performance_levels: tuple[float, ...] = ()
+    applied: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
 class SamplePoint:
-    """One periodic sample of the running system."""
+    """One periodic sample of the running system.
+
+    The trailing two fields are uniform policy-provided annotations (see
+    :class:`SampleAnnotations`) — not ECL special cases: whatever policy
+    drives the run decides what they contain.
+    """
 
     time_s: float
     load_qps: float

@@ -1,0 +1,86 @@
+"""A static performance governor: race-to-idle at maximum clocks.
+
+The classic "performance first" deployment from the paper's comparison
+space (§6/§7 discussion): the operating system's performance governor
+requests the highest available P-state — the turbo step — on every
+core, the performance EPB drops the energy-efficient-turbo dwell so
+turbo engages immediately (Fig. 7), and the race-to-idle philosophy is
+taken literally: the moment the machine runs out of work, every
+hardware thread parks into the deep C-state, to be woken by the next
+arrival.
+
+Expectation (asserted by the ablation bench): this lands *between* the
+uncontrolled baseline and the ECL.  It saves real energy during the
+idle valleys of a load profile — it drains backlog faster and parks
+without the OS's tickless-idle grace period — but all-core turbo blows
+the thermal budget on sustained load and burns turbo voltage on
+memory-bound work that cannot use the extra clocks (the Fig. 7
+pathology), so it recovers only a fraction of what the profile-guided
+ECL does.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.dbms.engine import DatabaseEngine
+from repro.hardware.frequency import EnergyPerformanceBias
+from repro.sim.metrics import SampleAnnotations
+
+if TYPE_CHECKING:
+    from repro.sim.runner import RunConfiguration
+
+
+class StaticPerformancePolicy:
+    """Immediate turbo everywhere; park the instant the machine is dry."""
+
+    def __init__(self, engine: DatabaseEngine):
+        self.engine = engine
+        self.machine = engine.machine
+        self._parked = False
+        self._initialized = False
+
+    @classmethod
+    def build(
+        cls, engine: DatabaseEngine, config: "RunConfiguration"
+    ) -> "StaticPerformancePolicy":
+        """Control-policy factory (see :mod:`repro.sim.policy`)."""
+        return cls(engine)
+
+    def _apply_active_state(self) -> None:
+        machine = self.machine
+        all_threads = {t.global_id for t in machine.topology.iter_threads()}
+        machine.cstates.set_active_threads(all_threads)
+        machine.frequency.set_all_core_frequencies(
+            machine.params.core_turbo_ghz, machine.time_s
+        )
+        machine.set_epb_all(EnergyPerformanceBias.PERFORMANCE)
+        for sock in machine.topology.sockets:
+            machine.frequency.set_uncore_auto(sock.socket_id)
+        self._parked = False
+
+    def on_tick(self, now_s: float, dt_s: float) -> None:
+        """Race: full throttle under work, deep sleep the moment it ends."""
+        if not self._initialized:
+            self._apply_active_state()
+            self._initialized = True
+
+        has_work = (
+            self.engine.pending_messages() > 0
+            or self.engine.tracker.in_flight > 0
+        )
+        if has_work:
+            if self._parked:
+                self._apply_active_state()
+        elif not self._parked:
+            self.machine.cstates.set_active_threads(set())
+            self._parked = True
+
+    def annotate_sample(self) -> SampleAnnotations:
+        """Whether the race is currently on or the machine is parked."""
+        state = "parked" if self._parked else "turbo"
+        return SampleAnnotations(
+            applied=tuple(
+                state for _ in self.machine.topology.sockets
+            ),
+        )

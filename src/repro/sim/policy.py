@@ -1,0 +1,268 @@
+"""First-class control policies: the protocol and the name registry.
+
+The paper's evaluation is *comparative* — the ECL against an
+uncontrolled baseline and against governor-style single-knob controllers
+(§7).  Every point in that comparison space is a :class:`ControlPolicy`:
+an object that drives the machine's knobs once per simulation tick.
+This module makes the set of policies open-ended:
+
+* :class:`ControlPolicy` — the structural interface every policy
+  implements (``build``, ``on_tick``, ``annotate_sample``);
+* :func:`register_policy` / :func:`get_policy` — the name registry the
+  runner, CLI, suite, and benchmarks resolve policies through;
+* the built-in registrations at the bottom — the **only** place in
+  ``src/`` where policy names appear as string literals.
+
+Adding a policy is a one-file change::
+
+    from repro.sim.policy import register_policy
+
+    class MyPolicy:
+        @classmethod
+        def build(cls, engine, config):
+            return cls(engine)
+
+        def __init__(self, engine):
+            self.engine = engine
+
+        def on_tick(self, now_s, dt_s):
+            ...  # touch engine.machine knobs
+
+        def annotate_sample(self):
+            return SampleAnnotations()
+
+    register_policy("mine", MyPolicy.build, description="...")
+
+after which ``RunConfiguration(policy="mine")``, ``repro run --policy
+mine``, and every suite/benchmark helper accept it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+from repro.errors import SimulationError
+from repro.sim.metrics import SampleAnnotations
+
+if TYPE_CHECKING:
+    from repro.dbms.engine import DatabaseEngine
+    from repro.sim.runner import RunConfiguration
+
+
+@runtime_checkable
+class ControlPolicy(Protocol):
+    """What the simulation requires of a control policy.
+
+    Structural (duck-typed): policies implement these three methods, they
+    do not inherit from anything.
+    """
+
+    @classmethod
+    def build(
+        cls, engine: "DatabaseEngine", config: "RunConfiguration"
+    ) -> "ControlPolicy":
+        """Construct and initialize the policy for one run."""
+        ...
+
+    def on_tick(self, now_s: float, dt_s: float) -> None:
+        """Reconfigure the hardware for the upcoming tick.
+
+        Called once per tick *before* the engine advances, so decisions
+        take effect for the tick they were made in.
+        """
+        ...
+
+    def annotate_sample(self) -> SampleAnnotations:
+        """Per-sample observations to attach to the next sample point."""
+        ...
+
+
+#: Signature of a registry factory: builds a ready-to-run policy.
+PolicyFactory = Callable[["DatabaseEngine", "RunConfiguration"], ControlPolicy]
+
+
+@dataclass(frozen=True)
+class PolicyInfo:
+    """One registry entry.
+
+    Attributes:
+        name: the public lookup name (CLI ``--policy``, configs, caches).
+        factory: builds the policy for a (engine, config) pair.
+        description: one-liner for ``repro run --list-policies``.
+        reference: True for the uncontrolled comparison point that
+            savings are computed against (exactly one registered policy).
+    """
+
+    name: str
+    factory: PolicyFactory
+    description: str = ""
+    reference: bool = False
+
+
+_REGISTRY: dict[str, PolicyInfo] = {}
+
+
+def register_policy(
+    name: str,
+    factory: PolicyFactory,
+    description: str = "",
+    reference: bool = False,
+) -> PolicyInfo:
+    """Register a control policy under a unique name.
+
+    Raises:
+        SimulationError: on duplicate names or a second reference policy.
+    """
+    if not name or not isinstance(name, str):
+        raise SimulationError(f"policy name must be a non-empty string, got {name!r}")
+    if name in _REGISTRY:
+        raise SimulationError(f"policy {name!r} is already registered")
+    if reference and any(info.reference for info in _REGISTRY.values()):
+        current = next(n for n, i in _REGISTRY.items() if i.reference)
+        raise SimulationError(
+            f"reference policy already registered ({current!r})"
+        )
+    info = PolicyInfo(
+        name=name, factory=factory, description=description, reference=reference
+    )
+    _REGISTRY[name] = info
+    return info
+
+
+def unregister_policy(name: str) -> None:
+    """Remove a registration (out-of-tree policy development, tests)."""
+    if name not in _REGISTRY:
+        raise SimulationError(_unknown_message(name))
+    del _REGISTRY[name]
+
+
+def registered_policies() -> tuple[str, ...]:
+    """All registered policy names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_policy(name: str) -> PolicyInfo:
+    """Look up a registration by name.
+
+    Raises:
+        SimulationError: for unknown names; the message lists every
+            registered policy.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SimulationError(_unknown_message(name)) from None
+
+
+def validate_policy_name(name: str) -> str:
+    """Check that a name is registered and return it unchanged."""
+    get_policy(name)
+    return name
+
+
+def build_policy(
+    name: str, engine: "DatabaseEngine", config: "RunConfiguration"
+) -> ControlPolicy:
+    """Resolve a name and build the ready-to-run policy."""
+    return get_policy(name).factory(engine, config)
+
+
+def reference_policy() -> str:
+    """The registered uncontrolled comparison point.
+
+    Raises:
+        SimulationError: when no registration is marked ``reference``.
+    """
+    for name, info in _REGISTRY.items():
+        if info.reference:
+            return name
+    raise SimulationError("no reference policy registered")
+
+
+def _unknown_message(name: str) -> str:
+    known = ", ".join(_REGISTRY) or "<none>"
+    return f"unknown policy {name!r}; registered policies: {known}"
+
+
+# --------------------------------------------------------------------------
+# Built-in registrations.  These lines are the single source of truth for
+# policy names: nothing else under src/ spells them out.
+# --------------------------------------------------------------------------
+
+
+def _build_ecl(
+    engine: "DatabaseEngine", config: "RunConfiguration"
+) -> ControlPolicy:
+    # Imported lazily: repro.ecl.controller itself imports sim modules.
+    from repro.ecl.controller import EnergyControlLoop
+
+    return EnergyControlLoop.build(engine, config)
+
+
+def _build_baseline(
+    engine: "DatabaseEngine", config: "RunConfiguration"
+) -> ControlPolicy:
+    from repro.sim.baseline import BaselinePolicy
+
+    return BaselinePolicy.build(engine, config)
+
+
+def _build_ondemand(
+    engine: "DatabaseEngine", config: "RunConfiguration"
+) -> ControlPolicy:
+    from repro.sim.governor import OndemandGovernorPolicy
+
+    return OndemandGovernorPolicy.build(engine, config)
+
+
+def _build_performance(
+    engine: "DatabaseEngine", config: "RunConfiguration"
+) -> ControlPolicy:
+    from repro.sim.performance import StaticPerformancePolicy
+
+    return StaticPerformancePolicy.build(engine, config)
+
+
+def _build_epb_only(
+    engine: "DatabaseEngine", config: "RunConfiguration"
+) -> ControlPolicy:
+    from repro.sim.epb import EpbOnlyPolicy
+
+    return EpbOnlyPolicy.build(engine, config)
+
+
+register_policy(
+    "ecl",
+    _build_ecl,
+    description="the paper's hierarchical Energy-Control Loop (§5): "
+    "energy profiles, race-to-idle, uncore control, latency supervision",
+)
+register_policy(
+    "baseline",
+    _build_baseline,
+    description="uncontrolled race-to-idle deployment: all threads, "
+    "nominal clocks, automatic UFS, OS tickless idle (§6)",
+    reference=True,
+)
+register_policy(
+    "ondemand",
+    _build_ondemand,
+    description="OS-style per-socket DVFS ladder governor — the "
+    "single-knob feedback controllers of §7 (e.g. E²DBMS)",
+)
+register_policy(
+    "performance",
+    _build_performance,
+    description="static performance governor: immediate turbo on every "
+    "core, race-to-idle parking the instant the machine runs dry",
+)
+register_policy(
+    "epb-only",
+    _build_epb_only,
+    description="hardware-only energy management: EPB powersave hint, "
+    "EET and the EPB-aware UFS heuristic are the only knobs (§4, Fig. 7)",
+)
+
+#: The policy a :class:`RunConfiguration` uses when none is given.
+DEFAULT_POLICY = registered_policies()[0]

@@ -1,10 +1,17 @@
 """The end-to-end simulation runner (paper §6 experiment harness).
 
-One :class:`SimulationRunner` executes a (workload, load profile, policy)
-triple on a fresh machine + engine and returns a
-:class:`~repro.sim.metrics.RunResult`.  The per-tick order mirrors the
-real system: arrivals are enqueued, the control policy reconfigures the
-hardware, then the engine advances runtime and hardware together.
+One :class:`SimulationRunner` executes a (workload, load profile,
+policy) triple on a fresh machine + engine and returns a
+:class:`~repro.sim.metrics.RunResult`.  Each tick advances through an
+explicit phased pipeline mirroring the real system::
+
+    arrivals -> control -> engine step -> completions -> sampling
+
+The control policy is resolved by name through the registry in
+:mod:`repro.sim.policy`; instrumentation and scripted events (the
+periodic sampler, the §6.3 workload switch, user-supplied tracing)
+attach to the pipeline as :mod:`~repro.sim.observers` rather than
+special cases inside the loop.
 """
 
 from __future__ import annotations
@@ -12,17 +19,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
-from repro.dbms.engine import DatabaseEngine
-from repro.ecl.controller import EnergyControlLoop
+from repro.dbms.engine import DatabaseEngine, EngineTickResult
 from repro.ecl.socket_ecl import EclParameters
 from repro.hardware.machine import Machine
 from repro.hardware.presets import HaswellEPParameters
 from repro.loadprofiles.base import LoadProfile
 from repro.profiles.generator import GeneratorParameters
-from repro.sim.baseline import BaselinePolicy
-from repro.sim.governor import OndemandGovernorPolicy
+from repro.sim.clock import TickClock
 from repro.sim.loadgen import LoadGenerator
-from repro.sim.metrics import RunResult, SamplePoint
+from repro.sim.metrics import RunResult
+from repro.sim.observers import (
+    ObserverList,
+    RunObserver,
+    SamplingObserver,
+    WorkloadSwitchObserver,
+)
+from repro.sim.policy import DEFAULT_POLICY, ControlPolicy, build_policy, validate_policy_name
 from repro.workloads.base import Workload
 
 
@@ -32,7 +44,8 @@ class RunConfiguration:
 
     workload: Workload
     profile: LoadProfile
-    policy: str = "ecl"  #: "ecl", "baseline", or "ondemand"
+    #: Registered policy name (see ``repro.sim.policy.registered_policies``).
+    policy: str = DEFAULT_POLICY
     tick_s: float = 0.002
     sample_every_s: float = 0.25
     seed: int = 0
@@ -55,8 +68,7 @@ class RunConfiguration:
     step_cache_size: int = 1024
 
     def __post_init__(self) -> None:
-        if self.policy not in ("ecl", "baseline", "ondemand"):
-            raise SimulationError(f"unknown policy {self.policy!r}")
+        validate_policy_name(self.policy)
         if self.tick_s <= 0 or self.sample_every_s <= 0:
             raise SimulationError("tick and sample periods must be > 0")
         if (self.switch_at_s is None) != (self.switch_workload is None):
@@ -66,9 +78,20 @@ class RunConfiguration:
 
 
 class SimulationRunner:
-    """Runs one experiment configuration."""
+    """Runs one experiment configuration.
 
-    def __init__(self, config: RunConfiguration):
+    Args:
+        config: the experiment to execute.
+        observers: extra :class:`~repro.sim.observers.RunObserver`
+            instances hooked into the tick pipeline, after the built-in
+            sampling / workload-switch observers.
+    """
+
+    def __init__(
+        self,
+        config: RunConfiguration,
+        observers: list[RunObserver] | None = None,
+    ):
         self.config = config
         self.machine = Machine(
             params=config.machine_params,
@@ -89,25 +112,27 @@ class SimulationRunner:
             seed=config.seed + 1,
             poisson=config.poisson_arrivals,
         )
-        self.ecl: EnergyControlLoop | None = None
-        self.baseline: BaselinePolicy | None = None
-        self.governor: OndemandGovernorPolicy | None = None
-        if config.policy == "ecl":
-            self.ecl = EnergyControlLoop(
-                self.engine,
-                params=config.ecl_params,
-                generator_params=config.generator_params,
-            )
-            if config.warm_start:
-                self.ecl.warm_start_from_model(
-                    chars=config.workload.characteristics
+        self.policy: ControlPolicy = build_policy(
+            config.policy, self.engine, config
+        )
+        self.extra_observers: list[RunObserver] = list(observers or [])
+
+    def add_observer(self, observer: RunObserver) -> None:
+        """Attach one more observer before :meth:`run` is called."""
+        self.extra_observers.append(observer)
+
+    def _built_in_observers(self) -> list[RunObserver]:
+        config = self.config
+        built_in: list[RunObserver] = []
+        if config.switch_at_s is not None:
+            assert config.switch_workload is not None
+            built_in.append(
+                WorkloadSwitchObserver(
+                    config.switch_at_s, config.switch_workload
                 )
-            else:
-                self.ecl.bootstrap_multiplexed()
-        elif config.policy == "ondemand":
-            self.governor = OndemandGovernorPolicy(self.engine)
-        else:
-            self.baseline = BaselinePolicy(self.engine)
+            )
+        built_in.append(SamplingObserver(config.sample_every_s))
+        return built_in
 
     def run(self, duration_s: float | None = None) -> RunResult:
         """Execute the experiment and collect metrics."""
@@ -121,76 +146,80 @@ class SimulationRunner:
             duration_s=duration_s,
             latency_limit_s=config.ecl_params.latency_limit_s,
         )
+        clock = TickClock(tick_s=config.tick_s, duration_s=duration_s)
+        observers = ObserverList(
+            self._built_in_observers() + self.extra_observers
+        )
+        observers.on_run_start(self, result)
 
         tick = config.tick_s
-        steps = int(round(duration_s / tick))
-        next_sample_s = 0.0
         energy_before = self.machine.true_total_energy_j()
-        switched = config.switch_at_s is None
-
-        for _ in range(steps):
+        for _ in range(clock.tick_count):
             now = self.machine.time_s
-            if not switched and now + 1e-12 >= config.switch_at_s:
-                switched = True
-                assert config.switch_workload is not None
-                self.loadgen.workload = config.switch_workload
-                self.engine.set_workload_characteristics(
-                    config.switch_workload.characteristics
-                )
-            for query in self.loadgen.arrivals(now, tick):
-                self.engine.submit(query)
-                result.queries_submitted += 1
-
-            if self.ecl is not None:
-                self.ecl.on_tick(now, tick)
-            elif self.governor is not None:
-                self.governor.on_tick(now, tick)
-            elif self.baseline is not None:
-                self.baseline.on_tick(now, tick)
-
-            tick_result = self.engine.tick(tick)
-            for completion in tick_result.completions:
-                result.queries_completed += 1
-                result.latencies_s.append(completion.latency_s)
-
-            if now + 1e-12 >= next_sample_s:
-                next_sample_s += config.sample_every_s
-                result.samples.append(self._sample(tick_result, now))
+            self._phase_arrivals(now, tick, result, observers)
+            self._phase_control(now, tick, observers)
+            tick_result = self._phase_engine_step(now, tick, observers)
+            self._phase_completions(now, tick_result, result, observers)
+            self._phase_sampling(now, tick_result, observers)
 
         result.total_energy_j = (
             self.machine.true_total_energy_j() - energy_before
         )
+        observers.on_run_end(result)
         return result
 
-    def _sample(self, tick_result, now_s: float) -> SamplePoint:
-        step = tick_result.step
-        levels: tuple[float, ...] = ()
-        applied: tuple[str, ...] = ()
-        if self.ecl is not None:
-            levels = tuple(
-                self.ecl.sockets[sid].performance_level
-                for sid in sorted(self.ecl.sockets)
-            )
-            applied = tuple(
-                (
-                    cfg.describe()
-                    if (cfg := self.ecl.sockets[sid].applied_configuration)
-                    else "none"
-                )
-                for sid in sorted(self.ecl.sockets)
-            )
-        avg_latency = self.engine.latency.average_latency_s(now_s)
-        return SamplePoint(
-            time_s=now_s,
-            load_qps=self.loadgen.rate_qps(now_s),
-            rapl_power_w=step.rapl_power_w,
-            psu_power_w=step.psu_power_w,
-            avg_latency_s=avg_latency,
-            pending_messages=self.engine.pending_messages(),
-            in_flight_queries=self.engine.tracker.in_flight,
-            performance_levels=levels,
-            applied=applied,
-        )
+    # -- pipeline phases ------------------------------------------------------
+
+    def _phase_arrivals(
+        self,
+        now_s: float,
+        dt_s: float,
+        result: RunResult,
+        observers: ObserverList,
+    ) -> None:
+        """Phase 1: scripted events, then enqueue this tick's arrivals."""
+        observers.before_arrivals(now_s, dt_s)
+        for query in self.loadgen.arrivals(now_s, dt_s):
+            self.engine.submit(query)
+            result.queries_submitted += 1
+            observers.on_arrival(now_s, query)
+
+    def _phase_control(
+        self, now_s: float, dt_s: float, observers: ObserverList
+    ) -> None:
+        """Phase 2: the policy reconfigures hardware for the tick."""
+        self.policy.on_tick(now_s, dt_s)
+        observers.after_control(now_s, dt_s)
+
+    def _phase_engine_step(
+        self, now_s: float, dt_s: float, observers: ObserverList
+    ) -> EngineTickResult:
+        """Phase 3: runtime and hardware advance together."""
+        tick_result = self.engine.tick(dt_s)
+        observers.after_step(now_s, tick_result)
+        return tick_result
+
+    def _phase_completions(
+        self,
+        now_s: float,
+        tick_result: EngineTickResult,
+        result: RunResult,
+        observers: ObserverList,
+    ) -> None:
+        """Phase 4: account for every query that finished this tick."""
+        for completion in tick_result.completions:
+            result.queries_completed += 1
+            result.latencies_s.append(completion.latency_s)
+            observers.on_completion(now_s, completion)
+
+    def _phase_sampling(
+        self,
+        now_s: float,
+        tick_result: EngineTickResult,
+        observers: ObserverList,
+    ) -> None:
+        """Phase 5: periodic sampling and end-of-tick instrumentation."""
+        observers.end_tick(now_s, tick_result)
 
 
 def run_experiment(config: RunConfiguration, duration_s: float | None = None) -> RunResult:

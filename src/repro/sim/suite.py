@@ -34,13 +34,16 @@ import tempfile
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import fields, is_dataclass
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.loadprofiles.base import LoadProfile
 from repro.sim.metrics import RunResult
+from repro.sim.policy import registered_policies, validate_policy_name
 from repro.sim.runner import RunConfiguration, run_experiment
+from repro.workloads.base import Workload
 
 #: Bump to invalidate every cached result (e.g. after changing the
 #: simulation model in a way that alters run outcomes).
@@ -71,6 +74,32 @@ def derive_seed(base_seed: int, index: int) -> int:
     """A stable, well-mixed per-run seed for building config batches."""
     digest = hashlib.sha256(f"{base_seed}:{index}".encode()).digest()
     return int.from_bytes(digest[:4], "big")
+
+
+def policy_grid(
+    workload_factory: Callable[[], Workload],
+    profile: LoadProfile,
+    policies: Sequence[str] | None = None,
+    **config_kwargs: Any,
+) -> list[RunConfiguration]:
+    """One :class:`RunConfiguration` per policy — the §6 comparison axis.
+
+    The registry is the source of truth: with ``policies=None`` every
+    registered policy (including out-of-tree registrations) gets a
+    configuration, in registration order.  ``workload_factory`` is called
+    once per configuration so runs never share workload instances, and
+    ``config_kwargs`` forwards to every :class:`RunConfiguration`.
+    """
+    names = registered_policies() if policies is None else tuple(policies)
+    return [
+        RunConfiguration(
+            workload=workload_factory(),
+            profile=profile,
+            policy=validate_policy_name(name),
+            **config_kwargs,
+        )
+        for name in names
+    ]
 
 
 def _canonical(obj: Any) -> Any:

@@ -1,0 +1,69 @@
+"""The pinned configurations behind the A/B refactor goldens.
+
+``tests/sim/goldens/`` holds one pickled
+:class:`~repro.sim.metrics.RunResult` per pre-refactor policy, captured
+by running ``python tests/sim/golden_config.py`` at commit ``8ac9f6e``
+(the last commit before the policy-registry refactor).  The pin test
+(:mod:`tests.sim.test_golden_ab`) re-runs the identical configurations
+on the current code and asserts bit-identical results: the registry /
+phased-pipeline refactor must not change a single float for the three
+original policies.
+
+Regenerate (only when an *intentional* simulation-model change lands —
+bump the capture commit in this docstring when you do)::
+
+    PYTHONPATH=src python tests/sim/golden_config.py
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+GOLDEN_POLICIES = ("ecl", "baseline", "ondemand")
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+#: Short but dynamically rich: the spike covers idle, partial load and
+#: the overload knee, so every control path (RTI, ladder walks, parking)
+#: fires within the 4 s window.
+GOLDEN_DURATION_S = 4.0
+GOLDEN_SEED = 0
+
+
+def golden_configuration(policy: str):
+    """The exact :class:`RunConfiguration` a golden was captured from."""
+    from repro.loadprofiles import spike_profile
+    from repro.sim import RunConfiguration
+    from repro.workloads import KeyValueWorkload, WorkloadVariant
+
+    return RunConfiguration(
+        workload=KeyValueWorkload(WorkloadVariant.NON_INDEXED),
+        profile=spike_profile(duration_s=GOLDEN_DURATION_S),
+        policy=policy,
+        seed=GOLDEN_SEED,
+    )
+
+
+def golden_path(policy: str) -> Path:
+    return GOLDEN_DIR / f"{policy}.pkl"
+
+
+def capture() -> None:
+    """Run every golden configuration and pickle its result."""
+    from repro.sim import run_experiment
+
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for policy in GOLDEN_POLICIES:
+        result = run_experiment(golden_configuration(policy))
+        with open(golden_path(policy), "wb") as fh:
+            # Fixed protocol: the artifact must not depend on the
+            # capturing interpreter's default.
+            pickle.dump(result, fh, protocol=4)
+        print(
+            f"captured {policy}: {result.total_energy_j:.3f} J, "
+            f"{result.queries_completed} queries, "
+            f"{len(result.samples)} samples"
+        )
+
+
+if __name__ == "__main__":
+    capture()

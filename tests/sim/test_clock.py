@@ -1,0 +1,130 @@
+"""Unit tests for the discrete tick timekeeping helpers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import (
+    EPSILON_S,
+    OneShotDeadline,
+    PeriodicDeadline,
+    TickClock,
+    at_or_after,
+)
+
+
+class TestTickClock:
+    def test_divisible_ratio(self):
+        clock = TickClock(tick_s=0.002, duration_s=4.0)
+        assert clock.tick_count == 2000
+        assert clock.realized_duration_s == pytest.approx(4.0)
+
+    def test_non_divisible_rounds_to_nearest(self):
+        # 1.0 / 0.3 = 3.33… → 3 ticks (0.9 s realized, closest match).
+        assert TickClock(tick_s=0.3, duration_s=1.0).tick_count == 3
+        # 1.0 / 0.4 = 2.5 → banker's rounding gives 2 ticks (0.8 s).
+        assert TickClock(tick_s=0.4, duration_s=1.0).tick_count == 2
+        # 1.0 / 0.7 = 1.43… → 1 tick.
+        assert TickClock(tick_s=0.7, duration_s=1.0).tick_count == 1
+
+    def test_duration_one_ulp_short_still_counts_full_tick(self):
+        # 0.1 * 3 = 0.30000000000000004 ≠ 0.3; a floor-based count
+        # would drop a tick, round() does not.
+        duration = 0.1 + 0.1 + 0.1
+        assert TickClock(tick_s=0.3, duration_s=duration).tick_count == 1
+        assert TickClock(tick_s=0.1, duration_s=duration).tick_count == 3
+
+    def test_zero_duration(self):
+        clock = TickClock(tick_s=0.002, duration_s=0.0)
+        assert clock.tick_count == 0
+        assert clock.realized_duration_s == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            TickClock(tick_s=0.0, duration_s=1.0)
+        with pytest.raises(SimulationError):
+            TickClock(tick_s=-0.1, duration_s=1.0)
+        with pytest.raises(SimulationError):
+            TickClock(tick_s=0.002, duration_s=-1.0)
+
+
+class TestAtOrAfter:
+    def test_exact_and_past(self):
+        assert at_or_after(1.0, 1.0)
+        assert at_or_after(1.5, 1.0)
+        assert not at_or_after(0.5, 1.0)
+
+    def test_accumulated_float_error_tolerated(self):
+        # 1000 × 0.002 accumulates to 1.9999999999999998 ≠ 2.0: a bare
+        # >= comparison would miss the deadline by a few ULPs.
+        now = 0.0
+        for _ in range(1000):
+            now += 0.002
+        assert now != 2.0
+        assert at_or_after(now, 2.0)
+
+    def test_epsilon_is_tight(self):
+        # The slack must not swallow a genuine whole-tick difference.
+        assert not at_or_after(1.0 - 1e-6, 1.0)
+        assert EPSILON_S < 1e-9
+
+
+class TestPeriodicDeadline:
+    def test_first_due_immediately_by_default(self):
+        deadline = PeriodicDeadline(0.25)
+        assert deadline.due(0.0)
+
+    def test_advance_stays_phase_anchored(self):
+        # Sampling semantics: deadlines at 0, T, 2T, … of simulation
+        # time, regardless of when the due check happens.
+        deadline = PeriodicDeadline(0.25, first_due_s=0.0)
+        fired_at = []
+        now = 0.0
+        for _ in range(500):  # 1 s at 2 ms ticks
+            if deadline.due(now):
+                deadline.advance()
+                fired_at.append(round(now, 6))
+            now += 0.002
+        assert fired_at == [0.0, 0.25, 0.5, 0.75]
+        assert deadline.next_due_s == pytest.approx(1.0)
+
+    def test_restart_re_anchors_at_now(self):
+        # Governor semantics: next decision a full period after the
+        # previous one fired, even when the check came late.
+        deadline = PeriodicDeadline(0.1, first_due_s=0.0)
+        assert deadline.due(0.137)
+        deadline.restart(0.137)
+        assert deadline.next_due_s == pytest.approx(0.237)
+        assert not deadline.due(0.2)
+        assert deadline.due(0.237)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            PeriodicDeadline(0.0)
+
+
+class TestOneShotDeadline:
+    def test_fires_exactly_once(self):
+        deadline = OneShotDeadline(2.0)
+        assert not deadline.fired
+        assert not deadline.poll(1.9)
+        assert deadline.poll(2.0)
+        assert deadline.fired
+        assert not deadline.poll(2.1)
+        assert not deadline.poll(100.0)
+
+    def test_disarmed_never_fires(self):
+        deadline = OneShotDeadline(None)
+        assert deadline.fired
+        assert not deadline.poll(0.0)
+        assert not deadline.poll(1e9)
+
+    def test_tolerates_accumulated_error(self):
+        deadline = OneShotDeadline(2.0)
+        now = 0.0
+        while now < 1.99:
+            assert not deadline.poll(now)
+            now += 0.002
+        while not deadline.poll(now):
+            now += 0.002
+        # Fired on the tick whose mathematical time is 2.0, not one late.
+        assert now == pytest.approx(2.0, abs=1e-9)

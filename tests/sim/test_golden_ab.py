@@ -1,0 +1,93 @@
+"""A/B pin: the policy/pipeline refactor is bit-identical.
+
+The goldens under ``tests/sim/goldens/`` are pickled
+:class:`~repro.sim.metrics.RunResult` objects captured *before* the
+control layer was refactored behind the policy registry and the phased
+observer pipeline (see ``golden_config.py`` for the exact capture
+commit and configuration).  The refactor's contract is behaviour
+preservation: the same configuration must still produce the same result
+object field-for-field — energies, every sample point, every latency.
+
+If a deliberate model change breaks these on purpose, re-capture with::
+
+    PYTHONPATH=src python tests/sim/golden_config.py
+"""
+
+import pickle
+
+import pytest
+
+from repro.sim import run_experiment
+
+from .golden_config import (
+    GOLDEN_POLICIES,
+    golden_configuration,
+    golden_path,
+)
+
+
+def load_golden(policy):
+    path = golden_path(policy)
+    if not path.exists():
+        pytest.skip(f"golden for {policy!r} not captured ({path})")
+    with open(path, "rb") as fh:
+        return pickle.load(fh)
+
+
+@pytest.mark.parametrize("policy", GOLDEN_POLICIES)
+def test_run_result_bit_identical_to_golden(policy):
+    golden = load_golden(policy)
+    fresh = run_experiment(golden_configuration(policy))
+
+    # Field-level diagnostics first, so a mismatch names the culprit.
+    assert fresh.policy == golden.policy
+    assert fresh.queries_submitted == golden.queries_submitted
+    assert fresh.queries_completed == golden.queries_completed
+    assert fresh.total_energy_j == golden.total_energy_j  # exact, no approx
+    assert fresh.latencies_s == golden.latencies_s
+    assert len(fresh.samples) == len(golden.samples)
+    for fresh_sample, golden_sample in zip(fresh.samples, golden.samples):
+        assert fresh_sample == golden_sample
+    # The full dataclass comparison seals everything else.
+    assert fresh == golden
+
+
+def test_goldens_are_distinct_runs():
+    """Guards against captures that accidentally pickled the same run."""
+    energies = {p: load_golden(p).total_energy_j for p in GOLDEN_POLICIES}
+    assert len(set(energies.values())) == len(GOLDEN_POLICIES)
+    # And the paper's ordering holds even at golden scale (4 s spike).
+    assert energies["ecl"] < energies["ondemand"] < energies["baseline"]
+
+
+def test_new_policies_land_between_baseline_and_ecl():
+    """§4/§7: single-technique policies recover part of the savings.
+
+    ``performance`` (race-to-idle at turbo) and ``epb-only`` (hardware
+    EPB/EET hints) must beat the uncontrolled baseline but not the full
+    ECL — even at the goldens' 4 s spike scale.
+    """
+    ecl = load_golden("ecl").total_energy_j
+    baseline = load_golden("baseline").total_energy_j
+    for policy in ("performance", "epb-only"):
+        result = run_experiment(golden_configuration(policy))
+        assert result.queries_completed == result.queries_submitted
+        assert ecl < result.total_energy_j < baseline
+
+
+def test_legacy_annotation_fields_stay_empty():
+    """The goldens pin ondemand/baseline samples to empty annotations.
+
+    Before the refactor only the ECL populated ``performance_levels`` /
+    ``applied``; the uniform annotation interface must not start
+    populating them for the legacy policies.
+    """
+    for policy in GOLDEN_POLICIES:
+        golden = load_golden(policy)
+        populated = any(
+            s.performance_levels or s.applied for s in golden.samples
+        )
+        if policy == "ecl":
+            assert populated
+        else:
+            assert not populated

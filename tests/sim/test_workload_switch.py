@@ -1,0 +1,69 @@
+"""The §6.3 workload switch under every registered policy.
+
+The switch used to be an inline special case in the runner's tick loop;
+it is now a :class:`~repro.sim.observers.WorkloadSwitchObserver`, so it
+must compose with *any* control policy — including ones registered out
+of tree — without the policy being notified.
+"""
+
+import pytest
+
+from repro.loadprofiles import constant_profile
+from repro.sim import (
+    RunConfiguration,
+    SimulationRunner,
+    registered_policies,
+)
+from repro.sim.observers import WorkloadSwitchObserver
+from repro.workloads import KeyValueWorkload, WorkloadVariant
+
+
+def switch_config(policy):
+    return RunConfiguration(
+        workload=KeyValueWorkload(WorkloadVariant.INDEXED),
+        profile=constant_profile(0.3, duration_s=3.0),
+        policy=policy,
+        switch_at_s=1.5,
+        switch_workload=KeyValueWorkload(WorkloadVariant.NON_INDEXED),
+    )
+
+
+@pytest.mark.parametrize("policy", registered_policies())
+def test_switch_under_policy(policy):
+    runner = SimulationRunner(switch_config(policy))
+    result = runner.run()
+
+    # The engine's declared characteristics flipped...
+    assert runner.engine.workload_characteristics(0).name == "kv-non-indexed"
+    # ...the load generator now draws from the new workload...
+    assert runner.loadgen.workload.characteristics.name == "kv-non-indexed"
+    # ...and the run kept serving queries across the switch.
+    assert result.queries_completed > 0
+    late_arrivals = result.queries_submitted - result.queries_completed
+    assert late_arrivals < 0.5 * result.queries_submitted
+
+
+def test_switch_observer_reports_state():
+    runner = SimulationRunner(switch_config(registered_policies()[0]))
+    switch = WorkloadSwitchObserver(
+        1.5, KeyValueWorkload(WorkloadVariant.NON_INDEXED)
+    )
+    switch.on_run_start(runner, None)
+    assert not switch.switched
+    switch.before_arrivals(1.0, 0.002)
+    assert not switch.switched
+    switch.before_arrivals(1.5, 0.002)
+    assert switch.switched
+    assert runner.loadgen.workload.characteristics.name == "kv-non-indexed"
+
+
+def test_no_switch_configured_means_no_observer():
+    config = RunConfiguration(
+        workload=KeyValueWorkload(WorkloadVariant.INDEXED),
+        profile=constant_profile(0.3, duration_s=1.0),
+    )
+    runner = SimulationRunner(config)
+    assert not any(
+        isinstance(o, WorkloadSwitchObserver)
+        for o in runner._built_in_observers()
+    )

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import WORKLOADS, build_parser, main, make_profile, make_workload
+from repro.sim import DEFAULT_POLICY, registered_policies
 
 
 class TestParsing:
@@ -12,13 +13,42 @@ class TestParsing:
 
     def test_run_defaults(self):
         args = build_parser().parse_args(["run"])
-        assert args.policy == "ecl"
+        assert args.policy == DEFAULT_POLICY
         assert args.workload == "kv-non-indexed"
         assert args.profile == "spike"
 
     def test_unknown_policy_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--policy", "magic"])
+
+    def test_every_registered_policy_accepted(self):
+        for name in registered_policies():
+            args = build_parser().parse_args(["run", "--policy", name])
+            assert args.policy == name
+
+    def test_out_of_tree_policy_reaches_parser(self):
+        from repro.sim import register_policy, unregister_policy
+        from repro.sim.metrics import SampleAnnotations
+
+        class Null:
+            @classmethod
+            def build(cls, engine, config):
+                return cls()
+
+            def on_tick(self, now_s, dt_s):
+                pass
+
+            def annotate_sample(self):
+                return SampleAnnotations()
+
+        register_policy("cli-test-null", Null.build)
+        try:
+            args = build_parser().parse_args(
+                ["run", "--policy", "cli-test-null"]
+            )
+            assert args.policy == "cli-test-null"
+        finally:
+            unregister_policy("cli-test-null")
 
 
 class TestFactories:
@@ -72,3 +102,11 @@ class TestCommands:
         rc = main(["profile", "--workload", "ssb-non-indexed"])
         assert rc == 0
         assert "u3.0GHz" in capsys.readouterr().out
+
+    def test_list_policies(self, capsys):
+        rc = main(["run", "--list-policies"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in registered_policies():
+            assert name in out
+        assert "(reference)" in out

@@ -23,10 +23,11 @@ class TestColdStart:
         result = runner.run()
         # The sweep measured a meaningful share of the configuration
         # space from live counters alone.
-        coverage = runner.ecl.profiles[0].coverage()
+        coverage = runner.policy.profiles[0].coverage()
         assert coverage > 0.15
         mux_updates = sum(
-            s.maintainer.multiplexed_updates for s in runner.ecl.sockets.values()
+            s.maintainer.multiplexed_updates
+            for s in runner.policy.sockets.values()
         )
         assert mux_updates > 10
         # The system kept serving queries while sweeping.
