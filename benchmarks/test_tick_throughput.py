@@ -11,6 +11,7 @@ import time
 
 from repro.loadprofiles import sine_profile
 from repro.sim import RunConfiguration, SimulationRunner
+from repro.telemetry import PhaseTimingObserver, TraceRecorder
 from repro.workloads import SsbWorkload
 
 from _shared import heading
@@ -23,14 +24,14 @@ DURATION_S = 4.0
 MIN_TICKS_PER_S = 1000.0
 
 
-def _measure(policy: str) -> tuple[float, float]:
+def _measure(policy: str, observers=None) -> tuple[float, float]:
     config = RunConfiguration(
         workload=SsbWorkload(),
         profile=sine_profile(low=0.1, high=0.8, period_s=2.0, duration_s=DURATION_S),
         policy=policy,
         seed=7,
     )
-    runner = SimulationRunner(config)
+    runner = SimulationRunner(config, observers=observers or [])
     ticks = round(DURATION_S / config.tick_s)
     start = time.perf_counter()
     result = runner.run()
@@ -50,6 +51,27 @@ def test_tick_throughput(run_once):
 
     for policy, (ticks_per_s, _) in rates.items():
         assert ticks_per_s > MIN_TICKS_PER_S, policy
+
+
+def test_telemetry_overhead(run_once):
+    """Telemetry must be pay-for-use: with no observers attached the
+    tick rate stays above the floor, and full tracing (event recorder +
+    phase timer) costs at most half the throughput."""
+    rates = run_once(
+        lambda: {
+            "off": _measure("ecl"),
+            "on": _measure("ecl", [TraceRecorder(), PhaseTimingObserver()]),
+        }
+    )
+
+    heading("Telemetry overhead — ECL ticks per second")
+    for mode, (ticks_per_s, elapsed) in rates.items():
+        print(f"{mode:>9}: {ticks_per_s:10,.0f} ticks/s  ({elapsed:.2f} s wall)")
+    off, on = rates["off"][0], rates["on"][0]
+    print(f" overhead: {1 - on / off:8.1%}")
+
+    assert off > MIN_TICKS_PER_S
+    assert on > 0.5 * off
 
 
 def test_tick_throughput_extra_info(benchmark):

@@ -5,7 +5,10 @@ Examples::
     python -m repro run --workload kv-non-indexed --profile spike
     python -m repro run --workload tatp-indexed --profile twitter \\
         --policy baseline --duration 60
+    python -m repro run --profile spike --trace trace.jsonl --timings
     python -m repro compare --workload kv-non-indexed --profile spike
+    python -m repro report --trace trace.jsonl
+    python -m repro report --cache-dir .repro_cache --format csv
     python -m repro profile --workload memory-bound
     python -m repro calibrate
 """
@@ -13,7 +16,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.analysis import comparison_table
@@ -32,6 +37,7 @@ from repro.sim import (
     DEFAULT_POLICY,
     ExperimentSuite,
     RunConfiguration,
+    SimulationRunner,
     get_policy,
     policy_grid,
     reference_policy,
@@ -39,6 +45,16 @@ from repro.sim import (
     run_experiment,
 )
 from repro.sim.metrics import RunResult, energy_saving_fraction
+from repro.telemetry import (
+    PhaseTimingObserver,
+    TraceRecorder,
+    cached_results,
+    read_trace,
+    render_trace_report,
+    summary_csv,
+    summary_table_markdown,
+    trace_samples_csv,
+)
 from repro.workloads import (
     KeyValueWorkload,
     SsbWorkload,
@@ -119,16 +135,29 @@ def cmd_run(args: argparse.Namespace) -> int:
         latency_limit_s=args.latency_limit,
         adaptation=args.adaptation,
     )
-    result = run_experiment(
-        RunConfiguration(
-            workload=workload,
-            profile=profile,
-            policy=args.policy,
-            ecl_params=params,
-            seed=args.seed,
-        )
+    config = RunConfiguration(
+        workload=workload,
+        profile=profile,
+        policy=args.policy,
+        ecl_params=params,
+        seed=args.seed,
     )
+    tracer = TraceRecorder() if args.trace else None
+    timer = PhaseTimingObserver() if args.timings else None
+    observers = [obs for obs in (tracer, timer) if obs is not None]
+    if observers:
+        result = SimulationRunner(config, observers=observers).run()
+    else:
+        result = run_experiment(config)
     print_result(result)
+    if tracer is not None:
+        count = tracer.to_jsonl(args.trace)
+        dropped = f" ({tracer.dropped_events} dropped)" if tracer.dropped_events else ""
+        print(f"trace             : {count} events{dropped} -> {args.trace}",
+              file=sys.stderr)
+    if timer is not None:
+        print()
+        print(timer.timings.table())
     return 0
 
 
@@ -141,13 +170,30 @@ def cmd_compare(args: argparse.Namespace) -> int:
         policies=policies,
         seed=args.seed,
     )
-    suite = ExperimentSuite(workers=args.workers, use_cache=not args.no_cache)
+
+    def report_progress(p):
+        print(
+            f"[{p.completed}/{p.total}] {p.policy} "
+            f"({p.source}, {p.wall_s:.1f} s)",
+            file=sys.stderr,
+        )
+
+    suite = ExperimentSuite(
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        progress=report_progress,
+    )
     print(f"running {', '.join(policies)} ...", file=sys.stderr)
     results = dict(zip(policies, suite.run(configs)))
     if suite.cache_hits:
         print(
             f"({suite.cache_hits} of {len(configs)} runs served from "
             f"{suite.cache_dir}/)",
+            file=sys.stderr,
+        )
+    if suite.pool_utilization is not None:
+        print(
+            f"(pool utilization {suite.pool_utilization:.0%})",
             file=sys.stderr,
         )
     print(comparison_table(results))
@@ -158,6 +204,31 @@ def cmd_compare(args: argparse.Namespace) -> int:
             continue
         saving = energy_saving_fraction(base, results[policy])
         print(f"{policy} saving vs {reference}: {saving:.1%}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    if bool(args.trace) == bool(args.cache_dir):
+        raise SystemExit("report needs exactly one of --trace or --cache-dir")
+    if args.trace:
+        events = read_trace(args.trace)
+        if args.format == "csv":
+            text = trace_samples_csv(events)
+        else:
+            text = render_trace_report(events)
+    else:
+        results = cached_results(args.cache_dir)
+        if not results:
+            raise SystemExit(f"no cached run results under {args.cache_dir}")
+        if args.format == "csv":
+            text = summary_csv(results)
+        else:
+            text = summary_table_markdown(results)
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
     return 0
 
 
@@ -232,6 +303,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="query latency limit in seconds")
     run_p.add_argument("--adaptation", default="multiplexed",
                        choices=("static", "online", "multiplexed"))
+    run_p.add_argument("--trace", metavar="PATH",
+                       help="record a structured event trace (arrivals, "
+                            "reconfigurations, completions, samples) to "
+                            "this JSONL file")
+    run_p.add_argument("--timings", action="store_true",
+                       help="print wall-time attribution across the five "
+                            "pipeline phases")
     run_p.set_defaults(func=cmd_run)
 
     cmp_p = sub.add_parser("compare", help="run all policies and compare")
@@ -242,6 +320,23 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--no-cache", action="store_true",
                        help="bypass the on-disk result cache")
     cmp_p.set_defaults(func=cmd_compare)
+
+    rep_p = sub.add_parser(
+        "report",
+        help="render a recorded trace or a cached suite into a report",
+    )
+    rep_p.add_argument("--trace", metavar="PATH",
+                       help="JSONL trace written by `repro run --trace`")
+    rep_p.add_argument("--cache-dir", metavar="DIR",
+                       help="experiment-suite result cache to summarize")
+    rep_p.add_argument("--format", choices=("markdown", "csv"),
+                       default="markdown",
+                       help="markdown report/table (default) or CSV "
+                            "(sample series for --trace, summary rows "
+                            "for --cache-dir)")
+    rep_p.add_argument("--out", metavar="PATH",
+                       help="write to a file instead of stdout")
+    rep_p.set_defaults(func=cmd_report)
 
     prof_p = sub.add_parser("profile", help="print a workload's energy profile")
     prof_p.add_argument("--workload", default="memory-bound",
@@ -260,7 +355,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Reports get piped through `head` and friends; a closed pipe is
+        # not an error.  Point stdout at devnull so the interpreter's
+        # exit-time flush does not raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -40,6 +40,7 @@ from repro.sim.policy import (
 from repro.sim.runner import RunConfiguration, SimulationRunner, run_experiment
 from repro.sim.suite import (
     ExperimentSuite,
+    RunProgress,
     config_signature,
     default_cache_dir,
     derive_seed,
@@ -77,6 +78,7 @@ __all__ = [
     "SimulationRunner",
     "run_experiment",
     "ExperimentSuite",
+    "RunProgress",
     "config_signature",
     "default_cache_dir",
     "derive_seed",

@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
+import csv
+import io
+import math
 from dataclasses import dataclass, field
+from fractions import Fraction
 
 from repro.errors import SimulationError
 
@@ -54,7 +58,12 @@ class RunResult:
     policy: str
     workload_name: str
     profile_name: str
+    #: The duration actually simulated (``tick_count * tick_s``).  Energy
+    #: accrues over exactly this long, so time averages divide by it.
     duration_s: float
+    #: The caller-requested run length; differs from :attr:`duration_s`
+    #: when the request is not a whole number of ticks.
+    requested_duration_s: float | None = None
     samples: list[SamplePoint] = field(default_factory=list)
     total_energy_j: float = 0.0
     queries_submitted: int = 0
@@ -71,16 +80,22 @@ class RunResult:
         return sum(self.latencies_s) / len(self.latencies_s)
 
     def percentile_latency_s(self, percentile: float) -> float | None:
-        """Latency percentile (e.g. 99.0)."""
+        """Nearest-rank latency percentile (e.g. 99.0).
+
+        The rank is ``ceil(p/100 * n)`` — the smallest rank covering at
+        least ``p`` percent of the samples — evaluated in exact rational
+        arithmetic so float slop cannot shift the rank at boundaries
+        (p=99 over 100 samples must select rank 99, not 100).  Unlike
+        ``round()``, this definition is monotone in ``p`` at every
+        sample count.
+        """
         if not self.latencies_s:
             return None
         if not 0 < percentile <= 100:
             raise SimulationError(f"percentile must be in (0, 100], got {percentile}")
         ordered = sorted(self.latencies_s)
-        index = min(
-            len(ordered) - 1, max(0, round(percentile / 100 * len(ordered)) - 1)
-        )
-        return ordered[index]
+        rank = math.ceil(Fraction(percentile) * len(ordered) / 100)
+        return ordered[min(len(ordered), rank) - 1]
 
     def violation_fraction(self) -> float:
         """Fraction of queries exceeding the latency limit."""
@@ -92,7 +107,12 @@ class RunResult:
     # -- power / energy ----------------------------------------------------------
 
     def average_power_w(self) -> float:
-        """Time-average RAPL power."""
+        """Time-average wall power (PSU-side).
+
+        Divides the PSU-side wall energy (``total_energy_j``, which
+        includes conversion losses — *not* the RAPL package counters the
+        control plane sees) by the realized run duration.
+        """
         if self.duration_s <= 0:
             return 0.0
         return self.total_energy_j / self.duration_s
@@ -103,7 +123,9 @@ class RunResult:
         Used by the Fig. 13 analysis ("the baseline stays for about 50 s
         in the overload state, while the ECL only resides for about 20 s
         there"): the moment pending work returns to a trivial level after
-        the overload peak.
+        the overload peak — and *never spikes back above it* for the rest
+        of the run, so a double spike reports the recovery from the last
+        excursion, not the lull between the two.
         """
         if not self.samples:
             return None
@@ -115,12 +137,81 @@ class RunResult:
             for s in self.samples
             if s.pending_messages == peak_pending
         )
+        cleared_threshold = max(4, peak_pending * 0.01)
+        exit_time: float | None = None
         for sample in self.samples:
             if sample.time_s <= peak_time:
                 continue
-            if sample.pending_messages <= max(4, peak_pending * 0.01):
-                return sample.time_s
-        return None
+            if sample.pending_messages > cleared_threshold:
+                # Backlog came back: any earlier candidate is void.
+                exit_time = None
+            elif exit_time is None:
+                exit_time = sample.time_s
+        return exit_time
+
+    # -- export ------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """Flat, JSON-ready summary of the run (aggregates only).
+
+        One row of a suite-level summary table; the sample time series is
+        exported separately by :meth:`to_csv`.
+        """
+        mean = self.mean_latency_s()
+        return {
+            "policy": self.policy,
+            "workload": self.workload_name,
+            "profile": self.profile_name,
+            "duration_s": self.duration_s,
+            "requested_duration_s": self.requested_duration_s,
+            "total_energy_j": self.total_energy_j,
+            "average_power_w": self.average_power_w(),
+            "queries_submitted": self.queries_submitted,
+            "queries_completed": self.queries_completed,
+            "mean_latency_s": mean,
+            "p50_latency_s": self.percentile_latency_s(50),
+            "p99_latency_s": self.percentile_latency_s(99),
+            "violation_fraction": self.violation_fraction(),
+            "latency_limit_s": self.latency_limit_s,
+            "sample_count": len(self.samples),
+        }
+
+    def to_csv(self) -> str:
+        """The sample time series as CSV text (one row per sample).
+
+        Tuple-valued annotation fields are flattened: performance levels
+        join with ``;``, applied-configuration strings with ``|``.
+        """
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(
+            [
+                "time_s",
+                "load_qps",
+                "rapl_power_w",
+                "psu_power_w",
+                "avg_latency_s",
+                "pending_messages",
+                "in_flight_queries",
+                "performance_levels",
+                "applied",
+            ]
+        )
+        for s in self.samples:
+            writer.writerow(
+                [
+                    s.time_s,
+                    s.load_qps,
+                    s.rapl_power_w,
+                    s.psu_power_w,
+                    "" if s.avg_latency_s is None else s.avg_latency_s,
+                    s.pending_messages,
+                    s.in_flight_queries,
+                    ";".join(f"{v:g}" for v in s.performance_levels),
+                    "|".join(s.applied),
+                ]
+            )
+        return buffer.getvalue()
 
 
 def energy_saving_fraction(baseline: RunResult, controlled: RunResult) -> float:

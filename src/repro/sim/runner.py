@@ -139,14 +139,18 @@ class SimulationRunner:
         config = self.config
         if duration_s is None:
             duration_s = config.profile.duration_s
+        clock = TickClock(tick_s=config.tick_s, duration_s=duration_s)
         result = RunResult(
             policy=config.policy,
             workload_name=config.workload.full_name,
             profile_name=config.profile.name,
-            duration_s=duration_s,
+            # Energy accrues over the realized tick grid, so all time
+            # averages must divide by it — not by the requested length,
+            # which a non-divisible duration/tick ratio never reaches.
+            duration_s=clock.realized_duration_s,
+            requested_duration_s=duration_s,
             latency_limit_s=config.ecl_params.latency_limit_s,
         )
-        clock = TickClock(tick_s=config.tick_s, duration_s=duration_s)
         observers = ObserverList(
             self._built_in_observers() + self.extra_observers
         )
@@ -183,6 +187,7 @@ class SimulationRunner:
             self.engine.submit(query)
             result.queries_submitted += 1
             observers.on_arrival(now_s, query)
+        observers.after_arrivals(now_s, dt_s)
 
     def _phase_control(
         self, now_s: float, dt_s: float, observers: ObserverList
@@ -211,6 +216,7 @@ class SimulationRunner:
             result.queries_completed += 1
             result.latencies_s.append(completion.latency_s)
             observers.on_completion(now_s, completion)
+        observers.after_completions(now_s)
 
     def _phase_sampling(
         self,

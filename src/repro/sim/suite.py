@@ -31,8 +31,9 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import fields, is_dataclass
+from dataclasses import dataclass, fields, is_dataclass
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
@@ -46,8 +47,9 @@ from repro.sim.runner import RunConfiguration, run_experiment
 from repro.workloads.base import Workload
 
 #: Bump to invalidate every cached result (e.g. after changing the
-#: simulation model in a way that alters run outcomes).
-CACHE_VERSION = 1
+#: simulation model in a way that alters run outcomes).  v2: run results
+#: record the realized (tick-grid) duration plus ``requested_duration_s``.
+CACHE_VERSION = 2
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 
@@ -100,6 +102,43 @@ def policy_grid(
         )
         for name in names
     ]
+
+
+@dataclass(frozen=True)
+class RunProgress:
+    """One progress notification from :meth:`ExperimentSuite.run`.
+
+    Emitted once per run as it finishes (cache replays included), in
+    completion order.  ``completed``/``total`` drive progress displays;
+    ``wall_s`` is the run's own wall time (the cache load time for
+    hits), and ``source`` says where the result came from.
+
+    Attributes:
+        index: position of the run in the submitted batch.
+        total: batch size.
+        policy / workload / profile: run identity.
+        source: ``"cache"``, ``"inline"``, or ``"pool"``.
+        wall_s: wall seconds this run took.
+        completed: runs finished so far, including this one.
+    """
+
+    index: int
+    total: int
+    policy: str
+    workload: str
+    profile: str
+    source: str
+    wall_s: float
+    completed: int
+
+
+def _timed_run(
+    config: RunConfiguration, duration_s: float | None
+) -> tuple[RunResult, float]:
+    """Pool worker: run one experiment and report its own wall time."""
+    start = time.perf_counter()
+    result = run_experiment(config, duration_s)
+    return result, time.perf_counter() - start
 
 
 def _canonical(obj: Any) -> Any:
@@ -177,6 +216,13 @@ class ExperimentSuite:
             ``REPRO_CACHE_DIR`` (default ``.repro_cache/``).
         use_cache: disable to always recompute (results are still not
             written).
+        progress: optional callback receiving one :class:`RunProgress`
+            per finished run (cache replays included), in completion
+            order.
+
+    After :meth:`run`, :attr:`run_stats` holds the same
+    :class:`RunProgress` records, and :attr:`pool_utilization` the
+    fraction of pool capacity that was busy (``None`` for inline runs).
     """
 
     def __init__(
@@ -184,14 +230,18 @@ class ExperimentSuite:
         workers: int | None = None,
         cache_dir: str | os.PathLike | None = None,
         use_cache: bool = True,
+        progress: Callable[[RunProgress], None] | None = None,
     ):
         self.workers = suite_worker_count() if workers is None else max(1, workers)
         self.cache_dir = (
             default_cache_dir() if cache_dir is None else Path(cache_dir)
         )
         self.use_cache = use_cache
+        self.progress = progress
         self.cache_hits = 0
         self.cache_misses = 0
+        self.run_stats: list[RunProgress] = []
+        self.pool_utilization: float | None = None
 
     # -- cache -----------------------------------------------------------
 
@@ -254,44 +304,153 @@ class ExperimentSuite:
         pending: list[int] = []
         for index, (config, duration) in enumerate(zip(configs, durations)):
             if self.use_cache:
+                start = time.perf_counter()
                 signature = config_signature(config, duration)
                 signatures[index] = signature
                 cached = self._load(signature)
                 if cached is not None:
                     self.cache_hits += 1
                     results[index] = cached
+                    self._note(
+                        index, len(configs), config,
+                        "cache", time.perf_counter() - start,
+                    )
                     continue
                 self.cache_misses += 1
             pending.append(index)
 
         if pending:
             if self.workers <= 1 or len(pending) == 1:
-                for index in pending:
-                    results[index] = run_experiment(
-                        configs[index], durations[index]
-                    )
-                    self._publish(signatures[index], results[index])
+                self._run_inline(configs, durations, signatures, results, pending)
             else:
-                pool_size = min(self.workers, len(pending))
-                with ProcessPoolExecutor(max_workers=pool_size) as pool:
-                    futures = {
-                        pool.submit(
-                            run_experiment, configs[index], durations[index]
-                        ): index
-                        for index in pending
-                    }
-                    outstanding = set(futures)
-                    while outstanding:
-                        done, outstanding = wait(
-                            outstanding, return_when=FIRST_COMPLETED
-                        )
-                        for future in done:
-                            index = futures[future]
-                            results[index] = future.result()
-                            self._publish(signatures[index], results[index])
+                self._run_pooled(configs, durations, signatures, results, pending)
 
-        assert all(r is not None for r in results)
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:
+            raise SimulationError(
+                f"suite finished without a result for run(s) {missing}"
+            )
         return results  # type: ignore[return-value]
+
+    def _run_inline(
+        self,
+        configs: list[RunConfiguration],
+        durations: list[float | None],
+        signatures: list[str | None],
+        results: list[RunResult | None],
+        pending: list[int],
+    ) -> None:
+        for index in pending:
+            try:
+                result, wall_s = _timed_run(configs[index], durations[index])
+            except Exception as exc:
+                raise self._wrap_failure(index, configs, signatures, exc) from exc
+            results[index] = result
+            self._publish(signatures[index], result)
+            self._note(index, len(configs), configs[index], "inline", wall_s)
+
+    def _run_pooled(
+        self,
+        configs: list[RunConfiguration],
+        durations: list[float | None],
+        signatures: list[str | None],
+        results: list[RunResult | None],
+        pending: list[int],
+    ) -> None:
+        """Fan pending runs across a process pool.
+
+        A worker failure does not strand the batch: every completed
+        result (including runs that finish after the failure) is still
+        published to the cache, the remaining futures are cancelled, and
+        the error re-raises wrapped with the failing configuration's
+        identity.
+        """
+        pool_size = min(self.workers, len(pending))
+        busy_s = 0.0
+        failure: tuple[int, BaseException] | None = None
+        pool_start = time.perf_counter()
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            futures = {
+                pool.submit(_timed_run, configs[index], durations[index]): index
+                for index in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                if failure is None:
+                    done, outstanding = wait(
+                        outstanding, return_when=FIRST_COMPLETED
+                    )
+                else:
+                    # Drain after cancellation: publish whatever the
+                    # already-running workers still deliver.
+                    done, _ = wait(outstanding)
+                    outstanding = set()
+                for future in done:
+                    index = futures[future]
+                    if future.cancelled():
+                        continue
+                    try:
+                        result, wall_s = future.result()
+                    except Exception as exc:
+                        if failure is None:
+                            failure = (index, exc)
+                        continue
+                    busy_s += wall_s
+                    results[index] = result
+                    self._publish(signatures[index], result)
+                    self._note(
+                        index, len(configs), configs[index], "pool", wall_s
+                    )
+                if failure is not None:
+                    for future in outstanding:
+                        future.cancel()
+        elapsed = time.perf_counter() - pool_start
+        if elapsed > 0:
+            self.pool_utilization = busy_s / (elapsed * pool_size)
+        if failure is not None:
+            index, exc = failure
+            raise self._wrap_failure(index, configs, signatures, exc) from exc
+
+    def _wrap_failure(
+        self,
+        index: int,
+        configs: list[RunConfiguration],
+        signatures: list[str | None],
+        exc: BaseException,
+    ) -> SimulationError:
+        """A worker error, annotated with the failing run's identity."""
+        config = configs[index]
+        signature = signatures[index] or config_signature(config)
+        return SimulationError(
+            f"experiment {index} failed "
+            f"(policy={config.policy!r}, "
+            f"workload={config.workload.full_name!r}, "
+            f"profile={config.profile.name!r}, "
+            f"signature={signature[:12]}): "
+            f"{type(exc).__name__}: {exc}"
+        )
+
+    def _note(
+        self,
+        index: int,
+        total: int,
+        config: RunConfiguration,
+        source: str,
+        wall_s: float,
+    ) -> None:
+        record = RunProgress(
+            index=index,
+            total=total,
+            policy=config.policy,
+            workload=config.workload.full_name,
+            profile=config.profile.name,
+            source=source,
+            wall_s=wall_s,
+            completed=len(self.run_stats) + 1,
+        )
+        self.run_stats.append(record)
+        if self.progress is not None:
+            self.progress(record)
 
     def _publish(self, signature: str | None, result: RunResult) -> None:
         if self.use_cache and signature is not None:

@@ -1,0 +1,240 @@
+"""Metrics export: suite summary tables and trace-derived reports.
+
+Two kinds of artifact come out of here, both consumed by ``repro
+report``:
+
+* **suite summaries** — one row per :class:`~repro.sim.metrics.RunResult`
+  (the dict of :meth:`RunResult.to_dict`), rendered as CSV
+  (:func:`summary_csv`, :func:`write_summary_csv`) or a markdown table
+  (:func:`summary_table_markdown`); :func:`cached_results` loads every
+  result pickled into an :class:`~repro.sim.suite.ExperimentSuite` cache
+  directory;
+* **trace reports** — :func:`render_trace_report` turns the JSONL event
+  stream of a :class:`~repro.telemetry.trace.TraceRecorder` into a
+  markdown run report, and :func:`trace_samples_csv` extracts its sample
+  time series as CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+import pickle
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.metrics import RunResult
+
+#: Column order of suite summary exports (keys of ``RunResult.to_dict``).
+SUMMARY_COLUMNS = (
+    "policy",
+    "workload",
+    "profile",
+    "duration_s",
+    "requested_duration_s",
+    "total_energy_j",
+    "average_power_w",
+    "queries_submitted",
+    "queries_completed",
+    "mean_latency_s",
+    "p50_latency_s",
+    "p99_latency_s",
+    "violation_fraction",
+    "latency_limit_s",
+    "sample_count",
+)
+
+
+def _summary_rows(results: Sequence[RunResult]) -> list[dict[str, object]]:
+    if not results:
+        raise SimulationError("no run results to summarize")
+    return [result.to_dict() for result in results]
+
+
+def summary_csv(results: Sequence[RunResult]) -> str:
+    """Suite-level summary table as CSV text (one row per run)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=SUMMARY_COLUMNS)
+    writer.writeheader()
+    writer.writerows(_summary_rows(results))
+    return buffer.getvalue()
+
+
+def write_summary_csv(
+    results: Sequence[RunResult], path: "str | os.PathLike[str]"
+) -> Path:
+    """Write :func:`summary_csv` to ``path`` and return it."""
+    target = Path(path)
+    target.write_text(summary_csv(results), encoding="utf-8")
+    return target
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def summary_table_markdown(results: Sequence[RunResult]) -> str:
+    """Suite-level summary as a GitHub-flavoured markdown table."""
+    rows = _summary_rows(results)
+    columns = (
+        "policy",
+        "workload",
+        "profile",
+        "duration_s",
+        "total_energy_j",
+        "average_power_w",
+        "queries_completed",
+        "mean_latency_s",
+        "p99_latency_s",
+        "violation_fraction",
+    )
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_format_cell(row[c]) for c in columns) + " |"
+        )
+    return "\n".join(lines)
+
+
+def cached_results(cache_dir: "str | os.PathLike[str]") -> list[RunResult]:
+    """Load every :class:`RunResult` pickled into a suite cache directory.
+
+    Entries that fail to unpickle or hold another type are skipped (the
+    suite treats them as cache misses, the report simply omits them).
+    Sorted by file name — the content-hash key — for a deterministic
+    report order.
+    """
+    directory = Path(cache_dir)
+    if not directory.is_dir():
+        raise SimulationError(f"no cache directory at {directory}")
+    results = []
+    for path in sorted(directory.glob("*.pkl")):
+        try:
+            with open(path, "rb") as fh:
+                candidate = pickle.load(fh)
+        except Exception:
+            continue
+        if isinstance(candidate, RunResult):
+            results.append(candidate)
+    return results
+
+
+# -- trace reports ---------------------------------------------------------
+
+
+def _events_of(events: Iterable[dict], kind: str) -> list[dict]:
+    return [e for e in events if e.get("event") == kind]
+
+
+def trace_samples_csv(events: Sequence[dict]) -> str:
+    """The ``sample`` events of a trace as CSV text."""
+    samples = _events_of(events, "sample")
+    if not samples:
+        raise SimulationError("trace contains no sample events")
+    columns = (
+        "time_s",
+        "load_qps",
+        "rapl_power_w",
+        "psu_power_w",
+        "avg_latency_s",
+        "pending_messages",
+        "in_flight_queries",
+    )
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(columns)
+    for sample in samples:
+        writer.writerow(
+            ["" if sample.get(c) is None else sample.get(c) for c in columns]
+        )
+    return buffer.getvalue()
+
+
+def _stats_line(label: str, values: Sequence[float], unit: str) -> str:
+    mean = sum(values) / len(values)
+    return (
+        f"- {label}: min {min(values):.4g} / mean {mean:.4g} / "
+        f"max {max(values):.4g} {unit}"
+    )
+
+
+def render_trace_report(events: Sequence[dict]) -> str:
+    """Render a markdown report from a JSONL trace's event stream."""
+    if not events:
+        raise SimulationError("empty trace")
+    lines = ["# Run trace report", ""]
+
+    starts = _events_of(events, "run_start")
+    if starts:
+        start = starts[0]
+        lines += [
+            f"- policy: `{start.get('policy')}`",
+            f"- workload: `{start.get('workload')}`",
+            f"- profile: `{start.get('profile')}`",
+            f"- realized duration: {_format_cell(start.get('duration_s'))} s "
+            f"(requested {_format_cell(start.get('requested_duration_s'))} s, "
+            f"tick {_format_cell(start.get('tick_s'))} s)",
+        ]
+
+    counts: dict[str, int] = {}
+    for event in events:
+        kind = str(event.get("event", "?"))
+        counts[kind] = counts.get(kind, 0) + 1
+    lines += ["", "## Events", "", "| event | count |", "| --- | --- |"]
+    lines += [f"| {kind} | {n} |" for kind, n in sorted(counts.items())]
+
+    reconfigs = _events_of(events, "reconfig")
+    if reconfigs:
+        times = [float(e["t"]) for e in reconfigs]
+        lines += [
+            "",
+            "## Control activity",
+            "",
+            f"- {len(reconfigs)} hardware reconfigurations "
+            f"(first at t={min(times):.3f} s, last at t={max(times):.3f} s)",
+        ]
+
+    completions = _events_of(events, "completion")
+    samples = _events_of(events, "sample")
+    if completions or samples:
+        lines += ["", "## Measurements", ""]
+    if completions:
+        latencies = sorted(float(e["latency_s"]) for e in completions)
+        p99 = latencies[min(len(latencies), -(-99 * len(latencies) // 100)) - 1]
+        lines.append(_stats_line("latency", latencies, "s"))
+        lines.append(f"- p99 latency: {p99:.4g} s over {len(latencies)} completions")
+    if samples:
+        lines.append(
+            _stats_line(
+                "PSU power", [float(s["psu_power_w"]) for s in samples], "W"
+            )
+        )
+        lines.append(
+            _stats_line(
+                "RAPL power", [float(s["rapl_power_w"]) for s in samples], "W"
+            )
+        )
+
+    ends = _events_of(events, "run_end")
+    if ends:
+        end = ends[-1]
+        lines += [
+            "",
+            "## Totals",
+            "",
+            f"- queries: {end.get('queries_completed')}/"
+            f"{end.get('queries_submitted')} completed",
+            f"- total energy: {_format_cell(end.get('total_energy_j'))} J",
+            f"- events: {end.get('total_events')} emitted, "
+            f"{end.get('dropped_events')} dropped by the ring buffer",
+        ]
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Wall-time attribution across the five pipeline phases of a run.
+
+Every tick of :class:`~repro.sim.runner.SimulationRunner` passes through
+``arrivals → control → engine step → completions → sampling``; knowing
+where the wall time goes tells you whether a slow experiment is paying
+for load generation, the control policy, or the engine model.
+:class:`PhaseTimingObserver` reads a monotonic clock at each phase
+boundary hook and accumulates per-phase totals — pure observation, no
+effect on simulated behaviour.
+
+Attribution notes:
+
+* the *sampling* bucket covers the ``end_tick`` dispatch up to this
+  observer's own hook — attach it **last** (the runner appends extra
+  observers after the built-ins, so the default placement is right) so
+  the built-in sampler's work lands in the bucket;
+* work of observers attached *after* this one, and the loop bookkeeping
+  between ticks, is uncounted — the table reports the gap as
+  ``untimed``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.sim.observers import RunObserver
+
+if TYPE_CHECKING:
+    from repro.dbms.engine import EngineTickResult
+    from repro.sim.metrics import RunResult
+    from repro.sim.runner import SimulationRunner
+
+#: The five pipeline phases, in tick order.
+PIPELINE_PHASES = ("arrivals", "control", "engine", "completions", "sampling")
+
+
+@dataclass(frozen=True)
+class PhaseTimings:
+    """Per-phase wall-time totals of one run.
+
+    Attributes:
+        seconds: wall seconds attributed to each pipeline phase.
+        ticks: ticks executed.
+        wall_s: total wall time between run start and run end.
+    """
+
+    seconds: Mapping[str, float]
+    ticks: int
+    wall_s: float
+
+    @property
+    def measured_s(self) -> float:
+        """Wall time attributed to any phase."""
+        return sum(self.seconds.values())
+
+    @property
+    def untimed_s(self) -> float:
+        """Run wall time outside every phase bucket (loop overhead,
+        observers attached after the timer)."""
+        return max(0.0, self.wall_s - self.measured_s)
+
+    def per_tick_us(self, phase: str) -> float:
+        """Mean microseconds one tick spends in ``phase``."""
+        if self.ticks == 0:
+            return 0.0
+        return 1e6 * self.seconds[phase] / self.ticks
+
+    def table(self) -> str:
+        """Aligned per-phase timing table (CLI ``--timings`` output)."""
+        header = f"{'phase':>12} {'wall s':>9} {'share':>7} {'us/tick':>9}"
+        rows = [header, "-" * len(header)]
+        denominator = self.wall_s if self.wall_s > 0 else 1.0
+        for phase in PIPELINE_PHASES:
+            seconds = self.seconds[phase]
+            rows.append(
+                f"{phase:>12} {seconds:9.3f} {seconds / denominator:7.1%} "
+                f"{self.per_tick_us(phase):9.1f}"
+            )
+        rows.append(
+            f"{'untimed':>12} {self.untimed_s:9.3f} "
+            f"{self.untimed_s / denominator:7.1%} {'':>9}"
+        )
+        rows.append(
+            f"total {self.wall_s:.3f} s over {self.ticks} ticks "
+            f"({1e6 * self.wall_s / self.ticks if self.ticks else 0.0:.1f} us/tick)"
+        )
+        return "\n".join(rows)
+
+
+class PhaseTimingObserver(RunObserver):
+    """Accumulates wall time per pipeline phase at the boundary hooks.
+
+    Args:
+        clock: monotonic time source (injectable for deterministic
+            tests); defaults to :func:`time.perf_counter`.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._seconds = {phase: 0.0 for phase in PIPELINE_PHASES}
+        self._ticks = 0
+        self._run_start: float | None = None
+        self._wall_s = 0.0
+        self._mark = 0.0
+
+    def on_run_start(self, runner: "SimulationRunner", result: "RunResult") -> None:
+        self._seconds = {phase: 0.0 for phase in PIPELINE_PHASES}
+        self._ticks = 0
+        self._wall_s = 0.0
+        self._run_start = self._clock()
+
+    def _advance(self, phase: str) -> None:
+        now = self._clock()
+        self._seconds[phase] += now - self._mark
+        self._mark = now
+
+    def before_arrivals(self, now_s: float, dt_s: float) -> None:
+        self._mark = self._clock()
+
+    def after_arrivals(self, now_s: float, dt_s: float) -> None:
+        self._advance("arrivals")
+
+    def after_control(self, now_s: float, dt_s: float) -> None:
+        self._advance("control")
+
+    def after_step(self, now_s: float, tick_result: "EngineTickResult") -> None:
+        self._advance("engine")
+
+    def after_completions(self, now_s: float) -> None:
+        self._advance("completions")
+
+    def end_tick(self, now_s: float, tick_result: "EngineTickResult") -> None:
+        self._advance("sampling")
+        self._ticks += 1
+
+    def on_run_end(self, result: "RunResult") -> None:
+        assert self._run_start is not None
+        self._wall_s = self._clock() - self._run_start
+
+    @property
+    def timings(self) -> PhaseTimings:
+        """The accumulated totals (final once the run has ended)."""
+        return PhaseTimings(
+            seconds=dict(self._seconds),
+            ticks=self._ticks,
+            wall_s=self._wall_s,
+        )

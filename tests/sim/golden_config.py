@@ -1,13 +1,16 @@
 """The pinned configurations behind the A/B refactor goldens.
 
 ``tests/sim/goldens/`` holds one pickled
-:class:`~repro.sim.metrics.RunResult` per pre-refactor policy, captured
-by running ``python tests/sim/golden_config.py`` at commit ``8ac9f6e``
-(the last commit before the policy-registry refactor).  The pin test
-(:mod:`tests.sim.test_golden_ab`) re-runs the identical configurations
-on the current code and asserts bit-identical results: the registry /
-phased-pipeline refactor must not change a single float for the three
-original policies.
+:class:`~repro.sim.metrics.RunResult` per pre-refactor policy.  The
+originals were captured at commit ``8ac9f6e`` (the last commit before
+the policy-registry refactor); they were re-captured once for the
+realized-duration accounting fix, which added
+``RunResult.requested_duration_s`` — energies, latencies, and samples
+were verified unchanged at re-capture (the golden duration is an exact
+tick multiple).  The pin test (:mod:`tests.sim.test_golden_ab`) re-runs
+the identical configurations on the current code and asserts
+bit-identical results: refactors must not change a single float for the
+three original policies.
 
 Regenerate (only when an *intentional* simulation-model change lands —
 bump the capture commit in this docstring when you do)::

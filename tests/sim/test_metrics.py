@@ -45,6 +45,29 @@ class TestLatencyStats:
         assert result.percentile_latency_s(50) == pytest.approx(0.05)
         assert result.percentile_latency_s(99) == pytest.approx(0.099)
 
+    def test_percentile_nearest_rank_at_small_counts(self):
+        """Regression: ``round()`` banker's-rounded rank 2.5 down to the
+        2nd sample; nearest-rank (ceil) selects the 3rd."""
+        result = make_result([0.01, 0.02, 0.03, 0.04, 0.05])
+        assert result.percentile_latency_s(50) == pytest.approx(0.03)
+        assert result.percentile_latency_s(100) == pytest.approx(0.05)
+        assert result.percentile_latency_s(1) == pytest.approx(0.01)
+
+    def test_percentile_boundary_is_float_exact(self):
+        """p=99 over 100 samples must pick rank 99, though 0.99*100 > 99
+        in floats."""
+        result = make_result([0.001 * i for i in range(1, 101)])
+        assert result.percentile_latency_s(99) == pytest.approx(0.099)
+        assert result.percentile_latency_s(99.0001) == pytest.approx(0.1)
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 5, 7, 10, 33])
+    def test_percentile_monotone_in_p(self, count):
+        result = make_result([0.001 * i for i in range(1, count + 1)])
+        grid = [p / 4 for p in range(1, 401)]  # 0.25 .. 100 step 0.25
+        values = [result.percentile_latency_s(p) for p in grid]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+        assert values[-1] == max(result.latencies_s)
+
     def test_percentile_validation(self):
         result = make_result([0.01])
         with pytest.raises(SimulationError):
@@ -95,3 +118,51 @@ class TestOverloadExit:
 
     def test_none_without_samples(self):
         assert make_result().overload_exit_time_s(1000) is None
+
+    def test_double_spike_reports_final_clearance(self):
+        """The backlog dips between two spikes: the dip must not count —
+        the promise is the time after which pending work *stays* low."""
+        samples = [
+            sample(0.0, 0),
+            sample(1.0, 900),
+            sample(2.0, 3),    # lull between the spikes
+            sample(3.0, 700),  # second excursion
+            sample(4.0, 2),
+            sample(5.0, 0),
+        ]
+        result = make_result(samples=samples)
+        assert result.overload_exit_time_s(1000) == pytest.approx(4.0)
+
+    def test_never_clearing_backlog_returns_none(self):
+        samples = [sample(0.0, 0), sample(1.0, 900), sample(2.0, 500)]
+        result = make_result(samples=samples)
+        assert result.overload_exit_time_s(1000) is None
+
+
+class TestExport:
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        result = make_result([0.01, 0.02], energy=250.0)
+        row = result.to_dict()
+        assert row["policy"] == "ecl"
+        assert row["total_energy_j"] == 250.0
+        assert row["average_power_w"] == pytest.approx(25.0)
+        assert row["p99_latency_s"] == pytest.approx(0.02)
+        assert json.loads(json.dumps(row)) == row
+
+    def test_to_dict_empty_run(self):
+        row = make_result().to_dict()
+        assert row["mean_latency_s"] is None
+        assert row["queries_completed"] == 0
+
+    def test_to_csv_sample_series(self):
+        import csv
+        import io
+
+        result = make_result(samples=[sample(0.0, 5), sample(1.0, 0)])
+        rows = list(csv.DictReader(io.StringIO(result.to_csv())))
+        assert len(rows) == 2
+        assert rows[0]["time_s"] == "0.0"
+        assert rows[0]["pending_messages"] == "5"
+        assert rows[0]["avg_latency_s"] == ""  # None flattens to empty

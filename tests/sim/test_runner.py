@@ -133,3 +133,37 @@ class TestBaselinePolicyDetails:
         tail = [s.rapl_power_w for s in result.samples if s.time_s > 5.5]
         busy = [s.rapl_power_w for s in result.samples if 1.0 < s.time_s < 2.5]
         assert min(tail) < 0.35 * (sum(busy) / len(busy))
+
+
+class TestRealizedDuration:
+    """The run result accounts for the duration actually simulated."""
+
+    def test_non_divisible_ratio_records_realized_duration(self):
+        # 1.0 s requested at 0.3 s ticks -> 3 ticks = 0.9 s simulated;
+        # energy accrues over 0.9 s, so the power denominator must be
+        # 0.9 s, not the requested 1.0 s (a silent ~11% power error).
+        result = run_experiment(
+            RunConfiguration(
+                workload=kv(),
+                profile=constant_profile(0.3, duration_s=1.0),
+                policy="baseline",
+                tick_s=0.3,
+            )
+        )
+        assert result.requested_duration_s == pytest.approx(1.0)
+        assert result.duration_s == pytest.approx(0.9)
+        assert result.total_energy_j > 0
+        assert result.average_power_w() == pytest.approx(
+            result.total_energy_j / result.duration_s
+        )
+
+    def test_divisible_ratio_realizes_the_request(self):
+        result = run_experiment(
+            RunConfiguration(
+                workload=kv(),
+                profile=constant_profile(0.3, duration_s=1.0),
+                policy="baseline",
+            )
+        )
+        assert result.duration_s == pytest.approx(1.0)
+        assert result.requested_duration_s == pytest.approx(1.0)

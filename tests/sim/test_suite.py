@@ -153,6 +153,110 @@ class TestCaching:
         assert not list(tmp_path.glob("*.tmp"))
 
 
+class ExplodingWorkload(KeyValueWorkload):
+    """Raises when the runner asks for its execution characteristics.
+
+    Module-level so it pickles into pool workers by reference.
+    """
+
+    @property
+    def characteristics(self):
+        raise RuntimeError("boom: injected workload failure")
+
+
+def failing_config(duration_s=1.0):
+    return RunConfiguration(
+        workload=ExplodingWorkload(WorkloadVariant.NON_INDEXED),
+        profile=constant_profile(0.3, duration_s=duration_s),
+        policy="baseline",
+    )
+
+
+class TestFaultPaths:
+    def test_inline_failure_carries_run_identity(self, tmp_path):
+        suite = ExperimentSuite(workers=1, cache_dir=tmp_path)
+        with pytest.raises(SimulationError) as err:
+            suite.run([failing_config()])
+        message = str(err.value)
+        assert "baseline" in message
+        assert "kv" in message
+        assert "RuntimeError" in message
+        assert "boom" in message
+        assert isinstance(err.value.__cause__, RuntimeError)
+
+    def test_pool_failure_still_publishes_completed_results(self, tmp_path):
+        """A worker crash must not drop the siblings that finished."""
+        configs = [short_config("baseline", duration_s=1.0), failing_config()]
+        suite = ExperimentSuite(workers=2, cache_dir=tmp_path)
+        with pytest.raises(SimulationError) as err:
+            suite.run(configs)
+        assert "RuntimeError" in str(err.value)
+        # The healthy run's result reached the cache before the raise.
+        replay = ExperimentSuite(workers=1, cache_dir=tmp_path)
+        (result,) = replay.run([short_config("baseline", duration_s=1.0)])
+        assert replay.cache_hits == 1
+        assert result.queries_completed > 0
+
+    def test_pool_failure_alone_in_batch(self, tmp_path):
+        suite = ExperimentSuite(workers=2, cache_dir=tmp_path)
+        with pytest.raises(SimulationError):
+            suite.run([failing_config(), failing_config(duration_s=1.5)])
+
+    def test_failure_without_cache_is_still_wrapped(self, tmp_path):
+        suite = ExperimentSuite(workers=1, cache_dir=tmp_path, use_cache=False)
+        with pytest.raises(SimulationError) as err:
+            suite.run([failing_config()])
+        # Identity is derivable even though no signature was cached.
+        assert "signature=" in str(err.value)
+        assert not list(tmp_path.glob("*.pkl"))
+
+
+class TestProgress:
+    def test_callback_sees_every_run_in_completion_order(self, tmp_path):
+        seen = []
+        configs = [
+            short_config("baseline", duration_s=1.0),
+            short_config("ondemand", duration_s=1.0),
+        ]
+        suite = ExperimentSuite(
+            workers=1, cache_dir=tmp_path, progress=seen.append
+        )
+        suite.run(configs)
+        assert [p.source for p in seen] == ["inline", "inline"]
+        assert [p.completed for p in seen] == [1, 2]
+        assert all(p.total == 2 for p in seen)
+        assert [p.policy for p in seen] == ["baseline", "ondemand"]
+        assert all(p.wall_s > 0 for p in seen)
+        assert suite.run_stats == seen
+
+    def test_cache_replays_report_as_hits(self, tmp_path):
+        configs = [short_config("baseline", duration_s=1.0)]
+        ExperimentSuite(workers=1, cache_dir=tmp_path).run(configs)
+        seen = []
+        again = ExperimentSuite(
+            workers=1, cache_dir=tmp_path, progress=seen.append
+        )
+        again.run([short_config("baseline", duration_s=1.0)])
+        assert [p.source for p in seen] == ["cache"]
+        assert seen[0].wall_s >= 0
+
+    def test_pool_utilization_recorded(self, tmp_path):
+        configs = [
+            short_config("baseline", seed=derive_seed(0, i), duration_s=1.0)
+            for i in range(2)
+        ]
+        suite = ExperimentSuite(workers=2, cache_dir=tmp_path)
+        suite.run(configs)
+        assert suite.pool_utilization is not None
+        assert 0.0 < suite.pool_utilization <= 1.5
+        assert [p.source for p in suite.run_stats] == ["pool", "pool"]
+
+    def test_inline_runs_leave_no_pool_utilization(self, tmp_path):
+        suite = ExperimentSuite(workers=1, cache_dir=tmp_path)
+        suite.run([short_config("baseline", duration_s=1.0)])
+        assert suite.pool_utilization is None
+
+
 class TestParallel:
     def test_pool_results_match_inline(self, tmp_path):
         """Fanning out across processes must not change any result."""

@@ -1,0 +1,166 @@
+"""Tests for metrics export: summary tables, cache loading, trace reports."""
+
+import csv
+import io
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.loadprofiles import constant_profile
+from repro.sim import ExperimentSuite, RunConfiguration
+from repro.sim.metrics import RunResult, SamplePoint
+from repro.telemetry import (
+    cached_results,
+    render_trace_report,
+    summary_csv,
+    summary_table_markdown,
+    trace_samples_csv,
+    write_summary_csv,
+)
+from repro.telemetry.export import SUMMARY_COLUMNS
+from repro.workloads import KeyValueWorkload, WorkloadVariant
+
+
+def fake_result(policy="ecl", energy=100.0):
+    result = RunResult(
+        policy=policy,
+        workload_name="kv (non-indexed)",
+        profile_name="test",
+        duration_s=10.0,
+        requested_duration_s=10.0,
+        latency_limit_s=0.1,
+    )
+    result.total_energy_j = energy
+    result.latencies_s = [0.01, 0.02, 0.03]
+    result.queries_submitted = result.queries_completed = 3
+    result.samples = [
+        SamplePoint(
+            time_s=0.0,
+            load_qps=10.0,
+            rapl_power_w=100.0,
+            psu_power_w=120.0,
+            avg_latency_s=None,
+            pending_messages=0,
+            in_flight_queries=0,
+        )
+    ]
+    return result
+
+
+class TestSummaryTables:
+    def test_csv_has_one_row_per_run(self):
+        text = summary_csv([fake_result("ecl"), fake_result("baseline", 200.0)])
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert list(rows[0]) == list(SUMMARY_COLUMNS)
+        assert rows[0]["policy"] == "ecl"
+        assert float(rows[1]["total_energy_j"]) == 200.0
+
+    def test_empty_raises(self):
+        with pytest.raises(SimulationError):
+            summary_csv([])
+        with pytest.raises(SimulationError):
+            summary_table_markdown([])
+
+    def test_markdown_table_shape(self):
+        text = summary_table_markdown([fake_result(), fake_result("baseline")])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert lines[0].startswith("| policy |")
+        assert "| ecl |" in lines[2]
+
+    def test_write_summary_csv(self, tmp_path):
+        target = write_summary_csv([fake_result()], tmp_path / "summary.csv")
+        assert target.exists()
+        assert target.read_text(encoding="utf-8").startswith("policy,")
+
+
+class TestCachedResults:
+    def test_loads_suite_cache(self, tmp_path):
+        config = RunConfiguration(
+            workload=KeyValueWorkload(WorkloadVariant.NON_INDEXED),
+            profile=constant_profile(0.3, duration_s=1.0),
+            policy="baseline",
+        )
+        ExperimentSuite(workers=1, cache_dir=tmp_path).run([config])
+        (tmp_path / "garbage.pkl").write_bytes(b"not a pickle")
+        results = cached_results(tmp_path)
+        assert len(results) == 1
+        assert results[0].policy == "baseline"
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(SimulationError):
+            cached_results(tmp_path / "absent")
+
+
+def synthetic_trace():
+    return [
+        {
+            "event": "run_start",
+            "policy": "ecl",
+            "workload": "kv",
+            "profile": "spike",
+            "tick_s": 0.002,
+            "duration_s": 4.0,
+            "requested_duration_s": 4.0,
+        },
+        {"event": "arrival", "t": 0.1, "query_id": 1},
+        {
+            "event": "reconfig",
+            "t": 0.5,
+            "before": {"active_threads": 4},
+            "after": {"active_threads": 2},
+        },
+        {"event": "completion", "t": 0.2, "query_id": 1, "latency_s": 0.1},
+        {
+            "event": "sample",
+            "time_s": 0.25,
+            "load_qps": 12.0,
+            "rapl_power_w": 90.0,
+            "psu_power_w": 110.0,
+            "avg_latency_s": None,
+            "pending_messages": 0,
+            "in_flight_queries": 1,
+        },
+        {
+            "event": "run_end",
+            "queries_submitted": 1,
+            "queries_completed": 1,
+            "total_energy_j": 42.0,
+            "total_events": 6,
+            "dropped_events": 0,
+        },
+    ]
+
+
+class TestTraceReport:
+    def test_report_covers_every_section(self):
+        report = render_trace_report(synthetic_trace())
+        assert "# Run trace report" in report
+        assert "`ecl`" in report
+        assert "| reconfig | 1 |" in report
+        assert "1 hardware reconfigurations" in report
+        assert "p99 latency" in report
+        assert "PSU power" in report
+        assert "42 J" in report
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(SimulationError):
+            render_trace_report([])
+
+    def test_partial_trace_renders(self):
+        # A truncated ring buffer may hold no run_start; still render.
+        report = render_trace_report(synthetic_trace()[3:])
+        assert "completion" in report
+
+    def test_samples_csv(self):
+        rows = list(
+            csv.DictReader(io.StringIO(trace_samples_csv(synthetic_trace())))
+        )
+        assert len(rows) == 1
+        assert rows[0]["psu_power_w"] == "110.0"
+        assert rows[0]["avg_latency_s"] == ""
+
+    def test_samples_csv_requires_samples(self):
+        with pytest.raises(SimulationError):
+            trace_samples_csv([{"event": "arrival", "t": 0.0}])

@@ -1,0 +1,94 @@
+"""Tests for wall-time attribution across the pipeline phases."""
+
+import pytest
+
+from repro.loadprofiles import constant_profile
+from repro.sim import RunConfiguration, SimulationRunner
+from repro.telemetry import PIPELINE_PHASES, PhaseTimingObserver
+from repro.workloads import KeyValueWorkload, WorkloadVariant
+
+
+def config(duration_s=1.0):
+    return RunConfiguration(
+        workload=KeyValueWorkload(WorkloadVariant.NON_INDEXED),
+        profile=constant_profile(0.3, duration_s=duration_s),
+    )
+
+
+class FakeClock:
+    """Monotonic counter: every read advances one 'second'."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+class TestFakeClockAttribution:
+    def test_each_phase_gets_one_unit_per_tick(self):
+        timer = PhaseTimingObserver(clock=FakeClock())
+        timer.on_run_start(None, None)
+        for _ in range(3):
+            timer.before_arrivals(0.0, 0.002)
+            timer.after_arrivals(0.0, 0.002)
+            timer.after_control(0.0, 0.002)
+            timer.after_step(0.0, None)
+            timer.after_completions(0.0)
+            timer.end_tick(0.0, None)
+        timer.on_run_end(None)
+
+        timings = timer.timings
+        assert timings.ticks == 3
+        for phase in PIPELINE_PHASES:
+            assert timings.seconds[phase] == pytest.approx(3.0)
+        assert timings.measured_s == pytest.approx(15.0)
+        # run_start read t=1, run_end read t=20: 19 s wall, 4 untimed.
+        assert timings.wall_s == pytest.approx(19.0)
+        assert timings.untimed_s == pytest.approx(4.0)
+        assert timings.per_tick_us("engine") == pytest.approx(1e6)
+
+    def test_table_renders_every_phase(self):
+        timer = PhaseTimingObserver(clock=FakeClock())
+        timer.on_run_start(None, None)
+        timer.before_arrivals(0.0, 0.002)
+        timer.after_arrivals(0.0, 0.002)
+        timer.after_control(0.0, 0.002)
+        timer.after_step(0.0, None)
+        timer.after_completions(0.0)
+        timer.end_tick(0.0, None)
+        timer.on_run_end(None)
+        table = timer.timings.table()
+        for phase in PIPELINE_PHASES:
+            assert phase in table
+        assert "untimed" in table
+        assert "1 ticks" in table
+
+    def test_zero_tick_timings_are_safe(self):
+        timings = PhaseTimingObserver().timings
+        assert timings.ticks == 0
+        assert timings.per_tick_us("engine") == 0.0
+        assert "0 ticks" in timings.table()
+
+
+class TestRealRun:
+    def test_attributes_the_whole_run(self):
+        timer = PhaseTimingObserver()
+        result = SimulationRunner(config(), observers=[timer]).run()
+        timings = timer.timings
+        assert timings.ticks == 500  # 1.0 s at 2 ms
+        assert result.queries_completed > 0
+        assert all(timings.seconds[p] >= 0.0 for p in PIPELINE_PHASES)
+        assert timings.measured_s > 0.0
+        assert timings.measured_s <= timings.wall_s + 1e-6
+        # The engine step dominates a simulation run.
+        assert timings.seconds["engine"] == max(timings.seconds.values())
+
+    def test_timing_does_not_change_the_run(self):
+        plain = SimulationRunner(config()).run()
+        timed = SimulationRunner(
+            config(), observers=[PhaseTimingObserver()]
+        ).run()
+        assert timed.total_energy_j == plain.total_energy_j
+        assert timed.latencies_s == plain.latencies_s

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import WORKLOADS, build_parser, main, make_profile, make_workload
@@ -110,3 +112,103 @@ class TestCommands:
         for name in registered_policies():
             assert name in out
         assert "(reference)" in out
+
+
+class TestTelemetryCommands:
+    RUN_ARGS = [
+        "run",
+        "--workload",
+        "kv-non-indexed",
+        "--profile",
+        "constant",
+        "--level",
+        "0.3",
+        "--duration",
+        "2",
+    ]
+
+    def test_run_with_trace_and_timings(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        rc = main(self.RUN_ARGS + ["--trace", str(trace), "--timings"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "total energy" in captured.out
+        assert "us/tick" in captured.out  # the timing table
+        assert "trace" in captured.err
+        lines = trace.read_text(encoding="utf-8").strip().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert events[0]["event"] == "run_start"
+        assert events[-1]["event"] == "run_end"
+
+    def test_report_from_trace_markdown(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        main(self.RUN_ARGS + ["--trace", str(trace)])
+        capsys.readouterr()
+        rc = main(["report", "--trace", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# Run trace report" in out
+        assert "## Events" in out
+        assert "## Totals" in out
+
+    def test_report_trace_csv_to_file(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        main(self.RUN_ARGS + ["--trace", str(trace)])
+        capsys.readouterr()
+        out_file = tmp_path / "samples.csv"
+        rc = main(
+            [
+                "report",
+                "--trace",
+                str(trace),
+                "--format",
+                "csv",
+                "--out",
+                str(out_file),
+            ]
+        )
+        assert rc == 0
+        assert capsys.readouterr().out == ""
+        assert out_file.read_text(encoding="utf-8").startswith("time_s,")
+
+    def test_report_from_cache_dir(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        main(
+            [
+                "compare",
+                "--workload",
+                "kv-non-indexed",
+                "--profile",
+                "constant",
+                "--level",
+                "0.3",
+                "--duration",
+                "1",
+            ]
+        )
+        capsys.readouterr()
+        rc = main(["report", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("| policy |")
+        rc = main(["report", "--cache-dir", str(tmp_path), "--format", "csv"])
+        assert rc == 0
+        assert capsys.readouterr().out.startswith("policy,")
+
+    def test_report_requires_exactly_one_source(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["report"])
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "report",
+                    "--trace",
+                    str(tmp_path / "t.jsonl"),
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+
+    def test_report_empty_cache_dir(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["report", "--cache-dir", str(tmp_path)])
