@@ -6,8 +6,6 @@ verifies the configured overhead matches and that disabling it changes
 measured results only marginally (negligibility).
 """
 
-import dataclasses
-
 from repro.ecl.socket_ecl import EclParameters
 from repro.loadprofiles import constant_profile
 from repro.sim import RunConfiguration, run_experiment

@@ -32,6 +32,11 @@ from repro.loadprofiles import (
     twitter_profile,
 )
 from repro.loadprofiles.base import LoadProfile
+from repro.placement import (
+    DEFAULT_PLACEMENT,
+    get_placement,
+    registered_placements,
+)
 from repro.profiles.evaluate import build_profile
 from repro.sim import (
     DEFAULT_POLICY,
@@ -84,6 +89,16 @@ def print_policies() -> None:
         print(f"{name:<{width}}  {info.description}{marker}")
 
 
+def print_placements() -> None:
+    """List every registered placement policy with its description."""
+    names = registered_placements()
+    width = max(len(name) for name in names)
+    for name in names:
+        info = get_placement(name)
+        marker = " (default)" if name == DEFAULT_PLACEMENT else ""
+        print(f"{name:<{width}}  {info.description}{marker}")
+
+
 def make_workload(name: str) -> Workload:
     """Instantiate a benchmark workload by CLI name."""
     try:
@@ -128,6 +143,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.list_policies:
         print_policies()
         return 0
+    if args.list_placements:
+        print_placements()
+        return 0
     workload = make_workload(args.workload)
     profile = make_profile(args.profile, args.duration, args.level)
     params = EclParameters(
@@ -139,6 +157,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         workload=workload,
         profile=profile,
         policy=args.policy,
+        placement=args.placement,
         ecl_params=params,
         seed=args.seed,
     )
@@ -168,6 +187,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         lambda: make_workload(args.workload),
         profile,
         policies=policies,
+        placement=args.placement,
         seed=args.seed,
     )
 
@@ -289,6 +309,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="profile duration in seconds (paper: 180)")
         p.add_argument("--level", type=float, default=0.5,
                        help="load fraction for the constant profile")
+        p.add_argument("--placement", default=DEFAULT_PLACEMENT,
+                       choices=registered_placements(),
+                       help="initial data placement policy "
+                            "(see --list-placements)")
         p.add_argument("--seed", type=int, default=0)
 
     run_p = sub.add_parser("run", help="run one experiment")
@@ -297,6 +321,8 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=registered_policies())
     run_p.add_argument("--list-policies", action="store_true",
                        help="list registered control policies and exit")
+    run_p.add_argument("--list-placements", action="store_true",
+                       help="list registered placement policies and exit")
     run_p.add_argument("--interval", type=float, default=1.0,
                        help="socket-ECL period in seconds")
     run_p.add_argument("--latency-limit", type=float, default=0.1,

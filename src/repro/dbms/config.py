@@ -1,0 +1,59 @@
+"""Engine tuning knobs as one configuration object.
+
+Historically the runtime's cost constants lived as module-level floats
+(``WORKER_QUANTUM_INSTRUCTIONS`` in :mod:`repro.dbms.engine`, the
+``TRANSFER_*`` family in :mod:`repro.dbms.inter_socket`), which made
+per-run tuning require monkeypatching.  :class:`EngineConfig` promotes
+them to fields with the historical values as defaults — a default-built
+config reproduces the old constants bit-for-bit — and adds the knobs of
+the partition-migration cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Cost-model knobs of the DBMS runtime, tunable per run.
+
+    Attributes:
+        worker_quantum_instructions: instruction quantum a worker receives
+            per scheduling round inside a tick.
+        transfer_instructions_per_message: instruction cost charged per
+            transferred message on each side of an inter-socket flush.
+        transfer_instructions_per_flush: fixed instruction cost per buffer
+            flush (syscall-free polling transfer), charged to the sender.
+        transfer_bytes_per_message: interconnect bytes per message
+            (header + payload estimate).
+        migration_instructions_per_byte: instruction cost, per side, of
+            copying one byte of partition data across the interconnect
+            during a partition migration.
+        migration_floor_bytes: lower bound on the byte volume charged for
+            a migration.  Modeled workloads keep their table fragments
+            empty (costs are analytic), so this stands in for the
+            partition's working set; real-mode partitions use
+            ``max(bytes_used, floor)``.
+    """
+
+    worker_quantum_instructions: float = 200_000.0
+    transfer_instructions_per_message: float = 150.0
+    transfer_instructions_per_flush: float = 600.0
+    transfer_bytes_per_message: float = 128.0
+    migration_instructions_per_byte: float = 0.5
+    migration_floor_bytes: float = 2_800_000.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if not value > 0:
+                raise SimulationError(
+                    f"EngineConfig.{f.name} must be > 0, got {value!r}"
+                )
+
+
+#: The canonical defaults; identical to the historical module constants.
+DEFAULT_ENGINE_CONFIG = EngineConfig()

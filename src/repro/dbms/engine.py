@@ -8,7 +8,9 @@ statistics) and advances it in lock-step with a
 per tick (``dt``):
 
 1. the communication threads flush their outbound buffers (messages
-   buffered last tick arrive now — one tick of interconnect latency);
+   buffered last tick arrive now — one tick of interconnect latency),
+   and in-flight partition migrations advance (quiesce → transfer, see
+   :mod:`repro.placement.migration`);
 2. each socket's pending work is reported to the machine as demand;
 3. the machine resolves the performance model and returns how many
    instructions each socket executed;
@@ -26,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dataclass_field
 
 from repro.errors import SimulationError
+from repro.dbms.config import DEFAULT_ENGINE_CONFIG, EngineConfig
 from repro.dbms.elasticity import ElasticWorkerPool
 from repro.dbms.inter_socket import InterSocketRouter
 from repro.dbms.intra_socket import IntraSocketHub
@@ -38,10 +41,18 @@ from repro.hardware.perfmodel import (
     WorkloadCharacteristics,
     blend_characteristics,
 )
+from repro.placement import (
+    DEFAULT_PLACEMENT,
+    MigrationCoordinator,
+    MigrationRecord,
+    PlacementPolicy,
+    build_placement,
+)
 from repro.storage.partition import PartitionMap
 
 #: Instruction quantum a worker receives per scheduling round inside a tick.
-WORKER_QUANTUM_INSTRUCTIONS = 200_000.0
+#: (Default-config alias; tunable per run through ``EngineConfig``.)
+WORKER_QUANTUM_INSTRUCTIONS = DEFAULT_ENGINE_CONFIG.worker_quantum_instructions
 
 
 @dataclass
@@ -65,12 +76,23 @@ class DatabaseEngine:
         partition_count: int | None = None,
         latency_window_s: float = 5.0,
         utilization_window_s: float = 1.0,
+        placement: PlacementPolicy | str = DEFAULT_PLACEMENT,
+        engine_config: EngineConfig | None = None,
     ):
         self.machine = machine
+        self.config = engine_config or DEFAULT_ENGINE_CONFIG
         topology = machine.topology
         if partition_count is None:
             partition_count = machine.params.total_threads
-        self.partitions = PartitionMap(partition_count, topology.socket_count)
+        if isinstance(placement, str):
+            placement = build_placement(placement)
+        self.placement = placement
+        assignment = placement.initial_assignment(
+            partition_count, [s.socket_id for s in topology.sockets]
+        )
+        self.partitions = PartitionMap(
+            partition_count, topology.socket_count, assignment=assignment
+        )
 
         self.hubs: dict[int, IntraSocketHub] = {}
         for sock in topology.sockets:
@@ -85,7 +107,17 @@ class DatabaseEngine:
                 )
             self.hubs[sock.socket_id] = IntraSocketHub(sock.socket_id, pids)
 
-        self.router = InterSocketRouter(self.hubs)
+        self.router = InterSocketRouter(self.hubs, config=self.config)
+        self.migrations = MigrationCoordinator(
+            self.partitions,
+            self.hubs,
+            self.router,
+            self.config,
+            charge=self.add_overhead_instructions,
+        )
+        #: Sockets taken off query intake (drained for package sleep);
+        #: submissions coordinated there fall back to an online socket.
+        self._offline_sockets: set[int] = set()
         self.pool = ElasticWorkerPool(topology, self.hubs)
         self.tracker = QueryTracker()
         self.latency = LatencyTracker(window_s=latency_window_s)
@@ -130,9 +162,19 @@ class DatabaseEngine:
     # -- query intake ---------------------------------------------------------------
 
     def submit(self, query: Query) -> None:
-        """Accept a query: dispatch and route its stage-0 messages."""
+        """Accept a query: dispatch and route its stage-0 messages.
+
+        Queries coordinated on an offline (drained) socket are redirected
+        to the lowest-id online socket — clients of a powered-down node
+        reconnect elsewhere, so no traffic originates on parked hardware.
+        """
+        source = query.coordinator_socket
+        if source in self._offline_sockets:
+            source = min(
+                sid for sid in self.hubs if sid not in self._offline_sockets
+            )
         for message in self.tracker.dispatch(query):
-            self.router.route(query.coordinator_socket, message)
+            self.router.route(source, message)
 
     def pending_messages(self) -> int:
         """Messages queued across all hubs and outbound buffers."""
@@ -150,6 +192,56 @@ class DatabaseEngine:
         if instructions < 0:
             raise SimulationError(f"negative overhead {instructions}")
         self._overhead_instructions[socket_id] += instructions
+
+    # -- data placement ----------------------------------------------------------
+
+    def request_migration(
+        self, partition_id: int, target_socket: int
+    ) -> MigrationRecord | None:
+        """Start moving a partition to another socket.
+
+        The move is asynchronous: the partition quiesces first and the
+        transfer happens inside a subsequent :meth:`tick` (see
+        :mod:`repro.placement.migration`).  Returns None when the
+        partition already lives on the target or is mid-migration.
+        """
+        return self.migrations.request(
+            partition_id, target_socket, self.machine.time_s
+        )
+
+    @property
+    def migration_log(self) -> list[MigrationRecord]:
+        """Every completed migration, in completion order."""
+        return self.migrations.log
+
+    def set_socket_online(self, socket_id: int, online: bool) -> None:
+        """Toggle a socket's query intake (socket drain / wake).
+
+        Taking a socket offline also forfeits its queued bookkeeping
+        overhead: the communication thread of a parked socket stops
+        polling, and a zero-capacity socket could otherwise never drain
+        the balance.  At least one socket must stay online.
+
+        Raises:
+            SimulationError: for unknown ids, or when the last online
+                socket would go offline.
+        """
+        if socket_id not in self.hubs:
+            raise SimulationError(f"unknown socket id {socket_id}")
+        if online:
+            self._offline_sockets.discard(socket_id)
+            return
+        remaining = set(self.hubs) - self._offline_sockets - {socket_id}
+        if not remaining:
+            raise SimulationError("cannot take the last online socket offline")
+        self._offline_sockets.add(socket_id)
+        self._overhead_instructions[socket_id] = 0.0
+
+    def socket_is_online(self, socket_id: int) -> bool:
+        """Whether a socket accepts coordinated query intake."""
+        if socket_id not in self.hubs:
+            raise SimulationError(f"unknown socket id {socket_id}")
+        return socket_id not in self._offline_sockets
 
     # -- main loop ---------------------------------------------------------------
 
@@ -198,6 +290,12 @@ class DatabaseEngine:
         for sid, cost in transfer.cost_by_socket.items():
             self._overhead_instructions[sid] += cost.instructions
 
+        # 1b. In-flight partition moves advance (quiesce checks, queue
+        # eviction into the transfer path, per-byte cost charges).  A
+        # strict no-op while nothing is migrating.
+        if self.migrations.active_count:
+            self.migrations.tick(self.machine.time_s)
+
         # 2. Report demand to the hardware model, blending the pending
         # messages' characteristics tags per socket (query interference).
         for sid, hub in self.hubs.items():
@@ -243,7 +341,9 @@ class DatabaseEngine:
                     for worker in workers:
                         if budget <= 0:
                             break
-                        quantum = min(budget, WORKER_QUANTUM_INSTRUCTIONS)
+                        quantum = min(
+                            budget, self.config.worker_quantum_instructions
+                        )
                         used, done = worker.process_quantum(
                             hub, self.partitions, quantum
                         )

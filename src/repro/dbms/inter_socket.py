@@ -13,6 +13,12 @@ Batching amortizes the interconnect cost; the transfer itself charges a
 small instruction cost on both sides (the communication threads do real
 work) and a latency of one flush interval, which the simulation realizes
 by flushing once per tick.
+
+The router is also the authority on partition *homes*.  Partition
+migration re-homes through :meth:`InterSocketRouter.transfer_partition`;
+because delivery re-checks the home per message at flush time, messages
+that were already in flight toward the old socket when a partition moved
+are forwarded onward (paying another transfer hop) — never lost.
 """
 
 from __future__ import annotations
@@ -21,15 +27,21 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.errors import MessagingError
+from repro.dbms.config import DEFAULT_ENGINE_CONFIG, EngineConfig
 from repro.dbms.intra_socket import IntraSocketHub
 from repro.dbms.messages import Message, WorkCost
 
 #: Instruction cost charged per transferred message on each side.
-TRANSFER_INSTRUCTIONS_PER_MESSAGE = 150.0
+#: (Default-config alias; tunable per run through ``EngineConfig``.)
+TRANSFER_INSTRUCTIONS_PER_MESSAGE = (
+    DEFAULT_ENGINE_CONFIG.transfer_instructions_per_message
+)
 #: Fixed instruction cost per buffer flush (syscall-free polling transfer).
-TRANSFER_INSTRUCTIONS_PER_FLUSH = 600.0
+TRANSFER_INSTRUCTIONS_PER_FLUSH = (
+    DEFAULT_ENGINE_CONFIG.transfer_instructions_per_flush
+)
 #: Interconnect bytes per message (header + payload estimate).
-TRANSFER_BYTES_PER_MESSAGE = 128.0
+TRANSFER_BYTES_PER_MESSAGE = DEFAULT_ENGINE_CONFIG.transfer_bytes_per_message
 
 
 @dataclass(frozen=True)
@@ -39,15 +51,22 @@ class TransferStats:
     messages_moved: int
     flushes: int
     cost_by_socket: dict[int, WorkCost]
+    #: Messages whose target partition moved while they were in flight;
+    #: re-buffered toward the new home instead of delivered (a subset of
+    #: ``messages_moved``).
+    forwarded: int = 0
 
 
 class InterSocketRouter:
     """Outbound buffers and transfer logic for all communication threads."""
 
-    def __init__(self, hubs: dict[int, IntraSocketHub]):
+    def __init__(
+        self, hubs: dict[int, IntraSocketHub], config: EngineConfig | None = None
+    ):
         if not hubs:
             raise MessagingError("router needs at least one socket hub")
         self._hubs = hubs
+        self._config = config or DEFAULT_ENGINE_CONFIG
         #: (source socket, destination socket) -> buffered messages.
         self._outbound: dict[tuple[int, int], deque[Message]] = {}
         for src in hubs:
@@ -59,6 +78,7 @@ class InterSocketRouter:
             for pid in hub.partition_ids:
                 self._partition_home[pid] = socket_id
         self.total_messages_moved = 0
+        self.total_forwarded = 0
 
     # -- routing ------------------------------------------------------------
 
@@ -101,6 +121,66 @@ class InterSocketRouter:
         """Messages waiting across all outbound buffers."""
         return sum(len(q) for q in self._outbound.values())
 
+    def buffered_from(self, source_socket: int) -> int:
+        """Messages waiting in all outbound buffers of one sender.
+
+        A socket with a non-empty sender side still owes flush work, so
+        the drain logic must not park it yet.
+        """
+        if source_socket not in self._hubs:
+            raise MessagingError(f"unknown source socket {source_socket}")
+        return sum(
+            len(buffer)
+            for (src, _dst), buffer in self._outbound.items()
+            if src == source_socket
+        )
+
+    # -- migration ------------------------------------------------------------
+
+    def rehome_partition(self, partition_id: int, socket_id: int) -> None:
+        """Point a partition's home at another socket (catalog only)."""
+        self.home_socket(partition_id)  # validate the partition exists
+        if socket_id not in self._hubs:
+            raise MessagingError(f"unknown socket id {socket_id}")
+        self._partition_home[partition_id] = socket_id
+
+    def transfer_partition(
+        self,
+        partition_id: int,
+        target_socket: int,
+        messages: list[Message],
+        data_bytes: float,
+    ) -> WorkCost:
+        """Move a partition's home and ship its evicted queue.
+
+        The queued messages enter the normal outbound path toward the new
+        home (one flush of latency, standard per-message costs on both
+        sides).  The returned :class:`WorkCost` is the *data* copy — a
+        per-byte instruction cost over ``data_bytes`` plus one flush
+        overhead — which the caller charges to **each** of the two
+        sockets involved.
+
+        Raises:
+            MessagingError: for unknown ids or a same-socket transfer.
+        """
+        source = self.home_socket(partition_id)
+        if target_socket not in self._hubs:
+            raise MessagingError(f"unknown socket id {target_socket}")
+        if target_socket == source:
+            raise MessagingError(
+                f"partition {partition_id} already lives on socket {source}"
+            )
+        if data_bytes < 0:
+            raise MessagingError(f"negative data_bytes {data_bytes}")
+        self._partition_home[partition_id] = target_socket
+        if messages:
+            self._outbound[(source, target_socket)].extend(messages)
+        instructions = (
+            self._config.migration_instructions_per_byte * data_bytes
+            + self._config.transfer_instructions_per_flush
+        )
+        return WorkCost(instructions=instructions, bytes_accessed=data_bytes)
+
     # -- transfer ------------------------------------------------------------
 
     def flush(self) -> TransferStats:
@@ -109,30 +189,52 @@ class InterSocketRouter:
         Moves every buffered message to its destination hub and returns
         the instruction/byte cost charged on each socket (sender and
         receiver sides both pay per message; each non-empty buffer pays
-        one flush overhead on the sender).
+        one flush overhead on the sender).  The home is re-checked per
+        message on delivery: a message whose partition migrated while it
+        was in flight is forwarded toward the new home — it pays another
+        hop next flush instead of being delivered to (or lost on) the
+        stale socket.
         """
         cost_by_socket: dict[int, WorkCost] = {
             sid: WorkCost(instructions=0.0) for sid in self._hubs
         }
+        per_message = self._config.transfer_instructions_per_message
+        per_flush = self._config.transfer_instructions_per_flush
+        bytes_per_message = self._config.transfer_bytes_per_message
         moved = 0
         flushes = 0
+        forwards: list[tuple[int, int, Message]] = []
         for (src, dst), buffer in self._outbound.items():
             if not buffer:
                 continue
             flushes += 1
             count = len(buffer)
             while buffer:
-                self._hubs[dst].enqueue(buffer.popleft())
+                message = buffer.popleft()
+                home = self._partition_home[message.target_partition]
+                if home == dst:
+                    self._hubs[dst].enqueue(message)
+                else:
+                    forwards.append((dst, home, message))
             moved += count
             per_side = WorkCost(
-                instructions=TRANSFER_INSTRUCTIONS_PER_MESSAGE * count,
-                bytes_accessed=TRANSFER_BYTES_PER_MESSAGE * count,
+                instructions=per_message * count,
+                bytes_accessed=bytes_per_message * count,
             )
             cost_by_socket[src] = cost_by_socket[src] + per_side + WorkCost(
-                instructions=TRANSFER_INSTRUCTIONS_PER_FLUSH
+                instructions=per_flush
             )
             cost_by_socket[dst] = cost_by_socket[dst] + per_side
+        # Re-buffered after the sweep so a forwarded message always waits
+        # a full flush interval per hop, independent of buffer iteration
+        # order.
+        for dst, home, message in forwards:
+            self._outbound[(dst, home)].append(message)
         self.total_messages_moved += moved
+        self.total_forwarded += len(forwards)
         return TransferStats(
-            messages_moved=moved, flushes=flushes, cost_by_socket=cost_by_socket
+            messages_moved=moved,
+            flushes=flushes,
+            cost_by_socket=cost_by_socket,
+            forwarded=len(forwards),
         )

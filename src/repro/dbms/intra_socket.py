@@ -49,15 +49,19 @@ class IntraSocketHub:
             raise MessagingError(f"socket {socket_id} hub needs >= 1 partition")
         #: partition_id -> worker_id of the current owner.
         self._owners: dict[int, int] = {}
+        #: Partitions quiesced for migration: still enqueue, never acquire.
+        self._frozen: set[int] = set()
         self._pending_messages = 0
         self._pending_instructions = 0.0
         #: Pending instructions per characteristics tag (None = untagged).
         self._pending_by_tag: dict[object, tuple[object, float]] = {}
-        #: Declaration order of partitions — the tie-break of
-        #: :meth:`acquire_partition` (matches the original dict-scan order).
+        #: Arrival order of partitions — the tie-break of
+        #: :meth:`acquire_partition` (matches the original dict-scan order
+        #: for the construction-time set; adopted partitions append).
         self._order: dict[int, int] = {
             pid: index for index, pid in enumerate(self._queues)
         }
+        self._next_order = len(self._queues)
         #: Lazy max-heap of (-depth, order, pid, generation) snapshots.
         #: Entries are pushed on enqueue and on release; while a partition
         #: is unowned its depth only changes through pushes, so the entry
@@ -160,12 +164,15 @@ class IntraSocketHub:
         while heap:
             neg_depth, order, pid, gen = heap[0]
             if (
-                pid in self._owners
+                pid not in self._queues
+                or pid in self._owners
+                or pid in self._frozen
                 or gen != self._entry_gen.get(pid)
                 or not self._queues[pid]
             ):
-                # Owned partitions re-push on release; superseded or
-                # emptied entries are simply dropped.
+                # Owned partitions re-push on release, frozen ones on
+                # unfreeze, evicted ones are gone; superseded or emptied
+                # entries are simply dropped.
                 heapq.heappop(heap)
                 continue
             depth = len(self._queues[pid])
@@ -181,9 +188,13 @@ class IntraSocketHub:
         return None
 
     def acquire_specific(self, worker_id: int, partition_id: int) -> bool:
-        """Try to acquire one specific partition; False if already owned."""
+        """Try to acquire one specific partition.
+
+        False when the partition is already owned or frozen for
+        migration.
+        """
         self._require_partition(partition_id)
-        if partition_id in self._owners:
+        if partition_id in self._owners or partition_id in self._frozen:
             return False
         self._owners[partition_id] = worker_id
         return True
@@ -243,6 +254,83 @@ class IntraSocketHub:
         for pid in owned:
             del self._owners[pid]
             self._push_depth(pid)
+
+    # -- migration support -------------------------------------------------------
+    #
+    # The quiesce/evict/adopt trio below is driven exclusively by the
+    # migration protocol (:mod:`repro.placement.migration`); workers and
+    # the router keep using the queue/ownership APIs above.
+
+    def frozen_partitions(self) -> frozenset[int]:
+        """Partitions currently quiesced for migration."""
+        return frozenset(self._frozen)
+
+    def freeze_partition(self, partition_id: int) -> None:
+        """Quiesce a partition: deliveries continue, acquisition stops.
+
+        A current owner keeps the partition until it releases normally
+        (ownership is always released within the tick it was taken).
+        """
+        self._require_partition(partition_id)
+        self._frozen.add(partition_id)
+
+    def unfreeze_partition(self, partition_id: int) -> None:
+        """Make a frozen partition acquirable again (aborted migration)."""
+        self._require_partition(partition_id)
+        self._frozen.discard(partition_id)
+        self._push_depth(partition_id)
+
+    def evict_partition(self, partition_id: int) -> list[Message]:
+        """Remove a partition from this hub, returning its queued messages.
+
+        The partition must be unowned (quiesced).  Its messages leave the
+        pending accounting — the caller ships them to the new home socket
+        through the router, so they are in transit, not lost.
+
+        Raises:
+            OwnershipError: while a worker still owns the partition.
+        """
+        self._require_partition(partition_id)
+        owner = self._owners.get(partition_id)
+        if owner is not None:
+            raise OwnershipError(
+                f"cannot evict partition {partition_id}: owned by worker "
+                f"{owner}"
+            )
+        messages = list(self._queues.pop(partition_id))
+        for message in messages:
+            instructions = _message_instructions(message)
+            self._pending_instructions -= instructions
+            self._tally_tag(message, -instructions)
+        self._pending_messages -= len(messages)
+        if not self._pending_messages:
+            self._pending_instructions = 0.0  # kill float drift at empty
+            self._pending_by_tag.clear()
+        self._frozen.discard(partition_id)
+        self._order.pop(partition_id, None)
+        # _entry_gen is kept on purpose: stale heap entries of the evicted
+        # partition must never collide with generations pushed after a
+        # later re-adoption, so the counter survives residency gaps.
+        return messages
+
+    def adopt_partition(self, partition_id: int) -> None:
+        """Home a migrated partition on this socket.
+
+        The partition arrives with an empty queue; its shipped messages
+        follow through the normal inter-socket transfer path and enqueue
+        on delivery.
+
+        Raises:
+            MessagingError: if the partition is already homed here.
+        """
+        if partition_id in self._queues:
+            raise MessagingError(
+                f"partition {partition_id} is already on socket "
+                f"{self.socket_id}"
+            )
+        self._queues[partition_id] = deque()
+        self._order[partition_id] = self._next_order
+        self._next_order += 1
 
     def _require_partition(self, partition_id: int) -> None:
         if partition_id not in self._queues:

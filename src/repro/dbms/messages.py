@@ -7,6 +7,11 @@ pre-computed *modeled* cost — high-rate end-to-end simulations use the
 modeled path while tests and examples exercise the real one.  Both paths
 charge the same :class:`WorkCost` currency (instructions and bytes), which
 is what the hardware performance model consumes.
+
+Messages address partitions by id, never by socket: delivery resolves the
+partition's *current* home through the router at flush time, so a message
+survives its target partition migrating mid-flight (it is forwarded, at
+the cost of an extra transfer hop — see :mod:`repro.dbms.inter_socket`).
 """
 
 from __future__ import annotations

@@ -197,6 +197,10 @@ class EnergyControlLoop:
             * 1e9
         )
         for sid, socket_ecl in self.sockets.items():
+            if socket_ecl.drained:
+                # The socket-level loop's thread is parked along with its
+                # socket; it neither decides nor costs anything.
+                continue
             socket_ecl.on_tick(now_s)
             self.engine.add_overhead_instructions(sid, overhead_rate * dt_s)
 

@@ -18,7 +18,7 @@ upcoming tick and counter reads observe everything up to the tick start.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import ControlError, ProfileError
@@ -197,6 +197,10 @@ class SocketEcl:
         self.mux_max_attempts = 3
         self._last_utilization = 0.0
         self._last_zone: RulingZone | None = None
+        #: True while the placement layer has drained this socket into
+        #: package sleep: the loop stands down entirely (no decisions, no
+        #: reconfiguration, no overhead) until the socket is re-populated.
+        self._drained = False
         self.decisions = 0
         self.configuration_switches = 0
 
@@ -480,8 +484,25 @@ class SocketEcl:
 
     # -- main entry point ------------------------------------------------------------
 
+    @property
+    def drained(self) -> bool:
+        """Whether the socket is drained and this loop stands down."""
+        return self._drained
+
+    def set_drained(self, drained: bool) -> None:
+        """Stand the loop down (or resume it) for a drained socket.
+
+        While drained, the consolidation layer owns the socket's hardware
+        state (all threads parked, memory vacated, uncore halted); the
+        loop must not fight it by re-applying configurations.  On resume
+        the next :meth:`on_tick` re-applies the planned configuration.
+        """
+        self._drained = bool(drained)
+
     def on_tick(self, now_s: float) -> None:
         """Drive the loop; call immediately before each engine tick."""
+        if self._drained:
+            return
         if now_s + 1e-12 >= self._next_interval_s:
             self._next_interval_s += self.params.interval_s
             self._decide(now_s)

@@ -36,6 +36,10 @@ class PartitionError(StorageError):
     """A partition lookup or ownership operation failed."""
 
 
+class PlacementError(ReproError):
+    """A placement policy or partition migration was driven incorrectly."""
+
+
 class MessagingError(ReproError):
     """The hierarchical message-passing layer was used incorrectly."""
 

@@ -50,6 +50,9 @@ class CStateModel:
         )
         #: Threads in a shallow halt (C1) rather than parked deep (C6).
         self._shallow_threads: set[int] = set()
+        #: Sockets whose memory holds no partition data (drained by the
+        #: placement layer), lifting the cross-socket uncore dependency.
+        self._memory_vacated: set[int] = set()
         #: Monotonic counter bumped on every park/unpark mutation; lets
         #: callers detect that the active-thread set is unchanged.
         self._version = 0
@@ -91,6 +94,25 @@ class CStateModel:
         self._require_known(thread_id)
         self._active_threads.add(thread_id)
         self._shallow_threads.discard(thread_id)
+        self._version += 1
+
+    def set_memory_vacated(self, socket_id: int, vacated: bool) -> None:
+        """Declare a socket's memory (un)referenced by remote sockets.
+
+        The placement layer marks a socket *vacated* once every partition
+        has migrated off it: no remote access can target its memory, so
+        the Fig. 5 uncore dependency no longer applies and the socket may
+        halt its uncore alone (package sleep).  Re-populating the socket
+        clears the flag.  Bumps the control-state version, because the
+        halt condition feeds cached hardware resolutions.
+        """
+        self._topology.socket(socket_id)  # raises TopologyError if unknown
+        if vacated == (socket_id in self._memory_vacated):
+            return
+        if vacated:
+            self._memory_vacated.add(socket_id)
+        else:
+            self._memory_vacated.discard(socket_id)
         self._version += 1
 
     def _require_known(self, thread_id: int) -> None:
@@ -142,14 +164,23 @@ class CStateModel:
             self.socket_is_idle(s.socket_id) for s in self._topology.sockets
         )
 
+    def memory_is_vacated(self, socket_id: int) -> bool:
+        """Whether the placement layer declared this socket's memory empty."""
+        self._topology.socket(socket_id)  # validate id
+        return socket_id in self._memory_vacated
+
     def uncore_may_halt(self, socket_id: int) -> bool:
         """Whether this socket's uncore clock may halt right now.
 
         The inter-socket dependency of Fig. 5: remote sockets reach this
-        socket's memory through its uncore, so halting requires the whole
-        machine to be idle.
+        socket's memory through its uncore, so halting normally requires
+        the whole machine to be idle.  A socket whose memory was vacated
+        by the placement layer escapes the dependency — nothing remote
+        can target it — and may halt as soon as it is idle itself.
         """
         self._topology.socket(socket_id)  # validate id
+        if socket_id in self._memory_vacated and self.socket_is_idle(socket_id):
+            return True
         return self.machine_is_idle()
 
     def wake_latency_s(self) -> float:

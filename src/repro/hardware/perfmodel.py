@@ -34,7 +34,7 @@ profiles of §4.2:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Mapping, Sequence
+from typing import Sequence
 
 from repro.errors import ConfigurationError
 from repro.hardware.presets import HaswellEPParameters

@@ -1,0 +1,370 @@
+"""Placement policies: where partitions live, and when they move.
+
+Partition-to-socket placement used to be a hard-coded round-robin inside
+:class:`~repro.storage.partition.PartitionMap`.  This module makes it a
+first-class, open-ended decision, mirroring the control-policy registry
+of :mod:`repro.sim.policy`:
+
+* :class:`PlacementPolicy` — the structural interface: an *initial
+  assignment* at engine construction, plus a runtime :meth:`plan` hook
+  that proposes partition migrations from a load snapshot;
+* :func:`register_placement` / :func:`get_placement` — the name registry
+  the engine, runner, CLI, and suite resolve placements through;
+* the built-in registrations at the bottom — the **only** place in
+  ``src/`` where placement names appear as string literals: ``static``
+  (the historical round-robin, never migrates), ``consolidate`` (pack
+  partitions onto the fewest sockets under a load threshold, so drained
+  sockets can enter package sleep), and ``balance`` (keep the partition
+  count even across active sockets).
+
+Policies only *propose* moves; executing them — quiescing the hub queue,
+charging the transfer, re-routing in-flight messages — is the migration
+protocol in :mod:`repro.placement.migration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+from repro.errors import PlacementError
+
+
+# --------------------------------------------------------------------------
+# Load snapshot handed to plan().
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SocketView:
+    """One socket's load as seen by a placement policy.
+
+    Attributes:
+        socket_id: the socket.
+        partition_ids: partitions currently resident, ascending.
+        utilization: windowed demand / capacity, clamped to [0, 1]
+            (see :meth:`repro.dbms.stats.UtilizationTracker.utilization`).
+        pending_instructions: modeled instructions queued in the hub.
+        active: False when the socket is drained/parked by the controller.
+    """
+
+    socket_id: int
+    partition_ids: tuple[int, ...]
+    utilization: float
+    pending_instructions: float
+    active: bool = True
+
+
+@dataclass(frozen=True)
+class PlacementView:
+    """Machine-wide load snapshot a policy plans against."""
+
+    time_s: float
+    sockets: tuple[SocketView, ...]
+
+    def socket(self, socket_id: int) -> SocketView:
+        for view in self.sockets:
+            if view.socket_id == socket_id:
+                return view
+        raise PlacementError(f"unknown socket id {socket_id}")
+
+
+@dataclass(frozen=True)
+class MigrationRequest:
+    """One proposed partition move (policy output; not yet executed)."""
+
+    partition_id: int
+    target_socket: int
+    reason: str = ""
+
+
+# --------------------------------------------------------------------------
+# The protocol.
+# --------------------------------------------------------------------------
+
+
+@runtime_checkable
+class PlacementPolicy(Protocol):
+    """What the engine requires of a placement policy.
+
+    Structural (duck-typed): policies implement these members, they do
+    not inherit from anything.
+    """
+
+    #: Registry name; also how the controller distinguishes ``static``.
+    name: str
+
+    def initial_assignment(
+        self, partition_count: int, socket_ids: Sequence[int]
+    ) -> list[int]:
+        """Socket id for each partition id at engine construction."""
+        ...
+
+    def plan(self, view: PlacementView) -> list[MigrationRequest]:
+        """Propose migrations for the current load; may return []."""
+        ...
+
+
+def round_robin_assignment(
+    partition_count: int, socket_ids: Sequence[int]
+) -> list[int]:
+    """The historical default: partition ``p`` lives on socket ``p % n``."""
+    ids = list(socket_ids)
+    if not ids:
+        raise PlacementError("need at least one socket")
+    return [ids[pid % len(ids)] for pid in range(partition_count)]
+
+
+# --------------------------------------------------------------------------
+# Built-in policies.
+# --------------------------------------------------------------------------
+
+
+class StaticPlacement:
+    """Today's behaviour: round-robin at construction, no migration."""
+
+    name = "static"
+
+    def initial_assignment(
+        self, partition_count: int, socket_ids: Sequence[int]
+    ) -> list[int]:
+        return round_robin_assignment(partition_count, socket_ids)
+
+    def plan(self, view: PlacementView) -> list[MigrationRequest]:
+        return []
+
+
+class ConsolidatePlacement:
+    """Pack partitions onto the fewest sockets under a load threshold.
+
+    When the mean utilization of the populated sockets sits below
+    ``pack_below`` *and* absorbing the donor's load keeps every receiver
+    below ``spread_above``, the policy proposes draining the highest-id
+    populated socket onto the remaining ones (its entire partition set in
+    one plan — the migration layer charges and paces the transfers).  The
+    reverse direction re-spreads: when any populated socket exceeds
+    ``spread_above`` and an empty socket exists, half of the most-loaded
+    socket's partitions move there.  Sockets are homogeneous, so the
+    post-drain projection is simply the summed utilization shared by one
+    fewer socket.
+    """
+
+    name = "consolidate"
+
+    def __init__(self, pack_below: float = 0.35, spread_above: float = 0.85):
+        if not 0.0 < pack_below < spread_above <= 1.0:
+            raise PlacementError(
+                f"need 0 < pack_below < spread_above <= 1, got "
+                f"{pack_below}, {spread_above}"
+            )
+        self.pack_below = pack_below
+        self.spread_above = spread_above
+
+    def initial_assignment(
+        self, partition_count: int, socket_ids: Sequence[int]
+    ) -> list[int]:
+        # Consolidation is a *runtime* reaction to measured load; data
+        # loads spread out like the default so every socket contributes.
+        return round_robin_assignment(partition_count, socket_ids)
+
+    def plan(self, view: PlacementView) -> list[MigrationRequest]:
+        populated = [s for s in view.sockets if s.partition_ids]
+        spread = self._spread_plan(view, populated)
+        if spread:
+            return spread
+        return self._pack_plan(populated)
+
+    def _spread_plan(
+        self, view: PlacementView, populated: list[SocketView]
+    ) -> list[MigrationRequest]:
+        empty = [s for s in view.sockets if not s.partition_ids]
+        if not empty:
+            return []
+        hottest = max(populated, key=lambda s: (s.utilization, s.socket_id))
+        if hottest.utilization <= self.spread_above:
+            return []
+        target = empty[0].socket_id
+        give = list(hottest.partition_ids)[: len(hottest.partition_ids) // 2]
+        return [
+            MigrationRequest(pid, target, reason="spread: overload")
+            for pid in give
+        ]
+
+    def _pack_plan(self, populated: list[SocketView]) -> list[MigrationRequest]:
+        active = [s for s in populated if s.active]
+        if len(active) < 2:
+            return []
+        total = sum(s.utilization for s in active)
+        if total / len(active) >= self.pack_below:
+            return []
+        if total / (len(active) - 1) >= self.spread_above:
+            return []
+        donor = max(active, key=lambda s: s.socket_id)
+        receivers = sorted(
+            (s for s in active if s.socket_id != donor.socket_id),
+            key=lambda s: (s.utilization, s.socket_id),
+        )
+        return [
+            MigrationRequest(
+                pid,
+                receivers[index % len(receivers)].socket_id,
+                reason="pack: low load",
+            )
+            for index, pid in enumerate(donor.partition_ids)
+        ]
+
+
+class BalancePlacement:
+    """Keep the partition count even across the active sockets.
+
+    Proposes moves from the most- to the least-populated active socket
+    until counts differ by at most ``tolerance``.  Count-based (rather
+    than load-based) balancing is deterministic and load-agnostic — the
+    complement of ``consolidate`` for ablations.
+    """
+
+    name = "balance"
+
+    def __init__(self, tolerance: int = 1):
+        if tolerance < 0:
+            raise PlacementError(f"tolerance must be >= 0, got {tolerance}")
+        self.tolerance = tolerance
+
+    def initial_assignment(
+        self, partition_count: int, socket_ids: Sequence[int]
+    ) -> list[int]:
+        return round_robin_assignment(partition_count, socket_ids)
+
+    def plan(self, view: PlacementView) -> list[MigrationRequest]:
+        active = [s for s in view.sockets if s.active]
+        if len(active) < 2:
+            return []
+        counts = {s.socket_id: len(s.partition_ids) for s in active}
+        movable = {s.socket_id: list(s.partition_ids) for s in active}
+        requests: list[MigrationRequest] = []
+        while True:
+            heavy = max(counts, key=lambda sid: (counts[sid], sid))
+            light = min(counts, key=lambda sid: (counts[sid], -sid))
+            if counts[heavy] - counts[light] <= self.tolerance:
+                return requests
+            pid = movable[heavy].pop()
+            counts[heavy] -= 1
+            counts[light] += 1
+            movable[light].append(pid)
+            requests.append(
+                MigrationRequest(pid, light, reason="balance: count skew")
+            )
+
+
+# --------------------------------------------------------------------------
+# The registry.
+# --------------------------------------------------------------------------
+
+
+#: Signature of a registry factory: builds a ready-to-use policy.
+PlacementFactory = Callable[[], PlacementPolicy]
+
+
+@dataclass(frozen=True)
+class PlacementInfo:
+    """One registry entry.
+
+    Attributes:
+        name: the public lookup name (CLI ``--placement``, configs).
+        factory: builds the policy (no arguments; policies are
+            engine-independent until handed a :class:`PlacementView`).
+        description: one-liner for ``repro run --list-placements``.
+    """
+
+    name: str
+    factory: PlacementFactory
+    description: str = ""
+
+
+_REGISTRY: dict[str, PlacementInfo] = {}
+
+
+def register_placement(
+    name: str, factory: PlacementFactory, description: str = ""
+) -> PlacementInfo:
+    """Register a placement policy under a unique name.
+
+    Raises:
+        PlacementError: on duplicate or empty names.
+    """
+    if not name or not isinstance(name, str):
+        raise PlacementError(
+            f"placement name must be a non-empty string, got {name!r}"
+        )
+    if name in _REGISTRY:
+        raise PlacementError(f"placement {name!r} is already registered")
+    info = PlacementInfo(name=name, factory=factory, description=description)
+    _REGISTRY[name] = info
+    return info
+
+
+def unregister_placement(name: str) -> None:
+    """Remove a registration (out-of-tree placement development, tests)."""
+    if name not in _REGISTRY:
+        raise PlacementError(_unknown_message(name))
+    del _REGISTRY[name]
+
+
+def registered_placements() -> tuple[str, ...]:
+    """All registered placement names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_placement(name: str) -> PlacementInfo:
+    """Look up a registration by name.
+
+    Raises:
+        PlacementError: for unknown names; the message lists every
+            registered placement.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise PlacementError(_unknown_message(name)) from None
+
+
+def validate_placement_name(name: str) -> str:
+    """Check that a name is registered and return it unchanged."""
+    get_placement(name)
+    return name
+
+
+def build_placement(name: str) -> PlacementPolicy:
+    """Resolve a name and build the ready-to-use policy."""
+    return get_placement(name).factory()
+
+
+def _unknown_message(name: str) -> str:
+    known = ", ".join(_REGISTRY) or "<none>"
+    return f"unknown placement {name!r}; registered placements: {known}"
+
+
+# --------------------------------------------------------------------------
+# Built-in registrations — the single source of truth for placement names.
+# --------------------------------------------------------------------------
+
+register_placement(
+    "static",
+    StaticPlacement,
+    description="round-robin at construction, partitions never move "
+    "(the historical behaviour; bit-identical to pre-placement runs)",
+)
+register_placement(
+    "consolidate",
+    ConsolidatePlacement,
+    description="pack partitions onto the fewest sockets under a load "
+    "threshold so drained sockets can enter package sleep",
+)
+register_placement(
+    "balance",
+    BalancePlacement,
+    description="keep the partition count even across active sockets",
+)
+
+#: The placement a :class:`RunConfiguration` uses when none is given.
+DEFAULT_PLACEMENT = registered_placements()[0]

@@ -15,6 +15,7 @@ a phased tick pipeline (arrivals → control → engine step → completions
 from repro.sim.clock import OneShotDeadline, PeriodicDeadline, TickClock
 from repro.sim.loadgen import LoadGenerator
 from repro.sim.baseline import BaselinePolicy
+from repro.sim.consolidate import EclConsolidatePolicy
 from repro.sim.governor import OndemandGovernorPolicy
 from repro.sim.performance import StaticPerformancePolicy
 from repro.sim.epb import EpbOnlyPolicy
@@ -54,6 +55,7 @@ __all__ = [
     "OneShotDeadline",
     "LoadGenerator",
     "BaselinePolicy",
+    "EclConsolidatePolicy",
     "OndemandGovernorPolicy",
     "StaticPerformancePolicy",
     "EpbOnlyPolicy",

@@ -1,0 +1,173 @@
+"""The ``ecl-consolidate`` policy: ECL plus ECL-driven socket drain.
+
+The plain ECL can park every *worker* of a lightly loaded socket, but
+the socket's uncore must keep clocking as long as remote sockets may
+touch its memory (the Fig. 5 cross-socket dependency) — so the deepest
+energy state the hardware model implements, package sleep with the LLC
+power-gated, stays out of reach.  This policy composes the full
+:class:`~repro.ecl.controller.EnergyControlLoop` with a placement
+planner (:mod:`repro.placement`):
+
+* on every ECL interval it snapshots per-socket load and asks the
+  planner for migrations; proposed moves go through the engine's
+  migration protocol (quiesce → charged transfer → resume);
+* once a socket holds no partitions and owes no queued or buffered
+  work, it is *drained*: query intake is redirected, every hardware
+  thread parks, the socket-level ECL stands down, and the C-state model
+  is told the socket's memory is vacated — lifting the uncore
+  dependency so the package falls into sleep;
+* when load later exceeds the planner's spread threshold, the drained
+  socket is woken (threads unparked, intake restored, loop resumed) and
+  partitions migrate back.
+
+With the default ``static`` run placement the planner defaults to
+``consolidate``; any other configured placement (e.g. ``balance``) is
+used as-is, making the policy a generic "ECL + data movement" harness.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.placement import (
+    PlacementPolicy,
+    PlacementView,
+    SocketView,
+    build_placement,
+)
+from repro.sim.metrics import SampleAnnotations
+
+if TYPE_CHECKING:
+    from repro.dbms.engine import DatabaseEngine
+    from repro.ecl.controller import EnergyControlLoop
+    from repro.sim.runner import RunConfiguration
+
+
+class EclConsolidatePolicy:
+    """ECL + consolidation-driven package sleep (see module docstring)."""
+
+    def __init__(
+        self,
+        engine: "DatabaseEngine",
+        inner: "EnergyControlLoop",
+        planner: PlacementPolicy,
+        check_interval_s: float | None = None,
+    ):
+        self.engine = engine
+        self.machine = engine.machine
+        self.inner = inner
+        self.planner = planner
+        self.check_interval_s = check_interval_s or inner.params.interval_s
+        #: First check one full interval in, when utilization data exists.
+        self._next_check_s = self.check_interval_s
+        #: Planning pause after a migration wave, in check intervals: the
+        #: transfer's lump cost saturates the utilization window, and
+        #: planning against that transient oscillates (pack, panic-spread,
+        #: pack again).  Two intervals lets the window forget the wave.
+        self.cooldown_intervals = 2
+        self._drained: set[int] = set()
+
+    @classmethod
+    def build(
+        cls, engine: "DatabaseEngine", config: "RunConfiguration"
+    ) -> "EclConsolidatePolicy":
+        """Control-policy factory (see :mod:`repro.sim.policy`)."""
+        # Imported lazily: repro.ecl.controller itself imports sim modules.
+        from repro.ecl.controller import EnergyControlLoop
+
+        inner = EnergyControlLoop.build(engine, config)
+        if engine.placement.name == "static":
+            planner = build_placement("consolidate")
+        else:
+            planner = engine.placement
+        return cls(engine, inner, planner)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def drained_sockets(self) -> frozenset[int]:
+        """Sockets currently parked into package sleep."""
+        return frozenset(self._drained)
+
+    # -- main loop ----------------------------------------------------------
+
+    def on_tick(self, now_s: float, dt_s: float) -> None:
+        """Inner ECL first, then placement planning and drain bookkeeping."""
+        self.inner.on_tick(now_s, dt_s)
+        if now_s + 1e-12 >= self._next_check_s:
+            self._next_check_s += self.check_interval_s
+            self._replan(now_s)
+        self._settle()
+
+    def annotate_sample(self) -> SampleAnnotations:
+        return self.inner.annotate_sample()
+
+    # -- planning -----------------------------------------------------------
+
+    def _view(self, now_s: float) -> PlacementView:
+        sockets = []
+        for sid in sorted(self.engine.hubs):
+            hub = self.engine.hubs[sid]
+            sockets.append(
+                SocketView(
+                    socket_id=sid,
+                    partition_ids=tuple(
+                        p.partition_id
+                        for p in self.engine.partitions.partitions_on_socket(sid)
+                    ),
+                    utilization=self.engine.utilization.utilization(sid, now_s),
+                    pending_instructions=hub.pending_cost_instructions(),
+                    active=sid not in self._drained,
+                )
+            )
+        return PlacementView(time_s=now_s, sockets=tuple(sockets))
+
+    def _replan(self, now_s: float) -> None:
+        if self.engine.migrations.active_count:
+            return  # let the current wave land before planning the next
+        requested = False
+        for request in self.planner.plan(self._view(now_s)):
+            if request.target_socket in self._drained:
+                self._wake_socket(request.target_socket)
+            if (
+                self.engine.request_migration(
+                    request.partition_id, request.target_socket
+                )
+                is not None
+            ):
+                requested = True
+        if requested:
+            self._next_check_s = (
+                now_s + self.cooldown_intervals * self.check_interval_s
+            )
+
+    # -- drain / wake -------------------------------------------------------
+
+    def _settle(self) -> None:
+        """Park sockets that have finished draining."""
+        if self.engine.migrations.active_count:
+            return
+        for sid, hub in self.engine.hubs.items():
+            if (
+                sid not in self._drained
+                and not hub.partition_ids
+                and not hub.pending_messages
+                and not self.engine.router.buffered_from(sid)
+            ):
+                self._park_socket(sid)
+
+    def _park_socket(self, socket_id: int) -> None:
+        self.inner.sockets[socket_id].set_drained(True)
+        self.engine.set_socket_online(socket_id, False)
+        self.machine.apply_socket_threads(socket_id, ())
+        self.machine.cstates.set_memory_vacated(socket_id, True)
+        self._drained.add(socket_id)
+
+    def _wake_socket(self, socket_id: int) -> None:
+        self._drained.discard(socket_id)
+        self.machine.cstates.set_memory_vacated(socket_id, False)
+        socket = self.machine.topology.socket(socket_id)
+        # Full wake; the resumed socket-level loop trims from here.
+        self.machine.apply_socket_threads(socket_id, set(socket.thread_ids()))
+        self.engine.set_socket_online(socket_id, True)
+        self.inner.sockets[socket_id].set_drained(False)

@@ -232,6 +232,14 @@ def _build_epb_only(
     return EpbOnlyPolicy.build(engine, config)
 
 
+def _build_ecl_consolidate(
+    engine: "DatabaseEngine", config: "RunConfiguration"
+) -> ControlPolicy:
+    from repro.sim.consolidate import EclConsolidatePolicy
+
+    return EclConsolidatePolicy.build(engine, config)
+
+
 register_policy(
     "ecl",
     _build_ecl,
@@ -262,6 +270,14 @@ register_policy(
     _build_epb_only,
     description="hardware-only energy management: EPB powersave hint, "
     "EET and the EPB-aware UFS heuristic are the only knobs (§4, Fig. 7)",
+)
+register_policy(
+    "ecl-consolidate",
+    _build_ecl_consolidate,
+    description="the ECL plus placement-driven socket consolidation: "
+    "migrate partitions off lightly loaded sockets and park the drained "
+    "package into sleep (vacated memory lifts the Fig. 5 uncore "
+    "dependency)",
 )
 
 #: The policy a :class:`RunConfiguration` uses when none is given.

@@ -19,8 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
+from repro.dbms.config import EngineConfig
 from repro.dbms.engine import DatabaseEngine, EngineTickResult
 from repro.ecl.socket_ecl import EclParameters
+from repro.placement import DEFAULT_PLACEMENT, validate_placement_name
 from repro.hardware.machine import Machine
 from repro.hardware.presets import HaswellEPParameters
 from repro.loadprofiles.base import LoadProfile
@@ -46,6 +48,12 @@ class RunConfiguration:
     profile: LoadProfile
     #: Registered policy name (see ``repro.sim.policy.registered_policies``).
     policy: str = DEFAULT_POLICY
+    #: Registered placement name (see
+    #: ``repro.placement.registered_placements``).  The default,
+    #: ``static``, reproduces the historical round-robin bit-for-bit.
+    placement: str = DEFAULT_PLACEMENT
+    #: Runtime cost-model knobs; defaults match the historical constants.
+    engine_config: EngineConfig = field(default_factory=EngineConfig)
     tick_s: float = 0.002
     sample_every_s: float = 0.25
     seed: int = 0
@@ -69,6 +77,7 @@ class RunConfiguration:
 
     def __post_init__(self) -> None:
         validate_policy_name(self.policy)
+        validate_placement_name(self.placement)
         if self.tick_s <= 0 or self.sample_every_s <= 0:
             raise SimulationError("tick and sample periods must be > 0")
         if (self.switch_at_s is None) != (self.switch_workload is None):
@@ -101,6 +110,8 @@ class SimulationRunner:
         self.engine = DatabaseEngine(
             self.machine,
             utilization_window_s=config.ecl_params.interval_s,
+            placement=config.placement,
+            engine_config=config.engine_config,
         )
         self.engine.set_workload_characteristics(
             config.workload.characteristics

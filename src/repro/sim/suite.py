@@ -49,7 +49,9 @@ from repro.workloads.base import Workload
 #: Bump to invalidate every cached result (e.g. after changing the
 #: simulation model in a way that alters run outcomes).  v2: run results
 #: record the realized (tick-grid) duration plus ``requested_duration_s``.
-CACHE_VERSION = 2
+#: v3: configurations gained ``placement`` and ``engine_config`` (default
+#: runs are unchanged, but the signature schema is new).
+CACHE_VERSION = 3
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 

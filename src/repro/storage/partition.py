@@ -6,15 +6,18 @@ currently *owns* it (paper §3).  A :class:`Partition` bundles the table
 fragments of one partition; the :class:`PartitionMap` routes keys and
 partition ids to sockets.
 
-Partition-to-socket placement is static (data stays NUMA-local); what the
-elasticity extensions remove is only the static partition-to-*worker*
-binding, handled by :mod:`repro.dbms.intra_socket`.
+Partition-to-socket placement is decided by a placement policy
+(:mod:`repro.placement`) at construction and may change at runtime
+through :meth:`PartitionMap.move_partition` — driven by the migration
+protocol in :mod:`repro.placement.migration`, never directly by query
+execution.  The static partition-to-*worker* binding is likewise gone,
+handled by :mod:`repro.dbms.intra_socket`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.errors import PartitionError
 from repro.storage.schema import Schema
@@ -81,22 +84,58 @@ class Partition:
 class PartitionMap:
     """All partitions of a database and their socket placement.
 
-    Partitions are placed round-robin across sockets so every socket holds
-    an equal share (the paper sets the worker:partition ratio to 1:1 with
-    one partition per hardware thread).
+    Without an explicit ``assignment`` partitions are placed round-robin
+    across sockets so every socket holds an equal share (the paper sets
+    the worker:partition ratio to 1:1 with one partition per hardware
+    thread); placement policies pass their own assignment.  Every socket
+    must hold at least one partition at construction — in particular
+    ``partition_count < socket_count`` is rejected, since it would leave
+    sockets with zero partitions and make demand reporting degenerate.
+    Runtime re-placement goes through :meth:`move_partition`.
     """
 
-    def __init__(self, partition_count: int, socket_count: int):
+    def __init__(
+        self,
+        partition_count: int,
+        socket_count: int,
+        assignment: Sequence[int] | None = None,
+    ):
         if partition_count <= 0:
             raise PartitionError(
                 f"partition_count must be >= 1, got {partition_count}"
             )
         if socket_count <= 0:
             raise PartitionError(f"socket_count must be >= 1, got {socket_count}")
+        if partition_count < socket_count:
+            raise PartitionError(
+                f"partition_count ({partition_count}) must be >= socket_count "
+                f"({socket_count}); fewer partitions than sockets would leave "
+                f"sockets without data"
+            )
+        if assignment is None:
+            assignment = [pid % socket_count for pid in range(partition_count)]
+        else:
+            assignment = list(assignment)
+            if len(assignment) != partition_count:
+                raise PartitionError(
+                    f"assignment covers {len(assignment)} partitions, "
+                    f"expected {partition_count}"
+                )
+            for pid, sid in enumerate(assignment):
+                if not 0 <= sid < socket_count:
+                    raise PartitionError(
+                        f"assignment places partition {pid} on unknown "
+                        f"socket {sid} (socket_count {socket_count})"
+                    )
+            if len(set(assignment)) != socket_count:
+                empty = sorted(set(range(socket_count)) - set(assignment))
+                raise PartitionError(
+                    f"assignment leaves sockets {empty} without partitions"
+                )
         self.socket_count = socket_count
         self._partitions = [
-            Partition(partition_id=pid, socket_id=pid % socket_count)
-            for pid in range(partition_count)
+            Partition(partition_id=pid, socket_id=sid)
+            for pid, sid in enumerate(assignment)
         ]
 
     def __len__(self) -> int:
@@ -122,6 +161,24 @@ class PartitionMap:
     def socket_of(self, partition_id: int) -> int:
         """Socket holding a partition."""
         return self.partition(partition_id).socket_id
+
+    def assignment(self) -> tuple[int, ...]:
+        """Current socket id per partition id (a placement snapshot)."""
+        return tuple(p.socket_id for p in self._partitions)
+
+    def move_partition(self, partition_id: int, socket_id: int) -> None:
+        """Re-home a partition onto another socket.
+
+        Only the catalog changes; quiescing workers, shipping the queue,
+        and charging the transfer are the migration protocol's job
+        (:mod:`repro.placement.migration`).
+
+        Raises:
+            PartitionError: for unknown partition or socket ids.
+        """
+        if not 0 <= socket_id < self.socket_count:
+            raise PartitionError(f"unknown socket id {socket_id}")
+        self.partition(partition_id).socket_id = socket_id
 
     def partitions_on_socket(self, socket_id: int) -> tuple[Partition, ...]:
         """All partitions resident on one socket."""

@@ -203,6 +203,33 @@ def render_trace_report(events: Sequence[dict]) -> str:
             f"(first at t={min(times):.3f} s, last at t={max(times):.3f} s)",
         ]
 
+    migrations = _events_of(events, "migration")
+    if migrations:
+        moved_bytes = sum(float(e.get("data_bytes", 0.0)) for e in migrations)
+        shipped = sum(int(e.get("messages_in_flight", 0)) for e in migrations)
+        times = [float(e["t"]) for e in migrations if e.get("t") is not None]
+        lines += [
+            "",
+            "## Partition migrations",
+            "",
+            f"- {len(migrations)} partitions moved "
+            f"({moved_bytes / 1e6:.4g} MB copied, "
+            f"{shipped} queued messages shipped)",
+        ]
+        if times:
+            lines.append(
+                f"- first completed at t={min(times):.3f} s, "
+                f"last at t={max(times):.3f} s"
+            )
+        by_route: dict[tuple[object, object], int] = {}
+        for e in migrations:
+            route = (e.get("source"), e.get("target"))
+            by_route[route] = by_route.get(route, 0) + 1
+        lines += [
+            f"- socket {src} -> {dst}: {n} partitions"
+            for (src, dst), n in sorted(by_route.items())
+        ]
+
     completions = _events_of(events, "completion")
     samples = _events_of(events, "sample")
     if completions or samples:

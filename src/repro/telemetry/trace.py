@@ -18,6 +18,11 @@ run is hot, trivially JSON-serializable afterwards):
     one query finished (``t``, ``query_id``, ``latency_s``).
 ``sample``
     mirror of each periodic :class:`~repro.sim.metrics.SamplePoint`.
+``migration``
+    one partition finished moving between sockets — mirror of the
+    engine's :attr:`~repro.dbms.engine.DatabaseEngine.migration_log`
+    entry (source/target socket, bytes copied, messages shipped,
+    per-side instruction cost).
 ``run_end``
     final totals, including how many events the ring buffer dropped.
 
@@ -108,6 +113,7 @@ class TraceRecorder(RunObserver):
         self._versions: tuple[int, int] | None = None
         self._state: dict[str, object] | None = None
         self._samples_seen = 0
+        self._migrations_seen = 0
 
     # -- buffer accessors --------------------------------------------------
 
@@ -130,6 +136,7 @@ class TraceRecorder(RunObserver):
         self._runner = runner
         self._result = result
         self._samples_seen = 0
+        self._migrations_seen = 0
         machine = runner.machine
         self._versions = (machine.frequency.version, machine.cstates.version)
         self._state = control_state(machine)
@@ -183,7 +190,8 @@ class TraceRecorder(RunObserver):
 
     def end_tick(self, now_s: float, tick_result: "EngineTickResult") -> None:
         result = self._result
-        assert result is not None
+        runner = self._runner
+        assert result is not None and runner is not None
         # Mirror samples the SamplingObserver appended this tick.
         for sample in result.samples[self._samples_seen :]:
             record = asdict(sample)
@@ -192,6 +200,14 @@ class TraceRecorder(RunObserver):
             record["event"] = "sample"
             self._emit(record)
         self._samples_seen = len(result.samples)
+        # Mirror partition migrations the engine completed this tick.
+        migrations = runner.engine.migration_log
+        for migration in migrations[self._migrations_seen :]:
+            event = migration.to_event()
+            event["event"] = "migration"
+            event["t"] = migration.completed_at_s
+            self._emit(event)
+        self._migrations_seen = len(migrations)
 
     def on_run_end(self, result: "RunResult") -> None:
         self._emit(

@@ -23,7 +23,6 @@ import numpy as np
 from repro.dbms.execution import (
     insert_op,
     lookup_op,
-    modeled_insert_cost,
     modeled_lookup_cost,
     modeled_scan_cost,
     scan_op,

@@ -21,8 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.dbms.messages import Message, WorkCost
-from repro.dbms.queries import Query, QueryStage
+from repro.dbms.queries import Query
 from repro.hardware.perfmodel import WorkloadCharacteristics
 from repro.storage.partition import PartitionMap
 from repro.workloads.base import Workload, WorkloadVariant

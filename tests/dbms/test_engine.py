@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import PartitionError, SimulationError
 from repro.dbms.engine import DatabaseEngine
 from repro.dbms.messages import Message, WorkCost
 from repro.dbms.queries import Query, QueryStage
@@ -39,7 +39,9 @@ class TestSetup:
         assert len(engine.partitions) == 8
 
     def test_too_few_partitions_rejected(self, machine):
-        with pytest.raises(SimulationError):
+        # Rejected by PartitionMap (a StorageError) before the engine's
+        # own coverage check can fire.
+        with pytest.raises(PartitionError):
             DatabaseEngine(machine, partition_count=1)
 
 

@@ -101,3 +101,78 @@ class TestFlush:
         r.route(0, msg(1))
         single = r.flush().cost_by_socket[0].instructions
         assert batched < 10 * single
+
+
+class TestRehoming:
+    def test_rehome_redirects_routing(self, router):
+        r, hubs = router
+        hubs[1].adopt_partition(0)  # the coordinator's hub-side half
+        r.rehome_partition(0, 1)
+        assert r.home_socket(0) == 1
+        assert r.route(1, msg(0))  # now local to socket 1
+        assert hubs[1].pending_messages == 1
+
+    def test_rehome_validation(self, router):
+        r, _ = router
+        with pytest.raises(MessagingError):
+            r.rehome_partition(9, 1)
+        with pytest.raises(MessagingError):
+            r.rehome_partition(0, 5)
+
+    def test_buffered_from_counts_sender_side(self, router):
+        r, _ = router
+        r.route(0, msg(1))
+        r.route(0, msg(3))
+        r.route(1, msg(0))
+        assert r.buffered_from(0) == 2
+        assert r.buffered_from(1) == 1
+        with pytest.raises(MessagingError):
+            r.buffered_from(7)
+
+
+class TestForwarding:
+    def test_in_flight_message_follows_the_partition(self, router):
+        # Buffer toward the old home, migrate, then flush: the message is
+        # forwarded (one extra hop), not delivered to the stale socket.
+        r, hubs = router
+        r.route(1, msg(0))  # buffered 1 -> 0
+        hubs[1].adopt_partition(0)
+        r.rehome_partition(0, 1)
+        stats = r.flush()
+        assert stats.forwarded == 1
+        assert r.total_forwarded == 1
+        assert hubs[0].pending_messages == 0
+        assert r.total_buffered == 1  # waiting for the next hop
+        second = r.flush()
+        assert second.forwarded == 0
+        assert second.messages_moved == 1
+        assert hubs[1].pending_messages == 1  # delivered on the new home
+
+
+class TestTransferPartition:
+    def test_transfer_rehomes_and_ships_queue(self, router):
+        r, hubs = router
+        queue = [msg(0), msg(0)]
+        cost = r.transfer_partition(0, 1, queue, data_bytes=1000.0)
+        assert r.home_socket(0) == 1
+        assert r.buffered_count(0, 1) == 2
+        assert cost.instructions > 0
+        assert cost.bytes_accessed == 1000.0
+
+    def test_transfer_cost_scales_with_bytes(self, router):
+        r, _ = router
+        small = r.transfer_partition(0, 1, [], data_bytes=1000.0)
+        r.rehome_partition(0, 0)
+        large = r.transfer_partition(0, 1, [], data_bytes=2_000_000.0)
+        assert large.instructions > small.instructions
+
+    def test_transfer_validation(self, router):
+        r, _ = router
+        with pytest.raises(MessagingError):
+            r.transfer_partition(9, 1, [], 0.0)
+        with pytest.raises(MessagingError):
+            r.transfer_partition(0, 5, [], 0.0)
+        with pytest.raises(MessagingError):
+            r.transfer_partition(0, 0, [], 0.0)  # already home
+        with pytest.raises(MessagingError):
+            r.transfer_partition(0, 1, [], -1.0)

@@ -222,3 +222,65 @@ def test_property_acquire_matches_linear_scan(actions):
         hub.dequeue_batch(99, pid, batch_size=64)
         hub.release_partition(99, pid)
     assert hub.pending_messages == 0
+
+
+class TestMigrationSupport:
+    def test_frozen_partition_not_acquirable(self, hub):
+        hub.enqueue(msg(0))
+        hub.freeze_partition(0)
+        assert 0 in hub.frozen_partitions()
+        assert not hub.acquire_specific(1, 0)
+        assert hub.acquire_partition(1) is None
+
+    def test_frozen_partition_still_enqueues(self, hub):
+        hub.freeze_partition(0)
+        hub.enqueue(msg(0))
+        assert hub.queue_depth(0) == 1
+
+    def test_unfreeze_restores_acquisition(self, hub):
+        hub.enqueue(msg(0))
+        hub.freeze_partition(0)
+        hub.unfreeze_partition(0)
+        assert hub.acquire_partition(1) == 0
+
+    def test_evict_returns_queue_and_removes_partition(self, hub):
+        hub.enqueue(msg(0, 10))
+        hub.enqueue(msg(0, 20))
+        hub.enqueue(msg(1, 30))
+        hub.freeze_partition(0)
+        evicted = hub.evict_partition(0)
+        assert [m.cost.instructions for m in evicted] == [10, 20]
+        assert 0 not in hub.partition_ids
+        assert hub.pending_messages == 1
+        assert hub.pending_cost_instructions() == pytest.approx(30)
+        with pytest.raises(MessagingError):
+            hub.enqueue(msg(0))
+
+    def test_evict_owned_partition_rejected(self, hub):
+        hub.acquire_specific(1, 0)
+        with pytest.raises(OwnershipError):
+            hub.evict_partition(0)
+
+    def test_adopt_makes_partition_homed(self, hub):
+        foreign = IntraSocketHub(1, [9])
+        foreign.adopt_partition(10)
+        foreign.enqueue(msg(10))
+        assert foreign.acquire_partition(1) == 10
+
+    def test_adopt_homed_partition_rejected(self, hub):
+        with pytest.raises(MessagingError):
+            hub.adopt_partition(0)
+
+    def test_evict_then_adopt_round_trip(self, hub):
+        """A -> away -> back: the heap/generation machinery stays sound."""
+        for _ in range(3):
+            hub.enqueue(msg(0))
+        hub.freeze_partition(0)
+        queue = hub.evict_partition(0)
+        hub.adopt_partition(0)
+        for message in queue:
+            hub.enqueue(message)
+        assert hub.acquire_partition(1) == 0
+        assert len(hub.dequeue_batch(1, 0, batch_size=8)) == 3
+        hub.release_partition(1, 0)
+        assert hub.pending_messages == 0

@@ -1,0 +1,163 @@
+"""Tests for the partition-migration protocol (quiesce, transfer, resume)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PlacementError
+from repro.dbms.engine import DatabaseEngine
+from repro.dbms.messages import Message, WorkCost
+from repro.dbms.queries import Query, QueryStage
+from repro.hardware.machine import Machine
+from repro.placement import MigrationState
+from repro.workloads.micro import COMPUTE_BOUND
+
+
+def modeled_query(arrival, partitions, instructions=20_000):
+    stage = QueryStage(
+        [
+            Message(query_id=-1, target_partition=p, cost=WorkCost(instructions))
+            for p in partitions
+        ]
+    )
+    return Query(arrival_s=arrival, stages=[stage], coordinator_socket=0)
+
+
+@pytest.fixture
+def loaded_engine(engine: DatabaseEngine):
+    engine.set_workload_characteristics(COMPUTE_BOUND)
+    return engine
+
+
+class TestRequest:
+    def test_same_socket_is_noop(self, loaded_engine):
+        # Partition 0 already lives on socket 0 (round-robin).
+        assert loaded_engine.request_migration(0, 0) is None
+        assert loaded_engine.migrations.active_count == 0
+
+    def test_unknown_target_rejected(self, loaded_engine):
+        with pytest.raises(PlacementError):
+            loaded_engine.request_migration(0, 9)
+
+    def test_double_request_is_noop(self, loaded_engine):
+        loaded_engine.hubs[0].acquire_specific(1, 0)  # hold to keep it active
+        first = loaded_engine.request_migration(0, 1)
+        assert first is not None
+        assert loaded_engine.request_migration(0, 1) is None
+        assert loaded_engine.migrations.active_count == 1
+        loaded_engine.hubs[0].release_partition(1, 0)
+
+    def test_quiesced_partition_not_acquirable(self, loaded_engine):
+        loaded_engine.submit(modeled_query(0.0, [0]))
+        loaded_engine.tick(0.001)  # deliver
+        loaded_engine.request_migration(0, 1)
+        assert not loaded_engine.hubs[0].acquire_specific(5, 0)
+        assert loaded_engine.hubs[0].acquire_partition(5) != 0
+
+
+class TestCompletion:
+    def test_partition_rehomes_with_queue(self, loaded_engine):
+        # Queue two messages, then migrate: the queue must ship along and
+        # the messages must still execute on the new home.
+        loaded_engine.submit(modeled_query(0.0, [0, 0]))
+        record = loaded_engine.request_migration(0, 1)
+        assert record.state is MigrationState.QUIESCING
+        done = []
+        for _ in range(6):
+            done.extend(loaded_engine.tick(0.001).completions)
+        assert record.state is MigrationState.COMPLETE
+        assert loaded_engine.partitions.socket_of(0) == 1
+        assert loaded_engine.router.home_socket(0) == 1
+        assert record.messages_in_flight >= 1
+        assert len(done) == 1
+        assert loaded_engine.pending_messages() == 0
+
+    def test_transfer_is_charged_to_both_sockets(self, loaded_engine):
+        record = loaded_engine.request_migration(0, 1)
+        result = loaded_engine.tick(0.001)
+        assert record.cost_instructions_per_side > 0
+        # The lump shows up as consumed overhead on both sides.
+        assert result.consumed_by_socket[0] > 0
+        assert result.consumed_by_socket[1] > 0
+
+    def test_floor_applies_to_empty_tables(self, loaded_engine):
+        record = loaded_engine.request_migration(0, 1)
+        loaded_engine.tick(0.001)
+        floor = loaded_engine.config.migration_floor_bytes
+        assert record.data_bytes == pytest.approx(floor)
+
+    def test_log_accumulates_in_completion_order(self, loaded_engine):
+        loaded_engine.request_migration(0, 1)
+        loaded_engine.request_migration(2, 1)
+        loaded_engine.tick(0.001)
+        assert [r.partition_id for r in loaded_engine.migration_log] == [0, 2]
+
+    def test_in_flight_messages_survive_migration(self, loaded_engine):
+        # A remote message is buffered toward socket 0 while partition 0
+        # moves to socket 1: the flush delivers it into the frozen source
+        # queue and the transfer ships it along — it must complete exactly
+        # once on the new home, never be lost.
+        q = modeled_query(0.0, [0])
+        q = Query(arrival_s=0.0, stages=q.stages, coordinator_socket=1)
+        loaded_engine.submit(q)  # buffered in router (1 -> 0)
+        assert loaded_engine.router.total_buffered == 1
+        loaded_engine.request_migration(0, 1)
+        done = []
+        for _ in range(6):
+            done.extend(loaded_engine.tick(0.001).completions)
+        assert len(done) == 1
+        assert loaded_engine.partitions.socket_of(0) == 1
+        assert loaded_engine.pending_messages() == 0
+
+
+class TestRoundTrip:
+    def test_migrate_away_and_back(self, loaded_engine):
+        """A -> B -> A keeps the ownership/generation machinery coherent."""
+        for target in (1, 0, 1, 0):
+            loaded_engine.request_migration(0, target)
+            for _ in range(4):
+                loaded_engine.tick(0.001)
+            assert loaded_engine.partitions.socket_of(0) == target
+        # The partition still processes work afterwards.
+        loaded_engine.submit(modeled_query(loaded_engine.machine.time_s, [0]))
+        done = []
+        for _ in range(4):
+            done.extend(loaded_engine.tick(0.001).completions)
+        assert len(done) == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    moves=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),  # tick to fire on
+            st.integers(min_value=0, max_value=11),  # partition
+            st.integers(min_value=0, max_value=1),  # target socket
+        ),
+        max_size=8,
+    ),
+    query_partitions=st.lists(
+        st.integers(min_value=0, max_value=11), min_size=1, max_size=24
+    ),
+)
+def test_property_conservation_under_migration(moves, query_partitions):
+    """Forced mid-run migrations never lose or duplicate work.
+
+    Queries land on random partitions while random partitions migrate at
+    random ticks; every submitted query completes exactly once and no
+    message is left behind.
+    """
+    machine = Machine(seed=3)
+    engine = DatabaseEngine(machine, partition_count=12)
+    engine.set_workload_characteristics(COMPUTE_BOUND)
+    for p in query_partitions:
+        engine.submit(modeled_query(0.0, [p], instructions=5_000))
+    done = 0
+    for tick_index in range(30):
+        for at_tick, pid, target in moves:
+            if at_tick == tick_index:
+                engine.request_migration(pid, target)
+        done += len(engine.tick(0.001).completions)
+    assert done == len(query_partitions)
+    assert engine.pending_messages() == 0
+    assert engine.migrations.active_count == 0
+    assert engine.tracker.in_flight == 0

@@ -1,0 +1,174 @@
+"""Tests for placement policies and their name registry."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.placement import (
+    DEFAULT_PLACEMENT,
+    BalancePlacement,
+    ConsolidatePlacement,
+    MigrationRequest,
+    PlacementPolicy,
+    PlacementView,
+    SocketView,
+    StaticPlacement,
+    build_placement,
+    get_placement,
+    register_placement,
+    registered_placements,
+    round_robin_assignment,
+    unregister_placement,
+    validate_placement_name,
+)
+
+
+def view(*sockets: SocketView) -> PlacementView:
+    return PlacementView(time_s=1.0, sockets=tuple(sockets))
+
+
+def sv(sid, pids, util, active=True) -> SocketView:
+    return SocketView(
+        socket_id=sid,
+        partition_ids=tuple(pids),
+        utilization=util,
+        pending_instructions=0.0,
+        active=active,
+    )
+
+
+class TestRoundRobin:
+    def test_matches_historical_modulo(self):
+        assert round_robin_assignment(5, [0, 1]) == [0, 1, 0, 1, 0]
+
+    def test_non_contiguous_socket_ids(self):
+        assert round_robin_assignment(4, [3, 7]) == [3, 7, 3, 7]
+
+    def test_no_sockets_rejected(self):
+        with pytest.raises(PlacementError):
+            round_robin_assignment(4, [])
+
+
+class TestStatic:
+    def test_never_migrates(self):
+        policy = StaticPlacement()
+        assert policy.plan(view(sv(0, [0], 0.01), sv(1, [1], 0.99))) == []
+
+    def test_assignment_is_round_robin(self):
+        policy = StaticPlacement()
+        assert policy.initial_assignment(4, [0, 1]) == [0, 1, 0, 1]
+
+
+class TestConsolidate:
+    def test_packs_cold_sockets(self):
+        policy = ConsolidatePlacement(pack_below=0.35, spread_above=0.85)
+        plan = policy.plan(view(sv(0, [0, 2], 0.1), sv(1, [1, 3], 0.1)))
+        # The highest-id socket is drained entirely onto the other.
+        assert {r.partition_id for r in plan} == {1, 3}
+        assert all(r.target_socket == 0 for r in plan)
+
+    def test_no_pack_above_threshold(self):
+        policy = ConsolidatePlacement(pack_below=0.35, spread_above=0.85)
+        assert policy.plan(view(sv(0, [0], 0.5), sv(1, [1], 0.5))) == []
+
+    def test_no_pack_when_projection_overloads(self):
+        # Mean is below pack_below but the merged load would exceed
+        # spread_above on the single survivor.
+        policy = ConsolidatePlacement(pack_below=0.5, spread_above=0.85)
+        assert policy.plan(view(sv(0, [0], 0.45), sv(1, [1], 0.45))) == []
+
+    def test_spreads_overloaded_socket(self):
+        policy = ConsolidatePlacement()
+        plan = policy.plan(view(sv(0, [0, 1, 2, 3], 0.95), sv(1, [], 0.0)))
+        assert len(plan) == 2  # half the partitions
+        assert all(r.target_socket == 1 for r in plan)
+
+    def test_spread_takes_priority_over_pack(self):
+        # The hot socket re-spreads onto the empty one before any packing
+        # is considered.
+        policy = ConsolidatePlacement(pack_below=0.5, spread_above=0.9)
+        plan = policy.plan(view(sv(0, [0, 1], 0.95), sv(1, [], 0.0)))
+        assert plan and all(r.target_socket == 1 for r in plan)
+
+    def test_inactive_sockets_are_not_receivers(self):
+        policy = ConsolidatePlacement()
+        plan = policy.plan(
+            view(sv(0, [0], 0.1), sv(1, [1], 0.1), sv(2, [2], 0.1, active=False))
+        )
+        assert plan
+        assert all(r.target_socket != 2 for r in plan)
+
+    def test_threshold_validation(self):
+        with pytest.raises(PlacementError):
+            ConsolidatePlacement(pack_below=0.9, spread_above=0.5)
+        with pytest.raises(PlacementError):
+            ConsolidatePlacement(pack_below=0.0)
+
+
+class TestBalance:
+    def test_evens_out_counts(self):
+        policy = BalancePlacement()
+        plan = policy.plan(view(sv(0, [0, 1, 2, 3], 0.5), sv(1, [4], 0.5)))
+        assert len(plan) == 1  # 4/1 -> 3/2 is within tolerance 1
+        assert plan[0].target_socket == 1
+
+    def test_within_tolerance_is_stable(self):
+        policy = BalancePlacement(tolerance=1)
+        assert policy.plan(view(sv(0, [0, 1], 0.5), sv(1, [2], 0.5))) == []
+
+    def test_tolerance_validation(self):
+        with pytest.raises(PlacementError):
+            BalancePlacement(tolerance=-1)
+
+
+class TestView:
+    def test_socket_lookup(self):
+        v = view(sv(0, [0], 0.5), sv(1, [1], 0.5))
+        assert v.socket(1).socket_id == 1
+        with pytest.raises(PlacementError):
+            v.socket(9)
+
+
+class TestRegistry:
+    def test_builtins_registered_in_order(self):
+        names = registered_placements()
+        assert names[0] == "static"
+        assert {"static", "consolidate", "balance"} <= set(names)
+        assert DEFAULT_PLACEMENT == "static"
+
+    def test_build_returns_protocol_instances(self):
+        for name in registered_placements():
+            policy = build_placement(name)
+            assert isinstance(policy, PlacementPolicy)
+            assert policy.name == name
+
+    def test_validate_round_trips(self):
+        assert validate_placement_name("consolidate") == "consolidate"
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(PlacementError, match="static"):
+            get_placement("nope")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(PlacementError):
+            register_placement("static", StaticPlacement)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(PlacementError):
+            register_placement("", StaticPlacement)
+
+    def test_register_unregister_cycle(self):
+        register_placement("test-only", StaticPlacement, description="x")
+        try:
+            assert "test-only" in registered_placements()
+            assert get_placement("test-only").description == "x"
+        finally:
+            unregister_placement("test-only")
+        assert "test-only" not in registered_placements()
+        with pytest.raises(PlacementError):
+            unregister_placement("test-only")
+
+
+class TestRequest:
+    def test_request_fields(self):
+        request = MigrationRequest(partition_id=3, target_socket=1, reason="r")
+        assert (request.partition_id, request.target_socket) == (3, 1)

@@ -1,7 +1,5 @@
 """Tests for the model-based profile evaluator."""
 
-import pytest
-
 from repro.profiles.configuration import Configuration
 from repro.profiles.evaluate import build_profile, measure_configuration
 from repro.workloads.micro import COMPUTE_BOUND, MEMORY_BOUND

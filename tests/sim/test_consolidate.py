@@ -1,0 +1,111 @@
+"""Tests for the ecl-consolidate control policy (drain, sleep, wake)."""
+
+from repro.loadprofiles import constant_profile
+from repro.placement import MigrationRequest, round_robin_assignment
+from repro.sim import (
+    EclConsolidatePolicy,
+    RunConfiguration,
+    SimulationRunner,
+    registered_policies,
+)
+from repro.workloads import KeyValueWorkload, WorkloadVariant
+
+
+def low_load_config(policy="ecl-consolidate", duration_s=2.5, **kwargs):
+    return RunConfiguration(
+        workload=KeyValueWorkload(WorkloadVariant.NON_INDEXED),
+        profile=constant_profile(duration_s=duration_s, fraction=0.18),
+        policy=policy,
+        seed=0,
+        **kwargs,
+    )
+
+
+class TestRegistration:
+    def test_registered(self):
+        assert "ecl-consolidate" in registered_policies()
+
+    def test_default_planner_is_consolidate(self):
+        runner = SimulationRunner(low_load_config())
+        assert isinstance(runner.policy, EclConsolidatePolicy)
+        assert runner.policy.planner.name == "consolidate"
+
+    def test_configured_placement_becomes_planner(self):
+        runner = SimulationRunner(low_load_config(placement="balance"))
+        assert runner.policy.planner.name == "balance"
+
+
+class TestDrain:
+    def test_low_load_drains_one_socket(self):
+        runner = SimulationRunner(low_load_config())
+        result = runner.run()
+        policy = runner.policy
+        engine = runner.engine
+        machine = runner.machine
+        # One socket fully drained: no partitions, workers parked, query
+        # intake redirected, memory vacated, package allowed to sleep.
+        assert policy.drained_sockets == frozenset({1})
+        assert not engine.hubs[1].partition_ids
+        assert not engine.socket_is_online(1)
+        assert machine.cstates.memory_is_vacated(1)
+        assert machine.resolve_uncore(1)[1]  # uncore halted
+        assert engine.partitions.partitions_on_socket(0)
+        # One wave: every socket-1 partition moved exactly once.
+        moved = [r.partition_id for r in engine.migration_log]
+        assert sorted(moved) == sorted(
+            pid
+            for pid, sid in enumerate(round_robin_assignment(48, [0, 1]))
+            if sid == 1
+        )
+        # Conservation through the wave.
+        assert result.queries_completed == result.queries_submitted
+        assert engine.pending_messages() == 0
+
+    def test_drained_socket_ecl_stands_down(self):
+        runner = SimulationRunner(low_load_config())
+        runner.run()
+        assert runner.policy.inner.sockets[1].drained
+
+    def test_annotations_delegate_to_inner_ecl(self):
+        runner = SimulationRunner(low_load_config(duration_s=0.5))
+        runner.run()
+        assert runner.policy.annotate_sample() is not None
+
+
+class _MoveBackPlanner:
+    """Stub planner: first pack onto socket 0, then demand socket 1 back."""
+
+    name = "move-back"
+
+    def __init__(self):
+        self.phase = 0
+
+    def initial_assignment(self, partition_count, socket_ids):
+        return round_robin_assignment(partition_count, socket_ids)
+
+    def plan(self, view):
+        self.phase += 1
+        if self.phase == 1:
+            return [
+                MigrationRequest(pid, 0, reason="pack")
+                for pid in view.socket(1).partition_ids
+            ]
+        return [MigrationRequest(0, 1, reason="spread")]
+
+
+class TestWake:
+    def test_planning_toward_drained_socket_wakes_it(self):
+        runner = SimulationRunner(low_load_config(duration_s=4.0))
+        policy = runner.policy
+        policy.planner = _MoveBackPlanner()
+        policy.cooldown_intervals = 0
+        result = runner.run()
+        engine = runner.engine
+        # The second plan targeted the drained socket: it must be back
+        # online, unparked, with its memory no longer vacated.
+        assert policy.drained_sockets == frozenset()
+        assert engine.socket_is_online(1)
+        assert not runner.machine.cstates.memory_is_vacated(1)
+        assert not policy.inner.sockets[1].drained
+        assert engine.partitions.socket_of(0) == 1
+        assert result.queries_completed == result.queries_submitted

@@ -1,6 +1,5 @@
 """Tests for the parallel experiment suite and its on-disk result cache."""
 
-import os
 import pickle
 
 import pytest

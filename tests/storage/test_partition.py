@@ -59,6 +59,35 @@ class TestPartitionMap:
         with pytest.raises(PartitionError):
             PartitionMap(4, 0)
 
+    def test_fewer_partitions_than_sockets_rejected(self):
+        # Would leave sockets with zero partitions and degenerate demand.
+        with pytest.raises(PartitionError, match="socket_count"):
+            PartitionMap(1, 2)
+        with pytest.raises(PartitionError, match="socket_count"):
+            PartitionMap(3, 4)
+
+    def test_explicit_assignment(self):
+        pmap = PartitionMap(4, 2, assignment=[0, 0, 0, 1])
+        assert pmap.assignment() == (0, 0, 0, 1)
+        assert len(pmap.partitions_on_socket(0)) == 3
+
+    def test_assignment_validation(self):
+        with pytest.raises(PartitionError, match="covers"):
+            PartitionMap(4, 2, assignment=[0, 1])
+        with pytest.raises(PartitionError, match="unknown"):
+            PartitionMap(4, 2, assignment=[0, 1, 0, 2])
+        with pytest.raises(PartitionError, match="without partitions"):
+            PartitionMap(4, 2, assignment=[0, 0, 0, 0])
+
+    def test_move_partition(self, pmap):
+        pmap.move_partition(0, 1)
+        assert pmap.socket_of(0) == 1
+        assert pmap.assignment()[0] == 1
+        with pytest.raises(PartitionError):
+            pmap.move_partition(0, 2)
+        with pytest.raises(PartitionError):
+            pmap.move_partition(99, 0)
+
     def test_create_table_everywhere(self, pmap):
         schema = Schema.of(k=DataType.INT64)
         pmap.create_table_everywhere("t", schema)
@@ -86,7 +115,7 @@ class TestPartitionMap:
 
 @given(
     keys=st.lists(st.integers(min_value=0, max_value=2**40), max_size=100),
-    partitions=st.integers(min_value=1, max_value=64),
+    partitions=st.integers(min_value=2, max_value=64),
 )
 def test_property_routing_total_and_stable(keys, partitions):
     pmap = PartitionMap(partitions, socket_count=2)

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import WORKLOADS, build_parser, main, make_profile, make_workload
+from repro.placement import DEFAULT_PLACEMENT, registered_placements
 from repro.sim import DEFAULT_POLICY, registered_policies
 
 
@@ -112,6 +113,50 @@ class TestCommands:
         for name in registered_policies():
             assert name in out
         assert "(reference)" in out
+
+    def test_list_placements(self, capsys):
+        rc = main(["run", "--list-placements"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in registered_placements():
+            assert name in out
+        assert "(default)" in out
+
+    def test_placement_flag_parses(self):
+        for name in registered_placements():
+            args = build_parser().parse_args(["run", "--placement", name])
+            assert args.placement == name
+        args = build_parser().parse_args(["run"])
+        assert args.placement == DEFAULT_PLACEMENT
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--placement", "magic"])
+
+    def test_compare_accepts_placement(self):
+        args = build_parser().parse_args(
+            ["compare", "--placement", "consolidate"]
+        )
+        assert args.placement == "consolidate"
+
+    def test_run_with_placement(self, capsys):
+        rc = main(
+            [
+                "run",
+                "--workload",
+                "kv-non-indexed",
+                "--profile",
+                "constant",
+                "--level",
+                "0.2",
+                "--duration",
+                "1",
+                "--placement",
+                "balance",
+            ]
+        )
+        assert rc == 0
+        assert "total energy" in capsys.readouterr().out
 
 
 class TestTelemetryCommands:

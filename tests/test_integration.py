@@ -1,7 +1,5 @@
 """Cross-module integration tests: full-stack behaviours."""
 
-import pytest
-
 from repro.loadprofiles import constant_profile, step_profile
 from repro.sim import RunConfiguration, SimulationRunner, run_experiment
 from repro.workloads import KeyValueWorkload, TatpWorkload, WorkloadVariant
@@ -96,8 +94,6 @@ class TestRealWorkloadUnderEcl:
     """Real (non-modeled) transactions keep flowing under ECL control."""
 
     def test_real_tatp_with_ecl(self, rng):
-        import numpy as np
-
         from repro.dbms.engine import DatabaseEngine
         from repro.ecl.controller import EnergyControlLoop
         from repro.hardware.machine import Machine

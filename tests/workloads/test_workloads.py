@@ -1,9 +1,7 @@
 """Tests for benchmark workloads: characteristics, queries, real mode."""
 
-import numpy as np
 import pytest
 
-from repro.dbms.messages import MessageKind
 from repro.storage.partition import PartitionMap
 from repro.workloads import (
     KeyValueWorkload,
