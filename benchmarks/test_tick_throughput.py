@@ -1,27 +1,60 @@
 """Simulation-core throughput: engine+machine ticks per second.
 
-Not a paper figure — a harness microbenchmark guarding the fast
-simulation core (memoized hardware step resolution, idle fast path,
-heap-based partition acquisition).  It reports ticks/second for a
-baseline (all-on) run and an ECL-controlled run and asserts the floor
-that keeps the full experiment grid tractable.
+Not a paper figure — a harness benchmark guarding the fast simulation
+core (memoized hardware step resolution, idle fast path, macro-tick span
+stepping, vectorized arrival/completion hot path).  Two parts:
+
+* a sine/SSB microbenchmark asserting the absolute ticks/s floor that
+  keeps the full experiment grid tractable, plus the telemetry
+  pay-for-use bound;
+* the **Twitter-day macro matrix** — one simulated day (night included)
+  replayed per registered policy with macro-stepping on and off.  It
+  asserts macro on/off bit-identity, the headline speedup, and a
+  generous ticks/s floor, and writes the numbers to
+  ``BENCH_tick_throughput.json`` at the repo root (uploaded as a CI
+  artifact; the CI smoke fails when the macro-on rate drops below the
+  checked-in floor).
+
+Environment knobs: ``REPRO_BENCH_DAY_DURATION`` scales the simulated
+day (default 86.4 s = 1000x-compressed 24 h).
 """
 
+import json
+import os
 import time
+from pathlib import Path
 
-from repro.loadprofiles import sine_profile
-from repro.sim import RunConfiguration, SimulationRunner
+from repro.loadprofiles import sine_profile, twitter_day_profile
+from repro.sim import RunConfiguration, SimulationRunner, registered_policies
 from repro.telemetry import PhaseTimingObserver, TraceRecorder
-from repro.workloads import SsbWorkload
+from repro.workloads import KeyValueWorkload, SsbWorkload, WorkloadVariant
 
 from _shared import heading
 
-#: Simulated seconds per measured run (small: this is a microbenchmark).
+#: Simulated seconds per measured microbenchmark run.
 DURATION_S = 4.0
 
 #: Conservative floor — the seed tree ran ~1.6k ticks/s for the ECL
 #: policy on the reference container; the fast core runs ~3x that.
 MIN_TICKS_PER_S = 1000.0
+
+#: The Twitter-day trace: heavy KV point-lookup queries (1000 ops each,
+#: ~32 qps at peak) over a full compressed day with a true-zero night.
+DAY_SEED = 11
+DAY_OPS_PER_QUERY = 1000
+
+#: Generous CI floors for the macro-on day replay of the headline
+#: policy.  Measured on the reference container: ~70k ticks/s and
+#: 3-5x over per-tick mode; the floors leave wide scheduling headroom.
+HEADLINE_POLICY = "baseline"
+MIN_DAY_TICKS_PER_S = 10000.0
+MIN_DAY_SPEEDUP = 1.5
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_tick_throughput.json"
+
+
+def day_duration_s() -> float:
+    return float(os.environ.get("REPRO_BENCH_DAY_DURATION", "86.4"))
 
 
 def _measure(policy: str, observers=None) -> tuple[float, float]:
@@ -38,6 +71,34 @@ def _measure(policy: str, observers=None) -> tuple[float, float]:
     elapsed = time.perf_counter() - start
     assert result.queries_completed > 0
     return ticks / elapsed, elapsed
+
+
+def _measure_day(policy: str, macro: bool) -> dict:
+    duration = day_duration_s()
+    config = RunConfiguration(
+        workload=KeyValueWorkload(
+            WorkloadVariant.NON_INDEXED, ops_per_query=DAY_OPS_PER_QUERY
+        ),
+        profile=twitter_day_profile(duration_s=duration),
+        policy=policy,
+        seed=DAY_SEED,
+        macro_step=macro,
+    )
+    runner = SimulationRunner(config)
+    ticks = round(duration / config.tick_s)
+    start = time.perf_counter()
+    result = runner.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "wall_s": round(elapsed, 4),
+        "ticks": ticks,
+        "ticks_per_s": round(ticks / elapsed, 1),
+        "spans": runner.macro_spans,
+        "ticks_skipped": runner.macro_ticks_skipped,
+        "energy_j": result.total_energy_j,
+        "queries_submitted": result.queries_submitted,
+        "queries_completed": result.queries_completed,
+    }
 
 
 def test_tick_throughput(run_once):
@@ -72,6 +133,73 @@ def test_telemetry_overhead(run_once):
 
     assert off > MIN_TICKS_PER_S
     assert on > 0.5 * off
+
+
+def test_twitter_day_macro_matrix(run_once):
+    """One simulated day per policy, macro-stepping on vs off.
+
+    Asserts bit-identity (energy and query counts) per policy, the
+    headline speedup and ticks/s floor, and writes the whole matrix to
+    ``BENCH_tick_throughput.json`` for the CI artifact.
+    """
+    policies = sorted(registered_policies())
+    matrix = run_once(
+        lambda: {
+            policy: {
+                "macro_off": _measure_day(policy, False),
+                "macro_on": _measure_day(policy, True),
+            }
+            for policy in policies
+        }
+    )
+
+    heading("Twitter-day trace — macro-stepping on vs off")
+    print(
+        f"{'policy':>16} {'off ticks/s':>12} {'on ticks/s':>12} "
+        f"{'speedup':>8} {'skipped':>14}"
+    )
+    for policy, cell in matrix.items():
+        off, on = cell["macro_off"], cell["macro_on"]
+        speedup = off["wall_s"] / on["wall_s"]
+        cell["speedup"] = round(speedup, 2)
+        cell["bit_identical"] = (
+            off["energy_j"] == on["energy_j"]
+            and off["queries_submitted"] == on["queries_submitted"]
+            and off["queries_completed"] == on["queries_completed"]
+        )
+        print(
+            f"{policy:>16} {off['ticks_per_s']:12,.0f} {on['ticks_per_s']:12,.0f} "
+            f"{speedup:7.2f}x {on['ticks_skipped']:6}/{on['ticks']}"
+        )
+
+    for policy, cell in matrix.items():
+        assert cell["bit_identical"], policy
+        assert cell["macro_off"]["ticks_skipped"] == 0, policy
+        assert cell["macro_on"]["ticks_skipped"] > 0, policy
+
+    headline = matrix[HEADLINE_POLICY]
+    payload = {
+        "benchmark": "tick_throughput",
+        "trace": {
+            "profile": "twitter-day",
+            "duration_s": day_duration_s(),
+            "workload": "kv-non-indexed",
+            "ops_per_query": DAY_OPS_PER_QUERY,
+            "seed": DAY_SEED,
+        },
+        "floors": {
+            "headline_policy": HEADLINE_POLICY,
+            "min_ticks_per_s_macro_on": MIN_DAY_TICKS_PER_S,
+            "min_speedup": MIN_DAY_SPEEDUP,
+        },
+        "policies": matrix,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+
+    # CI regression smoke: generous floors on the headline policy.
+    assert headline["macro_on"]["ticks_per_s"] > MIN_DAY_TICKS_PER_S
+    assert headline["speedup"] > MIN_DAY_SPEEDUP
 
 
 def test_tick_throughput_extra_info(benchmark):

@@ -29,6 +29,7 @@ from repro.loadprofiles import (
     constant_profile,
     sine_profile,
     spike_profile,
+    twitter_day_profile,
     twitter_profile,
 )
 from repro.loadprofiles.base import LoadProfile
@@ -115,12 +116,15 @@ def make_profile(name: str, duration_s: float, level: float) -> LoadProfile:
         return spike_profile(duration_s=duration_s)
     if name == "twitter":
         return twitter_profile(duration_s=duration_s)
+    if name == "twitter-day":
+        return twitter_day_profile(duration_s=duration_s)
     if name == "constant":
         return constant_profile(level, duration_s=duration_s)
     if name == "sine":
         return sine_profile(duration_s=duration_s)
     raise SystemExit(
-        f"unknown profile {name!r}; choose from spike, twitter, constant, sine"
+        f"unknown profile {name!r}; choose from spike, twitter, "
+        f"twitter-day, constant, sine"
     )
 
 
@@ -160,6 +164,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         placement=args.placement,
         ecl_params=params,
         seed=args.seed,
+        macro_step=not args.no_macro_step,
     )
     tracer = TraceRecorder() if args.trace else None
     timer = PhaseTimingObserver() if args.timings else None
@@ -189,6 +194,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         policies=policies,
         placement=args.placement,
         seed=args.seed,
+        macro_step=not args.no_macro_step,
     )
 
     def report_progress(p):
@@ -314,6 +320,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="initial data placement policy "
                             "(see --list-placements)")
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--no-macro-step", action="store_true",
+                       help="kill switch: run every tick live instead of "
+                            "leaping over steady-state spans (bit-identical "
+                            "results, much slower)")
 
     run_p = sub.add_parser("run", help="run one experiment")
     common(run_p)

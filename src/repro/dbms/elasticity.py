@@ -18,7 +18,7 @@ from typing import Iterable
 
 from repro.errors import MessagingError
 from repro.dbms.intra_socket import IntraSocketHub
-from repro.dbms.worker import Worker, WorkerState
+from repro.dbms.worker import Worker, WorkerState, WorkerStats, WorkerStatsArrays
 from repro.hardware.topology import Topology
 
 
@@ -29,12 +29,17 @@ class ElasticWorkerPool:
         self._topology = topology
         self._hubs = hubs
         self._workers: dict[int, Worker] = {}
+        threads = list(topology.iter_threads())
+        #: One struct-of-arrays counter block shared by every worker, so
+        #: :meth:`total_stats` aggregates with vector sums.
+        self._stats_arrays = WorkerStatsArrays(len(threads))
         by_socket: dict[int, list[Worker]] = {}
-        for thread in topology.iter_threads():
+        for index, thread in enumerate(threads):
             worker = Worker(
                 worker_id=thread.global_id,
                 socket_id=thread.socket_id,
                 hw_thread_id=thread.global_id,
+                stats=WorkerStats(self._stats_arrays, index),
             )
             self._workers[thread.global_id] = worker
             by_socket.setdefault(thread.socket_id, []).append(worker)
@@ -43,6 +48,12 @@ class ElasticWorkerPool:
         self._by_socket: dict[int, tuple[Worker, ...]] = {
             sid: tuple(workers) for sid, workers in by_socket.items()
         }
+        #: Worker state only changes through :meth:`sync_with_threads`,
+        #: so the active subset is cached per socket and rebuilt there —
+        #: the engine asks for it every tick.
+        self._active_by_socket: dict[int, tuple[Worker, ...]] = dict(
+            self._by_socket
+        )
 
     # -- lookup -----------------------------------------------------------
 
@@ -63,13 +74,11 @@ class ElasticWorkerPool:
 
     def active_workers(self, socket_id: int) -> tuple[Worker, ...]:
         """Active workers of a socket."""
-        return tuple(
-            w for w in self.workers_on_socket(socket_id) if w.is_active
-        )
+        return self._active_by_socket.get(socket_id, ())
 
     def active_count(self, socket_id: int) -> int:
         """Number of active workers on a socket."""
-        return len(self.active_workers(socket_id))
+        return len(self._active_by_socket.get(socket_id, ()))
 
     # -- elasticity -----------------------------------------------------------
 
@@ -89,6 +98,9 @@ class ElasticWorkerPool:
             elif worker.state is WorkerState.ACTIVE:
                 hub.release_all(worker.worker_id)
                 worker.state = WorkerState.PARKED
+        self._active_by_socket[socket_id] = tuple(
+            w for w in self.workers_on_socket(socket_id) if w.is_active
+        )
 
     def park_all(self, socket_id: int) -> None:
         """Park every worker of a socket (machine-idle / RTI idle phase)."""
@@ -96,17 +108,10 @@ class ElasticWorkerPool:
 
     def total_stats(self) -> dict[str, float]:
         """Aggregate worker statistics across the machine."""
+        arrays = self._stats_arrays
         return {
-            "messages_processed": float(
-                sum(w.stats.messages_processed for w in self._workers.values())
-            ),
-            "instructions_consumed": sum(
-                w.stats.instructions_consumed for w in self._workers.values()
-            ),
-            "bytes_accessed": sum(
-                w.stats.bytes_accessed for w in self._workers.values()
-            ),
-            "acquisitions": float(
-                sum(w.stats.acquisitions for w in self._workers.values())
-            ),
+            "messages_processed": float(arrays.messages_processed.sum()),
+            "instructions_consumed": float(arrays.instructions_consumed.sum()),
+            "bytes_accessed": float(arrays.bytes_accessed.sum()),
+            "acquisitions": float(arrays.acquisitions.sum()),
         }

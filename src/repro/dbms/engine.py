@@ -26,6 +26,9 @@ partition per hardware thread).
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclass_field
+from typing import Mapping
+
+import numpy as np
 
 from repro.errors import SimulationError
 from repro.dbms.config import DEFAULT_ENGINE_CONFIG, EngineConfig
@@ -341,6 +344,10 @@ class DatabaseEngine:
                     for worker in workers:
                         if budget <= 0:
                             break
+                        if not hub.pending_messages:
+                            # Backlog drained: every remaining quantum
+                            # would be a no-op (acquire finds nothing).
+                            break
                         quantum = min(
                             budget, self.config.worker_quantum_instructions
                         )
@@ -383,3 +390,130 @@ class DatabaseEngine:
             offered_by_socket=offered_by_socket,
             messages_processed=processed_count,
         )
+
+    def span_tick(
+        self, dt_s: float, n_ticks: int, tick_charges: Mapping[int, float]
+    ) -> int:
+        """Fast-forward up to ``n_ticks`` steady-state ticks in one span.
+
+        A tick is *steady* when replaying it would change nothing but
+        clocks, counters, and the overhead balance: no arrivals (the
+        caller guarantees this), no buffered transfers or migrations, no
+        worker progress, and a per-socket demand that resolves to the
+        machine's last step result — either exactly the same demand, or
+        any demand at or above capacity (the saturated resolution is
+        demand-independent).  ``tick_charges`` is the per-socket overhead
+        the control policy would add on each skipped tick (see
+        ``ControlPolicy.macro_view``).
+
+        The balance fold, utilization samples, and counter accumulation
+        replay the per-tick arithmetic operation for operation, so the
+        resulting state is bit-identical to ticking ``n`` times.  Returns
+        the number of ticks actually advanced — 0 (and no state change)
+        when fewer than 2 ticks are steady.
+        """
+        if n_ticks < 2 or dt_s <= 0:
+            return 0
+        step = self.machine.last_step
+        if step is None:
+            return 0
+        if self.migrations.active_count or self.router.total_buffered:
+            return 0
+        if self.machine.cstates.version != self._synced_cstates_version:
+            return 0
+
+        # Validity pass: fold each socket's overhead balance forward
+        # without mutating anything, shrinking the span to the longest
+        # prefix on which every socket stays steady.
+        n_valid = n_ticks
+        for sid, hub in self.hubs.items():
+            if not self.machine.thermal_steady(sid):
+                return 0
+            executed = step.sockets[sid].executed_instructions
+            capacity_ips = step.sockets[sid].performance.capacity_ips
+            d_last = self.machine.socket_load(sid).demand_instructions_per_s
+            if d_last is None:
+                return 0
+            saturated = d_last >= capacity_ips
+            pending = hub.pending_cost_instructions()
+            has_backlog = hub.pending_messages > 0
+            has_workers = bool(self.pool.active_workers(sid))
+            charge = tick_charges.get(sid)
+            b = self._overhead_instructions[sid]
+            i = 0
+            while i < n_valid:
+                b_top = b
+                if charge is not None:
+                    b = b + charge
+                demand = (pending + b) / dt_s
+                if not (
+                    demand == d_last or (saturated and demand >= capacity_ips)
+                ):
+                    break
+                use = min(b, executed)
+                b = b - use
+                if executed - use > 0.0 and has_backlog and has_workers:
+                    break
+                i += 1
+                if b == b_top:
+                    # Balance fixed point: the tick transform is a pure
+                    # function of the top-of-tick balance, so every
+                    # further tick replays this one exactly and the whole
+                    # remaining span is steady.
+                    i = n_valid
+                    break
+            n_valid = i
+            if n_valid < 2:
+                return 0
+
+        # Commit: fold the tick grid exactly as the per-tick path would
+        # (time is a left fold of + dt_s), advance the machine counters,
+        # and replay the balance / utilization updates per tick.  Once
+        # the balance hits its fixed point the remaining samples are all
+        # identical, so they are appended in one bulk call.
+        if n_valid >= 32:
+            times = np.add.accumulate(
+                np.concatenate(([self.machine.time_s], np.full(n_valid, dt_s)))
+            )[1:].tolist()
+        else:
+            times = []
+            t = self.machine.time_s
+            for _ in range(n_valid):
+                t = t + dt_s
+                times.append(t)
+        self.machine.span_step(dt_s, n_valid)
+        for sid, hub in self.hubs.items():
+            executed = step.sockets[sid].executed_instructions
+            capacity = step.sockets[sid].performance.capacity_ips * dt_s
+            pending = hub.pending_cost_instructions()
+            charge = tick_charges.get(sid)
+            chars = self._blended_characteristics(sid, hub)
+            b = self._overhead_instructions[sid]
+            demand = 0.0
+            use = 0.0
+            k = 0
+            record = self.utilization.record_tick
+            while k < n_valid:
+                b_top = b
+                if charge is not None:
+                    b = b + charge
+                demand = (pending + b) / dt_s
+                use = min(b, executed)
+                b = b - use
+                record(sid, times[k], capacity, use, pending_instructions=pending)
+                k += 1
+                if b == b_top:
+                    break
+            if k < n_valid:
+                # Fixed point: every remaining tick records this sample.
+                self.utilization.record_span(
+                    sid, times[k:], capacity, use, pending_instructions=pending
+                )
+            self._overhead_instructions[sid] = b
+            self.machine.set_socket_load(
+                sid,
+                SocketLoad(
+                    characteristics=chars, demand_instructions_per_s=demand
+                ),
+            )
+        return n_valid

@@ -57,6 +57,11 @@ class TransferStats:
     forwarded: int = 0
 
 
+#: Shared result of a flush cycle with no buffered traffic (the common
+#: case on idle and steady ticks).  Frozen and never mutated by callers.
+_EMPTY_TRANSFER = TransferStats(messages_moved=0, flushes=0, cost_by_socket={})
+
+
 class InterSocketRouter:
     """Outbound buffers and transfer logic for all communication threads."""
 
@@ -195,6 +200,11 @@ class InterSocketRouter:
         hop next flush instead of being delivered to (or lost on) the
         stale socket.
         """
+        if not any(self._outbound.values()):
+            # Nothing buffered anywhere: the full cycle would only add
+            # 0.0 to every socket's overhead balance (an exact no-op for
+            # the non-negative balances), so skip building the cost map.
+            return _EMPTY_TRANSFER
         cost_by_socket: dict[int, WorkCost] = {
             sid: WorkCost(instructions=0.0) for sid in self._hubs
         }

@@ -146,6 +146,38 @@ class UtilizationTracker:
         while ticks and ticks[0][0] < horizon:
             ticks.popleft()
 
+    def record_span(
+        self,
+        socket_id: int,
+        times: list[float],
+        offered_instructions: float,
+        consumed_instructions: float,
+        pending_instructions: float = 0.0,
+    ) -> None:
+        """Record one identical sample for every tick time in ``times``.
+
+        Bit-identical to calling :meth:`record_tick` once per time:
+        eviction only removes entries older than the horizon, and the
+        horizon grows monotonically, so one sweep at the final time
+        removes exactly what the per-tick sweeps would have.
+        """
+        if socket_id not in self._ticks:
+            raise ControlError(f"unknown socket id {socket_id}")
+        if offered_instructions < 0 or consumed_instructions < 0:
+            raise ControlError("instruction budgets must be >= 0")
+        if pending_instructions < 0:
+            raise ControlError("pending instructions must be >= 0")
+        if not times:
+            return
+        ticks = self._ticks[socket_id]
+        offered = offered_instructions
+        consumed = consumed_instructions
+        ticks.extend((t, offered, consumed) for t in times)
+        self._pending[socket_id] = pending_instructions
+        horizon = times[-1] - self.window_s
+        while ticks and ticks[0][0] < horizon:
+            ticks.popleft()
+
     def utilization(self, socket_id: int, now_s: float) -> float:
         """Demand relative to the offered capacity over the window.
 

@@ -204,6 +204,38 @@ class EnergyControlLoop:
             socket_ecl.on_tick(now_s)
             self.engine.add_overhead_instructions(sid, overhead_rate * dt_s)
 
+    def macro_view(
+        self, now_s: float, dt_s: float
+    ) -> tuple[float, dict[int, float]] | None:
+        """Steady-state view for the macro-stepping runner.
+
+        Returns ``(horizon_s, tick_charges)`` promising that for every
+        tick starting strictly before ``horizon_s`` on which the
+        simulation state does not otherwise change, :meth:`on_tick` is
+        exactly equivalent to charging ``tick_charges[sid]`` overhead
+        instructions per socket — no decisions, no reconfigurations, no
+        counter or RNG activity.  ``None`` means some loop is mid-flight
+        and every tick must run live.
+        """
+        horizon = self.system.next_check_s
+        overhead = (
+            self.params.overhead_thread_fraction
+            * self.machine.params.core_nominal_ghz
+            * 1e9
+            * dt_s
+        )
+        charges: dict[int, float] = {}
+        for sid, socket_ecl in self.sockets.items():
+            if socket_ecl.drained:
+                continue  # stood down: no decisions and no overhead
+            h = socket_ecl.macro_horizon_s(now_s)
+            if h is None:
+                return None
+            if h < horizon:
+                horizon = h
+            charges[sid] = overhead
+        return horizon, charges
+
     def annotate_sample(self) -> SampleAnnotations:
         """Per-socket demanded levels and applied configurations."""
         return SampleAnnotations(

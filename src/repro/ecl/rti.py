@@ -61,6 +61,24 @@ class RtiPlan:
         phase = ((now_s + 1e-9) % self.period_s) / self.period_s
         return phase < self.duty
 
+    def next_phase_change_s(self, now_s: float) -> float:
+        """Absolute time of the next phase-boundary after ``now_s``.
+
+        Mirrors :meth:`is_active_phase` exactly — including its boundary
+        offset — so the returned instant is the earliest time at which
+        that predicate can change value.  The macro-stepping runner uses
+        it as an event horizon; with RTI disabled there is no flip and
+        the horizon is unbounded.
+        """
+        if not self.uses_rti:
+            return float("inf")
+        shifted = now_s + 1e-9
+        cycle_start = shifted - (shifted % self.period_s)
+        boundary = self.duty * self.period_s
+        if shifted % self.period_s < boundary:
+            return cycle_start + boundary - 1e-9
+        return cycle_start + self.period_s - 1e-9
+
 
 class RtiController:
     """Plans RTI duty cycles for one socket."""

@@ -530,6 +530,48 @@ class SocketEcl:
         ):
             self._online_window = self._open_window(now_s)
 
+    def macro_horizon_s(self, now_s: float) -> float | None:
+        """Earliest future time at which :meth:`on_tick` may act.
+
+        The macro-stepping runner skips ticks strictly before the
+        returned horizon; for every one of them this method promises
+        :meth:`on_tick` would have been a pure no-op — no interval
+        decision, no reconfiguration, no counter window, no profile or
+        measurement-noise activity.  ``None`` declares the loop busy
+        (an in-flight or imminently startable multiplexed slot, a
+        pending reconfiguration, a counter window about to open) and
+        forces per-tick execution.  A drained loop returns from
+        :meth:`on_tick` immediately, hence the unbounded horizon.
+        """
+        if self._drained:
+            return float("inf")
+        if self._mux_slot is not None:
+            return None  # an in-flight slot advances every tick
+        slot_cost = self.params.apply_time_s + self.params.measure_time_s
+        if self._mux_budget_s >= slot_cost:
+            return None  # a new slot could start on any tick
+        horizon = self._next_interval_s
+        plan = self._plan
+        if plan is None:
+            return horizon  # bootstrap: on_tick no-ops until the interval
+        if plan.is_active_phase(now_s):
+            target = plan.active_configuration
+        else:
+            target = self.profile.idle_configuration
+        if self._applied != target:
+            return None  # the very next tick reconfigures
+        if plan.uses_rti:
+            horizon = min(horizon, plan.next_phase_change_s(now_s))
+        if (
+            target == plan.active_configuration
+            and self._online_window is None
+        ):
+            opens_at = self._applied_at_s + self.params.apply_time_s
+            if now_s >= opens_at:
+                return None  # the online window opens on the next tick
+            horizon = min(horizon, opens_at)
+        return horizon
+
     # -- introspection ---------------------------------------------------------------
 
     @property

@@ -63,6 +63,15 @@ class SystemEcl:
         ):
             self.violations += 1
 
+    @property
+    def next_check_s(self) -> float:
+        """When the next latency check fires (macro-stepping horizon).
+
+        Between checks :meth:`on_tick` is a pure deadline comparison, so
+        the macro runner may skip any tick strictly before this time.
+        """
+        return self._next_check_s
+
     def time_to_violation_s(self) -> float:
         """Latest estimate; ``inf`` when latency is flat/shrinking."""
         return self._time_to_violation_s

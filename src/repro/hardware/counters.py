@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import HardwareError
 
 
@@ -39,6 +41,24 @@ class InstructionCounter:
             raise HardwareError(f"negative instruction count {instructions}")
         self._instructions += instructions
         self._now_s = now_s
+
+    def accumulate_span(self, instructions: float, times: np.ndarray) -> None:
+        """Replay ``accumulate(instructions, t)`` for every ``t`` in ``times``.
+
+        ``np.add.accumulate`` is a strict left-to-right fold over IEEE
+        doubles, so the final total is bit-identical to the per-call
+        path while the loop runs in C.
+        """
+        if instructions < 0:
+            raise HardwareError(f"negative instruction count {instructions}")
+        n = len(times)
+        if n == 0:
+            return
+        fold = np.add.accumulate(
+            np.concatenate(([self._instructions], np.full(n, instructions)))
+        )
+        self._instructions = float(fold[-1])
+        self._now_s = float(times[-1])
 
     def read(self) -> CounterReading:
         """Read the counter."""

@@ -249,6 +249,25 @@ class FrequencyDomains:
                 dwelling.append(core_id)
         return tuple(sorted(dwelling))
 
+    def next_dwell_expiry_s(self, now: float) -> float:
+        """Earliest future time an EET dwell elapses (``inf`` if none).
+
+        The dwell elapsing is the only machine-internal event that changes
+        an effective frequency without a control-state mutation, so the
+        macro-stepping runner must never leap across it.
+        """
+        if not self._pending_turbo:
+            return float("inf")
+        delay = self._params.eet_delay_s
+        earliest = float("inf")
+        for sid, core_id in self._pending_turbo:
+            since = self._turbo_request_time[(sid, core_id)]
+            if since is None or now - since >= delay:
+                continue
+            if self._core_epb(sid, core_id).delays_turbo:
+                earliest = min(earliest, since + delay)
+        return earliest
+
     # -- uncore clock ----------------------------------------------------------
 
     def set_uncore_frequency(self, socket_id: int, ghz: float) -> None:

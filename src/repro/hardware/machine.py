@@ -589,6 +589,106 @@ class Machine:
         self._last_step = result
         return result
 
+    # -- macro-stepping ----------------------------------------------------------
+
+    def next_internal_event_s(self) -> float:
+        """Earliest future time the machine changes behaviour on its own.
+
+        Machine state only evolves under external mutation (versioned) or
+        through two internal mechanisms: the EET turbo dwell elapsing and
+        thermal credit drift.  Credit drift is visible in the steady-state
+        signature the runner compares, so the dwell expiry is the only
+        latent event a macro span must stop short of.
+        """
+        return self.frequency.next_dwell_expiry_s(self._time_s)
+
+    def thermal_steady(self, socket_id: int) -> bool:
+        """Whether one more step would leave thermal state unchanged.
+
+        True exactly when replaying the last step's thermal update is a
+        no-op: fully recovered credit below TDP, or exhausted credit under
+        sustained above-TDP throttling.
+        """
+        last = self._last_step
+        if last is None:
+            return False
+        power = last.sockets[socket_id].power
+        p = self.params
+        credit = self._thermal_credit_s[socket_id]
+        if power.package_w > p.tdp_w:
+            return credit <= 0.0 and self._throttled[socket_id]
+        recovered = min(p.thermal_budget_s, credit + p.thermal_recovery_rate * last.dt_s)
+        if recovered != credit:
+            return False
+        throttled = self._throttled[socket_id] and credit < 0.5 * p.thermal_budget_s
+        return throttled == self._throttled[socket_id]
+
+    def span_step(self, dt_s: float, n_ticks: int) -> StepResult:
+        """Advance ``n_ticks`` steps of ``dt_s`` in one steady-state span.
+
+        Requires that every per-socket step resolution is constant over
+        the span (same configuration versions, dwell phase, thermal state,
+        and a demand yielding the same resolved performance — the runner
+        verifies all of this before calling).  Each tick's counter
+        accumulation is replayed through the real counter methods with the
+        same folded timestamps the per-tick path would produce, so every
+        float — time, true energy, RAPL publish points, instructions — is
+        bit-identical to ``n_ticks`` individual :meth:`step` calls.
+        """
+        if dt_s <= 0:
+            raise ConfigurationError(f"step duration must be > 0, got {dt_s}")
+        if n_ticks < 1:
+            raise ConfigurationError(f"span must cover >= 1 tick, got {n_ticks}")
+        last = self._last_step
+        if last is None:
+            raise ConfigurationError("span_step requires a preceding step")
+        for sock in self.topology.sockets:
+            if not self.thermal_steady(sock.socket_id):
+                raise ConfigurationError(
+                    f"socket {sock.socket_id} thermal state is not steady"
+                )
+
+        t = self._time_s
+        per_socket = []
+        for sock in self.topology.sockets:
+            sid = sock.socket_id
+            sres = last.sockets[sid]
+            per_socket.append(
+                (
+                    self._instructions[sid],
+                    sres.performance.retired_ips * dt_s,
+                    self._rapl[(sid, RaplDomain.PACKAGE)],
+                    sres.power.package_w,
+                    self._rapl[(sid, RaplDomain.DRAM)],
+                    sres.power.dram_w,
+                )
+            )
+        if n_ticks >= 32:
+            # Long span: fold the tick grid and every counter with
+            # np.add.accumulate (strict left fold, bit-identical to the
+            # scalar loop) so the replay runs in C.
+            times = np.add.accumulate(
+                np.concatenate(([t], np.full(n_ticks, dt_s)))
+            )[1:]
+            for instr, retired, pkg, pkg_w, dram, dram_w in per_socket:
+                instr.accumulate_span(retired, times)
+                pkg.accumulate_span(pkg_w, dt_s, times)
+                dram.accumulate_span(dram_w, dt_s, times)
+            t = float(times[-1])
+        else:
+            for _ in range(n_ticks):
+                t = t + dt_s
+                for instr, retired, pkg, pkg_w, dram, dram_w in per_socket:
+                    instr.accumulate(retired, t)
+                    pkg.accumulate(pkg_w, dt_s, t)
+                    dram.accumulate(dram_w, dt_s, t)
+        self._time_s = t
+        result = StepResult(
+            time_s=t, dt_s=dt_s, sockets=last.sockets, psu_power_w=last.psu_power_w
+        )
+        self._last_step = result
+        return result
+
     # -- introspection ---------------------------------------------------------
 
     def state(self) -> MachineState:

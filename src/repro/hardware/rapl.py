@@ -92,6 +92,48 @@ class RaplCounter:
             self._published_energy_j = self._true_energy_j
             self._published_at_s = now_s
 
+    def accumulate_span(
+        self, power_w: float, dt_s: float, times: np.ndarray
+    ) -> None:
+        """Replay ``accumulate(power_w, dt_s, t)`` for every ``t`` in ``times``.
+
+        The energy fold runs through ``np.add.accumulate`` (a strict
+        left-to-right fold, bit-identical to the per-call ``+=``), and
+        publish points are found with the same ``now - published_at``
+        float subtraction the scalar path performs, so the final counter
+        state matches ``len(times)`` individual calls exactly.
+        """
+        if dt_s < 0:
+            raise HardwareError(f"negative accumulation interval {dt_s}")
+        if power_w < 0:
+            raise HardwareError(f"negative power {power_w}")
+        n = len(times)
+        if n == 0:
+            return
+        fold = np.add.accumulate(
+            np.concatenate(([self._true_energy_j], np.full(n, power_w * dt_s)))
+        )
+        period = self._params.rapl_update_period_s
+        if times[0] - self._published_at_s >= period and (
+            n == 1 or float((times[1:] - times[:-1]).min()) >= period
+        ):
+            # Every tick publishes (the update period is no longer than
+            # any tick gap), so only the last tick's publish survives.
+            self._published_energy_j = float(fold[-1])
+            self._published_at_s = float(times[-1])
+        else:
+            published_at = self._published_at_s
+            published = self._published_energy_j
+            for k in range(n):
+                t_k = times[k]
+                if t_k - published_at >= period:
+                    published = fold[k + 1]
+                    published_at = t_k
+            self._published_energy_j = float(published)
+            self._published_at_s = float(published_at)
+        self._true_energy_j = float(fold[-1])
+        self._now_s = float(times[-1])
+
     def note_configuration_switch(self, now_s: float) -> None:
         """Record a hardware reconfiguration (adds transient read error)."""
         self._last_switch_s = now_s

@@ -16,7 +16,7 @@ workload's nominal peak rate, so the same profile drives every benchmark.
 
 from repro.loadprofiles.base import LoadProfile, SegmentProfile
 from repro.loadprofiles.spike import spike_profile
-from repro.loadprofiles.twitter import twitter_profile
+from repro.loadprofiles.twitter import twitter_day_profile, twitter_profile
 from repro.loadprofiles.synthetic import constant_profile, sine_profile, step_profile
 
 __all__ = [
@@ -24,6 +24,7 @@ __all__ = [
     "SegmentProfile",
     "spike_profile",
     "twitter_profile",
+    "twitter_day_profile",
     "constant_profile",
     "step_profile",
     "sine_profile",

@@ -12,6 +12,8 @@ import abc
 import bisect
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import SimulationError
 
 
@@ -31,6 +33,18 @@ class LoadProfile(abc.ABC):
     @abc.abstractmethod
     def fraction(self, t_s: float) -> float:
         """Load fraction at time ``t_s`` (0.0 outside the duration)."""
+
+    def fraction_array(self, times_s: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`fraction` over an array of times.
+
+        The default evaluates the scalar method point by point; profiles
+        with a cheap closed form (see :class:`SegmentProfile`) override it.
+        The load generator's block pre-draw is the only caller on the hot
+        path, so overrides only need to agree with :meth:`fraction` up to
+        float rounding — both simulation modes share the same pre-drawn
+        arrival stream either way.
+        """
+        return np.array([self.fraction(float(t)) for t in times_s], dtype=np.float64)
 
     def average_fraction(self, resolution_s: float = 0.5) -> float:
         """Time-average of the profile (for report normalization)."""
@@ -93,3 +107,9 @@ class SegmentProfile(LoadProfile):
             return after.fraction
         w = (t_s - before.t_s) / span
         return before.fraction * (1.0 - w) + after.fraction * w
+
+    def fraction_array(self, times_s: np.ndarray) -> np.ndarray:
+        times_s = np.asarray(times_s, dtype=np.float64)
+        xs = np.array(self._times, dtype=np.float64)
+        fs = np.array([p.fraction for p in self._points], dtype=np.float64)
+        return np.interp(times_s, xs, fs, left=0.0, right=0.0)

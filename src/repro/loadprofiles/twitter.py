@@ -63,3 +63,81 @@ def twitter_profile(
         points.append((t, max(0.0, level)))
     points[-1] = (duration_s, 0.0)
     return SegmentProfile("twitter", points)
+
+
+#: Diurnal backbone of the day profile: (hour, level) anchors, levels as
+#: fractions of the day's peak.  The service is dark overnight; load
+#: ramps through the morning, plateaus with an early-afternoon dip, and
+#: peaks in the evening before the shutdown.
+_DAY_ANCHORS: tuple[tuple[float, float], ...] = (
+    (0.0, 0.0),
+    (7.0, 0.0),
+    (8.0, 0.40),
+    (9.5, 0.70),
+    (12.0, 0.85),
+    (14.0, 0.65),
+    (15.5, 0.60),
+    (17.0, 0.80),
+    (19.5, 1.00),
+    (20.5, 0.30),
+    (21.0, 0.0),
+    (24.0, 0.0),
+)
+
+#: (hour of day, burst height): sharp events on top of the backbone.
+_DAY_BURSTS: tuple[tuple[float, float], ...] = (
+    (9.7, 0.20),
+    (13.2, 0.25),
+    (18.4, 0.20),
+)
+
+
+def twitter_day_profile(
+    duration_s: float = 86.4,
+    peak_fraction: float = 0.85,
+    seed: int = 2,
+    resolution_s: float | None = None,
+) -> LoadProfile:
+    """A full synthetic day of Twitter-like load, night included.
+
+    Unlike :func:`twitter_profile` (the paper's 2-hour daytime trace),
+    this maps a whole 24-hour diurnal cycle onto ``duration_s``: the
+    service is *completely* idle overnight (hours 21:00–07:00, ~42 % of
+    the day, exactly zero load — not merely low), then follows a
+    morning ramp, a rippled daytime plateau with a few sharp bursts,
+    and an evening peak.  The long true-zero night plus sparse arrivals
+    at the day's edges make it the reference trace for the
+    macro-stepping benchmark (``benchmarks/test_tick_throughput.py``);
+    the default 86.4 s compresses the day 1000x.
+    """
+    if resolution_s is None:
+        resolution_s = duration_s / 432.0
+    rng = np.random.default_rng(seed)
+    steps = max(8, int(round(duration_s / resolution_s)))
+    ripple_phase = rng.uniform(0, 2 * math.pi, size=3)
+    anchor_hours = np.array([hour for hour, _ in _DAY_ANCHORS])
+    anchor_levels = np.array([level for _, level in _DAY_ANCHORS])
+    points: list[tuple[float, float]] = []
+    for i in range(steps + 1):
+        t = i * duration_s / steps
+        hour = 24.0 * t / duration_s
+        if hour <= 7.0 or hour >= 21.0:
+            points.append((t, 0.0))
+            continue
+        level = float(np.interp(hour, anchor_hours, anchor_levels))
+        x = hour / 24.0
+        ripple = (
+            0.04 * math.sin(22 * math.pi * x + ripple_phase[0])
+            + 0.03 * math.sin(46 * math.pi * x + ripple_phase[1])
+            + 0.02 * math.sin(74 * math.pi * x + ripple_phase[2])
+        )
+        # Scale the ripple in at low levels so the ramps stay smooth and
+        # the curve never dips below zero mid-day.
+        level = level * peak_fraction + ripple * min(1.0, 4.0 * level)
+        for burst_hour, height in _DAY_BURSTS:
+            dh = hour - burst_hour
+            if 0 <= dh < 0.8:
+                level += height * math.exp(-dh / 0.18)
+        points.append((t, max(0.0, min(level, 0.95))))
+    points[-1] = (duration_s, 0.0)
+    return SegmentProfile("twitter-day", points)

@@ -84,6 +84,34 @@ class BaselinePolicy:
             self.machine.cstates.set_active_threads(set())
             self._parked = True
 
+    def macro_view(
+        self, now_s: float, dt_s: float
+    ) -> tuple[float, dict[int, float]] | None:
+        """Steady-state view for the macro-stepping runner.
+
+        Within a span no messages move and no queries complete, so the
+        ``has_work`` predicate is frozen; the only latent event is the
+        tickless-idle park at the end of the grace period.
+        """
+        if not self._initialized:
+            return None  # the next tick applies the active state
+        has_work = (
+            self.engine.pending_messages() > 0
+            or self.engine.tracker.in_flight > 0
+        )
+        if has_work:
+            if self._parked:
+                return None  # the next tick unparks
+            return float("inf"), {}
+        if self._parked:
+            return float("inf"), {}
+        if self._idle_since is None:
+            return None  # the next tick starts the grace timer
+        parks_at = self._idle_since + self.idle_grace_s
+        if now_s >= parks_at:
+            return None  # the next tick parks
+        return parks_at, {}
+
     def annotate_sample(self) -> SampleAnnotations:
         """The baseline has no internal state worth plotting."""
         return SampleAnnotations()

@@ -36,6 +36,21 @@ def at_or_after(now_s: float, deadline_s: float) -> bool:
     return now_s + EPSILON_S >= deadline_s
 
 
+def span_ticks_until(now_s: float, deadline_s: float, tick_s: float) -> int:
+    """How many whole ticks fit strictly before ``deadline_s``.
+
+    Used by the macro-stepping runner to size a steady-state span: the
+    count is one tick *short* of the arithmetic floor, so the tick on
+    which the deadline fires — and the tick before it — always execute
+    live.  The margin absorbs both the :data:`EPSILON_S` slack of
+    :func:`at_or_after` and the ULP-level drift of folded tick
+    timestamps, making "strictly before" robust rather than exact.
+    """
+    if deadline_s == float("inf"):
+        raise SimulationError("span_ticks_until needs a finite deadline")
+    return int((deadline_s - now_s) / tick_s) - 1
+
+
 @dataclass(frozen=True)
 class TickClock:
     """The fixed-step time base of one simulation run.
@@ -127,6 +142,11 @@ class OneShotDeadline:
     def fired(self) -> bool:
         """Whether the deadline has already fired (or was never armed)."""
         return self._fired
+
+    @property
+    def at_s(self) -> float | None:
+        """The armed deadline time (None when disarmed)."""
+        return self._at_s
 
     def poll(self, now_s: float) -> bool:
         """True exactly once: the first check at or after the deadline."""

@@ -102,6 +102,27 @@ class EclConsolidatePolicy:
     def annotate_sample(self) -> SampleAnnotations:
         return self.inner.annotate_sample()
 
+    def macro_view(
+        self, now_s: float, dt_s: float
+    ) -> tuple[float, dict[int, float]] | None:
+        """Steady-state view for the macro-stepping runner.
+
+        Active migrations advance state machinery every tick, so they
+        pin the run to live ticks.  Otherwise the inner ECL's view is
+        tightened by the next placement check.  ``_settle`` needs no
+        horizon of its own: within a span no messages move, no
+        partitions migrate, and the router stays empty, so a socket
+        that was not parkable on the live tick cannot become parkable
+        on a skipped one.
+        """
+        if self.engine.migrations.active_count:
+            return None
+        view = self.inner.macro_view(now_s, dt_s)
+        if view is None:
+            return None
+        horizon, charges = view
+        return min(horizon, self._next_check_s), charges
+
     # -- planning -----------------------------------------------------------
 
     def _view(self, now_s: float) -> PlacementView:

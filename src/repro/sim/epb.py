@@ -67,6 +67,18 @@ class EpbOnlyPolicy:
             machine.frequency.set_uncore_auto(sock.socket_id)
         self._initialized = True
 
+    def macro_view(
+        self, now_s: float, dt_s: float
+    ) -> tuple[float, dict[int, float]] | None:
+        """Steady-state view for the macro-stepping runner.
+
+        After the one-shot setup :meth:`on_tick` never touches the
+        machine again, so the horizon is unbounded.
+        """
+        if not self._initialized:
+            return None  # the next tick performs the one-shot setup
+        return float("inf"), {}
+
     def annotate_sample(self) -> SampleAnnotations:
         """The (static) hardware hint in effect."""
         if not self._initialized:

@@ -117,6 +117,18 @@ class OndemandGovernorPolicy:
                 self._set_socket_frequency(sid)
                 self.machine.note_configuration_switch(sid)
 
+    def macro_view(
+        self, now_s: float, dt_s: float
+    ) -> tuple[float, dict[int, float]] | None:
+        """Steady-state view for the macro-stepping runner.
+
+        Between decision deadlines :meth:`on_tick` is a pure deadline
+        comparison, so the next decision time bounds the span.
+        """
+        if not self._initialized:
+            return None  # the next tick applies the initial state
+        return self._decision.next_due_s, {}
+
     def annotate_sample(self) -> SampleAnnotations:
         """No annotations: pinned by the pre-registry A/B goldens.
 

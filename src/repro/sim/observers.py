@@ -74,6 +74,20 @@ class RunObserver:
     def on_run_end(self, result: RunResult) -> None:
         """After the last tick, once totals are final."""
 
+    def macro_horizon_s(self, now_s: float) -> float | None:
+        """How far the macro-stepping runner may leap past this observer.
+
+        Returning a time ``H`` promises that every hook of this observer
+        is a no-op for any tick starting strictly before ``H`` on which
+        the simulation state does not change (no arrivals, completions,
+        reconfigurations, or migrations — the runner separately
+        guarantees those).  ``float("inf")`` means "always skippable
+        under those conditions".  The default ``None`` declares the
+        observer macro-unaware and disables span stepping while it is
+        attached — per-tick semantics are always safe.
+        """
+        return None
+
 
 class SamplingObserver(RunObserver):
     """Emits the periodic sample time series into the run result.
@@ -98,6 +112,10 @@ class SamplingObserver(RunObserver):
         self._deadline.advance()
         assert self._runner is not None and self._result is not None
         self._result.samples.append(self._sample(now_s, tick_result))
+
+    def macro_horizon_s(self, now_s: float) -> float | None:
+        # end_tick is a pure deadline check until the next sample is due.
+        return self._deadline.next_due_s
 
     def _sample(
         self, now_s: float, tick_result: "EngineTickResult"
@@ -152,6 +170,14 @@ class WorkloadSwitchObserver(RunObserver):
             self._workload.characteristics
         )
 
+    def macro_horizon_s(self, now_s: float) -> float | None:
+        # Inert once fired; before that, the switch tick must run live —
+        # it swaps the load generator's pre-drawn arrival blocks, and
+        # both simulation modes must do so on the same tick.
+        if self._deadline.fired:
+            return float("inf")
+        return self._deadline.at_s
+
 
 class ObserverList:
     """Dispatches one pipeline hook to every observer, in order."""
@@ -203,3 +229,15 @@ class ObserverList:
     def on_run_end(self, result: RunResult) -> None:
         for obs in self._observers:
             obs.on_run_end(result)
+
+    def macro_horizon_s(self, now_s: float) -> float | None:
+        """Aggregate horizon: the tightest member horizon, None if any
+        member is macro-unaware (which disables span stepping)."""
+        horizon = float("inf")
+        for obs in self._observers:
+            h = obs.macro_horizon_s(now_s)
+            if h is None:
+                return None
+            if h < horizon:
+                horizon = h
+        return horizon

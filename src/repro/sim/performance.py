@@ -76,6 +76,26 @@ class StaticPerformancePolicy:
             self.machine.cstates.set_active_threads(set())
             self._parked = True
 
+    def macro_view(
+        self, now_s: float, dt_s: float
+    ) -> tuple[float, dict[int, float]] | None:
+        """Steady-state view for the macro-stepping runner.
+
+        The policy is a two-state machine keyed off the (span-frozen)
+        ``has_work`` predicate: in either matching state — racing with
+        work, or parked and dry — :meth:`on_tick` is a no-op; in a
+        transition state the very next tick reconfigures.
+        """
+        if not self._initialized:
+            return None
+        has_work = (
+            self.engine.pending_messages() > 0
+            or self.engine.tracker.in_flight > 0
+        )
+        if has_work != self._parked:
+            return float("inf"), {}
+        return None  # the next tick parks or unparks
+
     def annotate_sample(self) -> SampleAnnotations:
         """Whether the race is currently on or the machine is parked."""
         state = "parked" if self._parked else "turbo"

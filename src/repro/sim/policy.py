@@ -77,6 +77,22 @@ class ControlPolicy(Protocol):
         """Per-sample observations to attach to the next sample point."""
         ...
 
+    # Policies may additionally implement the *optional* macro-stepping
+    # protocol (the runner probes for it with getattr)::
+    #
+    #     def macro_view(self, now_s: float, dt_s: float) \
+    #             -> tuple[float, dict[int, float]] | None: ...
+    #
+    # Returning ``(horizon_s, tick_charges)`` promises that for every
+    # tick of width ``dt_s`` starting strictly before ``horizon_s`` on
+    # which the simulation state does not otherwise change (no arrivals,
+    # completions, message movement, or migrations — the runner and
+    # engine guarantee those separately), ``on_tick`` is *exactly*
+    # equivalent to calling ``engine.add_overhead_instructions(sid,
+    # tick_charges[sid])`` for each listed socket: no hardware knobs, no
+    # counter reads, no RNG.  ``None`` means "not right now" and forces
+    # per-tick execution; policies without the method never macro-step.
+
 
 #: Signature of a registry factory: builds a ready-to-run policy.
 PolicyFactory = Callable[["DatabaseEngine", "RunConfiguration"], ControlPolicy]

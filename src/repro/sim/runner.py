@@ -27,7 +27,7 @@ from repro.hardware.machine import Machine
 from repro.hardware.presets import HaswellEPParameters
 from repro.loadprofiles.base import LoadProfile
 from repro.profiles.generator import GeneratorParameters
-from repro.sim.clock import TickClock
+from repro.sim.clock import TickClock, span_ticks_until
 from repro.sim.loadgen import LoadGenerator
 from repro.sim.metrics import RunResult
 from repro.sim.observers import (
@@ -74,6 +74,13 @@ class RunConfiguration:
     #: LRU size of the machine's step-resolution cache; ``0`` disables
     #: memoization (the exact uncached path, for A/B validation).
     step_cache_size: int = 1024
+    #: Macro-stepping: when the next event horizon (arrival, control or
+    #: sampling deadline, EET dwell expiry, migration) is more than one
+    #: tick away and the system is in steady state, the runner advances
+    #: machine, counters, and engine clocks over the whole span in one
+    #: call — bit-identical to ticking through it (the ``--no-macro-step``
+    #: CLI flag and this field are the kill switch).
+    macro_step: bool = True
 
     def __post_init__(self) -> None:
         validate_policy_name(self.policy)
@@ -127,6 +134,11 @@ class SimulationRunner:
             config.policy, self.engine, config
         )
         self.extra_observers: list[RunObserver] = list(observers or [])
+        #: Macro-step telemetry of the most recent :meth:`run` (committed
+        #: spans and the ticks they covered; diagnostic only — never part
+        #: of the :class:`RunResult`).
+        self.macro_spans = 0
+        self.macro_ticks_skipped = 0
 
     def add_observer(self, observer: RunObserver) -> None:
         """Attach one more observer before :meth:`run` is called."""
@@ -169,19 +181,81 @@ class SimulationRunner:
 
         tick = config.tick_s
         energy_before = self.machine.true_total_energy_j()
-        for _ in range(clock.tick_count):
+        macro_view = (
+            getattr(self.policy, "macro_view", None)
+            if config.macro_step
+            else None
+        )
+        self.macro_spans = 0
+        self.macro_ticks_skipped = 0
+        total_ticks = clock.tick_count
+        ticks_done = 0
+        while ticks_done < total_ticks:
             now = self.machine.time_s
             self._phase_arrivals(now, tick, result, observers)
             self._phase_control(now, tick, observers)
             tick_result = self._phase_engine_step(now, tick, observers)
             self._phase_completions(now, tick_result, result, observers)
             self._phase_sampling(now, tick_result, observers)
+            ticks_done += 1
+            if macro_view is None:
+                continue
+            ticks_done += self._try_macro_span(
+                tick, total_ticks - ticks_done, macro_view, observers
+            )
 
         result.total_energy_j = (
             self.machine.true_total_energy_j() - energy_before
         )
         observers.on_run_end(result)
         return result
+
+    def _try_macro_span(
+        self,
+        tick_s: float,
+        ticks_remaining: int,
+        macro_view,
+        observers: ObserverList,
+    ) -> int:
+        """Attempt one steady-state span after a live tick.
+
+        Computes the event horizon — the policy's own view (which also
+        yields the per-tick overhead charges it would have applied), the
+        observers' deadlines, and the machine's next internal event —
+        sized down to one tick short of the earliest of them, then clamps
+        the span to the pre-drawn zero-arrival run and hands it to the
+        engine, whose validity fold shrinks or rejects it if any socket
+        is not in steady state.  Returns the ticks actually skipped.
+        """
+        if ticks_remaining < 2:
+            return 0
+        now = self.machine.time_s
+        view = macro_view(now, tick_s)
+        if view is None:
+            return 0
+        policy_horizon_s, tick_charges = view
+        observer_horizon_s = observers.macro_horizon_s(now)
+        if observer_horizon_s is None:
+            return 0
+        horizon_s = min(
+            policy_horizon_s,
+            observer_horizon_s,
+            self.machine.next_internal_event_s(),
+        )
+        if horizon_s == float("inf"):
+            n = ticks_remaining
+        else:
+            n = min(ticks_remaining, span_ticks_until(now, horizon_s, tick_s))
+        if n < 2:
+            return 0
+        n = min(n, self.loadgen.zero_arrival_run(now, tick_s, n))
+        if n < 2:
+            return 0
+        advanced = self.engine.span_tick(tick_s, n, tick_charges)
+        if advanced:
+            self.macro_spans += 1
+            self.macro_ticks_skipped += advanced
+        return advanced
 
     # -- pipeline phases ------------------------------------------------------
 

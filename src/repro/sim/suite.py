@@ -51,7 +51,10 @@ from repro.workloads.base import Workload
 #: record the realized (tick-grid) duration plus ``requested_duration_s``.
 #: v3: configurations gained ``placement`` and ``engine_config`` (default
 #: runs are unchanged, but the signature schema is new).
-CACHE_VERSION = 3
+#: v4: the load generator pre-draws arrival blocks on a vectorized grid,
+#: which changes every arrival stream (and configurations gained
+#: ``macro_step``).
+CACHE_VERSION = 4
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 

@@ -209,6 +209,14 @@ class TraceRecorder(RunObserver):
             self._emit(event)
         self._migrations_seen = len(migrations)
 
+    def macro_horizon_s(self, now_s: float) -> float | None:
+        # Always skippable: on skipped ticks there are no arrivals,
+        # completions, or migrations; after_control early-returns on
+        # unchanged version counters (a span never reconfigures); and
+        # end_tick only mirrors samples/migrations appended since the
+        # last call — none appear while ticks are skipped.
+        return float("inf")
+
     def on_run_end(self, result: "RunResult") -> None:
         self._emit(
             {

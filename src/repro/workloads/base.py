@@ -83,6 +83,21 @@ class Workload(abc.ABC):
             raise WorkloadError(f"negative load fraction {load_fraction}")
         return load_fraction * self.nominal_peak_qps
 
+    def queries_per_second_array(self, load_fractions: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`queries_per_second` (load-generator hot path).
+
+        Subclasses that override :meth:`queries_per_second` with a
+        non-linear mapping must override this method to match.
+
+        Raises:
+            WorkloadError: for negative fractions.
+        """
+        load_fractions = np.asarray(load_fractions, dtype=np.float64)
+        if np.any(load_fractions < 0):
+            worst = float(load_fractions.min())
+            raise WorkloadError(f"negative load fraction {worst}")
+        return load_fractions * self.nominal_peak_qps
+
     # -- modeled mode ---------------------------------------------------------------
 
     @abc.abstractmethod
@@ -90,6 +105,24 @@ class Workload(abc.ABC):
         self, rng: np.random.Generator, arrival_s: float, partitions: PartitionMap
     ) -> Query:
         """Build one query whose messages carry pre-computed costs."""
+
+    def make_modeled_batch(
+        self,
+        rng: np.random.Generator,
+        arrival_times_s: list[float],
+        partitions: PartitionMap,
+    ) -> list[Query]:
+        """Build one modeled query per arrival time, in arrival order.
+
+        Overrides may hoist per-query invariants (cost models, fan-out,
+        shared cost objects) out of the loop, but must draw from ``rng``
+        in exactly the same order as repeated :meth:`make_modeled_query`
+        calls so the arrival stream stays reproducible.
+        """
+        return [
+            self.make_modeled_query(rng, arrival_s, partitions)
+            for arrival_s in arrival_times_s
+        ]
 
     # -- real mode ---------------------------------------------------------------
 

@@ -108,4 +108,9 @@ class TestWake:
         assert not runner.machine.cstates.memory_is_vacated(1)
         assert not policy.inner.sockets[1].drained
         assert engine.partitions.socket_of(0) == 1
-        assert result.queries_completed == result.queries_submitted
+        # Conservation through the wave: nothing lost — every submitted
+        # query either completed or is still legitimately in flight
+        # (arrivals continue until the very last tick).
+        in_flight = engine.tracker.in_flight
+        assert result.queries_completed + in_flight == result.queries_submitted
+        assert in_flight <= 5
