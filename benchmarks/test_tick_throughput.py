@@ -50,6 +50,17 @@ HEADLINE_POLICY = "baseline"
 MIN_DAY_TICKS_PER_S = 10000.0
 MIN_DAY_SPEEDUP = 1.5
 
+#: Per-policy macro-on floors for the control-heavy policies.  The
+#: composite span executor keeps the ECL family within a small factor
+#: of the uncontrolled baseline (reference container: ecl ~28-33k,
+#: ecl-consolidate ~30k, ondemand ~60k ticks/s); the floors stay ~5x
+#: below the measured rates to absorb CI scheduling noise.
+MIN_DAY_POLICY_TICKS_PER_S = {
+    "ecl": 5000.0,
+    "ecl-consolidate": 5000.0,
+    "ondemand": 10000.0,
+}
+
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_tick_throughput.json"
 
 
@@ -89,7 +100,7 @@ def _measure_day(policy: str, macro: bool) -> dict:
     start = time.perf_counter()
     result = runner.run()
     elapsed = time.perf_counter() - start
-    return {
+    cell = {
         "wall_s": round(elapsed, 4),
         "ticks": ticks,
         "ticks_per_s": round(ticks / elapsed, 1),
@@ -99,6 +110,11 @@ def _measure_day(policy: str, macro: bool) -> dict:
         "queries_submitted": result.queries_submitted,
         "queries_completed": result.queries_completed,
     }
+    if macro:
+        # Span-cut attribution: which component bounded each span /
+        # refused each attempt, span-length histogram, in-span replays.
+        cell["span_cuts"] = runner.span_cut_stats()
+    return cell
 
 
 def test_tick_throughput(run_once):
@@ -191,15 +207,20 @@ def test_twitter_day_macro_matrix(run_once):
             "headline_policy": HEADLINE_POLICY,
             "min_ticks_per_s_macro_on": MIN_DAY_TICKS_PER_S,
             "min_speedup": MIN_DAY_SPEEDUP,
+            "per_policy_min_ticks_per_s": MIN_DAY_POLICY_TICKS_PER_S,
         },
         "policies": matrix,
     }
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {RESULT_PATH}")
 
-    # CI regression smoke: generous floors on the headline policy.
+    # CI regression smoke: generous floors on the headline policy, plus
+    # per-policy floors on the control-heavy policies the composite span
+    # executor is responsible for keeping fast.
     assert headline["macro_on"]["ticks_per_s"] > MIN_DAY_TICKS_PER_S
     assert headline["speedup"] > MIN_DAY_SPEEDUP
+    for policy, floor in MIN_DAY_POLICY_TICKS_PER_S.items():
+        assert matrix[policy]["macro_on"]["ticks_per_s"] > floor, policy
 
 
 def test_tick_throughput_extra_info(benchmark):

@@ -16,6 +16,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import cProfile
 import os
 import sys
 from pathlib import Path
@@ -169,7 +170,19 @@ def cmd_run(args: argparse.Namespace) -> int:
     tracer = TraceRecorder() if args.trace else None
     timer = PhaseTimingObserver() if args.timings else None
     observers = [obs for obs in (tracer, timer) if obs is not None]
-    if observers:
+    if args.profile_out:
+        profiler = cProfile.Profile()
+        runner = SimulationRunner(config, observers=observers)
+        profiler.enable()
+        result = runner.run()
+        profiler.disable()
+        profiler.dump_stats(args.profile_out)
+        print(
+            f"profile           : pstats -> {args.profile_out} "
+            "(inspect with python -m pstats)",
+            file=sys.stderr,
+        )
+    elif observers:
         result = SimulationRunner(config, observers=observers).run()
     else:
         result = run_experiment(config)
@@ -346,6 +359,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--timings", action="store_true",
                        help="print wall-time attribution across the five "
                             "pipeline phases")
+    run_p.add_argument("--profile-out", metavar="PATH",
+                       help="profile the tick loop with cProfile and write "
+                            "the pstats dump to PATH")
     run_p.set_defaults(func=cmd_run)
 
     cmp_p = sub.add_parser("compare", help="run all policies and compare")

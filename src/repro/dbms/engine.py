@@ -138,6 +138,9 @@ class DatabaseEngine:
         #: only mutated through :meth:`sync_workers`, so an unchanged
         #: version means the sync would be a no-op.
         self._synced_cstates_version: int | None = None
+        #: Per-socket mutation versions at the last worker sync, so a
+        #: reconfiguration on one socket does not resync the other.
+        self._synced_socket_versions: dict[int, int] = {}
 
     # -- workload declaration ---------------------------------------------------
 
@@ -195,6 +198,18 @@ class DatabaseEngine:
         if instructions < 0:
             raise SimulationError(f"negative overhead {instructions}")
         self._overhead_instructions[socket_id] += instructions
+
+    def overhead_balances(self) -> dict[int, float]:
+        """The live per-socket overhead balances, for bulk charging.
+
+        The control loop runs every tick; funnelling its fixed per-tick
+        charge through :meth:`add_overhead_instructions` re-validates the
+        socket id and sign on every call.  Trusted per-tick callers add
+        directly to the returned mapping instead (it is the engine's own
+        balance store, keyed by socket id; the semantics are exactly
+        those of :meth:`add_overhead_instructions`).
+        """
+        return self._overhead_instructions
 
     # -- data placement ----------------------------------------------------------
 
@@ -255,13 +270,20 @@ class DatabaseEngine:
         last sync — parking/unparking is driven exclusively by the
         machine's active-thread set, so the sync is a no-op then.
         """
-        version = self.machine.cstates.version
+        cstates = self.machine.cstates
+        version = cstates.version
         if version == self._synced_cstates_version:
             return
         self._synced_cstates_version = version
         for sock in self.machine.topology.sockets:
-            active = self.machine.cstates.active_threads_on_socket(sock.socket_id)
-            self.pool.sync_with_threads(sock.socket_id, active)
+            sid = sock.socket_id
+            socket_version = cstates.socket_mutation_version(sid)
+            if socket_version == self._synced_socket_versions.get(sid):
+                continue  # this socket's thread set is untouched
+            self._synced_socket_versions[sid] = socket_version
+            self.pool.sync_with_threads(
+                sid, cstates.active_threads_on_socket(sid)
+            )
 
     def _blended_characteristics(
         self, socket_id: int, hub: IntraSocketHub
@@ -392,7 +414,11 @@ class DatabaseEngine:
         )
 
     def span_tick(
-        self, dt_s: float, n_ticks: int, tick_charges: Mapping[int, float]
+        self,
+        dt_s: float,
+        n_ticks: int,
+        tick_charges: Mapping[int, float],
+        min_ticks: int = 2,
     ) -> int:
         """Fast-forward up to ``n_ticks`` steady-state ticks in one span.
 
@@ -410,9 +436,11 @@ class DatabaseEngine:
         replay the per-tick arithmetic operation for operation, so the
         resulting state is bit-identical to ticking ``n`` times.  Returns
         the number of ticks actually advanced — 0 (and no state change)
-        when fewer than 2 ticks are steady.
+        when fewer than ``min_ticks`` ticks are steady.  The composite
+        span executor lowers ``min_ticks`` to 1 for interior segments,
+        where even a single committed tick extends an ongoing span.
         """
-        if n_ticks < 2 or dt_s <= 0:
+        if n_ticks < min_ticks or n_ticks < 1 or dt_s <= 0:
             return 0
         step = self.machine.last_step
         if step is None:
@@ -424,22 +452,42 @@ class DatabaseEngine:
 
         # Validity pass: fold each socket's overhead balance forward
         # without mutating anything, shrinking the span to the longest
-        # prefix on which every socket stays steady.
+        # prefix on which every socket stays steady.  Per-socket reads
+        # (step slice, pending cost, charge, starting balance) are kept
+        # for the commit pass, which would otherwise recompute them.
+        machine = self.machine
         n_valid = n_ticks
+        plan: list[tuple] = []
         for sid, hub in self.hubs.items():
-            if not self.machine.thermal_steady(sid):
+            if not machine.thermal_steady(sid):
                 return 0
-            executed = step.sockets[sid].executed_instructions
-            capacity_ips = step.sockets[sid].performance.capacity_ips
-            d_last = self.machine.socket_load(sid).demand_instructions_per_s
+            socket_step = step.sockets[sid]
+            executed = socket_step.executed_instructions
+            capacity_ips = socket_step.performance.capacity_ips
+            d_last = machine.socket_load(sid).demand_instructions_per_s
             if d_last is None:
                 return 0
             saturated = d_last >= capacity_ips
             pending = hub.pending_cost_instructions()
-            has_backlog = hub.pending_messages > 0
-            has_workers = bool(self.pool.active_workers(sid))
             charge = tick_charges.get(sid)
             b = self._overhead_instructions[sid]
+            plan.append((sid, hub, executed, capacity_ips, pending, charge, b))
+            if executed == 0.0 and charge:
+                # Growing-balance fast path (idle RTI phases, drained
+                # nights): nothing executes, so the balance climbs by the
+                # same charge every tick, demand grows monotonically, and
+                # use stays zero.  The whole span is steady iff the first
+                # tick resolves to the saturated bucket — every later
+                # demand only moves further above capacity.  Otherwise
+                # the scalar fold would break on the very first tick (an
+                # exact demand match cannot survive a growing balance),
+                # so refusing outright is exact for any ``min_ticks``.
+                demand = (pending + b + charge) / dt_s
+                if saturated and demand >= capacity_ips:
+                    continue
+                return 0
+            has_backlog = hub.pending_messages > 0
+            has_workers = bool(self.pool.active_workers(sid))
             i = 0
             while i < n_valid:
                 b_top = b
@@ -463,7 +511,7 @@ class DatabaseEngine:
                     i = n_valid
                     break
             n_valid = i
-            if n_valid < 2:
+            if n_valid < min_ticks:
                 return 0
 
         # Commit: fold the tick grid exactly as the per-tick path would
@@ -473,22 +521,47 @@ class DatabaseEngine:
         # identical, so they are appended in one bulk call.
         if n_valid >= 32:
             times = np.add.accumulate(
-                np.concatenate(([self.machine.time_s], np.full(n_valid, dt_s)))
+                np.concatenate(([machine.time_s], np.full(n_valid, dt_s)))
             )[1:].tolist()
         else:
             times = []
-            t = self.machine.time_s
+            t = machine.time_s
             for _ in range(n_valid):
                 t = t + dt_s
                 times.append(t)
-        self.machine.span_step(dt_s, n_valid)
-        for sid, hub in self.hubs.items():
-            executed = step.sockets[sid].executed_instructions
-            capacity = step.sockets[sid].performance.capacity_ips * dt_s
-            pending = hub.pending_cost_instructions()
-            charge = tick_charges.get(sid)
+        machine.span_step(dt_s, n_valid)
+        for sid, hub, executed, capacity_ips, pending, charge, b in plan:
+            capacity = capacity_ips * dt_s
             chars = self._blended_characteristics(sid, hub)
-            b = self._overhead_instructions[sid]
+            if executed == 0.0 and charge:
+                # Growing-balance fast path, mirroring the validity pass:
+                # use is zero on every tick and the balance is a pure
+                # left fold of ``+ charge``, so the per-tick loop
+                # collapses to one accumulate (bit-identical: chained
+                # np.add.accumulate is a strict left-to-right fold) and
+                # the utilization samples — identical except for their
+                # timestamps — append in one bulk call.
+                if n_valid >= 32:
+                    b = float(
+                        np.add.accumulate(
+                            np.concatenate(([b], np.full(n_valid, charge)))
+                        )[-1]
+                    )
+                else:
+                    for _ in range(n_valid):
+                        b = b + charge
+                self.utilization.record_span(
+                    sid, times, capacity, 0.0, pending_instructions=pending
+                )
+                self._overhead_instructions[sid] = b
+                machine.set_socket_load(
+                    sid,
+                    SocketLoad(
+                        characteristics=chars,
+                        demand_instructions_per_s=(pending + b) / dt_s,
+                    ),
+                )
+                continue
             demand = 0.0
             use = 0.0
             k = 0
@@ -510,7 +583,7 @@ class DatabaseEngine:
                     sid, times[k:], capacity, use, pending_instructions=pending
                 )
             self._overhead_instructions[sid] = b
-            self.machine.set_socket_load(
+            machine.set_socket_load(
                 sid,
                 SocketLoad(
                     characteristics=chars, demand_instructions_per_s=demand

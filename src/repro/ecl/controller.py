@@ -19,7 +19,10 @@ Two ways to initialize the profiles:
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.errors import ControlError
 from repro.dbms.engine import DatabaseEngine
@@ -56,6 +59,16 @@ class EnergyControlLoop:
             latency_limit_s=self.params.latency_limit_s,
             check_interval_s=min(0.1, self.params.interval_s / 2),
         )
+        #: The ECL's own compute overhead in instructions/s — constant
+        #: over a run (params and the nominal clock never change), so the
+        #: per-tick hot path multiplies once instead of re-deriving it.
+        self._overhead_rate_ips = (
+            self.params.overhead_thread_fraction
+            * self.machine.params.core_nominal_ghz
+            * 1e9
+        )
+        #: Why :meth:`macro_view` last refused a span (telemetry).
+        self.macro_cut: str = ""
 
         self.profiles: dict[int, EnergyProfile] = {}
         self.sockets: dict[int, SocketEcl] = {}
@@ -191,50 +204,124 @@ class EnergyControlLoop:
     def on_tick(self, now_s: float, dt_s: float) -> None:
         """Run all loops for the upcoming tick; call before engine.tick."""
         self.system.on_tick(now_s)
-        overhead_rate = (
-            self.params.overhead_thread_fraction
-            * self.machine.params.core_nominal_ghz
-            * 1e9
-        )
+        charge = self._overhead_rate_ips * dt_s
+        overhead = self.engine.overhead_balances()
         for sid, socket_ecl in self.sockets.items():
             if socket_ecl.drained:
                 # The socket-level loop's thread is parked along with its
                 # socket; it neither decides nor costs anything.
                 continue
             socket_ecl.on_tick(now_s)
-            self.engine.add_overhead_instructions(sid, overhead_rate * dt_s)
+            overhead[sid] += charge
 
     def macro_view(
         self, now_s: float, dt_s: float
     ) -> tuple[float, dict[int, float]] | None:
-        """Steady-state view for the macro-stepping runner.
+        """Steady-state span program for the macro-stepping runner.
 
         Returns ``(horizon_s, tick_charges)`` promising that for every
         tick starting strictly before ``horizon_s`` on which the
         simulation state does not otherwise change, :meth:`on_tick` is
         exactly equivalent to charging ``tick_charges[sid]`` overhead
         instructions per socket — no decisions, no reconfigurations, no
-        counter or RNG activity.  ``None`` means some loop is mid-flight
-        and every tick must run live.
+        counter or RNG activity.  The horizon folds every scheduled
+        control event: the system-level check, each socket loop's
+        interval deadline, its RTI phase flips, and the phase transitions
+        of any in-flight multiplexed measurement slot (see
+        :meth:`SocketEcl.macro_horizon_s`).  ``None`` means some loop
+        acts on the very next tick and it must run live; the reason is
+        left in :attr:`macro_cut` for span-cut attribution.
+
+        The system-level latency check deliberately does NOT bound the
+        horizon: it is exactly replayable after the fact (see
+        :meth:`macro_replay`), so spans leap across it.
         """
-        horizon = self.system.next_check_s
-        overhead = (
-            self.params.overhead_thread_fraction
-            * self.machine.params.core_nominal_ghz
-            * 1e9
-            * dt_s
-        )
+        horizon = float("inf")
+        overhead = self._overhead_rate_ips * dt_s
         charges: dict[int, float] = {}
         for sid, socket_ecl in self.sockets.items():
             if socket_ecl.drained:
                 continue  # stood down: no decisions and no overhead
             h = socket_ecl.macro_horizon_s(now_s)
             if h is None:
+                self.macro_cut = socket_ecl.macro_cut
                 return None
             if h < horizon:
                 horizon = h
             charges[sid] = overhead
         return horizon, charges
+
+    def macro_step_tick(self, now_s: float, dt_s: float) -> bool:
+        """Replay one hardware-inert control tick inside a macro span.
+
+        Called by the composite span executor when :meth:`macro_view`
+        refuses because some loop acts on the very next tick.  If every
+        non-drained socket loop's action is *replayable* — a no-op or a
+        counter-window open, i.e. RNG reads but no machine mutation (see
+        :meth:`SocketEcl.macro_tick_replayable`) — this runs the control
+        phase of the tick at ``now_s`` exactly as the live pipeline
+        would (system check first, then the socket loops in dict order,
+        preserving RNG draw order) and returns True; the runner then
+        continues the span across the tick.  Returns False, touching
+        nothing, when any loop's action mutates hardware state and the
+        tick must run live.
+
+        No overhead is charged here: the tick itself is committed by the
+        *following* span segment, whose per-tick charges cover it — or
+        by the live fallback, where :meth:`on_tick` re-runs as a pure
+        no-op (every action taken here is idempotent at the same
+        timestamp) and charges normally.
+        """
+        live = [s for s in self.sockets.values() if not s.drained]
+        for socket_ecl in live:
+            if not socket_ecl.macro_tick_replayable(now_s):
+                return False
+        self.system.on_tick(now_s)
+        for socket_ecl in live:
+            socket_ecl.on_tick(now_s)
+        return True
+
+    def macro_replay(self, start_s: float, dt_s: float, n_ticks: int) -> None:
+        """Replay the system-level latency checks of a committed span.
+
+        The socket loops are provably inert across a span (that is what
+        :meth:`macro_view`'s horizon promised), but the system check has
+        its own cadence and *does* fire inside long spans.  Firing it at
+        the exact tick times the per-tick path would have used is
+        bit-identical to ticking through: the latency tracker is frozen
+        in-span (no completions), non-fire ticks are pure deadline
+        comparisons, and its published time-to-violation is only read at
+        the socket loops' interval decisions — which always land on live
+        ticks.  The tick grid is the same left fold of ``+ dt_s`` the
+        engine commits (``np.add.accumulate`` is a strict left-to-right
+        fold), so the fire times match bit for bit.
+        """
+        system = self.system
+        # Fast exit with a coarse overestimate of the span end; the 1 ms
+        # slack dwarfs the fold's accumulated rounding error.
+        if system.next_check_s > start_s + (n_ticks + 1) * dt_s + 1e-3:
+            return
+        # The skipped control phases ran at start_s, start_s + dt_s, ...:
+        # the span's first tick replaces the control phase at ``start_s``
+        # itself (the attempt happens where that phase would have run),
+        # so the grid starts there — not one tick later, which would
+        # fire a check due exactly at the span boundary one tick late.
+        times = np.add.accumulate(
+            np.concatenate(([start_s], np.full(n_ticks - 1, dt_s)))
+        ).tolist()
+        j = 0
+        while True:
+            target = system.next_check_s
+            # Land at or just before the first due tick, then settle on
+            # it with the deadline's own predicate (bisect alone could
+            # land one tick off within float rounding).
+            j = bisect_left(times, target - 2e-12, j)
+            while j < n_ticks and times[j] + 1e-12 < target:
+                j += 1
+            if j >= n_ticks:
+                return
+            system.on_tick(times[j])
+            j += 1
 
     def annotate_sample(self) -> SampleAnnotations:
         """Per-socket demanded levels and applied configurations."""

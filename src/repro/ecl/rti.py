@@ -68,9 +68,13 @@ class RtiPlan:
         offset — so the returned instant is the earliest time at which
         that predicate can change value.  The macro-stepping runner uses
         it as an event horizon; with RTI disabled there is no flip and
-        the horizon is unbounded.
+        the horizon is unbounded.  A zero duty never flips either — the
+        predicate is constant False, every cycle is pure idle — so the
+        horizon is unbounded there too; without this, a fully idle socket
+        (duty 0 at the minimum period) would fence every span at a cycle
+        boundary on which nothing happens.
         """
-        if not self.uses_rti:
+        if not self.uses_rti or self.duty <= 0.0:
             return float("inf")
         shifted = now_s + 1e-9
         cycle_start = shifted - (shifted % self.period_s)

@@ -203,6 +203,9 @@ class SocketEcl:
         self._drained = False
         self.decisions = 0
         self.configuration_switches = 0
+        self.mux_slots_started = 0
+        #: Why :meth:`macro_horizon_s` last refused a span (telemetry).
+        self.macro_cut: str = ""
 
     # -- counter plumbing -------------------------------------------------------
 
@@ -432,6 +435,7 @@ class SocketEcl:
             prepare_until_s=now_s + prepare_cap,
             needed_backlog=needed,
         )
+        self.mux_slots_started += 1
         self._mux_budget_s -= slot_cost
         if self.backlog_fn() < needed:
             self._apply(self.profile.idle_configuration, now_s)
@@ -530,6 +534,56 @@ class SocketEcl:
         ):
             self._online_window = self._open_window(now_s)
 
+    def macro_tick_replayable(self, now_s: float) -> bool:
+        """Whether :meth:`on_tick` at ``now_s`` leaves hardware untouched.
+
+        True exactly when the upcoming tick's action is *hardware-inert*:
+        a pure no-op, or a counter-window open (RAPL / instruction reads
+        — RNG draws, but no machine mutation).  Such ticks can be
+        replayed inside a macro span by calling :meth:`on_tick` at the
+        exact tick time instead of dropping to per-tick mode, because
+        the engine's steady-state fold stays valid across them.
+
+        False when the tick applies a configuration or makes a decision
+        that may: the interval decide, any multiplexed-slot transition
+        that reaches :meth:`_apply` (prepare → settle, the close tick —
+        which falls through to re-apply the plan target — and slot
+        starts), and plan-target reconfigurations (RTI flips).  Those
+        invalidate the engine's span assumptions and must run live.
+
+        The branch structure mirrors :meth:`on_tick` exactly; keep the
+        two in sync.
+        """
+        if self._drained:
+            return True
+        if now_s + 1e-12 >= self._next_interval_s:
+            return False  # interval decision: may replan / reconfigure
+        slot = self._mux_slot
+        if slot is not None:
+            if slot.preparing:
+                # The prepare -> settle transition applies the probe
+                # configuration; until then the slot just idles.
+                return (
+                    self.backlog_fn() < slot.needed_backlog
+                    and now_s + 1e-12 < slot.prepare_until_s
+                )
+            # Settle waits and the window-open tick are pure reads; the
+            # close tick falls through to re-apply the plan target.
+            return now_s + 1e-12 < slot.measure_until_s
+        slot_cost = self.params.apply_time_s + self.params.measure_time_s
+        if self._mux_budget_s >= slot_cost:
+            return False  # a new slot may start (and apply idle)
+        plan = self._plan
+        if plan is None:
+            return True  # bootstrap: nothing to apply
+        if plan.is_active_phase(now_s):
+            target = plan.active_configuration
+        else:
+            target = self.profile.idle_configuration
+        # A pending reconfiguration mutates; otherwise the only possible
+        # action is opening the online counter window (reads).
+        return self._applied == target
+
     def macro_horizon_s(self, now_s: float) -> float | None:
         """Earliest future time at which :meth:`on_tick` may act.
 
@@ -537,20 +591,49 @@ class SocketEcl:
         returned horizon; for every one of them this method promises
         :meth:`on_tick` would have been a pure no-op — no interval
         decision, no reconfiguration, no counter window, no profile or
-        measurement-noise activity.  ``None`` declares the loop busy
-        (an in-flight or imminently startable multiplexed slot, a
-        pending reconfiguration, a counter window about to open) and
-        forces per-tick execution.  A drained loop returns from
-        :meth:`on_tick` immediately, hence the unbounded horizon.
+        measurement-noise activity.
+
+        An in-flight multiplexed slot is a *span program*, not a reason
+        to force per-tick mode: between its scheduled transitions
+        (prepare → settle → measure → close) :meth:`on_tick` only
+        re-checks deadlines against constant state, so each phase
+        contributes its end time as a horizon and only the transition
+        ticks themselves — the ones that apply configurations or read
+        counters (RNG) — run live.  During *prepare* the backlog is
+        constant over a span (no arrivals, idle configuration), so the
+        saturation check cannot flip mid-span; a slot that is already
+        saturated transitions on the very next tick and returns ``None``.
+
+        ``None`` declares the loop busy — the next tick acts (a phase
+        transition, a newly startable slot, a pending reconfiguration, a
+        counter window opening) — and forces per-tick execution;
+        :attr:`macro_cut` records why, for span-cut attribution.  A
+        drained loop returns from :meth:`on_tick` immediately, hence the
+        unbounded horizon.
         """
         if self._drained:
             return float("inf")
-        if self._mux_slot is not None:
-            return None  # an in-flight slot advances every tick
+        horizon = self._next_interval_s
+        slot = self._mux_slot
+        if slot is not None:
+            if slot.preparing:
+                if self.backlog_fn() >= slot.needed_backlog:
+                    self.macro_cut = "mux-saturated"
+                    return None  # transitions to settle on the next tick
+                return min(horizon, slot.prepare_until_s)
+            if slot.window is None:
+                if now_s + 1e-12 >= slot.measure_from_s:
+                    self.macro_cut = "mux-window-open"
+                    return None  # the counter window opens next tick
+                return min(horizon, slot.measure_from_s)
+            if now_s + 1e-12 >= slot.measure_until_s:
+                self.macro_cut = "mux-window-close"
+                return None  # the counter window closes next tick
+            return min(horizon, slot.measure_until_s)
         slot_cost = self.params.apply_time_s + self.params.measure_time_s
         if self._mux_budget_s >= slot_cost:
-            return None  # a new slot could start on any tick
-        horizon = self._next_interval_s
+            self.macro_cut = "mux-start"
+            return None  # a new slot starts on the next tick
         plan = self._plan
         if plan is None:
             return horizon  # bootstrap: on_tick no-ops until the interval
@@ -559,6 +642,7 @@ class SocketEcl:
         else:
             target = self.profile.idle_configuration
         if self._applied != target:
+            self.macro_cut = "reconfig"
             return None  # the very next tick reconfigures
         if plan.uses_rti:
             horizon = min(horizon, plan.next_phase_change_s(now_s))
@@ -568,6 +652,7 @@ class SocketEcl:
         ):
             opens_at = self._applied_at_s + self.params.apply_time_s
             if now_s >= opens_at:
+                self.macro_cut = "window-open"
                 return None  # the online window opens on the next tick
             horizon = min(horizon, opens_at)
         return horizon

@@ -56,11 +56,60 @@ class CStateModel:
         #: Monotonic counter bumped on every park/unpark mutation; lets
         #: callers detect that the active-thread set is unchanged.
         self._version = 0
+        #: Content-fingerprint cache: per-socket interned ids of the
+        #: thread-set values.  Invalidation is per socket — parking on
+        #: one socket leaves the other's cached fingerprint valid —
+        #: except when the machine-wide idle bit flips, which is part of
+        #: every socket's content (the Fig. 5 uncore-halt dependency)
+        #: and invalidates all of them.
+        self._fingerprint_socket_versions: dict[int, int] = {
+            s.socket_id: 0 for s in topology.sockets
+        }
+        self._fingerprints: dict[int, tuple[int, int]] = {}
+        self._fingerprint_ids: dict[tuple, int] = {}
 
     @property
     def version(self) -> int:
         """Control-state version (bumps on any thread-set mutation)."""
         return self._version
+
+    def state_fingerprint(self, socket_id: int) -> int:
+        """Interned content fingerprint of one socket's C-state inputs.
+
+        Captures everything a socket's derived sleep states depend on:
+        its active and shallow thread sets, its memory-vacated flag, and
+        the machine-wide idle bit (the Fig. 5 cross-socket uncore-halt
+        dependency makes a *remote* socket's activity part of this
+        socket's resolution).  Unlike :attr:`version`, the fingerprint
+        repeats whenever the same state recurs, letting the machine's
+        step-resolution cache hit across park/unpark cycles.
+        """
+        version = self._fingerprint_socket_versions[socket_id]
+        cached = self._fingerprints.get(socket_id)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        on_socket = self._topology.threads_on_socket(socket_id)
+        content = (
+            tuple(t for t in on_socket if t in self._active_threads),
+            tuple(t for t in on_socket if t in self._shallow_threads),
+            socket_id in self._memory_vacated,
+            self.machine_is_idle(),
+        )
+        fingerprint = self._fingerprint_ids.setdefault(
+            content, len(self._fingerprint_ids)
+        )
+        self._fingerprints[socket_id] = (version, fingerprint)
+        return fingerprint
+
+    def _touch_fingerprint(self, socket_id: int, was_idle: bool) -> None:
+        """Invalidate fingerprints after a thread-set mutation: the
+        mutated socket always; every socket when the machine-wide idle
+        bit flipped (it is part of each socket's content)."""
+        if self.machine_is_idle() != was_idle:
+            for sid in self._fingerprint_socket_versions:
+                self._fingerprint_socket_versions[sid] += 1
+        else:
+            self._fingerprint_socket_versions[socket_id] += 1
 
     # -- mutation -------------------------------------------------------------
 
@@ -78,23 +127,58 @@ class CStateModel:
         self._active_threads = ids
         self._shallow_threads -= ids
         self._version += 1
+        for sid in self._fingerprint_socket_versions:
+            self._fingerprint_socket_versions[sid] += 1
+
+    def set_socket_threads(
+        self, socket_id: int, thread_ids: Iterable[int]
+    ) -> None:
+        """Declare exactly this set of threads active on one socket.
+
+        Threads of other sockets are untouched.  Equivalent to
+        :meth:`set_active_threads` with the other sockets' active set
+        carried over, but socket-local: only this socket's fingerprint
+        is invalidated (plus everyone's when the machine-idle bit
+        flips), keeping the step-resolution cache warm for the others.
+        """
+        own = self._topology.threads_on_socket(socket_id)
+        ids = set(thread_ids)
+        unknown = ids - set(own)
+        if unknown:
+            raise ConfigurationError(
+                f"threads {sorted(unknown)} not on socket {socket_id}"
+            )
+        was_idle = not self._active_threads
+        self._active_threads.difference_update(own)
+        self._active_threads.update(ids)
+        self._shallow_threads.difference_update(ids)
+        self._version += 1
+        self._touch_fingerprint(socket_id, was_idle)
 
     def park_thread(self, thread_id: int, shallow: bool = False) -> None:
         """Park one thread; ``shallow=True`` leaves it in C1 instead of C6."""
         self._require_known(thread_id)
+        was_idle = not self._active_threads
         self._active_threads.discard(thread_id)
         if shallow:
             self._shallow_threads.add(thread_id)
         else:
             self._shallow_threads.discard(thread_id)
         self._version += 1
+        self._touch_fingerprint(
+            self._topology.thread(thread_id).socket_id, was_idle
+        )
 
     def unpark_thread(self, thread_id: int) -> None:
         """Wake one thread into the active set."""
         self._require_known(thread_id)
+        was_idle = not self._active_threads
         self._active_threads.add(thread_id)
         self._shallow_threads.discard(thread_id)
         self._version += 1
+        self._touch_fingerprint(
+            self._topology.thread(thread_id).socket_id, was_idle
+        )
 
     def set_memory_vacated(self, socket_id: int, vacated: bool) -> None:
         """Declare a socket's memory (un)referenced by remote sockets.
@@ -114,6 +198,7 @@ class CStateModel:
         else:
             self._memory_vacated.discard(socket_id)
         self._version += 1
+        self._fingerprint_socket_versions[socket_id] += 1
 
     def _require_known(self, thread_id: int) -> None:
         self._topology.thread(thread_id)  # raises TopologyError if unknown
@@ -124,6 +209,17 @@ class CStateModel:
     def active_threads(self) -> frozenset[int]:
         """The set of currently active hardware-thread ids."""
         return frozenset(self._active_threads)
+
+    def socket_mutation_version(self, socket_id: int) -> int:
+        """Per-socket change counter for this socket's thread state.
+
+        Bumps whenever the socket's own thread set mutates (and on
+        machine-idle flips, which are part of its derived state); equal
+        values guarantee the socket's active-thread set is unchanged, so
+        per-socket consumers (the worker pool sync) can skip resyncing
+        sockets untouched by a reconfiguration elsewhere.
+        """
+        return self._fingerprint_socket_versions[socket_id]
 
     def thread_is_active(self, thread_id: int) -> bool:
         """Whether a hardware thread is unparked."""
@@ -159,10 +255,14 @@ class CStateModel:
         return self.active_core_count(socket_id) == 0
 
     def machine_is_idle(self) -> bool:
-        """True if every socket of the machine is idle."""
-        return all(
-            self.socket_is_idle(s.socket_id) for s in self._topology.sockets
-        )
+        """True if every socket of the machine is idle.
+
+        Equivalent to every socket's active-core count being zero: a
+        core is active iff one of its threads is, and every thread
+        belongs to a socket — so the machine is idle exactly when the
+        active-thread set is empty (O(1), on the step hot path).
+        """
+        return not self._active_threads
 
     def memory_is_vacated(self, socket_id: int) -> bool:
         """Whether the placement layer declared this socket's memory empty."""

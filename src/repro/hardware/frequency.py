@@ -62,6 +62,10 @@ class FrequencyLadder:
         if len(set(ordered)) != len(ordered):
             raise ConfigurationError(f"duplicate P-states in ladder {steps_ghz}")
         self._steps = ordered
+        #: Exact-value memo for :meth:`validate` (it sits on the
+        #: configuration-apply hot path; the tolerance scan only runs
+        #: once per distinct requested value).
+        self._validated: dict[float, float] = {}
 
     @property
     def steps(self) -> tuple[float, ...]:
@@ -84,8 +88,12 @@ class FrequencyLadder:
         Raises:
             ConfigurationError: if the frequency is not a valid P-state.
         """
+        cached = self._validated.get(ghz)
+        if cached is not None:
+            return cached
         for step in self._steps:
             if abs(step - ghz) < 1e-9:
+                self._validated[ghz] = step
                 return step
         raise ConfigurationError(
             f"{ghz} GHz is not a valid P-state; ladder is "
@@ -159,11 +167,61 @@ class FrequencyDomains:
         #: callers (the machine's step-resolution cache) detect that no
         #: clock request or EPB changed between two steps.
         self._version = 0
+        #: Content-fingerprint cache: per-socket interned ids of the
+        #: *values* of the clock state.  Every fingerprint input is
+        #: socket-local, so invalidation is per socket — reconfiguring
+        #: one socket (RTI duty cycling) leaves the other's cached
+        #: fingerprint valid.
+        self._fingerprint_socket_versions: dict[int, int] = {
+            s.socket_id: 0 for s in topology.sockets
+        }
+        self._fingerprints: dict[int, tuple[int, int]] = {}
+        self._fingerprint_ids: dict[tuple, int] = {}
+        #: Derived per-core EPB, cached per EPB mutation (the dwell
+        #: signature asks for it on every step while turbo is pending).
+        self._epb_version = 0
+        self._epb_cache_version = -1
+        self._epb_cache: dict[tuple[int, int], EnergyPerformanceBias] = {}
 
     @property
     def version(self) -> int:
         """Control-state version (bumps on any frequency/EPB mutation)."""
         return self._version
+
+    def state_fingerprint(self, socket_id: int) -> int:
+        """Interned content fingerprint of one socket's clock state.
+
+        Captures every *value* that shapes the socket's effective clocks
+        besides time: per-core frequency requests, the uncore request
+        (or auto), and the EPB of every thread on the socket.  Unlike
+        :attr:`version` — which is monotonic and never repeats — the
+        fingerprint returns the *same* id whenever the same state recurs
+        (e.g. RTI duty-cycling between two configurations), so the
+        machine's step-resolution cache can hit across reconfigurations.
+        Time-dependent effects (the EET dwell) are deliberately excluded;
+        :meth:`turbo_dwell_signature` covers them.
+        """
+        version = self._fingerprint_socket_versions[socket_id]
+        cached = self._fingerprints.get(socket_id)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        socket = self._topology.socket(socket_id)
+        content = (
+            tuple(
+                self._core_request[(socket_id, core.core_id)]
+                for core in socket.cores
+            ),
+            self._uncore_request[socket_id],
+            tuple(
+                self._epb[tid]
+                for tid in self._topology.threads_on_socket(socket_id)
+            ),
+        )
+        fingerprint = self._fingerprint_ids.setdefault(
+            content, len(self._fingerprint_ids)
+        )
+        self._fingerprints[socket_id] = (version, fingerprint)
+        return fingerprint
 
     # -- core clocks ---------------------------------------------------------
 
@@ -178,6 +236,7 @@ class FrequencyDomains:
         previous = self._core_request[key]
         self._core_request[key] = value
         self._version += 1
+        self._fingerprint_socket_versions[socket_id] += 1
         is_turbo = abs(value - self._params.core_turbo_ghz) < 1e-9
         if is_turbo and abs(previous - self._params.core_turbo_ghz) >= 1e-9:
             self._turbo_request_time[key] = now
@@ -187,6 +246,46 @@ class FrequencyDomains:
             self._pending_turbo.discard(key)
         else:
             self._pending_turbo.add(key)
+
+    def set_socket_core_frequencies(
+        self, socket_id: int, frequencies: dict[int, float], now: float
+    ) -> None:
+        """Request P-states for several cores of one socket at once.
+
+        Equivalent to calling :meth:`set_core_frequency` per core, but
+        with one version/fingerprint bump for the whole batch, and cores
+        whose request is unchanged are skipped entirely — a duty-cycle
+        re-application that moves only a few cores leaves the version
+        untouched for the rest (consumers compare versions for equality
+        only, so the bump *count* is not part of the contract).
+        """
+        turbo = self._params.core_turbo_ghz
+        changed = False
+        for core_id, ghz in frequencies.items():
+            value = self.core_ladder.validate(ghz)
+            key = (socket_id, core_id)
+            previous = self._core_request.get(key)
+            if previous is None:
+                raise ConfigurationError(
+                    f"unknown core {core_id} on socket {socket_id}"
+                )
+            if previous == value:
+                # A repeated request changes nothing: non-turbo values
+                # keep their cleared dwell, a re-requested turbo keeps
+                # its original request time (set_core_frequency only
+                # stamps the time on a non-turbo -> turbo transition).
+                continue
+            self._core_request[key] = value
+            changed = True
+            if abs(value - turbo) < 1e-9:
+                self._turbo_request_time[key] = now
+                self._pending_turbo.add(key)
+            else:
+                self._turbo_request_time[key] = None
+                self._pending_turbo.discard(key)
+        if changed:
+            self._version += 1
+            self._fingerprint_socket_versions[socket_id] += 1
 
     def set_all_core_frequencies(self, ghz: float, now: float) -> None:
         """Request the same P-state for every physical core."""
@@ -219,13 +318,23 @@ class FrequencyDomains:
 
     def _core_epb(self, socket_id: int, core_id: int) -> EnergyPerformanceBias:
         """EPB governing a core: PERFORMANCE only if all siblings request it."""
+        if self._epb_cache_version != self._epb_version:
+            self._epb_cache.clear()
+            self._epb_cache_version = self._epb_version
+        key = (socket_id, core_id)
+        bias = self._epb_cache.get(key)
+        if bias is not None:
+            return bias
         core = self._topology.socket(socket_id).cores[core_id]
         biases = {self._epb[tid] for tid in core.thread_ids()}
         if biases == {EnergyPerformanceBias.PERFORMANCE}:
-            return EnergyPerformanceBias.PERFORMANCE
-        if EnergyPerformanceBias.POWERSAVE in biases:
-            return EnergyPerformanceBias.POWERSAVE
-        return EnergyPerformanceBias.BALANCED
+            bias = EnergyPerformanceBias.PERFORMANCE
+        elif EnergyPerformanceBias.POWERSAVE in biases:
+            bias = EnergyPerformanceBias.POWERSAVE
+        else:
+            bias = EnergyPerformanceBias.BALANCED
+        self._epb_cache[key] = bias
+        return bias
 
     def turbo_dwell_signature(self, socket_id: int, now: float) -> tuple[int, ...]:
         """Core ids of a socket still inside their EET dwell at ``now``.
@@ -271,11 +380,18 @@ class FrequencyDomains:
     # -- uncore clock ----------------------------------------------------------
 
     def set_uncore_frequency(self, socket_id: int, ghz: float) -> None:
-        """Pin a socket's uncore clock to a fixed P-state."""
+        """Pin a socket's uncore clock to a fixed P-state.
+
+        Re-pinning the already-pinned value is a no-op (no version bump).
+        """
         if socket_id not in self._uncore_request:
             raise ConfigurationError(f"unknown socket id {socket_id}")
-        self._uncore_request[socket_id] = self.uncore_ladder.validate(ghz)
+        value = self.uncore_ladder.validate(ghz)
+        if self._uncore_request[socket_id] == value:
+            return
+        self._uncore_request[socket_id] = value
         self._version += 1
+        self._fingerprint_socket_versions[socket_id] += 1
 
     def set_uncore_auto(self, socket_id: int) -> None:
         """Hand the socket's uncore clock back to automatic UFS."""
@@ -283,6 +399,7 @@ class FrequencyDomains:
             raise ConfigurationError(f"unknown socket id {socket_id}")
         self._uncore_request[socket_id] = None
         self._version += 1
+        self._fingerprint_socket_versions[socket_id] += 1
 
     def uncore_is_auto(self, socket_id: int) -> bool:
         """Whether automatic UFS controls this socket's uncore clock."""
@@ -334,12 +451,18 @@ class FrequencyDomains:
             raise ConfigurationError(f"unknown hardware thread id {thread_id}")
         self._epb[thread_id] = bias
         self._version += 1
+        self._epb_version += 1
+        socket_id = self._topology.thread(thread_id).socket_id
+        self._fingerprint_socket_versions[socket_id] += 1
 
     def set_epb_all(self, bias: EnergyPerformanceBias) -> None:
         """Set the EPB of every hardware thread."""
         for thread_id in self._epb:
             self._epb[thread_id] = bias
         self._version += 1
+        self._epb_version += 1
+        for socket_id in self._fingerprint_socket_versions:
+            self._fingerprint_socket_versions[socket_id] += 1
 
     def epb(self, thread_id: int) -> EnergyPerformanceBias:
         """The EPB currently set for a hardware thread."""

@@ -186,6 +186,11 @@ class Machine:
             "capacity_hits": 0,
             "misses": 0,
         }
+        #: Configurations already validated against this machine
+        #: (immutable value objects, so a one-time check suffices; the
+        #: RTI duty cycle re-applies the same two configurations every
+        #: period).
+        self.validated_configurations: set = set()
 
     # -- time ---------------------------------------------------------------
 
@@ -232,18 +237,7 @@ class Machine:
         Threads of other sockets are left untouched.  Notifies the RAPL
         counters that a reconfiguration happened (transient read noise).
         """
-        own = set(self.topology.threads_on_socket(socket_id))
-        foreign = set(active_thread_ids) - own
-        if foreign:
-            raise ConfigurationError(
-                f"threads {sorted(foreign)} do not belong to socket {socket_id}"
-            )
-        keep = {
-            tid
-            for tid in self.cstates.active_threads
-            if self.topology.socket_of(tid) != socket_id
-        }
-        self.cstates.set_active_threads(keep | set(active_thread_ids))
+        self.cstates.set_socket_threads(socket_id, active_thread_ids)
         self._note_switch(socket_id)
 
     def set_epb_all(self, bias: EnergyPerformanceBias) -> None:
@@ -342,12 +336,17 @@ class Machine:
 
     def _hardware_signature(self, socket_id: int):
         """Key fragment capturing everything that shapes a socket's step
-        resolution besides the declared load: control-state versions, the
-        EET dwell phase (the only time-dependence of effective clocks),
-        and the thermal-throttle flag."""
+        resolution besides the declared load: content fingerprints of the
+        clock and C-state models, the EET dwell phase (the only
+        time-dependence of effective clocks), and the thermal-throttle
+        flag.  Content fingerprints — not the monotonic version counters —
+        so that recurring control states (RTI duty cycling between the
+        same active and idle configurations, multiplexed measurement
+        slots) hit the cache instead of missing on every reconfiguration.
+        """
         return (
-            self.frequency.version,
-            self.cstates.version,
+            self.frequency.state_fingerprint(socket_id),
+            self.cstates.state_fingerprint(socket_id),
             self.frequency.turbo_dwell_signature(socket_id, self._time_s),
             self._throttled[socket_id],
         )

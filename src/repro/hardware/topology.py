@@ -53,8 +53,13 @@ class PhysicalCore:
     threads: tuple[HardwareThread, ...]
 
     def thread_ids(self) -> tuple[int, ...]:
-        """Global ids of this core's hardware threads."""
-        return tuple(t.global_id for t in self.threads)
+        """Global ids of this core's hardware threads (memoized: the
+        topology is immutable and this sits on the C-state hot path)."""
+        cached = self.__dict__.get("_thread_ids")
+        if cached is None:
+            cached = tuple(t.global_id for t in self.threads)
+            self.__dict__["_thread_ids"] = cached
+        return cached
 
 
 @dataclass(frozen=True)
@@ -70,8 +75,15 @@ class Socket:
         return len(self.cores)
 
     def thread_ids(self) -> tuple[int, ...]:
-        """Global ids of all hardware threads on this socket."""
-        return tuple(t.global_id for core in self.cores for t in core.threads)
+        """Global ids of all hardware threads on this socket (memoized:
+        the topology is immutable and fingerprints ask on every step)."""
+        cached = self.__dict__.get("_thread_ids")
+        if cached is None:
+            cached = tuple(
+                t.global_id for core in self.cores for t in core.threads
+            )
+            self.__dict__["_thread_ids"] = cached
+        return cached
 
     def first_sibling_ids(self) -> tuple[int, ...]:
         """Global ids of the first thread of each physical core."""

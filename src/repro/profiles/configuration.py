@@ -131,17 +131,25 @@ class Configuration:
         Parks/unparks threads, sets active cores to their frequencies and
         inactive cores to the minimum P-state, and pins the uncore clock.
         """
-        self.validate_against(machine)
+        # Validation depends only on (self, machine topology/ladders) —
+        # both immutable — so each configuration is checked once per
+        # machine, not on every duty-cycle re-application.
+        if self not in machine.validated_configurations:
+            self.validate_against(machine)
+            machine.validated_configurations.add(self)
         now = machine.time_s
         machine.apply_socket_threads(self.socket_id, set(self.active_threads))
         freq_map = dict(self.core_frequencies)
         minimum = machine.frequency.core_ladder.minimum
         socket = machine.topology.socket(self.socket_id)
-        for core in socket.cores:
-            target = freq_map.get(core.core_id, minimum)
-            machine.frequency.set_core_frequency(
-                self.socket_id, core.core_id, target, now
-            )
+        machine.frequency.set_socket_core_frequencies(
+            self.socket_id,
+            {
+                core.core_id: freq_map.get(core.core_id, minimum)
+                for core in socket.cores
+            },
+            now,
+        )
         machine.frequency.set_uncore_frequency(self.socket_id, self.uncore_ghz)
 
     def describe(self) -> str:

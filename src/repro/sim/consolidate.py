@@ -66,6 +66,8 @@ class EclConsolidatePolicy:
         #: pack again).  Two intervals lets the window forget the wave.
         self.cooldown_intervals = 2
         self._drained: set[int] = set()
+        #: Why :meth:`macro_view` last refused a span (telemetry).
+        self.macro_cut: str = ""
 
     @classmethod
     def build(
@@ -109,19 +111,49 @@ class EclConsolidatePolicy:
 
         Active migrations advance state machinery every tick, so they
         pin the run to live ticks.  Otherwise the inner ECL's view is
-        tightened by the next placement check.  ``_settle`` needs no
-        horizon of its own: within a span no messages move, no
-        partitions migrate, and the router stays empty, so a socket
-        that was not parkable on the live tick cannot become parkable
-        on a skipped one.
+        tightened by the next placement check.  ``_settle`` gets no
+        horizon but does veto spans: within a span no messages move and
+        no partitions migrate, so parkability cannot *arise* on a
+        skipped tick — but it can arise between the last live control
+        phase and this one (a migration wave landing during that tick's
+        engine phase empties the hub), so a pending park must refuse
+        the span and run on this exact tick, as the per-tick path would.
         """
         if self.engine.migrations.active_count:
+            self.macro_cut = "migration"
+            return None
+        if self._parkable_socket() is not None:
+            self.macro_cut = "drain"
             return None
         view = self.inner.macro_view(now_s, dt_s)
         if view is None:
+            self.macro_cut = self.inner.macro_cut
             return None
         horizon, charges = view
         return min(horizon, self._next_check_s), charges
+
+    def macro_step_tick(self, now_s: float, dt_s: float) -> bool:
+        """Replay one hardware-inert control tick inside a macro span.
+
+        Mirrors :meth:`on_tick` order: the inner ECL's replay first,
+        then (the placement check never fires here — it is refused
+        outright) the drain settle pass, which is idempotent and parks a
+        socket only at the exact tick the live path would.  Active
+        migrations and due placement checks force the tick live.
+        """
+        if self.engine.migrations.active_count:
+            return False
+        if now_s + 1e-12 >= self._next_check_s:
+            return False  # the placement check replans / migrates
+        if not self.inner.macro_step_tick(now_s, dt_s):
+            return False
+        self._settle()
+        return True
+
+    def macro_replay(self, start_s: float, dt_s: float, n_ticks: int) -> None:
+        """Forward the inner ECL's system-check replay (the placement
+        check itself bounds the horizon, so it never fires in-span)."""
+        self.inner.macro_replay(start_s, dt_s, n_ticks)
 
     # -- planning -----------------------------------------------------------
 
@@ -164,10 +196,8 @@ class EclConsolidatePolicy:
 
     # -- drain / wake -------------------------------------------------------
 
-    def _settle(self) -> None:
-        """Park sockets that have finished draining."""
-        if self.engine.migrations.active_count:
-            return
+    def _parkable_socket(self) -> int | None:
+        """First socket that has finished draining and awaits its park."""
         for sid, hub in self.engine.hubs.items():
             if (
                 sid not in self._drained
@@ -175,7 +205,15 @@ class EclConsolidatePolicy:
                 and not hub.pending_messages
                 and not self.engine.router.buffered_from(sid)
             ):
-                self._park_socket(sid)
+                return sid
+        return None
+
+    def _settle(self) -> None:
+        """Park sockets that have finished draining."""
+        if self.engine.migrations.active_count:
+            return
+        while (sid := self._parkable_socket()) is not None:
+            self._park_socket(sid)
 
     def _park_socket(self, socket_id: int) -> None:
         self.inner.sockets[socket_id].set_drained(True)

@@ -1,0 +1,106 @@
+"""Span-cut telemetry for the macro-stepping runner.
+
+Macro stepping alternates live ticks with analytic spans (see
+:meth:`~repro.sim.runner.SimulationRunner._try_macro_span`).  Every
+span *attempt* — made after each live tick — either commits some
+number of skipped ticks or is refused outright, and in both cases
+exactly one component bounded it: the control policy's span program,
+the sampling deadline, another observer, the machine's internal event
+horizon (turbo dwell), the load generator's next arrival, the engine's
+steady-state validity fold, or simply the end of the run.
+
+:class:`SpanCutStats` attributes each attempt to that component and
+keeps a histogram of committed span lengths.  The runner exposes the
+result through ``span_cut_stats()``; the trace recorder forwards it
+into the report (``repro report``) and the throughput benchmark embeds
+it in ``BENCH_tick_throughput.json``.  The point of the breakdown is
+diagnostic: when throughput stalls, the biggest counter names the
+component whose horizon to widen next.
+"""
+
+from __future__ import annotations
+
+#: Committed span lengths are bucketed into these inclusive ranges
+#: (upper bound ``None`` = unbounded).  Composite spans can absorb a
+#: single straggler tick right before a deadline, so lengths start at 1.
+LENGTH_BUCKETS: tuple[tuple[int, int | None], ...] = (
+    (1, 9),
+    (10, 29),
+    (30, 99),
+    (100, 299),
+    (300, None),
+)
+
+
+def _bucket_label(low: int, high: int | None) -> str:
+    return f"{low}-{high}" if high is not None else f"{low}+"
+
+
+def bucket_for(length: int) -> str:
+    """The histogram bucket label for a committed span length."""
+    for low, high in LENGTH_BUCKETS:
+        if high is None or length <= high:
+            return _bucket_label(low, high)
+    raise AssertionError("unreachable: last bucket is unbounded")
+
+
+class SpanCutStats:
+    """Mutable accumulator of span-attempt attribution for one run."""
+
+    __slots__ = (
+        "components", "policy_reasons", "lengths", "refusals", "replays"
+    )
+
+    def __init__(self) -> None:
+        #: Attempts bounded by each component ("policy", "sampler",
+        #: "observer", "machine", "loadgen", "engine", "run-end") —
+        #: refusals and committed spans alike.
+        self.components: dict[str, int] = {}
+        #: Why the policy refused, by its ``macro_cut`` reason string.
+        self.policy_reasons: dict[str, int] = {}
+        #: Control ticks replayed *inside* composite spans, keyed by the
+        #: ``macro_cut`` reason that would otherwise have forced a live
+        #: tick (see ``ControlPolicy.macro_step_tick``).
+        self.replays: dict[str, int] = {}
+        #: Committed span lengths, bucketed per :data:`LENGTH_BUCKETS`.
+        self.lengths: dict[str, int] = {
+            _bucket_label(low, high): 0 for low, high in LENGTH_BUCKETS
+        }
+        #: Attempts that committed nothing.
+        self.refusals = 0
+
+    def record_refusal(self, component: str, reason: str = "") -> None:
+        """An attempt that skipped no ticks, bounded by ``component``."""
+        self.refusals += 1
+        self.components[component] = self.components.get(component, 0) + 1
+        if reason:
+            self.policy_reasons[reason] = (
+                self.policy_reasons.get(reason, 0) + 1
+            )
+
+    def record_replay(self, reason: str) -> None:
+        """A hardware-inert control tick replayed mid-span."""
+        self.replays[reason] = self.replays.get(reason, 0) + 1
+
+    def record_span(self, length: int, component: str) -> None:
+        """A committed span of ``length`` ticks, bounded by ``component``."""
+        self.components[component] = self.components.get(component, 0) + 1
+        self.lengths[bucket_for(length)] += 1
+
+    def as_dict(self, spans: int, ticks_skipped: int) -> dict:
+        """JSON-ready summary (sorted for stable serialization)."""
+        return {
+            "spans": spans,
+            "ticks_skipped": ticks_skipped,
+            "refusals": self.refusals,
+            "cut_by": dict(
+                sorted(self.components.items(), key=lambda kv: -kv[1])
+            ),
+            "policy_reasons": dict(
+                sorted(self.policy_reasons.items(), key=lambda kv: -kv[1])
+            ),
+            "in_span_replays": dict(
+                sorted(self.replays.items(), key=lambda kv: -kv[1])
+            ),
+            "span_lengths": dict(self.lengths),
+        }

@@ -42,6 +42,10 @@ class RunObserver:
     always the simulation time at the *start* of the tick.
     """
 
+    #: Component label used by span-cut attribution when this observer's
+    #: horizon bounds or refuses a macro span (see :mod:`repro.sim.macro`).
+    macro_label = "observer"
+
     def on_run_start(self, runner: "SimulationRunner", result: RunResult) -> None:
         """Before the first tick; keep references, never mutate state."""
 
@@ -96,6 +100,8 @@ class SamplingObserver(RunObserver):
     *simulation* time), tolerant of non-divisible tick ratios via
     :class:`~repro.sim.clock.PeriodicDeadline`.
     """
+
+    macro_label = "sampler"
 
     def __init__(self, sample_every_s: float):
         self._deadline = PeriodicDeadline(sample_every_s, first_due_s=0.0)
@@ -233,11 +239,21 @@ class ObserverList:
     def macro_horizon_s(self, now_s: float) -> float | None:
         """Aggregate horizon: the tightest member horizon, None if any
         member is macro-unaware (which disables span stepping)."""
+        return self.attributed_macro_horizon_s(now_s)[0]
+
+    def attributed_macro_horizon_s(
+        self, now_s: float
+    ) -> tuple[float | None, str]:
+        """Aggregate horizon plus the ``macro_label`` of the member that
+        set it, for span-cut attribution.  ``(None, label)`` identifies
+        the first macro-unaware member."""
         horizon = float("inf")
+        label = "observer"
         for obs in self._observers:
             h = obs.macro_horizon_s(now_s)
             if h is None:
-                return None
+                return None, obs.macro_label
             if h < horizon:
                 horizon = h
-        return horizon
+                label = obs.macro_label
+        return horizon, label

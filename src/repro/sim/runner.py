@@ -29,6 +29,7 @@ from repro.loadprofiles.base import LoadProfile
 from repro.profiles.generator import GeneratorParameters
 from repro.sim.clock import TickClock, span_ticks_until
 from repro.sim.loadgen import LoadGenerator
+from repro.sim.macro import SpanCutStats
 from repro.sim.metrics import RunResult
 from repro.sim.observers import (
     ObserverList,
@@ -139,6 +140,10 @@ class SimulationRunner:
         #: of the :class:`RunResult`).
         self.macro_spans = 0
         self.macro_ticks_skipped = 0
+        #: Span-cut attribution of the most recent :meth:`run`: which
+        #: component bounded each span attempt, and how long the
+        #: committed spans were (see :mod:`repro.sim.macro`).
+        self.span_cuts = SpanCutStats()
 
     def add_observer(self, observer: RunObserver) -> None:
         """Attach one more observer before :meth:`run` is called."""
@@ -188,6 +193,7 @@ class SimulationRunner:
         )
         self.macro_spans = 0
         self.macro_ticks_skipped = 0
+        self.span_cuts = SpanCutStats()
         total_ticks = clock.tick_count
         ticks_done = 0
         while ticks_done < total_ticks:
@@ -217,45 +223,165 @@ class SimulationRunner:
         macro_view,
         observers: ObserverList,
     ) -> int:
-        """Attempt one steady-state span after a live tick.
+        """Attempt one composite steady-state span after a live tick.
 
-        Computes the event horizon — the policy's own view (which also
-        yields the per-tick overhead charges it would have applied), the
-        observers' deadlines, and the machine's next internal event —
-        sized down to one tick short of the earliest of them, then clamps
-        the span to the pre-drawn zero-arrival run and hands it to the
-        engine, whose validity fold shrinks or rejects it if any socket
-        is not in steady state.  Returns the ticks actually skipped.
+        A composite span is a sequence of *segments* separated by
+        replayed control ticks.  Each iteration computes the event
+        horizon — the policy's own view (which also yields the per-tick
+        overhead charges it would have applied), the observers'
+        deadlines, and the machine's next internal event — sized down to
+        one tick short of the earliest of them, clamps the segment to
+        the pre-drawn zero-arrival run, and hands it to the engine,
+        whose validity fold shrinks or rejects it if any socket is not
+        in steady state.  When the policy instead declares the very next
+        tick busy, the executor asks it to *replay* that control tick in
+        place (``macro_step_tick``): hardware-inert actions — deadline
+        re-checks, counter-window opens — run at the exact tick time
+        with the exact RNG draw order, and the span continues across
+        them instead of dropping to per-tick mode.  Only ticks that
+        mutate hardware state (reconfigurations, RTI flips, interval
+        decisions) still run live.
+
+        A segment may also commit a single *straggler* tick right before
+        a deadline when every component's own epsilon predicate shows it
+        inert (``now + 1e-12 < horizon``), so only the acting tick runs
+        live, not its inert predecessor.
+
+        Returns the total ticks skipped; the whole composite counts as
+        one span, attributed to the component that finally cut it in
+        :attr:`span_cuts` (see :mod:`repro.sim.macro`).
         """
-        if ticks_remaining < 2:
-            return 0
-        now = self.machine.time_s
-        view = macro_view(now, tick_s)
-        if view is None:
-            return 0
-        policy_horizon_s, tick_charges = view
-        observer_horizon_s = observers.macro_horizon_s(now)
-        if observer_horizon_s is None:
-            return 0
-        horizon_s = min(
-            policy_horizon_s,
-            observer_horizon_s,
-            self.machine.next_internal_event_s(),
-        )
-        if horizon_s == float("inf"):
-            n = ticks_remaining
-        else:
-            n = min(ticks_remaining, span_ticks_until(now, horizon_s, tick_s))
-        if n < 2:
-            return 0
-        n = min(n, self.loadgen.zero_arrival_run(now, tick_s, n))
-        if n < 2:
-            return 0
-        advanced = self.engine.span_tick(tick_s, n, tick_charges)
-        if advanced:
+        cuts = self.span_cuts
+        machine = self.machine
+        policy = self.policy
+        macro_replay = getattr(policy, "macro_replay", None)
+        macro_step_tick = getattr(policy, "macro_step_tick", None)
+        inf = float("inf")
+        total = 0
+        replays = 0
+        binding = "run-end"
+        reason = ""
+        replayed_at_s = None
+        while ticks_remaining - total >= 1:
+            remaining = ticks_remaining - total
+            now = machine.time_s
+            view = macro_view(now, tick_s)
+            if view is None:
+                binding = "policy"
+                reason = getattr(policy, "macro_cut", "")
+                # The next tick acts — but if the action is hardware-
+                # inert it can replay here, at its exact time, provided
+                # nothing else touches that tick first: no arrivals and
+                # no observer due at ``now`` (observers may mutate state
+                # *before* the control phase).  The same-time guard
+                # breaks a pathological replay that fails to clear the
+                # policy's own busy condition.
+                if (
+                    macro_step_tick is not None
+                    and now != replayed_at_s
+                    and self.loadgen.zero_arrival_run(now, tick_s, 1) >= 1
+                ):
+                    obs_h, _ = observers.attributed_macro_horizon_s(now)
+                    if (
+                        obs_h is not None
+                        and now + 1e-12 < obs_h
+                        and macro_step_tick(now, tick_s)
+                    ):
+                        replayed_at_s = now
+                        replays += 1
+                        cuts.record_replay(reason)
+                        continue
+                break
+            reason = ""
+            policy_horizon_s, tick_charges = view
+            observer_horizon_s, observer_label = (
+                observers.attributed_macro_horizon_s(now)
+            )
+            if observer_horizon_s is None:
+                binding = observer_label
+                break
+            machine_horizon_s = machine.next_internal_event_s()
+            horizon_s = min(
+                policy_horizon_s, observer_horizon_s, machine_horizon_s
+            )
+            if horizon_s == policy_horizon_s:
+                binding = "policy"
+            elif horizon_s == observer_horizon_s:
+                binding = observer_label
+            else:
+                binding = "machine"
+            # Interior segments commit even a single tick — it extends an
+            # ongoing composite and replaces a live tick with one folded
+            # engine call.  The same goes for fresh attempts of replay-
+            # capable policies, whose composites usually continue through
+            # the acting tick.  A plain policy's fresh attempt keeps the
+            # 2-tick floor: nothing continues after the deadline, and a
+            # lone 1-tick span costs about as much machinery as the live
+            # tick it would replace.
+            min_ticks = (
+                1 if (total or replays or macro_step_tick is not None) else 2
+            )
+            if horizon_s == inf:
+                n = remaining
+                binding = "run-end"
+            else:
+                n = span_ticks_until(now, horizon_s, tick_s)
+                if n >= remaining:
+                    n = remaining
+                    binding = "run-end"
+                elif n < 1:
+                    # Straggler tick right before a deadline: commit it
+                    # alone if nothing fires *at* ``now`` by each
+                    # component's own predicate.  The machine horizon
+                    # (turbo dwell) has no epsilon predicate of its own,
+                    # so stay a conservative full tick short of it.
+                    if not (
+                        now + 1e-12 < policy_horizon_s
+                        and now + 1e-12 < observer_horizon_s
+                        and (
+                            machine_horizon_s == inf
+                            or span_ticks_until(
+                                now, machine_horizon_s, tick_s
+                            )
+                            >= 1
+                        )
+                    ):
+                        break
+                    n = 1
+                if n < min_ticks:
+                    break
+            arrivals_clear = self.loadgen.zero_arrival_run(now, tick_s, n)
+            if arrivals_clear < n:
+                n = arrivals_clear
+                binding = "loadgen"
+                if n < min_ticks:
+                    break
+            advanced = self.engine.span_tick(
+                tick_s, n, tick_charges, min_ticks=min_ticks
+            )
+            if advanced:
+                # Fold the policy's own periodic activity (the system-
+                # level latency check) over the exact tick times just
+                # skipped.
+                if macro_replay is not None:
+                    macro_replay(now, tick_s, advanced)
+                total += advanced
+            if advanced < n:
+                binding = "engine"
+                break
+        if total:
             self.macro_spans += 1
-            self.macro_ticks_skipped += advanced
-        return advanced
+            self.macro_ticks_skipped += total
+            cuts.record_span(total, binding)
+        else:
+            cuts.record_refusal(binding, reason)
+        return total
+
+    def span_cut_stats(self) -> dict:
+        """JSON-ready span-cut attribution of the most recent run."""
+        return self.span_cuts.as_dict(
+            self.macro_spans, self.macro_ticks_skipped
+        )
 
     # -- pipeline phases ------------------------------------------------------
 

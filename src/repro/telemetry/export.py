@@ -230,6 +230,54 @@ def render_trace_report(events: Sequence[dict]) -> str:
             for (src, dst), n in sorted(by_route.items())
         ]
 
+    macros = _events_of(events, "macro")
+    if macros:
+        macro = macros[-1]
+        ticks = macro.get("ticks")
+        skipped = macro.get("ticks_skipped", 0)
+        folded = (
+            f" ({float(skipped) / float(ticks):.1%} of {ticks} ticks folded)"
+            if ticks
+            else ""
+        )
+        lines += [
+            "",
+            "## Macro stepping",
+            "",
+            f"- {macro.get('spans')} spans skipped {skipped} ticks{folded}; "
+            f"{macro.get('refusals')} attempts refused",
+        ]
+        cut_by = macro.get("cut_by") or {}
+        if cut_by:
+            lines.append(
+                "- spans cut by: "
+                + ", ".join(f"{k} {v}" for k, v in cut_by.items())
+            )
+        reasons = macro.get("policy_reasons") or {}
+        if reasons:
+            lines.append(
+                "- policy refusals: "
+                + ", ".join(f"{k} {v}" for k, v in reasons.items())
+            )
+        replays = macro.get("in_span_replays") or {}
+        if replays:
+            lines.append(
+                "- control ticks replayed in-span: "
+                + ", ".join(f"{k} {v}" for k, v in replays.items())
+            )
+        histogram = macro.get("span_lengths") or {}
+        if histogram:
+            # JSONL serialization sorts keys lexically; restore the
+            # numeric bucket order ("1-9" before "10-29" before "300+").
+            buckets = sorted(
+                histogram.items(),
+                key=lambda kv: int(str(kv[0]).split("-")[0].rstrip("+")),
+            )
+            lines.append(
+                "- span lengths: "
+                + ", ".join(f"{k}: {v}" for k, v in buckets)
+            )
+
     completions = _events_of(events, "completion")
     samples = _events_of(events, "sample")
     if completions or samples:

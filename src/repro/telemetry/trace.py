@@ -218,6 +218,17 @@ class TraceRecorder(RunObserver):
         return float("inf")
 
     def on_run_end(self, result: "RunResult") -> None:
+        runner = self._runner
+        if runner is not None and runner.config.macro_step:
+            self._emit(
+                {
+                    "event": "macro",
+                    "ticks": round(
+                        result.requested_duration_s / runner.config.tick_s
+                    ),
+                    **runner.span_cut_stats(),
+                }
+            )
         self._emit(
             {
                 "event": "run_end",
