@@ -24,6 +24,7 @@ import os
 import time
 from pathlib import Path
 
+from repro.hardware.cluster import homogeneous_cluster
 from repro.loadprofiles import sine_profile, twitter_day_profile
 from repro.sim import RunConfiguration, SimulationRunner, registered_policies
 from repro.telemetry import PhaseTimingObserver, TraceRecorder
@@ -58,8 +59,16 @@ MIN_DAY_SPEEDUP = 1.5
 MIN_DAY_POLICY_TICKS_PER_S = {
     "ecl": 5000.0,
     "ecl-consolidate": 5000.0,
+    "ecl-cluster": 5000.0,
     "ondemand": 10000.0,
 }
+
+#: The cluster fleet row: the same day replayed on a multi-node machine
+#: under ``ecl-cluster`` (node drain, power-off, boot cycles).  Stepping
+#: N nodes costs ~N single-node steps, so the floor scales down with the
+#: fleet size (reference container: ~9-11k ticks/s macro-on at 3 nodes).
+CLUSTER_NODES = 3
+MIN_CLUSTER_TICKS_PER_S = 1500.0
 
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_tick_throughput.json"
 
@@ -84,7 +93,7 @@ def _measure(policy: str, observers=None) -> tuple[float, float]:
     return ticks / elapsed, elapsed
 
 
-def _measure_day(policy: str, macro: bool) -> dict:
+def _measure_day(policy: str, macro: bool, nodes: int = 1) -> dict:
     duration = day_duration_s()
     config = RunConfiguration(
         workload=KeyValueWorkload(
@@ -94,6 +103,7 @@ def _measure_day(policy: str, macro: bool) -> dict:
         policy=policy,
         seed=DAY_SEED,
         macro_step=macro,
+        cluster=homogeneous_cluster(nodes) if nodes > 1 else None,
     )
     runner = SimulationRunner(config)
     ticks = round(duration / config.tick_s)
@@ -159,15 +169,26 @@ def test_twitter_day_macro_matrix(run_once):
     ``BENCH_tick_throughput.json`` for the CI artifact.
     """
     policies = sorted(registered_policies())
-    matrix = run_once(
-        lambda: {
+    cluster_row = f"ecl-cluster@{CLUSTER_NODES}n"
+
+    def _all_rows():
+        rows = {
             policy: {
                 "macro_off": _measure_day(policy, False),
                 "macro_on": _measure_day(policy, True),
             }
             for policy in policies
         }
-    )
+        # The fleet row: the same day on a multi-node machine, where the
+        # cluster controller actually drains, powers off, and reboots
+        # whole nodes (on one node it degrades to the plain ECL).
+        rows[cluster_row] = {
+            "macro_off": _measure_day("ecl-cluster", False, nodes=CLUSTER_NODES),
+            "macro_on": _measure_day("ecl-cluster", True, nodes=CLUSTER_NODES),
+        }
+        return rows
+
+    matrix = run_once(_all_rows)
 
     heading("Twitter-day trace — macro-stepping on vs off")
     print(
@@ -208,6 +229,9 @@ def test_twitter_day_macro_matrix(run_once):
             "min_ticks_per_s_macro_on": MIN_DAY_TICKS_PER_S,
             "min_speedup": MIN_DAY_SPEEDUP,
             "per_policy_min_ticks_per_s": MIN_DAY_POLICY_TICKS_PER_S,
+            "cluster_row": cluster_row,
+            "cluster_nodes": CLUSTER_NODES,
+            "min_cluster_ticks_per_s": MIN_CLUSTER_TICKS_PER_S,
         },
         "policies": matrix,
     }
@@ -221,6 +245,7 @@ def test_twitter_day_macro_matrix(run_once):
     assert headline["speedup"] > MIN_DAY_SPEEDUP
     for policy, floor in MIN_DAY_POLICY_TICKS_PER_S.items():
         assert matrix[policy]["macro_on"]["ticks_per_s"] > floor, policy
+    assert matrix[cluster_row]["macro_on"]["ticks_per_s"] > MIN_CLUSTER_TICKS_PER_S
 
 
 def test_tick_throughput_extra_info(benchmark):

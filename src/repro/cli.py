@@ -25,6 +25,8 @@ from typing import Sequence
 from repro.analysis import comparison_table
 from repro.ecl.calibration import MetaCalibrator
 from repro.ecl.socket_ecl import EclParameters
+from repro.errors import SimulationError
+from repro.hardware.cluster import CLUSTER_PRESETS, ClusterSpec, build_cluster
 from repro.hardware.machine import Machine
 from repro.loadprofiles import (
     constant_profile,
@@ -80,6 +82,43 @@ WORKLOADS = {
     "ssb-non-indexed": lambda: SsbWorkload(WorkloadVariant.NON_INDEXED),
 }
 
+#: One-liners for ``repro run --list-workloads`` (keys match WORKLOADS).
+WORKLOAD_DESCRIPTIONS = {
+    "kv-indexed": "key-value point lookups through the index (§6.1)",
+    "kv-non-indexed": "key-value lookups by partition scan (§6.1)",
+    "tatp-indexed": "TATP telecom mix, index-supported (§6.1)",
+    "tatp-non-indexed": "TATP telecom mix, scan-heavy (§6.1)",
+    "ssb-indexed": "Star-Schema-Benchmark joins with index support (§6.1)",
+    "ssb-non-indexed": "Star-Schema-Benchmark full-scan joins (§6.1)",
+}
+
+#: Load-profile registry: name -> (factory(duration_s, level), description).
+PROFILES = {
+    "spike": (
+        lambda duration_s, level: spike_profile(duration_s=duration_s),
+        "idle floor with one short full-load burst (Fig. 13 shape)",
+    ),
+    "twitter": (
+        lambda duration_s, level: twitter_profile(duration_s=duration_s),
+        "one hour of the Twitter trace, compressed (§6.2)",
+    ),
+    "twitter-day": (
+        lambda duration_s, level: twitter_day_profile(duration_s=duration_s),
+        "the full diurnal Twitter day: deep trough, evening peak (§6.2)",
+    ),
+    "constant": (
+        lambda duration_s, level: constant_profile(
+            level, duration_s=duration_s
+        ),
+        "flat load at --level of nominal peak throughput",
+    ),
+    "sine": (
+        lambda duration_s, level: sine_profile(duration_s=duration_s),
+        "smooth full-swing oscillation (controller step response)",
+    ),
+}
+
+
 def print_policies() -> None:
     """List every registered control policy with its description."""
     names = registered_policies()
@@ -101,6 +140,20 @@ def print_placements() -> None:
         print(f"{name:<{width}}  {info.description}{marker}")
 
 
+def print_workloads() -> None:
+    """List every benchmark workload with its description."""
+    width = max(len(name) for name in WORKLOADS)
+    for name in WORKLOADS:
+        print(f"{name:<{width}}  {WORKLOAD_DESCRIPTIONS.get(name, '')}")
+
+
+def print_profiles() -> None:
+    """List every load profile with its description."""
+    width = max(len(name) for name in PROFILES)
+    for name, (_, description) in PROFILES.items():
+        print(f"{name:<{width}}  {description}")
+
+
 def make_workload(name: str) -> Workload:
     """Instantiate a benchmark workload by CLI name."""
     try:
@@ -113,20 +166,24 @@ def make_workload(name: str) -> Workload:
 
 def make_profile(name: str, duration_s: float, level: float) -> LoadProfile:
     """Instantiate a load profile by CLI name."""
-    if name == "spike":
-        return spike_profile(duration_s=duration_s)
-    if name == "twitter":
-        return twitter_profile(duration_s=duration_s)
-    if name == "twitter-day":
-        return twitter_day_profile(duration_s=duration_s)
-    if name == "constant":
-        return constant_profile(level, duration_s=duration_s)
-    if name == "sine":
-        return sine_profile(duration_s=duration_s)
-    raise SystemExit(
-        f"unknown profile {name!r}; choose from spike, twitter, "
-        f"twitter-day, constant, sine"
-    )
+    try:
+        factory, _ = PROFILES[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown profile {name!r}; choose from {', '.join(PROFILES)}"
+        ) from None
+    return factory(duration_s, level)
+
+
+def make_cluster(nodes: int, preset: str | None) -> ClusterSpec | None:
+    """Build the fleet description from the ``--nodes``/``--cluster-preset``
+    knobs; ``None`` keeps the historical single-node machine bit-for-bit."""
+    if nodes == 1 and preset is None:
+        return None
+    try:
+        return build_cluster(preset or "haswell_ep", nodes)
+    except SimulationError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def print_result(result: RunResult) -> None:
@@ -151,6 +208,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.list_placements:
         print_placements()
         return 0
+    if args.list_workloads:
+        print_workloads()
+        return 0
+    if args.list_profiles:
+        print_profiles()
+        return 0
     workload = make_workload(args.workload)
     profile = make_profile(args.profile, args.duration, args.level)
     params = EclParameters(
@@ -166,6 +229,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         ecl_params=params,
         seed=args.seed,
         macro_step=not args.no_macro_step,
+        cluster=make_cluster(args.nodes, args.cluster_preset),
     )
     tracer = TraceRecorder() if args.trace else None
     timer = PhaseTimingObserver() if args.timings else None
@@ -208,6 +272,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         placement=args.placement,
         seed=args.seed,
         macro_step=not args.no_macro_step,
+        cluster=make_cluster(args.nodes, args.cluster_preset),
     )
 
     def report_progress(p):
@@ -323,7 +388,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workload", default="kv-non-indexed",
                        help=f"one of {', '.join(WORKLOADS)}")
         p.add_argument("--profile", default="spike",
-                       help="spike | twitter | constant | sine")
+                       help=f"one of {', '.join(PROFILES)} "
+                            "(see --list-profiles)")
         p.add_argument("--duration", type=float, default=45.0,
                        help="profile duration in seconds (paper: 180)")
         p.add_argument("--level", type=float, default=0.5,
@@ -332,6 +398,14 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=registered_placements(),
                        help="initial data placement policy "
                             "(see --list-placements)")
+        p.add_argument("--nodes", type=int, default=1,
+                       help="cluster size in nodes; 1 without "
+                            "--cluster-preset keeps the historical "
+                            "single-node machine bit-for-bit")
+        p.add_argument("--cluster-preset", default=None,
+                       choices=sorted(CLUSTER_PRESETS),
+                       help="fleet composition for --nodes > 1 "
+                            "(default: homogeneous haswell_ep)")
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--no-macro-step", action="store_true",
                        help="kill switch: run every tick live instead of "
@@ -346,6 +420,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="list registered control policies and exit")
     run_p.add_argument("--list-placements", action="store_true",
                        help="list registered placement policies and exit")
+    run_p.add_argument("--list-workloads", action="store_true",
+                       help="list benchmark workloads and exit")
+    run_p.add_argument("--list-profiles", action="store_true",
+                       help="list load profiles and exit")
     run_p.add_argument("--interval", type=float, default=1.0,
                        help="socket-ECL period in seconds")
     run_p.add_argument("--latency-limit", type=float, default=0.1,

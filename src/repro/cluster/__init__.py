@@ -1,0 +1,37 @@
+"""Cluster-scale energy control: node drain and whole-node power-off.
+
+The hardware layer (:mod:`repro.hardware.cluster`) describes the fleet —
+node presets, boot latency, residual off-state wattage — and the
+:class:`~repro.hardware.machine.Machine` executes it as one flat
+(node, socket) axis.  This package adds the control side:
+:class:`~repro.cluster.controller.ClusterController` runs the full
+per-socket ECL on every node and, on top of it, consolidates partitions
+across node boundaries so that completely drained nodes can be powered
+off entirely — the cluster analog of the single-machine package sleep
+that ``ecl-consolidate`` reaches per socket.
+
+Registered as the ``ecl-cluster`` control policy (see
+:mod:`repro.sim.policy`).
+"""
+
+from repro.cluster.controller import ClusterController
+from repro.hardware.cluster import (
+    CLUSTER_PRESETS,
+    ClusterSpec,
+    NodePowerState,
+    NodeSpec,
+    build_cluster,
+    homogeneous_cluster,
+    mixed_cluster,
+)
+
+__all__ = [
+    "CLUSTER_PRESETS",
+    "ClusterController",
+    "ClusterSpec",
+    "NodePowerState",
+    "NodeSpec",
+    "build_cluster",
+    "homogeneous_cluster",
+    "mixed_cluster",
+]

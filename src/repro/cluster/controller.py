@@ -1,0 +1,361 @@
+"""The ``ecl-cluster`` policy: per-node ECL plus whole-node power-off.
+
+``ecl-consolidate`` showed the single-machine endgame: drain a socket's
+partitions away and the package falls into sleep.  On a cluster the same
+move goes one step further — once *every* socket of a node is drained,
+the node itself can be powered off, dropping it to the residual wattage
+of its standby circuitry instead of the sum of its package-sleep floors.
+This controller composes three layers:
+
+* the full :class:`~repro.ecl.controller.EnergyControlLoop` runs
+  underneath, one socket-level loop per socket across all nodes, exactly
+  as on a single machine;
+* a :class:`~repro.placement.policy.ConsolidatePlacement` planner runs
+  at **node granularity**: each node is presented as one aggregate
+  "socket" (mean utilization, summed backlog, union of partitions), so
+  its pack plan drains the highest-numbered node first — socket ids are
+  node-major, so this empties whole nodes, never stripes across them —
+  and its spread plan targets the first empty node when load spikes.
+  Node utilization is demand relative to **full** capacity (the ECL
+  utilization scaled by each socket loop's applied-capability
+  fraction): the raw signal rides the ECL setpoint at any load once the
+  loop has trimmed capacity to match, which would read as permanent
+  overload and wake nodes the demand cannot fill;
+* node-level migration requests are translated to concrete sockets
+  (round-robin over the target node's sockets) and executed through the
+  engine's quiesce → transfer → resume migration protocol, paying the
+  inter-node network cost for every byte that crosses a node boundary.
+
+Draining a node parks each of its sockets the way ``ecl-consolidate``
+does (intake redirected, threads parked, socket loop stood down, memory
+vacated) and then calls :meth:`~repro.hardware.machine.Machine.
+power_off_node`.  Waking is asymmetric: a powered-off node must first
+boot (:meth:`power_on_node`, modeled power-up latency at boot wattage)
+before its sockets can be reactivated and partitions migrated back, so a
+wake spans several control ticks — power-on, boot settle, socket
+reactivation, then the next planning round's spread migrations.  A
+freshly reactivated node is still empty until that round runs, so it is
+protected from re-parking until a replan has seen it live — without
+this the settle pass would power it straight back off and the wake
+would never take.
+
+Node 0 is the anchor: it is never drained, so the cluster always has an
+online intake path (and on the ``mixed`` preset the anchor is the brawny
+node, matching the wimpy/brawny deployment the preset models).
+
+Macro protocol: spans are refused while migrations are in flight, while
+any node is booting or awaiting reactivation, and while a drained node
+awaits its power-off — all of these advance state tick-by-tick.
+Otherwise the inner ECL's horizon is tightened by the next planning
+check, so the controller contributes its own ``macro_horizon_s``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.hardware.cluster import NodePowerState
+from repro.placement import (
+    ConsolidatePlacement,
+    MigrationRequest,
+    PlacementView,
+    SocketView,
+)
+from repro.sim.metrics import SampleAnnotations
+
+if TYPE_CHECKING:
+    from repro.dbms.engine import DatabaseEngine
+    from repro.ecl.controller import EnergyControlLoop
+    from repro.sim.runner import RunConfiguration
+
+
+#: The anchor node: never drained, so intake always has a live target.
+ANCHOR_NODE = 0
+
+
+class ClusterController:
+    """ECL everywhere + node-granular consolidation and power-off."""
+
+    def __init__(
+        self,
+        engine: "DatabaseEngine",
+        inner: "EnergyControlLoop",
+        planner: ConsolidatePlacement | None = None,
+        check_interval_s: float | None = None,
+    ):
+        self.engine = engine
+        self.machine = engine.machine
+        self.inner = inner
+        #: Node-granularity planner.  Always consolidate-shaped: packing
+        #: onto few nodes is the point; the run's socket-level placement
+        #: still governs the initial assignment.
+        self.planner = planner or ConsolidatePlacement()
+        self.check_interval_s = check_interval_s or inner.params.interval_s
+        #: First check one full interval in, when utilization data exists.
+        self._next_check_s = self.check_interval_s
+        #: Same post-migration planning pause as ``ecl-consolidate``.
+        self.cooldown_intervals = 2
+        #: Sockets currently parked because their node is drained.
+        self._drained: set[int] = set()
+        #: Nodes whose sockets just reactivated after a boot, protected
+        #: from re-parking until a planning round has seen them live.
+        #: Without this a node woken for a spread is still empty when
+        #: the (cooldown-delayed) replan comes around, so ``_settle``
+        #: would park it right back and the wake would never take.
+        self._waking: set[int] = set()
+        #: Why :meth:`macro_view` last refused a span (telemetry).
+        self.macro_cut: str = ""
+
+    @classmethod
+    def build(
+        cls, engine: "DatabaseEngine", config: "RunConfiguration"
+    ) -> "ClusterController":
+        """Control-policy factory (see :mod:`repro.sim.policy`)."""
+        # Imported lazily: repro.ecl.controller itself imports sim modules.
+        from repro.ecl.controller import EnergyControlLoop
+
+        inner = EnergyControlLoop.build(engine, config)
+        return cls(engine, inner)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def drained_sockets(self) -> frozenset[int]:
+        """Sockets parked because their node is drained or powered off."""
+        return frozenset(self._drained)
+
+    @property
+    def powered_off_nodes(self) -> frozenset[int]:
+        """Nodes currently powered off by this controller."""
+        return frozenset(
+            node
+            for node in range(self.machine.node_count)
+            if self.machine.node_power_state(node) is NodePowerState.OFF
+        )
+
+    # -- main loop ----------------------------------------------------------
+
+    def on_tick(self, now_s: float, dt_s: float) -> None:
+        """Inner ECL, wake completion, planning, then node settle."""
+        # A boot deadline may have elapsed during the preceding hardware
+        # steps; fold it in before any decision looks at node states.
+        self.machine.settle_node_power()
+        self.inner.on_tick(now_s, dt_s)
+        self._complete_wakes()
+        if now_s + 1e-12 >= self._next_check_s:
+            self._next_check_s += self.check_interval_s
+            self._replan(now_s)
+        self._settle()
+
+    def annotate_sample(self) -> SampleAnnotations:
+        return self.inner.annotate_sample()
+
+    def macro_view(
+        self, now_s: float, dt_s: float
+    ) -> tuple[float, dict[int, float]] | None:
+        """Steady-state view for the macro-stepping runner.
+
+        Migrations, node boots, pending socket reactivations, and pending
+        node parks all advance controller state on exact ticks, so each
+        pins the run live.  Otherwise the inner ECL's horizon is
+        tightened by the next node-planning check.
+        """
+        if self.engine.migrations.active_count:
+            self.macro_cut = "migration"
+            return None
+        if self._booting_nodes() or self._reactivation_pending():
+            self.macro_cut = "node-power"
+            return None
+        if self._parkable_node() is not None:
+            self.macro_cut = "node-drain"
+            return None
+        view = self.inner.macro_view(now_s, dt_s)
+        if view is None:
+            self.macro_cut = self.inner.macro_cut
+            return None
+        horizon, charges = view
+        return min(horizon, self._next_check_s), charges
+
+    def macro_step_tick(self, now_s: float, dt_s: float) -> bool:
+        """Replay one hardware-inert control tick inside a macro span.
+
+        Mirrors :meth:`on_tick`, except that anything touching node
+        power or placement forces the tick live — within a span no
+        messages move, so none of those conditions can *arise* here; the
+        checks catch state left over from the last live tick.
+        """
+        if self.engine.migrations.active_count:
+            return False
+        if self._booting_nodes() or self._reactivation_pending():
+            return False
+        if now_s + 1e-12 >= self._next_check_s:
+            return False  # the node-planning check replans / migrates
+        if self._parkable_node() is not None:
+            return False
+        return self.inner.macro_step_tick(now_s, dt_s)
+
+    def macro_replay(self, start_s: float, dt_s: float, n_ticks: int) -> None:
+        """Forward the inner ECL's system-check replay (the planning
+        check itself bounds the horizon, so it never fires in-span)."""
+        self.inner.macro_replay(start_s, dt_s, n_ticks)
+
+    # -- planning -----------------------------------------------------------
+
+    def _node_view(self, now_s: float) -> PlacementView:
+        """Each node collapsed to one aggregate :class:`SocketView`."""
+        views = []
+        for node in range(self.machine.node_count):
+            sids = self.machine.node_sockets(node)
+            partition_ids: list[int] = []
+            pending = 0.0
+            utilization = 0.0
+            for sid in sids:
+                partition_ids.extend(
+                    p.partition_id
+                    for p in self.engine.partitions.partitions_on_socket(sid)
+                )
+                pending += self.engine.hubs[sid].pending_cost_instructions()
+                # Demand relative to *full* capacity, not the capacity
+                # the inner ECL currently offers: a trimmed socket rides
+                # the ECL setpoint at any load, which would read as
+                # permanent overload and wake nodes for no demand.
+                utilization += self.engine.utilization.utilization(
+                    sid, now_s
+                ) * self.inner.sockets[sid].capability_fraction()
+            views.append(
+                SocketView(
+                    socket_id=node,
+                    partition_ids=tuple(partition_ids),
+                    utilization=utilization / len(sids),
+                    pending_instructions=pending,
+                    active=self._node_is_live(node),
+                )
+            )
+        return PlacementView(time_s=now_s, sockets=tuple(views))
+
+    def _translate(
+        self, requests: list[MigrationRequest]
+    ) -> list[tuple[int, int]]:
+        """Map node-level requests to concrete target sockets.
+
+        Round-robin over the target node's sockets, per plan, so a
+        drained node's partitions spread evenly across each receiver
+        node rather than piling onto its first socket.
+        """
+        cursor: dict[int, int] = {}
+        out = []
+        for request in requests:
+            sids = self.machine.node_sockets(request.target_socket)
+            index = cursor.get(request.target_socket, 0)
+            cursor[request.target_socket] = index + 1
+            out.append((request.partition_id, sids[index % len(sids)]))
+        return out
+
+    def _replan(self, now_s: float) -> None:
+        if self.engine.migrations.active_count:
+            return  # let the current wave land before planning the next
+        # Freshly woken nodes have now been seen live by a planning
+        # round; if the plan below still has no use for them, ``_settle``
+        # is free to park them again.
+        self._waking = {n for n in self._waking if not self._node_is_live(n)}
+        requested = False
+        plan = self.planner.plan(self._node_view(now_s))
+        # Requests targeting nodes that are off or mid-wake cannot be
+        # executed yet: begin (or continue) the wake and drop them; once
+        # the node is live the next round re-plans against it.
+        executable = []
+        for request in plan:
+            if self._node_is_live(request.target_socket):
+                executable.append(request)
+            else:
+                self._begin_wake(request.target_socket)
+                requested = True
+        for partition_id, target_sid in self._translate(executable):
+            if self.engine.request_migration(partition_id, target_sid) is not None:
+                requested = True
+        if requested:
+            self._next_check_s = (
+                now_s + self.cooldown_intervals * self.check_interval_s
+            )
+
+    # -- node drain / power-off ---------------------------------------------
+
+    def _node_is_live(self, node: int) -> bool:
+        """Powered on with every socket reactivated."""
+        if self.machine.node_power_state(node) is not NodePowerState.ON:
+            return False
+        return not any(
+            sid in self._drained for sid in self.machine.node_sockets(node)
+        )
+
+    def _booting_nodes(self) -> bool:
+        return any(
+            self.machine.node_power_state(node) is NodePowerState.BOOTING
+            for node in range(self.machine.node_count)
+        )
+
+    def _reactivation_pending(self) -> bool:
+        """A woken node whose sockets still await reactivation."""
+        return any(
+            self.machine.node_power_state(self.machine.node_of_socket(sid))
+            is NodePowerState.ON
+            for sid in self._drained
+        )
+
+    def _parkable_node(self) -> int | None:
+        """First non-anchor node that has fully drained and awaits park."""
+        for node in range(self.machine.node_count):
+            if node == ANCHOR_NODE:
+                continue
+            if self.machine.node_power_state(node) is not NodePowerState.ON:
+                continue
+            if node in self._waking:
+                continue  # just woken; the next replan decides its fate
+            sids = self.machine.node_sockets(node)
+            if any(sid in self._drained for sid in sids):
+                continue  # mid-wake; reactivation owns these sockets
+            if all(
+                not self.engine.hubs[sid].partition_ids
+                and not self.engine.hubs[sid].pending_messages
+                and not self.engine.router.buffered_from(sid)
+                for sid in sids
+            ):
+                return node
+        return None
+
+    def _settle(self) -> None:
+        """Park-and-power-off nodes that have finished draining."""
+        if self.engine.migrations.active_count:
+            return
+        while (node := self._parkable_node()) is not None:
+            self._park_node(node)
+
+    def _park_node(self, node: int) -> None:
+        for sid in self.machine.node_sockets(node):
+            self.inner.sockets[sid].set_drained(True)
+            self.engine.set_socket_online(sid, False)
+            self.machine.apply_socket_threads(sid, ())
+            self.machine.cstates.set_memory_vacated(sid, True)
+            self._drained.add(sid)
+        self.machine.power_off_node(node)
+
+    def _begin_wake(self, node: int) -> None:
+        if self.machine.node_power_state(node) is NodePowerState.OFF:
+            self.machine.power_on_node(node)
+
+    def _complete_wakes(self) -> None:
+        """Reactivate the sockets of nodes that have finished booting."""
+        for sid in sorted(self._drained):
+            node = self.machine.node_of_socket(sid)
+            if self.machine.node_power_state(node) is NodePowerState.ON:
+                self._wake_socket(sid)
+                self._waking.add(node)
+
+    def _wake_socket(self, socket_id: int) -> None:
+        self._drained.discard(socket_id)
+        self.machine.cstates.set_memory_vacated(socket_id, False)
+        socket = self.machine.topology.socket(socket_id)
+        # Full wake; the resumed socket-level loop trims from here.
+        self.machine.apply_socket_threads(socket_id, set(socket.thread_ids()))
+        self.engine.set_socket_online(socket_id, True)
+        self.inner.sockets[socket_id].set_drained(False)

@@ -37,6 +37,15 @@ class EngineConfig:
             empty (costs are analytic), so this stands in for the
             partition's working set; real-mode partitions use
             ``max(bytes_used, floor)``.
+        internode_instructions_per_message: per-message transfer cost on
+            routes that cross a *node* boundary (network serialization +
+            NIC doorbells instead of a QPI cacheline push).
+        internode_instructions_per_flush: fixed per-flush cost of an
+            inter-node transfer (syscall + NIC submission, far above the
+            polling cost of the intra-node path).
+        internode_migration_instructions_per_byte: per-byte, per-side
+            cost of copying partition data across the network during an
+            inter-node migration — several times the QPI copy cost.
     """
 
     worker_quantum_instructions: float = 200_000.0
@@ -45,6 +54,9 @@ class EngineConfig:
     transfer_bytes_per_message: float = 128.0
     migration_instructions_per_byte: float = 0.5
     migration_floor_bytes: float = 2_800_000.0
+    internode_instructions_per_message: float = 600.0
+    internode_instructions_per_flush: float = 1800.0
+    internode_migration_instructions_per_byte: float = 2.0
 
     def __post_init__(self) -> None:
         for f in fields(self):

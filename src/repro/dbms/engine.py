@@ -86,7 +86,15 @@ class DatabaseEngine:
         self.config = engine_config or DEFAULT_ENGINE_CONFIG
         topology = machine.topology
         if partition_count is None:
-            partition_count = machine.params.total_threads
+            # One partition per hardware thread — across *all* nodes.
+            partition_count = topology.total_threads
+        if partition_count < topology.socket_count:
+            raise SimulationError(
+                f"partition_count ({partition_count}) must cover the "
+                f"machine's {topology.socket_count} sockets — every socket "
+                f"needs at least one partition; raise partition_count or "
+                f"shrink the cluster"
+            )
         if isinstance(placement, str):
             placement = build_placement(placement)
         self.placement = placement
@@ -110,7 +118,13 @@ class DatabaseEngine:
                 )
             self.hubs[sock.socket_id] = IntraSocketHub(sock.socket_id, pids)
 
-        self.router = InterSocketRouter(self.hubs, config=self.config)
+        self.router = InterSocketRouter(
+            self.hubs,
+            config=self.config,
+            socket_node={
+                sid: machine.node_of_socket(sid) for sid in self.hubs
+            },
+        )
         self.migrations = MigrationCoordinator(
             self.partitions,
             self.hubs,

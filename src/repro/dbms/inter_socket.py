@@ -66,18 +66,31 @@ class InterSocketRouter:
     """Outbound buffers and transfer logic for all communication threads."""
 
     def __init__(
-        self, hubs: dict[int, IntraSocketHub], config: EngineConfig | None = None
+        self,
+        hubs: dict[int, IntraSocketHub],
+        config: EngineConfig | None = None,
+        socket_node: dict[int, int] | None = None,
     ):
         if not hubs:
             raise MessagingError("router needs at least one socket hub")
         self._hubs = hubs
         self._config = config or DEFAULT_ENGINE_CONFIG
+        #: Node index per socket id; routes crossing a node boundary pay
+        #: the (higher) inter-node transfer costs.  ``None`` = the classic
+        #: single-server machine: every route is intra-node.
+        if socket_node is None:
+            socket_node = {sid: 0 for sid in hubs}
+        self._socket_node = socket_node
         #: (source socket, destination socket) -> buffered messages.
         self._outbound: dict[tuple[int, int], deque[Message]] = {}
+        #: Routes that cross a node boundary (empty on one node).
+        self._internode: set[tuple[int, int]] = set()
         for src in hubs:
             for dst in hubs:
                 if src != dst:
                     self._outbound[(src, dst)] = deque()
+                    if socket_node[src] != socket_node[dst]:
+                        self._internode.add((src, dst))
         self._partition_home: dict[int, int] = {}
         for socket_id, hub in hubs.items():
             for pid in hub.partition_ids:
@@ -140,6 +153,10 @@ class InterSocketRouter:
             if src == source_socket
         )
 
+    def is_internode(self, source_socket: int, destination_socket: int) -> bool:
+        """Whether a route crosses a node boundary (pays network costs)."""
+        return (source_socket, destination_socket) in self._internode
+
     # -- migration ------------------------------------------------------------
 
     def rehome_partition(self, partition_id: int, socket_id: int) -> None:
@@ -180,10 +197,19 @@ class InterSocketRouter:
         self._partition_home[partition_id] = target_socket
         if messages:
             self._outbound[(source, target_socket)].extend(messages)
-        instructions = (
-            self._config.migration_instructions_per_byte * data_bytes
-            + self._config.transfer_instructions_per_flush
-        )
+        if (source, target_socket) in self._internode:
+            # Crossing a node boundary: the copy runs over the network,
+            # not the coherent interconnect.
+            instructions = (
+                self._config.internode_migration_instructions_per_byte
+                * data_bytes
+                + self._config.internode_instructions_per_flush
+            )
+        else:
+            instructions = (
+                self._config.migration_instructions_per_byte * data_bytes
+                + self._config.transfer_instructions_per_flush
+            )
         return WorkCost(instructions=instructions, bytes_accessed=data_bytes)
 
     # -- transfer ------------------------------------------------------------
@@ -208,8 +234,10 @@ class InterSocketRouter:
         cost_by_socket: dict[int, WorkCost] = {
             sid: WorkCost(instructions=0.0) for sid in self._hubs
         }
-        per_message = self._config.transfer_instructions_per_message
-        per_flush = self._config.transfer_instructions_per_flush
+        intra_message = self._config.transfer_instructions_per_message
+        intra_flush = self._config.transfer_instructions_per_flush
+        inter_message = self._config.internode_instructions_per_message
+        inter_flush = self._config.internode_instructions_per_flush
         bytes_per_message = self._config.transfer_bytes_per_message
         moved = 0
         flushes = 0
@@ -217,6 +245,10 @@ class InterSocketRouter:
         for (src, dst), buffer in self._outbound.items():
             if not buffer:
                 continue
+            if (src, dst) in self._internode:
+                per_message, per_flush = inter_message, inter_flush
+            else:
+                per_message, per_flush = intra_message, intra_flush
             flushes += 1
             count = len(buffer)
             while buffer:

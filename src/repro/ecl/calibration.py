@@ -80,7 +80,7 @@ class MetaCalibrator:
     def _endpoint_configurations(self) -> tuple[Configuration, Configuration]:
         """(all cores at max sustained clock, one core at minimum)."""
         topology = self.machine.topology
-        params = self.machine.params
+        params = self.machine.params_for(self.socket_id)
         socket = topology.socket(self.socket_id)
         all_threads = set(socket.thread_ids())
         highest = Configuration.build(

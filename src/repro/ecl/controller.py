@@ -59,14 +59,19 @@ class EnergyControlLoop:
             latency_limit_s=self.params.latency_limit_s,
             check_interval_s=min(0.1, self.params.interval_s / 2),
         )
-        #: The ECL's own compute overhead in instructions/s — constant
-        #: over a run (params and the nominal clock never change), so the
-        #: per-tick hot path multiplies once instead of re-deriving it.
-        self._overhead_rate_ips = (
-            self.params.overhead_thread_fraction
-            * self.machine.params.core_nominal_ghz
-            * 1e9
-        )
+        #: The ECL's own compute overhead in instructions/s per socket —
+        #: constant over a run (params and the nominal clock never
+        #: change), so the per-tick hot path multiplies once instead of
+        #: re-deriving it.  Per-socket because wimpy and brawny nodes
+        #: clock their control threads differently.
+        self._overhead_rate_ips = {
+            sock.socket_id: (
+                self.params.overhead_thread_fraction
+                * self.machine.params_for(sock.socket_id).core_nominal_ghz
+                * 1e9
+            )
+            for sock in self.machine.topology.sockets
+        }
         #: Why :meth:`macro_view` last refused a span (telemetry).
         self.macro_cut: str = ""
 
@@ -75,7 +80,7 @@ class EnergyControlLoop:
         for sock in self.machine.topology.sockets:
             sid = sock.socket_id
             generator = ConfigurationGenerator(
-                self.machine.topology, self.machine.params, sid,
+                self.machine.topology, self.machine.params_for(sid), sid,
                 self.generator_params,
             )
             profile = EnergyProfile(generator.generate())
@@ -149,8 +154,8 @@ class EnergyControlLoop:
 
     def apply_baseline(self) -> None:
         """Start from the uncontrolled state: everything on, max clocks."""
-        params = self.machine.params
         for sock in self.machine.topology.sockets:
+            params = self.machine.params_for(sock.socket_id)
             socket = self.machine.topology.socket(sock.socket_id)
             config = Configuration.build(
                 sock.socket_id,
@@ -204,7 +209,6 @@ class EnergyControlLoop:
     def on_tick(self, now_s: float, dt_s: float) -> None:
         """Run all loops for the upcoming tick; call before engine.tick."""
         self.system.on_tick(now_s)
-        charge = self._overhead_rate_ips * dt_s
         overhead = self.engine.overhead_balances()
         for sid, socket_ecl in self.sockets.items():
             if socket_ecl.drained:
@@ -212,7 +216,7 @@ class EnergyControlLoop:
                 # socket; it neither decides nor costs anything.
                 continue
             socket_ecl.on_tick(now_s)
-            overhead[sid] += charge
+            overhead[sid] += self._overhead_rate_ips[sid] * dt_s
 
     def macro_view(
         self, now_s: float, dt_s: float
@@ -237,7 +241,6 @@ class EnergyControlLoop:
         :meth:`macro_replay`), so spans leap across it.
         """
         horizon = float("inf")
-        overhead = self._overhead_rate_ips * dt_s
         charges: dict[int, float] = {}
         for sid, socket_ecl in self.sockets.items():
             if socket_ecl.drained:
@@ -248,7 +251,7 @@ class EnergyControlLoop:
                 return None
             if h < horizon:
                 horizon = h
-            charges[sid] = overhead
+            charges[sid] = self._overhead_rate_ips[sid] * dt_s
         return horizon, charges
 
     def macro_step_tick(self, now_s: float, dt_s: float) -> bool:

@@ -395,7 +395,7 @@ class SocketEcl:
             peak = self.profile.peak_performance()
         except ProfileError:
             return 0.0
-        total_threads = self.machine.params.threads_per_socket
+        total_threads = self.machine.params_for(self.socket_id).threads_per_socket
         share = configuration.thread_count / max(1, total_threads)
         return peak * max(share, 0.05)
 
@@ -668,6 +668,27 @@ class SocketEcl:
     def applied_configuration(self) -> Configuration | None:
         """The configuration currently applied by this loop."""
         return self._applied
+
+    def capability_fraction(self) -> float:
+        """Applied capability as a fraction of the socket's peak.
+
+        The utilization the database runtime reports is demand relative
+        to the capacity this loop currently *offers*, so a trimmed
+        socket legitimately rides the controller's setpoint at any load.
+        Multiplying by this fraction converts it into demand relative to
+        the socket's full capacity — the signal a placement layer needs
+        to tell genuine overload from the ECL merely running lean.
+        Returns 1.0 before the profile holds any measurement (the
+        baseline configuration is in effect, which is peak).
+        """
+        try:
+            peak = self.profile.peak_performance()
+        except ProfileError:
+            return 1.0
+        if peak <= 0.0:
+            return 1.0
+        capability = self._level if self._plan is not None else peak
+        return min(1.0, capability / peak)
 
     def status(self, now_s: float) -> SocketEclStatus:
         """Snapshot for reports (Fig. 11 series)."""

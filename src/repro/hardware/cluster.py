@@ -1,0 +1,234 @@
+"""Cluster topology: N nodes, each a full server parameter set.
+
+The paper's system under test is one 2-socket server; this module lifts
+the hardware description to a shared-nothing *fleet* of such servers
+(ROADMAP item 1, after Schall & Härder's wimpy/brawny cluster studies in
+PAPERS.md).  A :class:`ClusterSpec` is a tuple of :class:`NodeSpec`
+entries — each node brings its own
+:class:`~repro.hardware.presets.HaswellEPParameters` (so mixed
+wimpy/brawny fleets are expressible) plus node-level power constants the
+single-server model has no word for: power-up latency, the residual wall
+draw of a node that is switched *off* (BMC, standby rails), and the
+boot-phase draw.
+
+:class:`~repro.hardware.machine.Machine` consumes a spec by
+concatenating every node's sockets into one flat (node, socket) axis:
+global socket ids are assigned node-major, so the existing
+struct-of-arrays step path vectorizes over an N-node fleet exactly like
+over a 2-socket box.  ``cluster=None`` keeps the historical single-node
+machine bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.hardware.presets import HaswellEPParameters, get_preset
+
+
+class NodePowerState(enum.Enum):
+    """Power state of one cluster node (whole server)."""
+
+    ON = "on"
+    BOOTING = "booting"
+    OFF = "off"
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One node of the cluster: server parameters + node power constants.
+
+    Attributes:
+        node_id: unique node identifier within the cluster.
+        params: the node's full hardware parameter set (sockets, clocks,
+            power model constants — see :mod:`repro.hardware.presets`).
+        preset: registry name the parameters came from (informational).
+        power_up_s: wall time from power-on command to the node serving
+            work again (BIOS + OS + DBMS warm-up, compressed to the
+            simulation's time scale).
+        off_residual_w: wall power of the node while OFF — BMC, NIC
+            standby and PSU trickle draw that never goes away.
+        boot_power_w: package-side power while BOOTING (fans at full,
+            cores untamed by any governor).
+    """
+
+    node_id: int
+    params: HaswellEPParameters = field(default_factory=HaswellEPParameters)
+    preset: str = "haswell_ep"
+    power_up_s: float = 2.0
+    off_residual_w: float = 6.0
+    boot_power_w: float = 60.0
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """An ordered fleet of nodes.
+
+    Global socket ids are node-major: node 0's sockets come first, then
+    node 1's, and so on.  Validation raises
+    :class:`~repro.errors.SimulationError` with actionable messages —
+    these are the errors a mis-typed ``--nodes``/``--cluster-preset``
+    surface to users.
+    """
+
+    nodes: tuple[NodeSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise SimulationError(
+                "a ClusterSpec needs at least one node, got a zero-node "
+                "cluster"
+            )
+        seen: set[int] = set()
+        for node in self.nodes:
+            if node.node_id in seen:
+                raise SimulationError(
+                    f"duplicate node id {node.node_id} in ClusterSpec; "
+                    f"node ids must be unique"
+                )
+            seen.add(node.node_id)
+            if node.power_up_s < 0:
+                raise SimulationError(
+                    f"node {node.node_id}: power_up_s must be >= 0, "
+                    f"got {node.power_up_s}"
+                )
+            if node.off_residual_w < 0 or node.boot_power_w < 0:
+                raise SimulationError(
+                    f"node {node.node_id}: off_residual_w and boot_power_w "
+                    f"must be >= 0"
+                )
+        widths = {n.params.threads_per_core for n in self.nodes}
+        if len(widths) > 1:
+            raise SimulationError(
+                f"nodes disagree on threads_per_core ({sorted(widths)}); "
+                f"the SMT width must be uniform across the cluster"
+            )
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def total_sockets(self) -> int:
+        return sum(n.params.socket_count for n in self.nodes)
+
+    @property
+    def total_threads(self) -> int:
+        return sum(n.params.total_threads for n in self.nodes)
+
+    # -- socket axis ---------------------------------------------------------
+
+    def socket_node_map(self) -> tuple[int, ...]:
+        """Node *index* (position in :attr:`nodes`) per global socket id."""
+        out: list[int] = []
+        for index, node in enumerate(self.nodes):
+            out.extend([index] * node.params.socket_count)
+        return tuple(out)
+
+    def node_socket_ids(self) -> tuple[tuple[int, ...], ...]:
+        """Global socket ids per node index."""
+        out: list[tuple[int, ...]] = []
+        offset = 0
+        for node in self.nodes:
+            count = node.params.socket_count
+            out.append(tuple(range(offset, offset + count)))
+            offset += count
+        return tuple(out)
+
+    def socket_params(self) -> tuple[HaswellEPParameters, ...]:
+        """The owning node's parameter set per global socket id."""
+        out: list[HaswellEPParameters] = []
+        for node in self.nodes:
+            out.extend([node.params] * node.params.socket_count)
+        return tuple(out)
+
+    def cores_per_socket(self) -> tuple[int, ...]:
+        """Physical-core count per global socket id."""
+        out: list[int] = []
+        for node in self.nodes:
+            out.extend([node.params.cores_per_socket] * node.params.socket_count)
+        return tuple(out)
+
+
+# --------------------------------------------------------------------------
+# Builders and the cluster-preset registry (consumed by the CLI).
+# --------------------------------------------------------------------------
+
+
+def homogeneous_cluster(
+    node_count: int, preset: str = "haswell_ep", **node_kwargs: float
+) -> ClusterSpec:
+    """N identical nodes of one hardware preset.
+
+    ``node_kwargs`` forwards to every :class:`NodeSpec` (e.g.
+    ``power_up_s=5.0``).
+    """
+    if node_count < 1:
+        raise SimulationError(
+            f"a cluster needs at least one node, got {node_count}"
+        )
+    return ClusterSpec(
+        nodes=tuple(
+            NodeSpec(
+                node_id=i, params=get_preset(preset), preset=preset,
+                **node_kwargs,
+            )
+            for i in range(node_count)
+        )
+    )
+
+
+def mixed_cluster(node_count: int) -> ClusterSpec:
+    """One brawny anchor node plus wimpy satellites.
+
+    Node 0 is the always-on brawny server (the cluster controller never
+    powers off node 0); the remaining nodes are wimpy and cheap to park.
+    """
+    if node_count < 1:
+        raise SimulationError(
+            f"a cluster needs at least one node, got {node_count}"
+        )
+    nodes = [NodeSpec(node_id=0, params=get_preset("haswell_ep"),
+                      preset="haswell_ep")]
+    for i in range(1, node_count):
+        nodes.append(
+            NodeSpec(
+                node_id=i,
+                params=get_preset("wimpy_node"),
+                preset="wimpy_node",
+                power_up_s=1.0,
+                off_residual_w=2.0,
+                boot_power_w=18.0,
+            )
+        )
+    return ClusterSpec(nodes=tuple(nodes))
+
+
+#: Cluster presets the CLI's ``--cluster-preset`` resolves through.
+CLUSTER_PRESETS = {
+    "haswell_ep": lambda n: homogeneous_cluster(n, "haswell_ep"),
+    "wimpy_node": lambda n: homogeneous_cluster(
+        n, "wimpy_node", power_up_s=1.0, off_residual_w=2.0, boot_power_w=18.0
+    ),
+    "mixed": mixed_cluster,
+}
+
+
+def build_cluster(preset: str, node_count: int) -> ClusterSpec:
+    """Build a cluster from a registered cluster preset.
+
+    Raises:
+        SimulationError: for unknown preset names.
+    """
+    try:
+        factory = CLUSTER_PRESETS[preset]
+    except KeyError:
+        raise SimulationError(
+            f"unknown cluster preset {preset!r}; "
+            f"choose from {', '.join(sorted(CLUSTER_PRESETS))}"
+        ) from None
+    return factory(node_count)

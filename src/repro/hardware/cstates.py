@@ -7,9 +7,11 @@ Single cores or the entire processor can be power-gated when unused
   C-state (C6, power gated — near-zero draw); a core whose threads are
   merely pausing sits in C1 (clock gated, residual draw);
 * the *uncore* clock of a socket may halt — power-gating the LLC and
-  saving up to ~30 W — only if **every** socket of the machine has halted
-  its uncore too, because remote sockets may access this socket's memory
-  (Fig. 5);
+  saving up to ~30 W — only if **every** socket of the same node has
+  halted its uncore too, because remote sockets of that node may access
+  this socket's memory (Fig. 5).  On a cluster machine the dependency is
+  node-local: other nodes reach this data over the network, never
+  through the uncore;
 * waking a core from a deep C-state costs on the order of tens of
   microseconds (the paper cites works measuring "some µs" for C/P-state
   transitions, Fig. 12 context).
@@ -41,13 +43,36 @@ class CStateModel:
     uncore-halt condition — is derived from the active-thread set.
     """
 
-    def __init__(self, topology: Topology, params: HaswellEPParameters):
+    def __init__(
+        self,
+        topology: Topology,
+        params: HaswellEPParameters,
+        socket_node: "tuple[int, ...] | None" = None,
+    ):
         self._topology = topology
         self._params = params
+        #: Node index per socket id.  The Fig. 5 uncore-halt dependency
+        #: is *node*-local: remote sockets of the same server reach this
+        #: socket's memory through its uncore, but sockets on other
+        #: cluster nodes go over the network and do not pin the uncore.
+        #: Single-node machines map every socket to node 0, which makes
+        #: node-idle identical to the historical machine-idle bit.
+        if socket_node is None:
+            socket_node = (0,) * len(topology.sockets)
+        self._socket_node = tuple(socket_node)
+        node_count = max(self._socket_node) + 1
+        node_sockets: list[list[int]] = [[] for _ in range(node_count)]
+        for sid, node in enumerate(self._socket_node):
+            node_sockets[node].append(sid)
+        self._node_sockets = tuple(tuple(s) for s in node_sockets)
         #: Threads currently allowed to execute (C0 when they have work).
         self._active_threads: set[int] = set(
             t.global_id for t in topology.iter_threads()
         )
+        #: Active-thread count per node (O(1) node-idle checks).
+        self._node_threads: list[int] = [0] * node_count
+        for thread in topology.iter_threads():
+            self._node_threads[self._socket_node[thread.socket_id]] += 1
         #: Threads in a shallow halt (C1) rather than parked deep (C6).
         self._shallow_threads: set[int] = set()
         #: Sockets whose memory holds no partition data (drained by the
@@ -59,9 +84,9 @@ class CStateModel:
         #: Content-fingerprint cache: per-socket interned ids of the
         #: thread-set values.  Invalidation is per socket — parking on
         #: one socket leaves the other's cached fingerprint valid —
-        #: except when the machine-wide idle bit flips, which is part of
-        #: every socket's content (the Fig. 5 uncore-halt dependency)
-        #: and invalidates all of them.
+        #: except when the node's idle bit flips, which is part of every
+        #: node-peer socket's content (the Fig. 5 uncore-halt
+        #: dependency) and invalidates all of them.
         self._fingerprint_socket_versions: dict[int, int] = {
             s.socket_id: 0 for s in topology.sockets
         }
@@ -93,7 +118,7 @@ class CStateModel:
             tuple(t for t in on_socket if t in self._active_threads),
             tuple(t for t in on_socket if t in self._shallow_threads),
             socket_id in self._memory_vacated,
-            self.machine_is_idle(),
+            self.node_is_idle(self._socket_node[socket_id]),
         )
         fingerprint = self._fingerprint_ids.setdefault(
             content, len(self._fingerprint_ids)
@@ -103,10 +128,11 @@ class CStateModel:
 
     def _touch_fingerprint(self, socket_id: int, was_idle: bool) -> None:
         """Invalidate fingerprints after a thread-set mutation: the
-        mutated socket always; every socket when the machine-wide idle
-        bit flipped (it is part of each socket's content)."""
-        if self.machine_is_idle() != was_idle:
-            for sid in self._fingerprint_socket_versions:
+        mutated socket always; every node-peer socket when the node's
+        idle bit flipped (it is part of each peer's content)."""
+        node = self._socket_node[socket_id]
+        if self.node_is_idle(node) != was_idle:
+            for sid in self._node_sockets[node]:
                 self._fingerprint_socket_versions[sid] += 1
         else:
             self._fingerprint_socket_versions[socket_id] += 1
@@ -126,6 +152,10 @@ class CStateModel:
             raise ConfigurationError(f"unknown hardware thread ids {sorted(unknown)}")
         self._active_threads = ids
         self._shallow_threads -= ids
+        self._node_threads = [0] * len(self._node_threads)
+        for tid in ids:
+            socket_id = self._topology.thread(tid).socket_id
+            self._node_threads[self._socket_node[socket_id]] += 1
         self._version += 1
         for sid in self._fingerprint_socket_versions:
             self._fingerprint_socket_versions[sid] += 1
@@ -148,9 +178,12 @@ class CStateModel:
             raise ConfigurationError(
                 f"threads {sorted(unknown)} not on socket {socket_id}"
             )
-        was_idle = not self._active_threads
+        node = self._socket_node[socket_id]
+        was_idle = self.node_is_idle(node)
+        before = sum(1 for tid in own if tid in self._active_threads)
         self._active_threads.difference_update(own)
         self._active_threads.update(ids)
+        self._node_threads[node] += len(ids) - before
         self._shallow_threads.difference_update(ids)
         self._version += 1
         self._touch_fingerprint(socket_id, was_idle)
@@ -158,27 +191,31 @@ class CStateModel:
     def park_thread(self, thread_id: int, shallow: bool = False) -> None:
         """Park one thread; ``shallow=True`` leaves it in C1 instead of C6."""
         self._require_known(thread_id)
-        was_idle = not self._active_threads
-        self._active_threads.discard(thread_id)
+        socket_id = self._topology.thread(thread_id).socket_id
+        node = self._socket_node[socket_id]
+        was_idle = self.node_is_idle(node)
+        if thread_id in self._active_threads:
+            self._active_threads.discard(thread_id)
+            self._node_threads[node] -= 1
         if shallow:
             self._shallow_threads.add(thread_id)
         else:
             self._shallow_threads.discard(thread_id)
         self._version += 1
-        self._touch_fingerprint(
-            self._topology.thread(thread_id).socket_id, was_idle
-        )
+        self._touch_fingerprint(socket_id, was_idle)
 
     def unpark_thread(self, thread_id: int) -> None:
         """Wake one thread into the active set."""
         self._require_known(thread_id)
-        was_idle = not self._active_threads
-        self._active_threads.add(thread_id)
+        socket_id = self._topology.thread(thread_id).socket_id
+        node = self._socket_node[socket_id]
+        was_idle = self.node_is_idle(node)
+        if thread_id not in self._active_threads:
+            self._active_threads.add(thread_id)
+            self._node_threads[node] += 1
         self._shallow_threads.discard(thread_id)
         self._version += 1
-        self._touch_fingerprint(
-            self._topology.thread(thread_id).socket_id, was_idle
-        )
+        self._touch_fingerprint(socket_id, was_idle)
 
     def set_memory_vacated(self, socket_id: int, vacated: bool) -> None:
         """Declare a socket's memory (un)referenced by remote sockets.
@@ -264,6 +301,19 @@ class CStateModel:
         """
         return not self._active_threads
 
+    def node_is_idle(self, node: int) -> bool:
+        """True if every socket of one cluster node is idle.
+
+        On single-node machines there is exactly one node holding every
+        socket, so this equals :meth:`machine_is_idle`.  O(1): the model
+        maintains an active-thread count per node.
+        """
+        return self._node_threads[node] == 0
+
+    def node_of_socket(self, socket_id: int) -> int:
+        """The cluster-node index owning a socket."""
+        return self._socket_node[socket_id]
+
     def memory_is_vacated(self, socket_id: int) -> bool:
         """Whether the placement layer declared this socket's memory empty."""
         self._topology.socket(socket_id)  # validate id
@@ -274,14 +324,16 @@ class CStateModel:
 
         The inter-socket dependency of Fig. 5: remote sockets reach this
         socket's memory through its uncore, so halting normally requires
-        the whole machine to be idle.  A socket whose memory was vacated
+        every socket *of the same node* to be idle — sockets on other
+        cluster nodes access this node's data over the network, not the
+        uncore, so they never pin it.  A socket whose memory was vacated
         by the placement layer escapes the dependency — nothing remote
         can target it — and may halt as soon as it is idle itself.
         """
         self._topology.socket(socket_id)  # validate id
         if socket_id in self._memory_vacated and self.socket_is_idle(socket_id):
             return True
-        return self.machine_is_idle()
+        return self.node_is_idle(self._socket_node[socket_id])
 
     def wake_latency_s(self) -> float:
         """Cost of waking a core from the deep state."""

@@ -32,13 +32,17 @@ def apply_full_load(machine: Machine, turbo: bool = False) -> None:
     sets the performance EPB so turbo engages immediately, and declares
     unbounded full-load demand on every socket.
     """
-    params = machine.params
     all_threads = {t.global_id for t in machine.topology.iter_threads()}
     machine.cstates.set_active_threads(all_threads)
-    freq = params.core_turbo_ghz if turbo else params.core_nominal_ghz
-    machine.frequency.set_all_core_frequencies(freq, machine.time_s)
     machine.set_epb_all(EnergyPerformanceBias.PERFORMANCE)
     for sock in machine.topology.sockets:
+        params = machine.params_for(sock.socket_id)
+        freq = params.core_turbo_ghz if turbo else params.core_nominal_ghz
+        machine.frequency.set_socket_core_frequencies(
+            sock.socket_id,
+            {core.core_id: freq for core in sock.cores},
+            machine.time_s,
+        )
         machine.frequency.set_uncore_frequency(
             sock.socket_id, params.uncore_max_ghz
         )

@@ -138,17 +138,49 @@ class FrequencyDomains:
     given simulation time (applying the EET delay and auto-UFS policy).
     """
 
-    def __init__(self, topology: Topology, params: HaswellEPParameters):
+    def __init__(
+        self,
+        topology: Topology,
+        params: HaswellEPParameters,
+        socket_params: "tuple[HaswellEPParameters, ...] | None" = None,
+    ):
         self._topology = topology
         self._params = params
+        #: Per-socket parameter sets — on a cluster machine each socket
+        #: carries its owning node's parameters; single-node machines
+        #: repeat the one ``params`` object, so every per-socket lookup
+        #: resolves to exactly the historical values.
+        if socket_params is None:
+            socket_params = tuple(params for _ in topology.sockets)
+        self._socket_params = socket_params
         self.core_ladder = FrequencyLadder(params.core_pstates_ghz)
         self.uncore_ladder = FrequencyLadder(params.uncore_pstates_ghz)
+        #: Per-socket ladders; sockets whose parameters match the default
+        #: share the default ladder objects (and their validation memos).
+        core_ladders: dict[tuple[float, ...], FrequencyLadder] = {
+            params.core_pstates_ghz: self.core_ladder
+        }
+        uncore_ladders: dict[tuple[float, ...], FrequencyLadder] = {
+            params.uncore_pstates_ghz: self.uncore_ladder
+        }
+        self._core_ladders = tuple(
+            core_ladders.setdefault(
+                sp.core_pstates_ghz, FrequencyLadder(sp.core_pstates_ghz)
+            )
+            for sp in socket_params
+        )
+        self._uncore_ladders = tuple(
+            uncore_ladders.setdefault(
+                sp.uncore_pstates_ghz, FrequencyLadder(sp.uncore_pstates_ghz)
+            )
+            for sp in socket_params
+        )
 
         cores = [
             (s.socket_id, c.core_id) for s in topology.sockets for c in s.cores
         ]
         self._core_request: dict[tuple[int, int], float] = {
-            key: params.core_nominal_ghz for key in cores
+            key: socket_params[key[0]].core_nominal_ghz for key in cores
         }
         #: Simulation time at which each core last requested the turbo step.
         self._turbo_request_time: dict[tuple[int, int], float | None] = {
@@ -187,6 +219,14 @@ class FrequencyDomains:
     def version(self) -> int:
         """Control-state version (bumps on any frequency/EPB mutation)."""
         return self._version
+
+    def core_ladder_for(self, socket_id: int) -> FrequencyLadder:
+        """The core P-state ladder of one socket (per-node on clusters)."""
+        return self._core_ladders[socket_id]
+
+    def uncore_ladder_for(self, socket_id: int) -> FrequencyLadder:
+        """The uncore P-state ladder of one socket (per-node on clusters)."""
+        return self._uncore_ladders[socket_id]
 
     def state_fingerprint(self, socket_id: int) -> int:
         """Interned content fingerprint of one socket's clock state.
@@ -229,7 +269,7 @@ class FrequencyDomains:
         self, socket_id: int, core_id: int, ghz: float, now: float
     ) -> None:
         """Request a new P-state for one physical core at time ``now``."""
-        value = self.core_ladder.validate(ghz)
+        value = self._core_ladders[socket_id].validate(ghz)
         key = (socket_id, core_id)
         if key not in self._core_request:
             raise ConfigurationError(f"unknown core {core_id} on socket {socket_id}")
@@ -237,8 +277,9 @@ class FrequencyDomains:
         self._core_request[key] = value
         self._version += 1
         self._fingerprint_socket_versions[socket_id] += 1
-        is_turbo = abs(value - self._params.core_turbo_ghz) < 1e-9
-        if is_turbo and abs(previous - self._params.core_turbo_ghz) >= 1e-9:
+        turbo_ghz = self._socket_params[socket_id].core_turbo_ghz
+        is_turbo = abs(value - turbo_ghz) < 1e-9
+        if is_turbo and abs(previous - turbo_ghz) >= 1e-9:
             self._turbo_request_time[key] = now
         elif not is_turbo:
             self._turbo_request_time[key] = None
@@ -259,10 +300,11 @@ class FrequencyDomains:
         untouched for the rest (consumers compare versions for equality
         only, so the bump *count* is not part of the contract).
         """
-        turbo = self._params.core_turbo_ghz
+        turbo = self._socket_params[socket_id].core_turbo_ghz
         changed = False
+        ladder = self._core_ladders[socket_id]
         for core_id, ghz in frequencies.items():
-            value = self.core_ladder.validate(ghz)
+            value = ladder.validate(ghz)
             key = (socket_id, core_id)
             previous = self._core_request.get(key)
             if previous is None:
@@ -307,14 +349,15 @@ class FrequencyDomains:
         """
         key = (socket_id, core_id)
         requested = self._core_request[key]
-        if abs(requested - self._params.core_turbo_ghz) >= 1e-9:
+        params = self._socket_params[socket_id]
+        if abs(requested - params.core_turbo_ghz) >= 1e-9:
             return requested
         if not self._core_epb(socket_id, core_id).delays_turbo:
             return requested
         since = self._turbo_request_time[key]
-        if since is None or now - since >= self._params.eet_delay_s:
+        if since is None or now - since >= params.eet_delay_s:
             return requested
-        return self._params.core_nominal_ghz
+        return params.core_nominal_ghz
 
     def _core_epb(self, socket_id: int, core_id: int) -> EnergyPerformanceBias:
         """EPB governing a core: PERFORMANCE only if all siblings request it."""
@@ -346,7 +389,7 @@ class FrequencyDomains:
         """
         if not self._pending_turbo:
             return ()
-        delay = self._params.eet_delay_s
+        delay = self._socket_params[socket_id].eet_delay_s
         dwelling = []
         for sid, core_id in self._pending_turbo:
             if sid != socket_id:
@@ -367,9 +410,9 @@ class FrequencyDomains:
         """
         if not self._pending_turbo:
             return float("inf")
-        delay = self._params.eet_delay_s
         earliest = float("inf")
         for sid, core_id in self._pending_turbo:
+            delay = self._socket_params[sid].eet_delay_s
             since = self._turbo_request_time[(sid, core_id)]
             if since is None or now - since >= delay:
                 continue
@@ -386,7 +429,7 @@ class FrequencyDomains:
         """
         if socket_id not in self._uncore_request:
             raise ConfigurationError(f"unknown socket id {socket_id}")
-        value = self.uncore_ladder.validate(ghz)
+        value = self._uncore_ladders[socket_id].validate(ghz)
         if self._uncore_request[socket_id] == value:
             return
         self._uncore_request[socket_id] = value
@@ -424,12 +467,13 @@ class FrequencyDomains:
         requested = self._uncore_request[socket_id]
         if requested is not None:
             return requested
+        ladder = self._uncore_ladders[socket_id]
         if not socket_has_active_core:
-            return self.uncore_ladder.minimum
+            return ladder.minimum
         if self.socket_bias_is_powersave(socket_id):
-            steps = self.uncore_ladder.steps
+            steps = ladder.steps
             return steps[len(steps) // 2]
-        return self.uncore_ladder.maximum
+        return ladder.maximum
 
     def socket_bias_is_powersave(self, socket_id: int) -> bool:
         """Whether every hardware thread of a socket hints powersave.

@@ -23,6 +23,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.hardware.cluster import ClusterSpec, NodePowerState
 from repro.hardware.counters import CounterReading, InstructionCounter
 from repro.hardware.cstates import CState, CStateModel
 from repro.hardware.frequency import EnergyPerformanceBias, FrequencyDomains
@@ -40,6 +41,19 @@ from repro.hardware.topology import Topology
 
 #: Placeholder characteristics for a socket with no assigned workload.
 IDLE_CHARACTERISTICS = WorkloadCharacteristics(name="idle", base_cpi=1.0)
+
+#: Resolution of a socket whose node is powered off or booting: no cores,
+#: no work, no traffic.  Identical to the empty-``active_cores`` result of
+#: :meth:`PerformanceModel.resolve`.
+_DARK_PERFORMANCE = SocketPerformance(
+    capacity_ips=0.0,
+    executed_ips=0.0,
+    traffic_gbs=0.0,
+    utilization=0.0,
+    bandwidth_limited=False,
+    contention_limited=False,
+    retired_ips=0.0,
+)
 
 
 @dataclass(frozen=True)
@@ -123,24 +137,105 @@ class MachineState:
 
 
 class Machine:
-    """Simulated 2-socket NUMA server (see module docstring)."""
+    """Simulated NUMA server — or an N-node fleet of them.
+
+    Without ``cluster`` this is the paper's single 2-socket box,
+    bit-for-bit.  With a :class:`~repro.hardware.cluster.ClusterSpec`
+    every node's sockets are concatenated onto one flat (node, socket)
+    axis — global socket ids are node-major — so stepping an N-node
+    fleet runs the very same per-socket loop as the 2-socket machine.
+    Per-socket parameter sets make mixed wimpy/brawny fleets possible,
+    and whole nodes can be powered off (residual wall draw) and on again
+    (boot latency + boot power) via :meth:`power_off_node` /
+    :meth:`power_on_node`.
+    """
 
     def __init__(
         self,
         params: HaswellEPParameters | None = None,
         seed: int = 0,
         step_cache_size: int = 1024,
+        cluster: ClusterSpec | None = None,
     ):
-        self.params = params if params is not None else haswell_ep_two_socket()
-        self.topology = Topology.build(
-            self.params.socket_count,
-            self.params.cores_per_socket,
-            self.params.threads_per_core,
-        )
-        self.frequency = FrequencyDomains(self.topology, self.params)
-        self.cstates = CStateModel(self.topology, self.params)
-        self.power_model = PowerModel(self.topology, self.params)
-        self.perf_model = PerformanceModel(self.topology, self.params)
+        self.cluster = cluster
+        if cluster is None:
+            self.params = params if params is not None else haswell_ep_two_socket()
+            self.topology = Topology.build(
+                self.params.socket_count,
+                self.params.cores_per_socket,
+                self.params.threads_per_core,
+            )
+            self._socket_params = tuple(
+                self.params for _ in self.topology.sockets
+            )
+            self._socket_node = (0,) * len(self.topology.sockets)
+            self._node_sockets = (
+                tuple(s.socket_id for s in self.topology.sockets),
+            )
+            self.frequency = FrequencyDomains(self.topology, self.params)
+            self.cstates = CStateModel(self.topology, self.params)
+            self.power_model = PowerModel(self.topology, self.params)
+            self.perf_model = PerformanceModel(self.topology, self.params)
+        else:
+            if params is not None:
+                raise ConfigurationError(
+                    "pass either params or cluster to Machine, not both"
+                )
+            self.params = cluster.nodes[0].params
+            self.topology = Topology.build(
+                cluster.total_sockets,
+                cluster.cores_per_socket(),
+                cluster.nodes[0].params.threads_per_core,
+            )
+            self._socket_params = cluster.socket_params()
+            self._socket_node = cluster.socket_node_map()
+            self._node_sockets = cluster.node_socket_ids()
+            self.frequency = FrequencyDomains(
+                self.topology, self.params, self._socket_params
+            )
+            self.cstates = CStateModel(
+                self.topology, self.params, self._socket_node
+            )
+            self.power_model = PowerModel(
+                self.topology,
+                self.params,
+                self._socket_params,
+                self._socket_node,
+            )
+            self.perf_model = PerformanceModel(
+                self.topology, self.params, self._socket_params
+            )
+
+        #: Node power states: every node starts ON.  ``cluster=None``
+        #: machines are one always-ON node and never transition.
+        self._node_state: list[NodePowerState] = [
+            NodePowerState.ON for _ in self._node_sockets
+        ]
+        self._node_boot_until: list[float] = [
+            float("-inf") for _ in self._node_sockets
+        ]
+        #: Monotonic counter bumped on every node power transition
+        #: (telemetry watches it the way it watches frequency versions).
+        self.node_power_version = 0
+        #: Per-socket power breakdowns while the owning node is OFF or
+        #: BOOTING: the node-level residual/boot wattage split evenly
+        #: over the node's sockets and charged as RAPL *package* power.
+        self._dark_power: dict[tuple[int, NodePowerState], PowerBreakdown] = {}
+        if cluster is not None:
+            for node_index, node in enumerate(cluster.nodes):
+                count = len(self._node_sockets[node_index])
+                for state, watts in (
+                    (NodePowerState.OFF, node.off_residual_w),
+                    (NodePowerState.BOOTING, node.boot_power_w),
+                ):
+                    share = watts / count
+                    for sid in self._node_sockets[node_index]:
+                        self._dark_power[(sid, state)] = PowerBreakdown(
+                            cores_w=0.0,
+                            uncore_w=0.0,
+                            package_w=share,
+                            dram_w=0.0,
+                        )
 
         rng = np.random.default_rng(seed)
         self._rapl: dict[tuple[int, RaplDomain], RaplCounter] = {}
@@ -149,7 +244,7 @@ class Machine:
             for domain in RaplDomain:
                 child = np.random.default_rng(rng.integers(0, 2**63))
                 self._rapl[(sock.socket_id, domain)] = RaplCounter(
-                    self.params, domain, child
+                    self._socket_params[sock.socket_id], domain, child
                 )
             self._instructions[sock.socket_id] = InstructionCounter()
 
@@ -163,7 +258,7 @@ class Machine:
         self._last_step: StepResult | None = None
         #: Remaining above-TDP headroom per socket (thermal throttling).
         self._thermal_credit_s: dict[int, float] = {
-            sock.socket_id: self.params.thermal_budget_s
+            sock.socket_id: self._socket_params[sock.socket_id].thermal_budget_s
             for sock in self.topology.sockets
         }
         self._throttled: dict[int, bool] = {
@@ -191,6 +286,105 @@ class Machine:
         #: RTI duty cycle re-applies the same two configurations every
         #: period).
         self.validated_configurations: set = set()
+
+    # -- cluster axis ---------------------------------------------------------
+
+    def params_for(self, socket_id: int) -> HaswellEPParameters:
+        """The parameter set governing one socket (its node's, on clusters)."""
+        return self._socket_params[socket_id]
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes (1 for the classic single-server machine)."""
+        return len(self._node_sockets)
+
+    def node_of_socket(self, socket_id: int) -> int:
+        """Node index owning a global socket id."""
+        return self._socket_node[socket_id]
+
+    def node_sockets(self, node: int) -> tuple[int, ...]:
+        """Global socket ids of one node."""
+        return tuple(self._node_sockets[node])
+
+    def node_power_state(self, node: int) -> NodePowerState:
+        """Current power state of one node."""
+        return self._node_state[node]
+
+    def node_is_dark(self, socket_id: int) -> bool:
+        """Whether a socket's node is OFF or BOOTING (not serving work)."""
+        return self._node_state[self._socket_node[socket_id]] is not (
+            NodePowerState.ON
+        )
+
+    def power_off_node(self, node: int) -> None:
+        """Power a whole node off.
+
+        Requires a cluster machine and a fully drained node: every
+        hardware thread of the node parked.  While OFF the node draws
+        its :attr:`~repro.hardware.cluster.NodeSpec.off_residual_w` at
+        the wall (split over its sockets' RAPL package domains).
+        """
+        if self.cluster is None:
+            raise ConfigurationError(
+                "node power control requires a cluster machine"
+            )
+        if self._node_state[node] is not NodePowerState.ON:
+            raise ConfigurationError(
+                f"node {node} is {self._node_state[node].value}, not on"
+            )
+        for sid in self._node_sockets[node]:
+            if self.cstates.active_threads_on_socket(sid):
+                raise ConfigurationError(
+                    f"cannot power off node {node}: socket {sid} still has "
+                    f"active threads"
+                )
+        self._node_state[node] = NodePowerState.OFF
+        self.node_power_version += 1
+        for sid in self._node_sockets[node]:
+            self._note_switch(sid)
+
+    def power_on_node(self, node: int) -> None:
+        """Begin powering an OFF node back on.
+
+        The node BOOTs for its
+        :attr:`~repro.hardware.cluster.NodeSpec.power_up_s` (drawing
+        ``boot_power_w``), then transitions to ON at the first step
+        boundary past the deadline.
+        """
+        if self.cluster is None:
+            raise ConfigurationError(
+                "node power control requires a cluster machine"
+            )
+        if self._node_state[node] is not NodePowerState.OFF:
+            raise ConfigurationError(
+                f"node {node} is {self._node_state[node].value}, not off"
+            )
+        power_up = self.cluster.nodes[node].power_up_s
+        if power_up <= 0.0:
+            self._node_state[node] = NodePowerState.ON
+        else:
+            self._node_state[node] = NodePowerState.BOOTING
+            self._node_boot_until[node] = self._time_s + power_up
+        self.node_power_version += 1
+        for sid in self._node_sockets[node]:
+            self._note_switch(sid)
+
+    def settle_node_power(self) -> None:
+        """Flip BOOTING nodes whose deadline has passed to ON.
+
+        Idempotent; :meth:`step` calls it automatically, and controllers
+        call it at the top of their control phase so a boot completing on
+        the previous tick is visible before decisions are made.
+        """
+        for node, state in enumerate(self._node_state):
+            if (
+                state is NodePowerState.BOOTING
+                and self._time_s >= self._node_boot_until[node]
+            ):
+                self._node_state[node] = NodePowerState.ON
+                self.node_power_version += 1
+                for sid in self._node_sockets[node]:
+                    self._note_switch(sid)
 
     # -- time ---------------------------------------------------------------
 
@@ -307,7 +501,7 @@ class Machine:
         cores = []
         socket = self.topology.socket(socket_id)
         active = set(self.cstates.active_threads_on_socket(socket_id))
-        nominal = self.params.core_nominal_ghz
+        nominal = self._socket_params[socket_id].core_nominal_ghz
         for core in socket.cores:
             siblings = [tid for tid in core.thread_ids() if tid in active]
             if not siblings:
@@ -530,6 +724,7 @@ class Machine:
         """
         if dt_s <= 0:
             raise ConfigurationError(f"step duration must be > 0, got {dt_s}")
+        self.settle_node_power()
 
         breakdowns: dict[int, PowerBreakdown] = {}
         socket_results: dict[int, SocketStepResult] = {}
@@ -537,10 +732,20 @@ class Machine:
 
         for sock in self.topology.sockets:
             sid = sock.socket_id
-            load = self._loads[sid]
-            perf, power, uncore_ghz, uncore_halted = self._resolve_socket(
-                sid, load
-            )
+            node_state = self._node_state[self._socket_node[sid]]
+            if node_state is not NodePowerState.ON:
+                # Dark socket: the node is off or booting.  No work runs;
+                # the node-level residual/boot wattage is charged through
+                # the package RAPL domain so energy accounting stays one
+                # code path.
+                perf = _DARK_PERFORMANCE
+                power = self._dark_power[(sid, node_state)]
+                uncore_ghz, uncore_halted = 0.0, True
+            else:
+                load = self._loads[sid]
+                perf, power, uncore_ghz, uncore_halted = self._resolve_socket(
+                    sid, load
+                )
             breakdowns[sid] = power
 
             executed = perf.executed_ips * dt_s
@@ -556,7 +761,7 @@ class Machine:
 
             # Thermal bookkeeping: above-TDP operation drains the budget,
             # below-TDP operation slowly restores it.
-            p = self.params
+            p = self._socket_params[sid]
             credit = self._thermal_credit_s[sid]
             if power.package_w > p.tdp_w:
                 credit -= dt_s
@@ -580,7 +785,27 @@ class Machine:
                 uncore_halted=uncore_halted,
             )
 
-        psu = self.power_model.psu_power(breakdowns)
+        if self.cluster is None:
+            psu = self.power_model.psu_power(breakdowns)
+        else:
+            # Per-node PSUs: ON/BOOTING nodes pay their own conversion
+            # overhead on the node's RAPL-visible power; an OFF node
+            # contributes exactly its residual wall draw (already charged
+            # into its sockets' package domains — no overhead on standby
+            # rails).
+            psu = 0.0
+            for node_index, node in enumerate(self.cluster.nodes):
+                node_rapl = sum(
+                    breakdowns[sid].socket_total_w
+                    for sid in self._node_sockets[node_index]
+                )
+                if self._node_state[node_index] is NodePowerState.OFF:
+                    psu += node_rapl
+                else:
+                    p = node.params
+                    psu += node_rapl * (1.0 + p.psu_overhead_factor) + (
+                        p.psu_static_w
+                    )
         self._time_s = new_time
         result = StepResult(
             time_s=new_time, dt_s=dt_s, sockets=socket_results, psu_power_w=psu
@@ -594,12 +819,17 @@ class Machine:
         """Earliest future time the machine changes behaviour on its own.
 
         Machine state only evolves under external mutation (versioned) or
-        through two internal mechanisms: the EET turbo dwell elapsing and
-        thermal credit drift.  Credit drift is visible in the steady-state
-        signature the runner compares, so the dwell expiry is the only
-        latent event a macro span must stop short of.
+        through internal mechanisms: the EET turbo dwell elapsing, thermal
+        credit drift, and — on clusters — a BOOTING node's power-up
+        deadline.  Credit drift is visible in the steady-state signature
+        the runner compares, so the dwell expiry and boot deadlines are
+        the latent events a macro span must stop short of.
         """
-        return self.frequency.next_dwell_expiry_s(self._time_s)
+        expiry = self.frequency.next_dwell_expiry_s(self._time_s)
+        for node, state in enumerate(self._node_state):
+            if state is NodePowerState.BOOTING:
+                expiry = min(expiry, self._node_boot_until[node])
+        return expiry
 
     def thermal_steady(self, socket_id: int) -> bool:
         """Whether one more step would leave thermal state unchanged.
@@ -612,7 +842,7 @@ class Machine:
         if last is None:
             return False
         power = last.sockets[socket_id].power
-        p = self.params
+        p = self._socket_params[socket_id]
         credit = self._thermal_credit_s[socket_id]
         if power.package_w > p.tdp_w:
             return credit <= 0.0 and self._throttled[socket_id]

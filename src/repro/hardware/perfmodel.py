@@ -202,19 +202,37 @@ class PerformanceModel:
     #: inverse uncore clock (the LLC/ring traversal).
     CONTENTION_UNCORE_FRACTION = 0.5
 
-    def __init__(self, topology: Topology, params: HaswellEPParameters):
+    def __init__(
+        self,
+        topology: Topology,
+        params: HaswellEPParameters,
+        socket_params: "tuple[HaswellEPParameters, ...] | None" = None,
+    ):
         self._topology = topology
         self._params = params
+        #: Per-socket parameter sets (the owning node's, on clusters).
+        #: Single-node machines repeat the one ``params`` object.
+        if socket_params is None:
+            socket_params = tuple(params for _ in topology.sockets)
+        self._socket_params = socket_params
+
+    def params_for(self, socket_id: int) -> HaswellEPParameters:
+        """The parameter set governing one socket."""
+        return self._socket_params[socket_id]
 
     # -- memory system ----------------------------------------------------------
 
-    def bandwidth_gbs(self, uncore_ghz: float) -> float:
+    def bandwidth_gbs(
+        self,
+        uncore_ghz: float,
+        params: HaswellEPParameters | None = None,
+    ) -> float:
         """Socket memory bandwidth as a function of the uncore clock.
 
         Linear between ``min_uncore_bandwidth_fraction × peak`` at the
         lowest and the full peak at the highest uncore step (Fig. 6).
         """
-        p = self._params
+        p = params if params is not None else self._params
         span = p.uncore_max_ghz - p.uncore_min_ghz
         t = 0.0 if span <= 0 else (uncore_ghz - p.uncore_min_ghz) / span
         t = min(max(t, 0.0), 1.0)
@@ -223,9 +241,13 @@ class PerformanceModel:
         )
         return p.peak_bandwidth_gbs * frac
 
-    def memory_latency_ns(self, uncore_ghz: float) -> float:
+    def memory_latency_ns(
+        self,
+        uncore_ghz: float,
+        params: HaswellEPParameters | None = None,
+    ) -> float:
         """Average DRAM access latency; stretches as the uncore slows."""
-        p = self._params
+        p = params if params is not None else self._params
         w = p.mem_latency_uncore_fraction
         scale = (1.0 - w) + w * (p.uncore_max_ghz / uncore_ghz)
         return p.mem_latency_ns * scale
@@ -233,11 +255,15 @@ class PerformanceModel:
     # -- core throughput ----------------------------------------------------------
 
     def core_throughput_ips(
-        self, core: ActiveCore, uncore_ghz: float, chars: WorkloadCharacteristics
+        self,
+        core: ActiveCore,
+        uncore_ghz: float,
+        chars: WorkloadCharacteristics,
+        params: HaswellEPParameters | None = None,
     ) -> float:
         """Instruction throughput of one core, before socket-level caps."""
         latency_cycles = chars.miss_rate * (
-            self.memory_latency_ns(uncore_ghz) * core.frequency_ghz
+            self.memory_latency_ns(uncore_ghz, params) * core.frequency_ghz
         )
         cpi_eff = chars.base_cpi + latency_cycles
         single = core.frequency_ghz * GHZ / cpi_eff
@@ -253,6 +279,7 @@ class PerformanceModel:
         uncore_ghz: float,
         chars: WorkloadCharacteristics,
         core_ghz: float | None = None,
+        params: HaswellEPParameters | None = None,
     ) -> float:
         """Serial hand-off latency of the contended cache line.
 
@@ -263,7 +290,7 @@ class PerformanceModel:
         Multiple cores: every hand-off crosses the LLC at uncore speed and
         queues behind the other contenders.
         """
-        p = self._params
+        p = params if params is not None else self._params
         if contending_cores <= 1:
             freq = core_ghz if core_ghz is not None else p.core_nominal_ghz
             return chars.atomic_local_ns * (p.core_nominal_ghz / freq)
@@ -278,12 +305,15 @@ class PerformanceModel:
         uncore_ghz: float,
         chars: WorkloadCharacteristics,
         core_ghz: float | None = None,
+        params: HaswellEPParameters | None = None,
     ) -> float:
         """Socket instruction-throughput cap due to the atomic section."""
         if chars.atomic_ops_per_instr <= 0:
             return float("inf")
         handoff_s = (
-            self.atomic_handoff_ns(contending_cores, uncore_ghz, chars, core_ghz)
+            self.atomic_handoff_ns(
+                contending_cores, uncore_ghz, chars, core_ghz, params
+            )
             * 1e-9
         )
         ops_per_s = 1.0 / handoff_s
@@ -321,15 +351,16 @@ class PerformanceModel:
                 retired_ips=0.0,
             )
 
+        p = self._socket_params[active_cores[0].socket_id]
         parallel = sum(
-            self.core_throughput_ips(core, uncore_ghz, chars)
+            self.core_throughput_ips(core, uncore_ghz, chars, p)
             for core in active_cores
         )
 
         bandwidth_limited = False
         capacity = parallel
         if chars.bytes_per_instr > 0:
-            bandwidth = self.bandwidth_gbs(uncore_ghz) * 1e9
+            bandwidth = self.bandwidth_gbs(uncore_ghz, p) * 1e9
             demand = parallel * chars.bytes_per_instr
             if demand > bandwidth:
                 # Memory-controller thrashing: over-subscription degrades
@@ -337,7 +368,6 @@ class PerformanceModel:
                 # once more request streams than physical cores pile on —
                 # the reason the all-threads baseline is slower than the
                 # ECL's lean configuration on scans (section 6.1).
-                p = self._params
                 ratio = demand / bandwidth
                 streams = sum(c.sibling_count for c in active_cores)
                 excess = max(0, streams - p.cores_per_socket) / p.cores_per_socket
@@ -359,7 +389,7 @@ class PerformanceModel:
             active_cores
         )
         contention_cap = self.contention_cap_ips(
-            len(active_cores), uncore_ghz, chars, mean_core_ghz
+            len(active_cores), uncore_ghz, chars, mean_core_ghz, p
         )
         if contention_cap < capacity:
             capacity = contention_cap
@@ -393,6 +423,7 @@ class PerformanceModel:
         core: ActiveCore,
         uncore_ghz: float,
         chars: WorkloadCharacteristics,
+        params: HaswellEPParameters | None = None,
     ) -> float:
         """Demand-independent share of cycles a core spends computing.
 
@@ -401,7 +432,7 @@ class PerformanceModel:
         cache stores it per active core.
         """
         latency_cycles = chars.miss_rate * (
-            self.memory_latency_ns(uncore_ghz) * core.frequency_ghz
+            self.memory_latency_ns(uncore_ghz, params) * core.frequency_ghz
         )
         return chars.base_cpi / (chars.base_cpi + latency_cycles)
 
@@ -417,6 +448,7 @@ class PerformanceModel:
         uncore_ghz: float,
         chars: WorkloadCharacteristics,
         socket_scale: float,
+        params: HaswellEPParameters | None = None,
     ) -> float:
         """Pipeline activity of a core for the power model.
 
@@ -426,7 +458,8 @@ class PerformanceModel:
         Memory-latency stalls additionally reduce activity.
         """
         return self.activity_from_share(
-            self.core_compute_share(core, uncore_ghz, chars), socket_scale
+            self.core_compute_share(core, uncore_ghz, chars, params),
+            socket_scale,
         )
 
     def resolve_with_capacity(
@@ -472,10 +505,11 @@ class PerformanceModel:
         active_cores: Sequence[ActiveCore],
         uncore_ghz: float,
         chars: WorkloadCharacteristics,
+        params: HaswellEPParameters | None = None,
     ) -> float:
         """Uncapped sum of per-core throughputs (helper for activity)."""
         return sum(
-            self.core_throughput_ips(core, uncore_ghz, chars)
+            self.core_throughput_ips(core, uncore_ghz, chars, params)
             for core in active_cores
         )
 

@@ -68,15 +68,46 @@ class PowerBreakdown:
 class PowerModel:
     """Evaluates socket and system power for a given hardware state."""
 
-    def __init__(self, topology: Topology, params: HaswellEPParameters):
+    def __init__(
+        self,
+        topology: Topology,
+        params: HaswellEPParameters,
+        socket_params: "tuple[HaswellEPParameters, ...] | None" = None,
+        socket_node: "tuple[int, ...] | None" = None,
+    ):
         self._topology = topology
         self._params = params
+        #: Per-socket parameter sets (the owning node's, on clusters).
+        #: Single-node machines repeat the one ``params`` object.
+        if socket_params is None:
+            socket_params = tuple(params for _ in topology.sockets)
+        self._socket_params = socket_params
+        #: Node-local socket index per global socket id: the measured
+        #: static asymmetry is a within-server effect (socket 1 of each
+        #: box draws slightly less than its socket 0), so it scales with
+        #: the socket's position inside its node, not its global id.
+        if socket_node is None:
+            socket_node = (0,) * len(topology.sockets)
+        local: list[int] = []
+        counts: dict[int, int] = {}
+        for node in socket_node:
+            local.append(counts.get(node, 0))
+            counts[node] = counts.get(node, 0) + 1
+        self._local_socket_index = tuple(local)
+
+    def params_for(self, socket_id: int) -> HaswellEPParameters:
+        """The parameter set governing one socket."""
+        return self._socket_params[socket_id]
 
     # -- voltage/frequency curve ----------------------------------------------
 
-    def core_voltage(self, frequency_ghz: float) -> float:
+    def core_voltage(
+        self,
+        frequency_ghz: float,
+        params: HaswellEPParameters | None = None,
+    ) -> float:
         """Supply voltage for a core frequency (piecewise-linear V/f curve)."""
-        p = self._params
+        p = params if params is not None else self._params
         lo, nom, turbo = p.core_min_ghz, p.core_nominal_ghz, p.core_max_ghz
         if frequency_ghz <= lo:
             return p.core_volt_min
@@ -90,7 +121,11 @@ class PowerModel:
 
     # -- per-component power ----------------------------------------------------
 
-    def core_power(self, state: CorePowerState) -> float:
+    def core_power(
+        self,
+        state: CorePowerState,
+        params: HaswellEPParameters | None = None,
+    ) -> float:
         """Power of one physical core in watts.
 
         A sleeping core draws nothing in C6 and a clock-gated residual in
@@ -99,11 +134,11 @@ class PowerModel:
         the activity floor below reflects the always-on polling behaviour
         the paper attributes to the data-oriented architecture.
         """
-        p = self._params
+        p = params if params is not None else self._params
         freq = state.frequency_ghz
         if freq <= 0:
             raise ConfigurationError(f"core frequency must be > 0, got {freq}")
-        volt = self.core_voltage(freq)
+        volt = self.core_voltage(freq, p)
         dynamic_full = p.core_cdyn_w_per_ghz_v2 * freq * volt * volt
         leak = p.core_leak_w_per_v * volt
 
@@ -124,10 +159,14 @@ class PowerModel:
         return dynamic + leak
 
     def uncore_power(
-        self, uncore_ghz: float, halted: bool, traffic_gbs: float = 0.0
+        self,
+        uncore_ghz: float,
+        halted: bool,
+        traffic_gbs: float = 0.0,
+        params: HaswellEPParameters | None = None,
     ) -> float:
         """Power of the uncore (LLC + memory controllers + ring)."""
-        p = self._params
+        p = params if params is not None else self._params
         require_non_negative(traffic_gbs, "traffic_gbs")
         if halted:
             return p.uncore_halted_w
@@ -143,10 +182,14 @@ class PowerModel:
         )
         return base + p.uncore_w_per_gbs * traffic_gbs
 
-    def dram_power(self, traffic_gbs: float) -> float:
+    def dram_power(
+        self,
+        traffic_gbs: float,
+        params: HaswellEPParameters | None = None,
+    ) -> float:
         """Power of one socket's DRAM domain."""
         require_non_negative(traffic_gbs, "traffic_gbs")
-        p = self._params
+        p = params if params is not None else self._params
         return p.dram_static_w + p.dram_w_per_gbs * traffic_gbs
 
     # -- aggregation ------------------------------------------------------------
@@ -160,16 +203,18 @@ class PowerModel:
         traffic_gbs: float,
     ) -> PowerBreakdown:
         """Full power breakdown of one socket."""
-        p = self._params
-        cores_w = sum(self.core_power(state) for state in core_states)
-        uncore_w = self.uncore_power(uncore_ghz, uncore_halted, traffic_gbs)
-        asymmetry = p.socket_static_asymmetry_w * socket_id
+        p = self._socket_params[socket_id]
+        cores_w = sum(self.core_power(state, p) for state in core_states)
+        uncore_w = self.uncore_power(uncore_ghz, uncore_halted, traffic_gbs, p)
+        asymmetry = (
+            p.socket_static_asymmetry_w * self._local_socket_index[socket_id]
+        )
         package_w = max(1.0, p.package_base_w + cores_w + uncore_w - asymmetry)
         return PowerBreakdown(
             cores_w=cores_w,
             uncore_w=uncore_w,
             package_w=package_w,
-            dram_w=self.dram_power(traffic_gbs),
+            dram_w=self.dram_power(traffic_gbs, p),
         )
 
     def psu_power(self, breakdowns: Mapping[int, PowerBreakdown]) -> float:

@@ -19,7 +19,10 @@ paper on the 2-socket Xeon E5-2690 v3 testbed (see DESIGN.md §5):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.errors import HardwareError
 
 
 def _default_core_pstates() -> tuple[float, ...]:
@@ -199,3 +202,104 @@ class HaswellEPParameters:
 def haswell_ep_two_socket() -> HaswellEPParameters:
     """Return the default parameter set for the paper's 2-socket testbed."""
     return HaswellEPParameters()
+
+
+def _wimpy_core_pstates() -> tuple[float, ...]:
+    """0.8–1.6 GHz in 100 MHz steps plus a shallow 1.8 GHz turbo."""
+    steps = [round(0.8 + 0.1 * i, 1) for i in range(9)]  # 0.8 .. 1.6
+    steps.append(1.8)
+    return tuple(steps)
+
+
+def _wimpy_uncore_pstates() -> tuple[float, ...]:
+    """0.8–1.8 GHz in 100 MHz steps."""
+    return tuple(round(0.8 + 0.1 * i, 1) for i in range(11))  # 0.8 .. 1.8
+
+
+def wimpy_node() -> HaswellEPParameters:
+    """A low-TDP "wimpy" node in the Schall & Härder sense.
+
+    One small-core socket per node: fewer, slower cores with a shallow
+    turbo step, a narrow uncore, modest memory bandwidth, and a small
+    fixed power floor.  Its peak efficiency is close to the brawny
+    Haswell-EP node, but its *dynamic range* is tiny — which is exactly
+    why wimpy clusters only pay off when whole nodes can be powered off
+    (PAPERS.md: "Can a Wimpy-Node Cluster Challenge a Brawny Server?").
+    """
+    return replace(
+        HaswellEPParameters(),
+        socket_count=1,
+        cores_per_socket=4,
+        threads_per_core=2,
+        core_pstates_ghz=_wimpy_core_pstates(),
+        uncore_pstates_ghz=_wimpy_uncore_pstates(),
+        core_nominal_ghz=1.6,
+        core_turbo_ghz=1.8,
+        core_volt_min=0.62,
+        core_volt_nominal=0.85,
+        core_volt_turbo=0.92,
+        core_cdyn_w_per_ghz_v2=1.1,
+        core_leak_w_per_v=0.4,
+        uncore_halted_w=1.2,
+        uncore_active_min_w=4.5,
+        uncore_active_max_w=8.0,
+        uncore_w_per_gbs=0.05,
+        socket_static_asymmetry_w=0.0,
+        package_base_w=3.0,
+        dram_static_w=4.0,
+        dram_w_per_gbs=0.30,
+        psu_overhead_factor=0.12,
+        psu_static_w=6.0,
+        peak_bandwidth_gbs=17.0,
+        min_uncore_bandwidth_fraction=0.5,
+        mem_latency_ns=110.0,
+        cacheline_transfer_ns=80.0,
+        tdp_w=20.0,
+    )
+
+
+# --------------------------------------------------------------------------
+# Preset registry: the name → parameter-set mapping the cluster layer and
+# the CLI resolve hardware through (mirrors the policy/placement
+# registries in repro.sim.policy / repro.placement.policy).
+# --------------------------------------------------------------------------
+
+_PRESETS: dict[str, Callable[[], HaswellEPParameters]] = {}
+
+
+def register_preset(
+    name: str, factory: Callable[[], HaswellEPParameters]
+) -> None:
+    """Register a named hardware preset.
+
+    Raises:
+        HardwareError: if the name is already taken.
+    """
+    if name in _PRESETS:
+        raise HardwareError(f"hardware preset {name!r} already registered")
+    _PRESETS[name] = factory
+
+
+def get_preset(name: str) -> HaswellEPParameters:
+    """Build the parameter set of a registered preset.
+
+    Raises:
+        HardwareError: for unknown preset names.
+    """
+    try:
+        factory = _PRESETS[name]
+    except KeyError:
+        raise HardwareError(
+            f"unknown hardware preset {name!r}; "
+            f"registered: {', '.join(sorted(_PRESETS))}"
+        ) from None
+    return factory()
+
+
+def registered_presets() -> tuple[str, ...]:
+    """Registered preset names, in registration order."""
+    return tuple(_PRESETS)
+
+
+register_preset("haswell_ep", haswell_ep_two_socket)
+register_preset("wimpy_node", wimpy_node)

@@ -105,19 +105,33 @@ class Topology:
 
     @staticmethod
     def build(
-        socket_count: int, cores_per_socket: int, threads_per_core: int = 2
+        socket_count: int,
+        cores_per_socket: int | Sequence[int],
+        threads_per_core: int = 2,
     ) -> "Topology":
-        """Construct a homogeneous topology.
+        """Construct a topology.
 
         Args:
             socket_count: number of processor packages (>= 1).
-            cores_per_socket: physical cores per package (>= 1).
-            threads_per_core: hardware threads per core (1 or 2).
+            cores_per_socket: physical cores per package (>= 1) — either
+                one count shared by every socket, or a sequence with one
+                count per socket for heterogeneous (cluster) machines.
+            threads_per_core: hardware threads per core (1 or 2);
+                uniform across the machine.
 
         Raises:
             TopologyError: on non-positive sizes or unsupported SMT width.
         """
-        if socket_count < 1 or cores_per_socket < 1:
+        if isinstance(cores_per_socket, int):
+            core_counts = [cores_per_socket] * max(socket_count, 0)
+        else:
+            core_counts = list(cores_per_socket)
+            if len(core_counts) != socket_count:
+                raise TopologyError(
+                    f"cores_per_socket lists {len(core_counts)} sockets, "
+                    f"expected {socket_count}"
+                )
+        if socket_count < 1 or any(c < 1 for c in core_counts):
             raise TopologyError(
                 "socket_count and cores_per_socket must be >= 1, got "
                 f"{socket_count} and {cores_per_socket}"
@@ -127,12 +141,20 @@ class Topology:
                 f"threads_per_core must be 1 or 2, got {threads_per_core}"
             )
 
-        total_cores = socket_count * cores_per_socket
+        total_cores = sum(core_counts)
+        # First-sibling ids stay socket-major: socket s's cores start
+        # after every preceding socket's cores, so the homogeneous case
+        # reproduces the historical first_id = s * cores_per_socket + c.
+        core_offsets = []
+        offset = 0
+        for count in core_counts:
+            core_offsets.append(offset)
+            offset += count
         sockets = []
         for socket_id in range(socket_count):
             cores = []
-            for core_id in range(cores_per_socket):
-                first_id = socket_id * cores_per_socket + core_id
+            for core_id in range(core_counts[socket_id]):
+                first_id = core_offsets[socket_id] + core_id
                 thread_list = [
                     HardwareThread(
                         global_id=first_id + sibling * total_cores,
@@ -167,18 +189,22 @@ class Topology:
 
     @property
     def cores_per_socket(self) -> int:
-        """Physical cores per socket (topologies are homogeneous)."""
+        """Physical cores on socket 0 (per-socket counts may differ on
+        heterogeneous cluster topologies — use :meth:`socket` for those)."""
         return self.sockets[0].core_count
 
     @property
     def threads_per_core(self) -> int:
-        """Hardware threads per physical core."""
+        """Hardware threads per physical core (uniform machine-wide)."""
         return len(self.sockets[0].cores[0].threads)
 
     @property
     def total_threads(self) -> int:
         """Total hardware threads in the machine."""
-        return self.socket_count * self.cores_per_socket * self.threads_per_core
+        return sum(
+            socket.core_count * self.threads_per_core
+            for socket in self.sockets
+        )
 
     # -- lookups -------------------------------------------------------------
 

@@ -110,14 +110,17 @@ class Configuration:
             raise ConfigurationError(
                 f"threads {sorted(foreign)} not on socket {self.socket_id}"
             )
-        machine.frequency.uncore_ladder.validate(self.uncore_ghz)
+        machine.frequency.uncore_ladder_for(self.socket_id).validate(
+            self.uncore_ghz
+        )
         freq_map = dict(self.core_frequencies)
+        core_ladder = machine.frequency.core_ladder_for(self.socket_id)
         for core_id, freq in freq_map.items():
             if not 0 <= core_id < socket.core_count:
                 raise ConfigurationError(
                     f"unknown core {core_id} on socket {self.socket_id}"
                 )
-            machine.frequency.core_ladder.validate(freq)
+            core_ladder.validate(freq)
         for tid in self.active_threads:
             core = topology.core_of(tid)
             if core.core_id not in freq_map:
@@ -140,7 +143,7 @@ class Configuration:
         now = machine.time_s
         machine.apply_socket_threads(self.socket_id, set(self.active_threads))
         freq_map = dict(self.core_frequencies)
-        minimum = machine.frequency.core_ladder.minimum
+        minimum = machine.frequency.core_ladder_for(self.socket_id).minimum
         socket = machine.topology.socket(self.socket_id)
         machine.frequency.set_socket_core_frequencies(
             self.socket_id,

@@ -112,7 +112,7 @@ def build_profile(
 ) -> EnergyProfile:
     """Generate and fully evaluate an energy profile via the model path."""
     generator = ConfigurationGenerator(
-        machine.topology, machine.params, socket_id, generator_params
+        machine.topology, machine.params_for(socket_id), socket_id, generator_params
     )
     configurations = generator.generate()
     profile = EnergyProfile(configurations)

@@ -54,11 +54,19 @@ class OndemandGovernorPolicy:
         self.period_s = period_s
         self.up_threshold = up_threshold
         self.down_threshold = down_threshold
-        ladder = self.machine.frequency.core_ladder.steps
-        #: Sustained steps only: ondemand does not request turbo itself.
-        self._steps = tuple(
-            f for f in ladder if f <= self.machine.params.core_nominal_ghz
-        )
+        #: Sustained steps only, per socket: ondemand does not request
+        #: turbo itself, and wimpy/brawny sockets walk different ladders.
+        self._steps = {
+            sock.socket_id: tuple(
+                f
+                for f in self.machine.frequency.core_ladder_for(
+                    sock.socket_id
+                ).steps
+                if f
+                <= self.machine.params_for(sock.socket_id).core_nominal_ghz
+            )
+            for sock in self.machine.topology.sockets
+        }
         self._index: dict[int, int] = {}
         self._decision = PeriodicDeadline(period_s)
         self._initialized = False
@@ -77,11 +85,11 @@ class OndemandGovernorPolicy:
         machine.set_epb_all(EnergyPerformanceBias.BALANCED)
         for sock in machine.topology.sockets:
             machine.frequency.set_uncore_auto(sock.socket_id)
-            self._index[sock.socket_id] = len(self._steps) - 1
+            self._index[sock.socket_id] = len(self._steps[sock.socket_id]) - 1
             self._set_socket_frequency(sock.socket_id)
 
     def _set_socket_frequency(self, socket_id: int) -> None:
-        freq = self._steps[self._index[socket_id]]
+        freq = self._steps[socket_id][self._index[socket_id]]
         socket = self.machine.topology.socket(socket_id)
         for core in socket.cores:
             self.machine.frequency.set_core_frequency(
@@ -90,7 +98,7 @@ class OndemandGovernorPolicy:
 
     def socket_frequency_ghz(self, socket_id: int) -> float:
         """The frequency the governor currently applies to a socket."""
-        return self._steps[self._index[socket_id]]
+        return self._steps[socket_id][self._index[socket_id]]
 
     def on_tick(self, now_s: float, dt_s: float) -> None:
         """Walk the frequency ladder once per period."""
@@ -109,7 +117,7 @@ class OndemandGovernorPolicy:
             index = self._index[sid]
             if utilization > self.up_threshold:
                 # Classic ondemand: jump straight to the top on pressure.
-                index = len(self._steps) - 1
+                index = len(self._steps[sid]) - 1
             elif utilization < self.down_threshold and index > 0:
                 index -= 1
             if index != self._index[sid]:

@@ -51,9 +51,13 @@ class StaticPerformancePolicy:
         machine = self.machine
         all_threads = {t.global_id for t in machine.topology.iter_threads()}
         machine.cstates.set_active_threads(all_threads)
-        machine.frequency.set_all_core_frequencies(
-            machine.params.core_turbo_ghz, machine.time_s
-        )
+        for sock in machine.topology.sockets:
+            turbo = machine.params_for(sock.socket_id).core_turbo_ghz
+            machine.frequency.set_socket_core_frequencies(
+                sock.socket_id,
+                {core.core_id: turbo for core in sock.cores},
+                machine.time_s,
+            )
         machine.set_epb_all(EnergyPerformanceBias.PERFORMANCE)
         for sock in machine.topology.sockets:
             machine.frequency.set_uncore_auto(sock.socket_id)

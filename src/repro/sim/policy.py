@@ -256,6 +256,14 @@ def _build_ecl_consolidate(
     return EclConsolidatePolicy.build(engine, config)
 
 
+def _build_ecl_cluster(
+    engine: "DatabaseEngine", config: "RunConfiguration"
+) -> ControlPolicy:
+    from repro.cluster.controller import ClusterController
+
+    return ClusterController.build(engine, config)
+
+
 register_policy(
     "ecl",
     _build_ecl,
@@ -294,6 +302,14 @@ register_policy(
     "migrate partitions off lightly loaded sockets and park the drained "
     "package into sleep (vacated memory lifts the Fig. 5 uncore "
     "dependency)",
+)
+register_policy(
+    "ecl-cluster",
+    _build_ecl_cluster,
+    description="the ECL on every node plus node-granular consolidation: "
+    "migrate partitions across node boundaries and power fully drained "
+    "nodes off entirely (boot latency and residual off-state wattage "
+    "modeled); on one node it degrades to the plain ECL",
 )
 
 #: The policy a :class:`RunConfiguration` uses when none is given.

@@ -23,6 +23,7 @@ from repro.dbms.config import EngineConfig
 from repro.dbms.engine import DatabaseEngine, EngineTickResult
 from repro.ecl.socket_ecl import EclParameters
 from repro.placement import DEFAULT_PLACEMENT, validate_placement_name
+from repro.hardware.cluster import ClusterSpec
 from repro.hardware.machine import Machine
 from repro.hardware.presets import HaswellEPParameters
 from repro.loadprofiles.base import LoadProfile
@@ -63,6 +64,11 @@ class RunConfiguration:
         default_factory=GeneratorParameters
     )
     machine_params: HaswellEPParameters | None = None
+    #: Multi-node fleet description; ``None`` (the default) builds the
+    #: historical single-node machine bit-for-bit.  Mutually exclusive
+    #: with ``machine_params`` (the cluster's node specs carry their own
+    #: hardware parameters).
+    cluster: ClusterSpec | None = None
     #: Fill the ECL's profiles from the analytical model at t=0 instead of
     #: simulating the initial multiplexed sweep.
     warm_start: bool = True
@@ -92,6 +98,11 @@ class RunConfiguration:
             raise SimulationError(
                 "switch_at_s and switch_workload must be given together"
             )
+        if self.cluster is not None and self.machine_params is not None:
+            raise SimulationError(
+                "machine_params and cluster are mutually exclusive: the "
+                "cluster's node specs carry their own hardware parameters"
+            )
 
 
 class SimulationRunner:
@@ -114,6 +125,7 @@ class SimulationRunner:
             params=config.machine_params,
             seed=config.seed,
             step_cache_size=config.step_cache_size,
+            cluster=config.cluster,
         )
         self.engine = DatabaseEngine(
             self.machine,

@@ -54,7 +54,9 @@ from repro.workloads.base import Workload
 #: v4: the load generator pre-draws arrival blocks on a vectorized grid,
 #: which changes every arrival stream (and configurations gained
 #: ``macro_step``).
-CACHE_VERSION = 4
+#: v5: configurations gained ``cluster`` (default runs are unchanged, but
+#: the signature schema is new).
+CACHE_VERSION = 5
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 

@@ -230,6 +230,46 @@ def render_trace_report(events: Sequence[dict]) -> str:
             for (src, dst), n in sorted(by_route.items())
         ]
 
+    node_events = _events_of(events, "node_power")
+    if node_events:
+        lines += ["", "## Node power", ""]
+        # Per-node time-in-state: walk the transition stream; each event
+        # carries the full state map, so gaps (ring-buffer drops) only
+        # blur the interval they cover.
+        off_time: dict[str, float] = {}
+        booting: dict[str, int] = {}
+        offs: dict[str, int] = {}
+        previous: dict[str, str] | None = None
+        previous_t = 0.0
+        for e in node_events:
+            t = float(e["t"])
+            states = dict(e.get("states") or {})
+            if previous is not None:
+                for node, state in previous.items():
+                    if state == "off":
+                        off_time[node] = off_time.get(node, 0.0) + (t - previous_t)
+            for node, state in states.items():
+                if previous is not None and previous.get(node) == state:
+                    continue
+                if state == "booting":
+                    booting[node] = booting.get(node, 0) + 1
+                elif state == "off":
+                    offs[node] = offs.get(node, 0) + 1
+            previous, previous_t = states, t
+        ends = _events_of(events, "run_end")
+        end_t = float(ends[-1]["duration_s"]) if ends else previous_t
+        if previous is not None:
+            for node, state in previous.items():
+                if state == "off":
+                    off_time[node] = off_time.get(node, 0.0) + (end_t - previous_t)
+        lines.append(f"- {len(node_events)} node power transitions")
+        for node in sorted(offs | booting | off_time, key=int):
+            lines.append(
+                f"- node {node}: powered off {offs.get(node, 0)}x "
+                f"({off_time.get(node, 0.0):.3g} s dark), "
+                f"booted {booting.get(node, 0)}x"
+            )
+
     macros = _events_of(events, "macro")
     if macros:
         macro = macros[-1]

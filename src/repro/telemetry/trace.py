@@ -23,6 +23,10 @@ run is hot, trivially JSON-serializable afterwards):
     engine's :attr:`~repro.dbms.engine.DatabaseEngine.migration_log`
     entry (source/target socket, bytes copied, messages shipped,
     per-side instruction cost).
+``node_power``
+    a node power transition (cluster runs only) — detected via the
+    machine's ``node_power_version`` counter, with the full per-node
+    state map (``on`` / ``booting`` / ``off``) after the transition.
 ``run_end``
     final totals, including how many events the ring buffer dropped.
 
@@ -111,6 +115,7 @@ class TraceRecorder(RunObserver):
         self._runner: "SimulationRunner | None" = None
         self._result: "RunResult | None" = None
         self._versions: tuple[int, int] | None = None
+        self._node_version: int | None = None
         self._state: dict[str, object] | None = None
         self._samples_seen = 0
         self._migrations_seen = 0
@@ -139,19 +144,22 @@ class TraceRecorder(RunObserver):
         self._migrations_seen = 0
         machine = runner.machine
         self._versions = (machine.frequency.version, machine.cstates.version)
+        self._node_version = machine.node_power_version
         self._state = control_state(machine)
-        self._emit(
-            {
-                "event": "run_start",
-                "policy": result.policy,
-                "workload": result.workload_name,
-                "profile": result.profile_name,
-                "tick_s": runner.config.tick_s,
-                "duration_s": result.duration_s,
-                "requested_duration_s": result.requested_duration_s,
-                "initial_state": self._state,
-            }
-        )
+        event: dict[str, object] = {
+            "event": "run_start",
+            "policy": result.policy,
+            "workload": result.workload_name,
+            "profile": result.profile_name,
+            "tick_s": runner.config.tick_s,
+            "duration_s": result.duration_s,
+            "requested_duration_s": result.requested_duration_s,
+            "initial_state": self._state,
+        }
+        # Single-node runs keep the historical event schema untouched.
+        if machine.node_count > 1:
+            event["nodes"] = self._node_power_states(machine)
+        self._emit(event)
 
     def on_arrival(self, now_s: float, query: "Query") -> None:
         if self.record_arrivals:
@@ -159,10 +167,33 @@ class TraceRecorder(RunObserver):
                 {"event": "arrival", "t": now_s, "query_id": query.query_id}
             )
 
+    @staticmethod
+    def _node_power_states(machine: "Machine") -> dict[str, str]:
+        return {
+            str(node): machine.node_power_state(node).name.lower()
+            for node in range(machine.node_count)
+        }
+
+    def _check_node_power(self, now_s: float) -> None:
+        runner = self._runner
+        assert runner is not None
+        machine = runner.machine
+        if machine.node_power_version == self._node_version:
+            return
+        self._node_version = machine.node_power_version
+        self._emit(
+            {
+                "event": "node_power",
+                "t": now_s,
+                "states": self._node_power_states(machine),
+            }
+        )
+
     def after_control(self, now_s: float, dt_s: float) -> None:
         runner = self._runner
         assert runner is not None
         machine = runner.machine
+        self._check_node_power(now_s)
         versions = (machine.frequency.version, machine.cstates.version)
         if versions == self._versions:
             return
@@ -192,6 +223,8 @@ class TraceRecorder(RunObserver):
         result = self._result
         runner = self._runner
         assert result is not None and runner is not None
+        # A BOOTING -> ON settle happens inside the engine phase.
+        self._check_node_power(now_s)
         # Mirror samples the SamplingObserver appended this tick.
         for sample in result.samples[self._samples_seen :]:
             record = asdict(sample)

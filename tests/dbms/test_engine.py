@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import PartitionError, SimulationError
+from repro.errors import SimulationError
 from repro.dbms.engine import DatabaseEngine
 from repro.dbms.messages import Message, WorkCost
 from repro.dbms.queries import Query, QueryStage
@@ -39,9 +39,9 @@ class TestSetup:
         assert len(engine.partitions) == 8
 
     def test_too_few_partitions_rejected(self, machine):
-        # Rejected by PartitionMap (a StorageError) before the engine's
-        # own coverage check can fire.
-        with pytest.raises(PartitionError):
+        # The engine's coverage check fires before PartitionMap is even
+        # built, with a cluster-aware SimulationError message.
+        with pytest.raises(SimulationError, match="must cover"):
             DatabaseEngine(machine, partition_count=1)
 
 
