@@ -64,11 +64,14 @@ MIN_DAY_POLICY_TICKS_PER_S = {
 }
 
 #: The cluster fleet row: the same day replayed on a multi-node machine
-#: under ``ecl-cluster`` (node drain, power-off, boot cycles).  Stepping
-#: N nodes costs ~N single-node steps, so the floor scales down with the
-#: fleet size (reference container: ~9-11k ticks/s macro-on at 3 nodes).
+#: under ``ecl-cluster`` (node drain, power-off, boot cycles).  The
+#: node-axis step retires the whole fleet's counters in vectorized bank
+#: passes and node boots fold into macro spans, so the fleet row runs
+#: within ~2x of single-node throughput (reference container: ~15-19k
+#: ticks/s macro-on at 3 nodes; the floor locks in the vectorization
+#: win while leaving slack for slow CI machines).
 CLUSTER_NODES = 3
-MIN_CLUSTER_TICKS_PER_S = 1500.0
+MIN_CLUSTER_TICKS_PER_S = 4000.0
 
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_tick_throughput.json"
 

@@ -315,11 +315,30 @@ def cmd_report(args: argparse.Namespace) -> int:
     if bool(args.trace) == bool(args.cache_dir):
         raise SystemExit("report needs exactly one of --trace or --cache-dir")
     if args.trace:
-        events = read_trace(args.trace)
-        if args.format == "csv":
-            text = trace_samples_csv(events)
+        trace_path = Path(args.trace)
+        if trace_path.is_dir():
+            # A directory of runs: one report per trace, each rendered
+            # independently so single-node and cluster traces can mix
+            # without one run's schema assumptions breaking another's.
+            traces = sorted(trace_path.glob("*.jsonl"))
+            if not traces:
+                raise SystemExit(f"no .jsonl traces under {trace_path}")
+            if args.format == "csv":
+                raise SystemExit(
+                    "csv format needs a single trace file, "
+                    f"not the directory {trace_path}"
+                )
+            parts = []
+            for trace in traces:
+                report = render_trace_report(read_trace(trace))
+                parts.append(f"# {trace.name}\n\n{report}")
+            text = "\n\n---\n\n".join(parts)
         else:
-            text = render_trace_report(events)
+            events = read_trace(trace_path)
+            if args.format == "csv":
+                text = trace_samples_csv(events)
+            else:
+                text = render_trace_report(events)
     else:
         results = cached_results(args.cache_dir)
         if not results:
@@ -456,7 +475,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="render a recorded trace or a cached suite into a report",
     )
     rep_p.add_argument("--trace", metavar="PATH",
-                       help="JSONL trace written by `repro run --trace`")
+                       help="JSONL trace written by `repro run --trace`, or "
+                            "a directory of such traces (one report each)")
     rep_p.add_argument("--cache-dir", metavar="DIR",
                        help="experiment-suite result cache to summarize")
     rep_p.add_argument("--format", choices=("markdown", "csv"),

@@ -35,19 +35,32 @@ before its sockets can be reactivated and partitions migrated back, so a
 wake spans several control ticks — power-on, boot settle, socket
 reactivation, then the next planning round's spread migrations.  A
 freshly reactivated node is still empty until that round runs, so it is
-protected from re-parking until a replan has seen it live — without
-this the settle pass would power it straight back off and the wake
-would never take.
+protected from re-parking by a time-based cooldown: for
+``wake_hold_intervals`` planning intervals after reactivation the node
+cannot be parked, giving the planner several rounds to either populate
+it (the load that woke it is still there) or let the hold lapse and
+park it once, deliberately.  A flag cleared by "the next replan that
+sees the node live" is not enough — under a flat near-setpoint load
+that replan may momentarily read below the spread threshold, park the
+still-empty node it just booted, and cycle node power indefinitely.
 
 Node 0 is the anchor: it is never drained, so the cluster always has an
 online intake path (and on the ``mixed`` preset the anchor is the brawny
 node, matching the wimpy/brawny deployment the preset models).
 
 Macro protocol: spans are refused while migrations are in flight, while
-any node is booting or awaiting reactivation, and while a drained node
-awaits its power-off — all of these advance state tick-by-tick.
-Otherwise the inner ECL's horizon is tightened by the next planning
-check, so the controller contributes its own ``macro_horizon_s``.
+a woken node awaits socket reactivation, and while a drained node awaits
+its power-off — those advance state tick-by-tick.  A *booting* node does
+not pin the run live: the machine's own event horizon
+(:meth:`~repro.hardware.machine.Machine.next_internal_event_s`) caps
+every span at the boot deadline, so the settle tick itself runs live at
+exactly the tick the per-tick path would settle on, while the ~1000
+ticks of a 2 s boot fold like any other steady state.  In-span *replays*
+(:meth:`macro_step_tick`) still refuse while booting — the replay path
+does not consult the machine horizon, so replaying a control tick that
+coincides with the boot deadline would settle the node a tick late.
+Wake-hold expiries bound the horizon the same way the planning check
+does.
 """
 
 from __future__ import annotations
@@ -97,12 +110,23 @@ class ClusterController:
         self.cooldown_intervals = 2
         #: Sockets currently parked because their node is drained.
         self._drained: set[int] = set()
-        #: Nodes whose sockets just reactivated after a boot, protected
-        #: from re-parking until a planning round has seen them live.
-        #: Without this a node woken for a spread is still empty when
-        #: the (cooldown-delayed) replan comes around, so ``_settle``
-        #: would park it right back and the wake would never take.
-        self._waking: set[int] = set()
+        #: Planning intervals a freshly woken node is protected from
+        #: re-parking.  Time-based — measured on the tick clock from the
+        #: moment the node's sockets reactivate — so the protection
+        #: cannot be consumed by a single below-threshold utilization
+        #: reading the way a seen-live flag could.  Eight intervals give
+        #: the planner several rounds to spread load onto the node; if
+        #: none does, the boot was mistaken and one deliberate park ends
+        #: it (no oscillation: re-waking needs a fresh spread trigger).
+        self.wake_hold_intervals = 8
+        #: Tick-clock time until which each woken node may not be parked.
+        self._wake_hold_until: dict[int, float] = {}
+        #: Node power version at the last wake-completion scan (the scan
+        #: only finds work when a node changed power state).
+        self._seen_power_version = -1
+        #: Memoized ``_reactivation_pending`` answer, keyed on
+        #: (node power version, drained-set size).
+        self._reactivation_cache: tuple[tuple[int, int], bool] | None = None
         #: Why :meth:`macro_view` last refused a span (telemetry).
         self.macro_cut: str = ""
 
@@ -141,11 +165,11 @@ class ClusterController:
         # steps; fold it in before any decision looks at node states.
         self.machine.settle_node_power()
         self.inner.on_tick(now_s, dt_s)
-        self._complete_wakes()
+        self._complete_wakes(now_s)
         if now_s + 1e-12 >= self._next_check_s:
             self._next_check_s += self.check_interval_s
             self._replan(now_s)
-        self._settle()
+        self._settle(now_s)
 
     def annotate_sample(self) -> SampleAnnotations:
         return self.inner.annotate_sample()
@@ -155,18 +179,23 @@ class ClusterController:
     ) -> tuple[float, dict[int, float]] | None:
         """Steady-state view for the macro-stepping runner.
 
-        Migrations, node boots, pending socket reactivations, and pending
-        node parks all advance controller state on exact ticks, so each
-        pins the run live.  Otherwise the inner ECL's horizon is
-        tightened by the next node-planning check.
+        Migrations, pending socket reactivations, and pending node parks
+        all advance controller state on exact ticks, so each pins the
+        run live.  A booting node does *not*: the machine horizon caps
+        every span at the boot deadline, so the settle tick runs live on
+        its exact tick while the boot itself folds.  Otherwise the inner
+        ECL's horizon is tightened by the next node-planning check and
+        by the earliest wake-hold expiry (a held node may become
+        parkable the moment its hold lapses, and that park must land on
+        the same tick as per-tick mode).
         """
         if self.engine.migrations.active_count:
             self.macro_cut = "migration"
             return None
-        if self._booting_nodes() or self._reactivation_pending():
+        if self._reactivation_pending():
             self.macro_cut = "node-power"
             return None
-        if self._parkable_node() is not None:
+        if self._parkable_node(now_s) is not None:
             self.macro_cut = "node-drain"
             return None
         view = self.inner.macro_view(now_s, dt_s)
@@ -174,7 +203,11 @@ class ClusterController:
             self.macro_cut = self.inner.macro_cut
             return None
         horizon, charges = view
-        return min(horizon, self._next_check_s), charges
+        horizon = min(horizon, self._next_check_s)
+        for hold in self._wake_hold_until.values():
+            if now_s + 1e-12 < hold:
+                horizon = min(horizon, hold)
+        return horizon, charges
 
     def macro_step_tick(self, now_s: float, dt_s: float) -> bool:
         """Replay one hardware-inert control tick inside a macro span.
@@ -182,7 +215,11 @@ class ClusterController:
         Mirrors :meth:`on_tick`, except that anything touching node
         power or placement forces the tick live — within a span no
         messages move, so none of those conditions can *arise* here; the
-        checks catch state left over from the last live tick.
+        checks catch state left over from the last live tick.  Booting
+        refuses replays even though spans may fold a boot: the replay
+        path does not consult the machine's boot-deadline horizon, so a
+        replayed control tick coinciding with the deadline would skip
+        the settle and flip the node one tick late vs per-tick mode.
         """
         if self.engine.migrations.active_count:
             return False
@@ -190,7 +227,7 @@ class ClusterController:
             return False
         if now_s + 1e-12 >= self._next_check_s:
             return False  # the node-planning check replans / migrates
-        if self._parkable_node() is not None:
+        if self._parkable_node(now_s) is not None:
             return False
         return self.inner.macro_step_tick(now_s, dt_s)
 
@@ -254,10 +291,6 @@ class ClusterController:
     def _replan(self, now_s: float) -> None:
         if self.engine.migrations.active_count:
             return  # let the current wave land before planning the next
-        # Freshly woken nodes have now been seen live by a planning
-        # round; if the plan below still has no use for them, ``_settle``
-        # is free to park them again.
-        self._waking = {n for n in self._waking if not self._node_is_live(n)}
         requested = False
         plan = self.planner.plan(self._node_view(now_s))
         # Requests targeting nodes that are off or mid-wake cannot be
@@ -289,28 +322,44 @@ class ClusterController:
         )
 
     def _booting_nodes(self) -> bool:
-        return any(
-            self.machine.node_power_state(node) is NodePowerState.BOOTING
-            for node in range(self.machine.node_count)
-        )
+        return self.machine.booting_node_count > 0
 
     def _reactivation_pending(self) -> bool:
-        """A woken node whose sockets still await reactivation."""
-        return any(
+        """A woken node whose sockets still await reactivation.
+
+        Gated on the machine's node power version: with no power-state
+        change since the last scan the answer cannot have changed, and
+        this is probed on every macro attempt.
+        """
+        if not self._drained:
+            return False
+        # The drained set only shrinks on wakes (no power-version bump),
+        # so its size joins the key; it only grows alongside a power-off.
+        key = (self.machine.node_power_version, len(self._drained))
+        cached = self._reactivation_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        pending = any(
             self.machine.node_power_state(self.machine.node_of_socket(sid))
             is NodePowerState.ON
             for sid in self._drained
         )
+        self._reactivation_cache = (key, pending)
+        return pending
 
-    def _parkable_node(self) -> int | None:
+    def _parkable_node(self, now_s: float) -> int | None:
         """First non-anchor node that has fully drained and awaits park."""
         for node in range(self.machine.node_count):
             if node == ANCHOR_NODE:
                 continue
             if self.machine.node_power_state(node) is not NodePowerState.ON:
                 continue
-            if node in self._waking:
-                continue  # just woken; the next replan decides its fate
+            hold = self._wake_hold_until.get(node)
+            if hold is not None:
+                if now_s + 1e-12 < hold:
+                    continue  # wake cooldown: just booted, give the
+                    # planner time to put load on it before re-parking
+                del self._wake_hold_until[node]
             sids = self.machine.node_sockets(node)
             if any(sid in self._drained for sid in sids):
                 continue  # mid-wake; reactivation owns these sockets
@@ -323,11 +372,11 @@ class ClusterController:
                 return node
         return None
 
-    def _settle(self) -> None:
+    def _settle(self, now_s: float) -> None:
         """Park-and-power-off nodes that have finished draining."""
         if self.engine.migrations.active_count:
             return
-        while (node := self._parkable_node()) is not None:
+        while (node := self._parkable_node(now_s)) is not None:
             self._park_node(node)
 
     def _park_node(self, node: int) -> None:
@@ -343,13 +392,27 @@ class ClusterController:
         if self.machine.node_power_state(node) is NodePowerState.OFF:
             self.machine.power_on_node(node)
 
-    def _complete_wakes(self) -> None:
-        """Reactivate the sockets of nodes that have finished booting."""
+    def _complete_wakes(self, now_s: float) -> None:
+        """Reactivate the sockets of nodes that have finished booting.
+
+        Reactivation starts each node's wake-hold cooldown: the hold is
+        anchored to *this* tick's clock so both the per-tick and macro
+        paths (which settle boots on the same tick) compute the same
+        expiry, keeping park decisions bit-identical across modes.
+        """
+        if not self._drained:
+            return
+        version = self.machine.node_power_version
+        if version == self._seen_power_version:
+            return  # no node changed power state since the last scan
+        self._seen_power_version = version
         for sid in sorted(self._drained):
             node = self.machine.node_of_socket(sid)
             if self.machine.node_power_state(node) is NodePowerState.ON:
                 self._wake_socket(sid)
-                self._waking.add(node)
+                self._wake_hold_until[node] = (
+                    now_s + self.wake_hold_intervals * self.check_interval_s
+                )
 
     def _wake_socket(self, socket_id: int) -> None:
         self._drained.discard(socket_id)

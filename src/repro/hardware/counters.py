@@ -4,6 +4,14 @@ The paper uses "instructions retired by all of the active hardware
 threads on the socket" as the workload-agnostic performance score of a
 configuration (§4.1).  Hardware instruction counters are exact, so unlike
 :mod:`repro.hardware.rapl` no noise model is needed — only windowed reads.
+
+Storage is struct-of-arrays: an :class:`InstructionCounterBank` holds the
+totals of every socket in one numpy buffer so the machine can retire a
+whole fleet tick with a single vectorized add, while each
+:class:`InstructionCounter` is a scalar *view* onto one bank slot with
+the historical per-counter API.  Scalar and vectorized accumulation are
+bit-identical: an elementwise float64 ``+=`` performs the exact IEEE
+operation of the per-counter Python ``+=``.
 """
 
 from __future__ import annotations
@@ -23,24 +31,88 @@ class CounterReading:
     timestamp_s: float
 
 
-class InstructionCounter:
-    """Accumulates instructions retired on one socket."""
+class InstructionCounterBank:
+    """Struct-of-arrays store for the instruction counters of N sockets."""
 
-    def __init__(self) -> None:
-        self._instructions = 0.0
-        self._now_s = 0.0
+    def __init__(self, count: int) -> None:
+        if count < 1:
+            raise HardwareError(f"bank needs >= 1 counter, got {count}")
+        #: Instructions retired per socket since construction.
+        self.totals = np.zeros(count, dtype=np.float64)
+        #: Timestamp of the last accumulation per socket.
+        self.now_s = np.zeros(count, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self.totals)
+
+    def view(self, index: int) -> "InstructionCounter":
+        """A scalar counter bound to one slot of this bank."""
+        return InstructionCounter(_bank=self, _index=index)
+
+    def accumulate_all(self, instructions: np.ndarray, now_s: float) -> None:
+        """Retire ``instructions[i]`` on every counter ``i`` at ``now_s``.
+
+        One vectorized pass over the socket axis; element ``i`` performs
+        exactly the float64 ``+=`` of ``view(i).accumulate(...)``.  The
+        caller (the machine's step loop) guarantees non-negative counts —
+        they come straight from resolved step results — so unlike the
+        scalar path no validation reduce runs here.
+        """
+        self.totals += instructions
+        self.now_s[:] = now_s
+
+    def accumulate_span_all(
+        self, instructions: np.ndarray, times: np.ndarray
+    ) -> None:
+        """Replay ``accumulate_all(instructions, t)`` for every ``t`` in ``times``.
+
+        ``np.add.accumulate`` along the tick axis of an ``(n+1, sockets)``
+        matrix is a strict top-to-bottom fold per column, so every
+        counter's total is bit-identical to the per-tick loop while the
+        whole fleet folds in one C call.  Caller guarantees non-negative
+        counts (see :meth:`accumulate_all`).
+        """
+        n = len(times)
+        if n == 0:
+            return
+        grid = np.empty((n + 1, len(self.totals)), dtype=np.float64)
+        grid[0] = self.totals
+        grid[1:] = instructions
+        fold = np.add.accumulate(grid, axis=0)
+        self.totals = fold[-1].copy()
+        self.now_s[:] = times[-1]
+
+
+class InstructionCounter:
+    """Accumulates instructions retired on one socket.
+
+    A view over one :class:`InstructionCounterBank` slot; standalone
+    construction makes a private single-slot bank.
+    """
+
+    def __init__(
+        self,
+        _bank: InstructionCounterBank | None = None,
+        _index: int = 0,
+    ) -> None:
+        self._bank = _bank if _bank is not None else InstructionCounterBank(1)
+        self._index = _index
 
     @property
     def total_instructions(self) -> float:
         """Instructions retired since machine construction."""
-        return self._instructions
+        return float(self._bank.totals[self._index])
+
+    @property
+    def _now_s(self) -> float:
+        return float(self._bank.now_s[self._index])
 
     def accumulate(self, instructions: float, now_s: float) -> None:
         """Add retired instructions up to time ``now_s``."""
         if instructions < 0:
             raise HardwareError(f"negative instruction count {instructions}")
-        self._instructions += instructions
-        self._now_s = now_s
+        self._bank.totals[self._index] += instructions
+        self._bank.now_s[self._index] = now_s
 
     def accumulate_span(self, instructions: float, times: np.ndarray) -> None:
         """Replay ``accumulate(instructions, t)`` for every ``t`` in ``times``.
@@ -55,14 +127,16 @@ class InstructionCounter:
         if n == 0:
             return
         fold = np.add.accumulate(
-            np.concatenate(([self._instructions], np.full(n, instructions)))
+            np.concatenate(([self.total_instructions], np.full(n, instructions)))
         )
-        self._instructions = float(fold[-1])
-        self._now_s = float(times[-1])
+        self._bank.totals[self._index] = float(fold[-1])
+        self._bank.now_s[self._index] = float(times[-1])
 
     def read(self) -> CounterReading:
         """Read the counter."""
-        return CounterReading(instructions=self._instructions, timestamp_s=self._now_s)
+        return CounterReading(
+            instructions=self.total_instructions, timestamp_s=self._now_s
+        )
 
     @staticmethod
     def window_rate(start: CounterReading, end: CounterReading) -> float:

@@ -24,7 +24,11 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.hardware.cluster import ClusterSpec, NodePowerState
-from repro.hardware.counters import CounterReading, InstructionCounter
+from repro.hardware.counters import (
+    CounterReading,
+    InstructionCounter,
+    InstructionCounterBank,
+)
 from repro.hardware.cstates import CState, CStateModel
 from repro.hardware.frequency import EnergyPerformanceBias, FrequencyDomains
 from repro.hardware.perfmodel import (
@@ -36,7 +40,12 @@ from repro.hardware.perfmodel import (
 )
 from repro.hardware.power import CorePowerState, PowerBreakdown, PowerModel
 from repro.hardware.presets import HaswellEPParameters, haswell_ep_two_socket
-from repro.hardware.rapl import RaplCounter, RaplDomain, RaplReading
+from repro.hardware.rapl import (
+    RaplCounter,
+    RaplCounterBank,
+    RaplDomain,
+    RaplReading,
+)
 from repro.hardware.topology import Topology
 
 #: Placeholder characteristics for a socket with no assigned workload.
@@ -214,6 +223,9 @@ class Machine:
         self._node_boot_until: list[float] = [
             float("-inf") for _ in self._node_sockets
         ]
+        #: BOOTING nodes and their deadlines — the O(1) index behind
+        #: :meth:`settle_node_power` / :meth:`next_internal_event_s`.
+        self._booting: dict[int, float] = {}
         #: Monotonic counter bumped on every node power transition
         #: (telemetry watches it the way it watches frequency versions).
         self.node_power_version = 0
@@ -237,16 +249,48 @@ class Machine:
                             dram_w=0.0,
                         )
 
+        #: Node-major struct-of-arrays buffers: every per-socket scalar
+        #: the hot step path folds — counter state, per-tick powers,
+        #: thermal credit — lives at index ``socket_id`` of a numpy
+        #: array (global socket ids are node-major), so a fleet tick is
+        #: one vectorized pass over the socket axis instead of N
+        #: per-socket Python loops.
+        socket_count = len(self.topology.sockets)
+        self._socket_count = socket_count
+        self._socket_ids = tuple(s.socket_id for s in self.topology.sockets)
+        params_by_sid = [self._socket_params[sid] for sid in self._socket_ids]
+        self._tdp_w_arr = np.array([p.tdp_w for p in params_by_sid])
+        self._budget_arr = np.array(
+            [p.thermal_budget_s for p in params_by_sid]
+        )
+        self._half_budget_arr = 0.5 * self._budget_arr
+        self._recovery_arr = np.array(
+            [p.thermal_recovery_rate for p in params_by_sid]
+        )
+
         rng = np.random.default_rng(seed)
+        self._instr_bank = InstructionCounterBank(socket_count)
+        #: RAPL bank slot layout: ``2 * socket_id + domain`` with the
+        #: :class:`RaplDomain` enum order (PACKAGE even, DRAM odd).
+        self._rapl_bank = RaplCounterBank(
+            np.array(
+                [
+                    p.rapl_update_period_s
+                    for p in params_by_sid
+                    for _ in RaplDomain
+                ]
+            )
+        )
         self._rapl: dict[tuple[int, RaplDomain], RaplCounter] = {}
         self._instructions: dict[int, InstructionCounter] = {}
         for sock in self.topology.sockets:
-            for domain in RaplDomain:
+            sid = sock.socket_id
+            for index, domain in enumerate(RaplDomain):
                 child = np.random.default_rng(rng.integers(0, 2**63))
-                self._rapl[(sock.socket_id, domain)] = RaplCounter(
-                    self._socket_params[sock.socket_id], domain, child
+                self._rapl[(sid, domain)] = self._rapl_bank.view(
+                    2 * sid + index, self._socket_params[sid], domain, child
                 )
-            self._instructions[sock.socket_id] = InstructionCounter()
+            self._instructions[sid] = self._instr_bank.view(sid)
 
         self._loads: dict[int, SocketLoad] = {
             sock.socket_id: SocketLoad(
@@ -257,13 +301,30 @@ class Machine:
         self._time_s = 0.0
         self._last_step: StepResult | None = None
         #: Remaining above-TDP headroom per socket (thermal throttling).
-        self._thermal_credit_s: dict[int, float] = {
-            sock.socket_id: self._socket_params[sock.socket_id].thermal_budget_s
-            for sock in self.topology.sockets
-        }
-        self._throttled: dict[int, bool] = {
-            sock.socket_id: False for sock in self.topology.sockets
-        }
+        self._thermal_credit = np.array(
+            [p.thermal_budget_s for p in params_by_sid]
+        )
+        self._throttled = np.zeros(socket_count, dtype=bool)
+
+        #: Per-tick scratch buffers.  ``_buf_rapl_w`` mirrors the RAPL
+        #: bank layout (package even, DRAM odd); after every step they
+        #: hold exactly the powers/rates of :attr:`last_step` (dark
+        #: slots are pre-filled by :meth:`_refresh_dark` and only
+        #: rewritten on node power transitions).
+        self._buf_retired = np.zeros(socket_count)
+        self._buf_rapl_w = np.zeros(2 * socket_count)
+        self._total_w: list[float] = [0.0] * socket_count
+        self._results: list[SocketStepResult | None] = [None] * socket_count
+        #: Per-socket memo of the last built :class:`SocketStepResult`,
+        #: keyed by the identity of the cached (performance, power)
+        #: resolution — steady states rebuild no result objects.
+        self._sres_memo: list[tuple | None] = [None] * socket_count
+        self._dark_results: dict[
+            tuple[int, NodePowerState], SocketStepResult
+        ] = {}
+        self._dark_mask = np.zeros(socket_count, dtype=bool)
+        self._live_sids: tuple[int, ...] = self._socket_ids
+        self._refresh_dark()
 
         #: Step-resolution memoization (see :meth:`_resolve_socket`).  The
         #: inputs of a socket's per-step resolution are piecewise-constant
@@ -340,6 +401,7 @@ class Machine:
                 )
         self._node_state[node] = NodePowerState.OFF
         self.node_power_version += 1
+        self._refresh_dark()
         for sid in self._node_sockets[node]:
             self._note_switch(sid)
 
@@ -365,7 +427,9 @@ class Machine:
         else:
             self._node_state[node] = NodePowerState.BOOTING
             self._node_boot_until[node] = self._time_s + power_up
+            self._booting[node] = self._node_boot_until[node]
         self.node_power_version += 1
+        self._refresh_dark()
         for sid in self._node_sockets[node]:
             self._note_switch(sid)
 
@@ -374,17 +438,69 @@ class Machine:
 
         Idempotent; :meth:`step` calls it automatically, and controllers
         call it at the top of their control phase so a boot completing on
-        the previous tick is visible before decisions are made.
+        the previous tick is visible before decisions are made.  O(1)
+        when nothing is booting (the common case on every tick).
         """
+        if not self._booting:
+            return
+        settled = [
+            node
+            for node, deadline in self._booting.items()
+            if self._time_s >= deadline
+        ]
+        for node in settled:
+            del self._booting[node]
+            self._node_state[node] = NodePowerState.ON
+            self.node_power_version += 1
+            for sid in self._node_sockets[node]:
+                self._note_switch(sid)
+        if settled:
+            self._refresh_dark()
+
+    @property
+    def booting_node_count(self) -> int:
+        """Number of nodes currently BOOTING (O(1))."""
+        return len(self._booting)
+
+    def _refresh_dark(self) -> None:
+        """Rebuild the dark-socket mask and pre-fill dark buffer slots.
+
+        Called on every node power transition.  Dark sockets (node OFF
+        or BOOTING) contribute constants to the step fold — zero work,
+        the node-level residual/boot share as package power — so their
+        buffer slots and :class:`SocketStepResult` are written once here
+        and the per-tick pass only touches live sockets.
+        """
+        mask = self._dark_mask
+        mask[:] = False
+        dark: list[int] = []
         for node, state in enumerate(self._node_state):
-            if (
-                state is NodePowerState.BOOTING
-                and self._time_s >= self._node_boot_until[node]
-            ):
-                self._node_state[node] = NodePowerState.ON
-                self.node_power_version += 1
+            if state is not NodePowerState.ON:
                 for sid in self._node_sockets[node]:
-                    self._note_switch(sid)
+                    mask[sid] = True
+                    dark.append(sid)
+        self._live_sids = tuple(
+            sid for sid in self._socket_ids if not mask[sid]
+        )
+        for sid in dark:
+            state = self._node_state[self._socket_node[sid]]
+            key = (sid, state)
+            sres = self._dark_results.get(key)
+            if sres is None:
+                sres = SocketStepResult(
+                    performance=_DARK_PERFORMANCE,
+                    power=self._dark_power[key],
+                    executed_instructions=0.0,
+                    uncore_ghz=0.0,
+                    uncore_halted=True,
+                )
+                self._dark_results[key] = sres
+            power = sres.power
+            self._results[sid] = sres
+            self._buf_retired[sid] = 0.0
+            self._buf_rapl_w[2 * sid] = power.package_w
+            self._buf_rapl_w[2 * sid + 1] = power.dram_w
+            self._total_w[sid] = power.socket_total_w
 
     # -- time ---------------------------------------------------------------
 
@@ -485,11 +601,11 @@ class Machine:
 
     def thermally_throttled(self, socket_id: int) -> bool:
         """Whether the socket currently caps turbo at the nominal clock."""
-        return self._throttled[socket_id]
+        return bool(self._throttled[socket_id])
 
     def thermal_credit_s(self, socket_id: int) -> float:
         """Remaining above-TDP operation budget of a socket."""
-        return self._thermal_credit_s[socket_id]
+        return float(self._thermal_credit[socket_id])
 
     def _active_cores(self, socket_id: int) -> list[ActiveCore]:
         """Active physical cores of a socket with their effective clocks.
@@ -542,7 +658,7 @@ class Machine:
             self.frequency.state_fingerprint(socket_id),
             self.cstates.state_fingerprint(socket_id),
             self.frequency.turbo_dwell_signature(socket_id, self._time_s),
-            self._throttled[socket_id],
+            bool(self._throttled[socket_id]),
         )
 
     def _compute_socket(
@@ -718,75 +834,84 @@ class Machine:
     def step(self, dt_s: float) -> StepResult:
         """Advance the machine by ``dt_s`` seconds.
 
-        Resolves performance for every socket under its declared load
-        (through the step-resolution cache), accumulates RAPL energy and
-        retired instructions, and returns the step outcome.
+        Resolves performance for every live socket under its declared
+        load (through the step-resolution cache) into the node-major
+        buffers — dark sockets keep their mask-maintained constants —
+        then retires instructions, burns RAPL energy, and updates
+        thermal state in one vectorized pass over the socket axis.
+        Every array element performs the exact IEEE operations of the
+        former per-socket loop, so results are bit-identical.
         """
         if dt_s <= 0:
             raise ConfigurationError(f"step duration must be > 0, got {dt_s}")
         self.settle_node_power()
 
-        breakdowns: dict[int, PowerBreakdown] = {}
-        socket_results: dict[int, SocketStepResult] = {}
         new_time = self._time_s + dt_s
+        retired = self._buf_retired
+        rapl_w = self._buf_rapl_w
+        totals = self._total_w
+        results = self._results
+        memo = self._sres_memo
 
-        for sock in self.topology.sockets:
-            sid = sock.socket_id
-            node_state = self._node_state[self._socket_node[sid]]
-            if node_state is not NodePowerState.ON:
-                # Dark socket: the node is off or booting.  No work runs;
-                # the node-level residual/boot wattage is charged through
-                # the package RAPL domain so energy accounting stays one
-                # code path.
-                perf = _DARK_PERFORMANCE
-                power = self._dark_power[(sid, node_state)]
-                uncore_ghz, uncore_halted = 0.0, True
+        for sid in self._live_sids:
+            perf, power, uncore_ghz, uncore_halted = self._resolve_socket(
+                sid, self._loads[sid]
+            )
+            cached = memo[sid]
+            if (
+                cached is not None
+                and cached[0] is perf
+                and cached[1] is power
+                and cached[2] == dt_s
+            ):
+                sres = cached[3]
             else:
-                load = self._loads[sid]
-                perf, power, uncore_ghz, uncore_halted = self._resolve_socket(
-                    sid, load
+                sres = SocketStepResult(
+                    performance=perf,
+                    power=power,
+                    executed_instructions=perf.executed_ips * dt_s,
+                    uncore_ghz=uncore_ghz,
+                    uncore_halted=uncore_halted,
                 )
-            breakdowns[sid] = power
-
-            executed = perf.executed_ips * dt_s
+                memo[sid] = (perf, power, dt_s, sres)
+            results[sid] = sres
+            base = 2 * sid
             # The counters see *retired* instructions — inflated by latch
             # spinning for transaction-oriented workloads (section 5.3).
-            self._instructions[sid].accumulate(perf.retired_ips * dt_s, new_time)
-            self._rapl[(sid, RaplDomain.PACKAGE)].accumulate(
-                power.package_w, dt_s, new_time
-            )
-            self._rapl[(sid, RaplDomain.DRAM)].accumulate(
-                power.dram_w, dt_s, new_time
-            )
+            retired[sid] = perf.retired_ips
+            rapl_w[base] = power.package_w
+            rapl_w[base + 1] = power.dram_w
+            totals[sid] = power.socket_total_w
 
-            # Thermal bookkeeping: above-TDP operation drains the budget,
-            # below-TDP operation slowly restores it.
-            p = self._socket_params[sid]
-            credit = self._thermal_credit_s[sid]
-            if power.package_w > p.tdp_w:
-                credit -= dt_s
-                if credit <= 0.0:
-                    credit = 0.0
-                    self._throttled[sid] = True
-            else:
-                credit = min(
-                    p.thermal_budget_s,
-                    credit + p.thermal_recovery_rate * dt_s,
-                )
-                if credit >= 0.5 * p.thermal_budget_s:
-                    self._throttled[sid] = False
-            self._thermal_credit_s[sid] = credit
+        self._instr_bank.accumulate_all(retired * dt_s, new_time)
+        self._rapl_bank.accumulate_all(rapl_w, dt_s, new_time)
 
-            socket_results[sid] = SocketStepResult(
-                performance=perf,
-                power=power,
-                executed_instructions=executed,
-                uncore_ghz=uncore_ghz,
-                uncore_halted=uncore_halted,
-            )
+        # Thermal bookkeeping, masked over the socket axis: above-TDP
+        # operation drains the budget, below-TDP operation slowly
+        # restores it.  Dark sockets ride the same arrays (their package
+        # share is far below TDP, so they recover like idle sockets).
+        pkg_w = rapl_w[0::2]
+        credit = self._thermal_credit
+        throttled = self._throttled
+        above = pkg_w > self._tdp_w_arr
+        drained = credit - dt_s
+        crossed = drained <= 0.0
+        recovered = np.minimum(
+            self._budget_arr, credit + self._recovery_arr * dt_s
+        )
+        self._thermal_credit = np.where(
+            above, np.where(crossed, 0.0, drained), recovered
+        )
+        self._throttled = np.where(
+            above,
+            throttled | crossed,
+            throttled & ~(recovered >= self._half_budget_arr),
+        )
 
         if self.cluster is None:
-            psu = self.power_model.psu_power(breakdowns)
+            psu = self.power_model.psu_power(
+                {sid: results[sid].power for sid in self._socket_ids}
+            )
         else:
             # Per-node PSUs: ON/BOOTING nodes pay their own conversion
             # overhead on the node's RAPL-visible power; an OFF node
@@ -795,10 +920,9 @@ class Machine:
             # rails).
             psu = 0.0
             for node_index, node in enumerate(self.cluster.nodes):
-                node_rapl = sum(
-                    breakdowns[sid].socket_total_w
-                    for sid in self._node_sockets[node_index]
-                )
+                node_rapl = 0.0
+                for sid in self._node_sockets[node_index]:
+                    node_rapl += totals[sid]
                 if self._node_state[node_index] is NodePowerState.OFF:
                     psu += node_rapl
                 else:
@@ -808,7 +932,10 @@ class Machine:
                     )
         self._time_s = new_time
         result = StepResult(
-            time_s=new_time, dt_s=dt_s, sockets=socket_results, psu_power_w=psu
+            time_s=new_time,
+            dt_s=dt_s,
+            sockets=dict(zip(self._socket_ids, results)),
+            psu_power_w=psu,
         )
         self._last_step = result
         return result
@@ -826,9 +953,8 @@ class Machine:
         the latent events a macro span must stop short of.
         """
         expiry = self.frequency.next_dwell_expiry_s(self._time_s)
-        for node, state in enumerate(self._node_state):
-            if state is NodePowerState.BOOTING:
-                expiry = min(expiry, self._node_boot_until[node])
+        for deadline in self._booting.values():
+            expiry = min(expiry, deadline)
         return expiry
 
     def thermal_steady(self, socket_id: int) -> bool:
@@ -843,14 +969,38 @@ class Machine:
             return False
         power = last.sockets[socket_id].power
         p = self._socket_params[socket_id]
-        credit = self._thermal_credit_s[socket_id]
+        credit = float(self._thermal_credit[socket_id])
         if power.package_w > p.tdp_w:
-            return credit <= 0.0 and self._throttled[socket_id]
+            return credit <= 0.0 and bool(self._throttled[socket_id])
         recovered = min(p.thermal_budget_s, credit + p.thermal_recovery_rate * last.dt_s)
         if recovered != credit:
             return False
-        throttled = self._throttled[socket_id] and credit < 0.5 * p.thermal_budget_s
-        return throttled == self._throttled[socket_id]
+        throttled = bool(self._throttled[socket_id]) and (
+            credit < 0.5 * p.thermal_budget_s
+        )
+        return throttled == bool(self._throttled[socket_id])
+
+    def thermal_steady_all(self) -> bool:
+        """Vectorized :meth:`thermal_steady` over every socket at once.
+
+        Reads the last step's package powers from the step buffers
+        (which mirror :attr:`last_step` by construction).
+        """
+        last = self._last_step
+        if last is None:
+            return False
+        credit = self._thermal_credit
+        throttled = self._throttled
+        pkg_w = self._buf_rapl_w[0::2]
+        above = pkg_w > self._tdp_w_arr
+        steady_above = (credit <= 0.0) & throttled
+        recovered = np.minimum(
+            self._budget_arr, credit + self._recovery_arr * last.dt_s
+        )
+        steady_below = (recovered == credit) & (
+            ~throttled | (credit < self._half_budget_arr)
+        )
+        return bool(np.where(above, steady_above, steady_below).all())
 
     def span_step(self, dt_s: float, n_ticks: int) -> StepResult:
         """Advance ``n_ticks`` steps of ``dt_s`` in one steady-state span.
@@ -858,10 +1008,11 @@ class Machine:
         Requires that every per-socket step resolution is constant over
         the span (same configuration versions, dwell phase, thermal state,
         and a demand yielding the same resolved performance — the runner
-        verifies all of this before calling).  Each tick's counter
-        accumulation is replayed through the real counter methods with the
-        same folded timestamps the per-tick path would produce, so every
-        float — time, true energy, RAPL publish points, instructions — is
+        verifies all of this before calling).  The whole fleet folds in
+        two ``np.add.accumulate`` calls over an ``(n_ticks, counters)``
+        grid — a strict per-column left fold with the same folded
+        timestamps the per-tick path would produce, so every float —
+        time, true energy, RAPL publish points, instructions — is
         bit-identical to ``n_ticks`` individual :meth:`step` calls.
         """
         if dt_s <= 0:
@@ -871,46 +1022,27 @@ class Machine:
         last = self._last_step
         if last is None:
             raise ConfigurationError("span_step requires a preceding step")
-        for sock in self.topology.sockets:
-            if not self.thermal_steady(sock.socket_id):
-                raise ConfigurationError(
-                    f"socket {sock.socket_id} thermal state is not steady"
-                )
+        if not self.thermal_steady_all():
+            for sid in self._socket_ids:
+                if not self.thermal_steady(sid):
+                    raise ConfigurationError(
+                        f"socket {sid} thermal state is not steady"
+                    )
 
         t = self._time_s
-        per_socket = []
-        for sock in self.topology.sockets:
-            sid = sock.socket_id
+        times = np.add.accumulate(
+            np.concatenate(([t], np.full(n_ticks, dt_s)))
+        )[1:]
+        retired = np.empty(self._socket_count)
+        rapl_w = np.empty(2 * self._socket_count)
+        for sid in self._socket_ids:
             sres = last.sockets[sid]
-            per_socket.append(
-                (
-                    self._instructions[sid],
-                    sres.performance.retired_ips * dt_s,
-                    self._rapl[(sid, RaplDomain.PACKAGE)],
-                    sres.power.package_w,
-                    self._rapl[(sid, RaplDomain.DRAM)],
-                    sres.power.dram_w,
-                )
-            )
-        if n_ticks >= 32:
-            # Long span: fold the tick grid and every counter with
-            # np.add.accumulate (strict left fold, bit-identical to the
-            # scalar loop) so the replay runs in C.
-            times = np.add.accumulate(
-                np.concatenate(([t], np.full(n_ticks, dt_s)))
-            )[1:]
-            for instr, retired, pkg, pkg_w, dram, dram_w in per_socket:
-                instr.accumulate_span(retired, times)
-                pkg.accumulate_span(pkg_w, dt_s, times)
-                dram.accumulate_span(dram_w, dt_s, times)
-            t = float(times[-1])
-        else:
-            for _ in range(n_ticks):
-                t = t + dt_s
-                for instr, retired, pkg, pkg_w, dram, dram_w in per_socket:
-                    instr.accumulate(retired, t)
-                    pkg.accumulate(pkg_w, dt_s, t)
-                    dram.accumulate(dram_w, dt_s, t)
+            retired[sid] = sres.performance.retired_ips * dt_s
+            rapl_w[2 * sid] = sres.power.package_w
+            rapl_w[2 * sid + 1] = sres.power.dram_w
+        self._instr_bank.accumulate_span_all(retired, times)
+        self._rapl_bank.accumulate_span_all(rapl_w, dt_s, times)
+        t = float(times[-1])
         self._time_s = t
         result = StepResult(
             time_s=t, dt_s=dt_s, sockets=last.sockets, psu_power_w=last.psu_power_w

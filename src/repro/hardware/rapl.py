@@ -46,12 +46,118 @@ class RaplReading:
     timestamp_s: float
 
 
+class RaplCounterBank:
+    """Struct-of-arrays store for the RAPL counters of a whole fleet.
+
+    One slot per (socket, domain) pair; the owning machine accumulates
+    every counter of a tick — or a whole steady-state span — with a
+    single vectorized pass over the counter axis.  Each element performs
+    exactly the IEEE float64 operations of the scalar
+    :class:`RaplCounter` path, so banked and per-counter accumulation
+    are bit-identical.
+    """
+
+    def __init__(self, periods_s: np.ndarray) -> None:
+        count = len(periods_s)
+        if count < 1:
+            raise HardwareError(f"bank needs >= 1 counter, got {count}")
+        #: Publish period per counter (socket-parameter dependent).
+        self.periods_s = np.asarray(periods_s, dtype=np.float64).copy()
+        self.true_energy_j = np.zeros(count, dtype=np.float64)
+        self.published_energy_j = np.zeros(count, dtype=np.float64)
+        self.published_at_s = np.zeros(count, dtype=np.float64)
+        self.now_s = np.zeros(count, dtype=np.float64)
+        self.last_switch_s = np.full(count, -math.inf, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self.true_energy_j)
+
+    def view(
+        self,
+        index: int,
+        params: HaswellEPParameters,
+        domain: RaplDomain,
+        rng: np.random.Generator,
+    ) -> "RaplCounter":
+        """A scalar counter bound to one slot of this bank."""
+        return RaplCounter(params, domain, rng, _bank=self, _index=index)
+
+    def accumulate_all(
+        self, powers_w: np.ndarray, dt_s: float, now_s: float
+    ) -> None:
+        """Burn ``powers_w[i] × dt_s`` joules into every counter ``i``.
+
+        Elementwise ``true += power * dt`` plus a vectorized publish
+        mask — the same multiply/add/compare the scalar path performs
+        per counter.  The caller (the machine's step loop) guarantees
+        ``dt_s >= 0`` and non-negative powers — they come straight from
+        resolved power breakdowns — so unlike the scalar path no
+        validation reduce runs here.
+        """
+        self.true_energy_j += powers_w * dt_s
+        self.now_s[:] = now_s
+        due = now_s - self.published_at_s >= self.periods_s
+        if due.any():
+            self.published_energy_j[due] = self.true_energy_j[due]
+            self.published_at_s[due] = now_s
+
+    def accumulate_span_all(
+        self, powers_w: np.ndarray, dt_s: float, times: np.ndarray
+    ) -> None:
+        """Replay ``accumulate_all(powers_w, dt_s, t)`` for each ``t``.
+
+        The energy fold is one ``np.add.accumulate`` along the tick axis
+        of an ``(n+1, counters)`` matrix — a strict top-to-bottom fold
+        per column, bit-identical to per-tick scalar ``+=``.  Counters
+        whose publish period is no longer than every tick gap take the
+        publishes-every-tick fast path (only the last publish survives);
+        the rest replay their publish points with the scalar loop.
+        Caller guarantees non-negative powers (see :meth:`accumulate_all`).
+        """
+        n = len(times)
+        if n == 0:
+            return
+        count = len(self.true_energy_j)
+        grid = np.empty((n + 1, count), dtype=np.float64)
+        grid[0] = self.true_energy_j
+        grid[1:] = powers_w * dt_s
+        fold = np.add.accumulate(grid, axis=0)
+        fast = times[0] - self.published_at_s >= self.periods_s
+        if n > 1:
+            gap_min = float((times[1:] - times[:-1]).min())
+            fast &= gap_min >= self.periods_s
+        if fast.all():
+            self.published_energy_j = fold[-1].copy()
+            self.published_at_s[:] = times[-1]
+        else:
+            for c in np.nonzero(~fast)[0]:
+                published_at = self.published_at_s[c]
+                published = self.published_energy_j[c]
+                period = self.periods_s[c]
+                column = fold[:, c]
+                for k in range(n):
+                    t_k = times[k]
+                    if t_k - published_at >= period:
+                        published = column[k + 1]
+                        published_at = t_k
+                self.published_energy_j[c] = published
+                self.published_at_s[c] = published_at
+            if fast.any():
+                self.published_energy_j[fast] = fold[-1][fast]
+                self.published_at_s[fast] = times[-1]
+        self.true_energy_j = fold[-1].copy()
+        self.now_s[:] = times[-1]
+
+
 class RaplCounter:
     """Energy counter of one (socket, domain) pair.
 
     The owning :class:`~repro.hardware.machine.Machine` feeds true energy
     via :meth:`accumulate`; consumers read via :meth:`read`, which returns
-    the *published* (lagged, quantized, noisy) value.
+    the *published* (lagged, quantized, noisy) value.  State lives in a
+    :class:`RaplCounterBank` slot (a private single-slot bank for
+    standalone counters) so fleet machines can accumulate every counter
+    in one vectorized pass.
     """
 
     def __init__(
@@ -59,15 +165,18 @@ class RaplCounter:
         params: HaswellEPParameters,
         domain: RaplDomain,
         rng: np.random.Generator,
+        _bank: RaplCounterBank | None = None,
+        _index: int = 0,
     ):
         self._params = params
         self._domain = domain
         self._rng = rng
-        self._true_energy_j = 0.0
-        self._published_energy_j = 0.0
-        self._published_at_s = 0.0
-        self._now_s = 0.0
-        self._last_switch_s = -math.inf
+        if _bank is None:
+            _bank = RaplCounterBank(
+                np.array([params.rapl_update_period_s], dtype=np.float64)
+            )
+        self._bank = _bank
+        self._index = _index
 
     @property
     def domain(self) -> RaplDomain:
@@ -77,7 +186,23 @@ class RaplCounter:
     @property
     def true_energy_j(self) -> float:
         """Ground-truth accumulated energy (not observable by the ECL)."""
-        return self._true_energy_j
+        return float(self._bank.true_energy_j[self._index])
+
+    @property
+    def _published_energy_j(self) -> float:
+        return float(self._bank.published_energy_j[self._index])
+
+    @property
+    def _published_at_s(self) -> float:
+        return float(self._bank.published_at_s[self._index])
+
+    @property
+    def _now_s(self) -> float:
+        return float(self._bank.now_s[self._index])
+
+    @property
+    def _last_switch_s(self) -> float:
+        return float(self._bank.last_switch_s[self._index])
 
     def accumulate(self, power_w: float, dt_s: float, now_s: float) -> None:
         """Add ``power_w × dt_s`` joules of true energy up to time ``now_s``."""
@@ -85,12 +210,13 @@ class RaplCounter:
             raise HardwareError(f"negative accumulation interval {dt_s}")
         if power_w < 0:
             raise HardwareError(f"negative power {power_w}")
-        self._true_energy_j += power_w * dt_s
-        self._now_s = now_s
+        bank, i = self._bank, self._index
+        bank.true_energy_j[i] += power_w * dt_s
+        bank.now_s[i] = now_s
         period = self._params.rapl_update_period_s
-        if now_s - self._published_at_s >= period:
-            self._published_energy_j = self._true_energy_j
-            self._published_at_s = now_s
+        if now_s - bank.published_at_s[i] >= period:
+            bank.published_energy_j[i] = bank.true_energy_j[i]
+            bank.published_at_s[i] = now_s
 
     def accumulate_span(
         self, power_w: float, dt_s: float, times: np.ndarray
@@ -110,8 +236,9 @@ class RaplCounter:
         n = len(times)
         if n == 0:
             return
+        bank, i = self._bank, self._index
         fold = np.add.accumulate(
-            np.concatenate(([self._true_energy_j], np.full(n, power_w * dt_s)))
+            np.concatenate(([self.true_energy_j], np.full(n, power_w * dt_s)))
         )
         period = self._params.rapl_update_period_s
         if times[0] - self._published_at_s >= period and (
@@ -119,8 +246,8 @@ class RaplCounter:
         ):
             # Every tick publishes (the update period is no longer than
             # any tick gap), so only the last tick's publish survives.
-            self._published_energy_j = float(fold[-1])
-            self._published_at_s = float(times[-1])
+            bank.published_energy_j[i] = float(fold[-1])
+            bank.published_at_s[i] = float(times[-1])
         else:
             published_at = self._published_at_s
             published = self._published_energy_j
@@ -129,14 +256,14 @@ class RaplCounter:
                 if t_k - published_at >= period:
                     published = fold[k + 1]
                     published_at = t_k
-            self._published_energy_j = float(published)
-            self._published_at_s = float(published_at)
-        self._true_energy_j = float(fold[-1])
-        self._now_s = float(times[-1])
+            bank.published_energy_j[i] = float(published)
+            bank.published_at_s[i] = float(published_at)
+        bank.true_energy_j[i] = float(fold[-1])
+        bank.now_s[i] = float(times[-1])
 
     def note_configuration_switch(self, now_s: float) -> None:
         """Record a hardware reconfiguration (adds transient read error)."""
-        self._last_switch_s = now_s
+        self._bank.last_switch_s[self._index] = now_s
 
     def read(self) -> RaplReading:
         """Read the counter as software would via the MSR.

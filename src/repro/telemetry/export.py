@@ -231,19 +231,32 @@ def render_trace_report(events: Sequence[dict]) -> str:
         ]
 
     node_events = _events_of(events, "node_power")
-    if node_events:
+    multi_node = bool(starts and starts[0].get("nodes"))
+    if node_events or multi_node:
+        # Only cluster runs record the ``nodes`` schema additions; a
+        # single-node trace legitimately has neither, so it gets no
+        # section rather than an empty one — while a cluster run with a
+        # quiet fleet still reports that nothing transitioned.
         lines += ["", "## Node power", ""]
+        if not node_events:
+            lines.append("- no node power transitions recorded")
         # Per-node time-in-state: walk the transition stream; each event
         # carries the full state map, so gaps (ring-buffer drops) only
-        # blur the interval they cover.
+        # blur the interval they cover.  Events missing their timestamp
+        # or state map (mixed/truncated traces) skip the walk instead of
+        # crashing the report.
         off_time: dict[str, float] = {}
         booting: dict[str, int] = {}
         offs: dict[str, int] = {}
         previous: dict[str, str] | None = None
         previous_t = 0.0
         for e in node_events:
-            t = float(e["t"])
-            states = dict(e.get("states") or {})
+            raw_t = e.get("t")
+            raw_states = e.get("states")
+            if raw_t is None or not isinstance(raw_states, dict):
+                continue
+            t = float(raw_t)
+            states = dict(raw_states)
             if previous is not None:
                 for node, state in previous.items():
                     if state == "off":
@@ -257,12 +270,15 @@ def render_trace_report(events: Sequence[dict]) -> str:
                     offs[node] = offs.get(node, 0) + 1
             previous, previous_t = states, t
         ends = _events_of(events, "run_end")
-        end_t = float(ends[-1]["duration_s"]) if ends else previous_t
+        end_t = previous_t
+        if ends and ends[-1].get("duration_s") is not None:
+            end_t = float(ends[-1]["duration_s"])  # type: ignore[arg-type]
         if previous is not None:
             for node, state in previous.items():
                 if state == "off":
                     off_time[node] = off_time.get(node, 0.0) + (end_t - previous_t)
-        lines.append(f"- {len(node_events)} node power transitions")
+        if node_events:
+            lines.append(f"- {len(node_events)} node power transitions")
         for node in sorted(offs | booting | off_time, key=int):
             lines.append(
                 f"- node {node}: powered off {offs.get(node, 0)}x "

@@ -174,16 +174,26 @@ class TestMacroProtocol:
             )
         assert energies[0] == energies[1]
 
-    def test_macro_view_refuses_while_booting(self):
+    def test_boot_spans_but_refuses_replays(self):
+        """A booting node folds into spans; only in-span replays refuse.
+
+        The machine's event horizon caps every span at the boot
+        deadline, so ``macro_view`` may offer a span — the settle tick
+        still runs live.  ``macro_step_tick`` must refuse: the replay
+        path never consults the machine horizon, so a replayed tick on
+        the deadline would settle the node one tick late.
+        """
         runner = SimulationRunner(cluster_config(duration_s=2.0))
         runner.run()
         policy = runner.policy
         machine = runner.machine
         machine.power_on_node(1)
         assert machine.node_power_state(1) is NodePowerState.BOOTING
-        assert policy.macro_view(machine.time_s, 0.002) is None
-        assert policy.macro_cut == "node-power"
+        assert policy.macro_view(machine.time_s, 0.002) is not None
         assert not policy.macro_step_tick(machine.time_s, 0.002)
+        # The boot deadline bounds the machine's own span horizon.
+        deadline = machine.time_s + machine.cluster.nodes[1].power_up_s
+        assert machine.next_internal_event_s() <= deadline
 
 
 class TestEnergy:

@@ -276,3 +276,63 @@ class TestDrainedSocketHorizon:
             == runner_off.policy.drained_sockets
         )
         assert runner_on.macro_ticks_skipped > 0
+
+
+class TestBootDeadlineSpans:
+    """Node boots fold into macro spans; the settle tick must not slip.
+
+    The machine's event horizon caps every span at the earliest boot
+    deadline, so the tick on which ``settle_node_power`` flips the node
+    runs live in macro mode too.  The edge: a deadline landing *exactly*
+    on the tick grid (a span may end precisely there) versus one landing
+    between ticks (the settle belongs to the following tick).  Either
+    way the macro run must be bit-identical to per-tick stepping — a
+    one-tick-late settle shifts the reactivation, the wake-hold window,
+    and every joule after it.
+    """
+
+    def _cluster_run(self, *, macro, power_up_s):
+        from repro.hardware.cluster import homogeneous_cluster
+        from repro.telemetry import TraceRecorder
+
+        config = RunConfiguration(
+            workload=KeyValueWorkload(WorkloadVariant.NON_INDEXED),
+            profile=spike_profile(duration_s=12.0),
+            policy="ecl-cluster",
+            seed=5,
+            macro_step=macro,
+            cluster=homogeneous_cluster(2, power_up_s=power_up_s),
+        )
+        recorder = TraceRecorder()
+        runner = SimulationRunner(config, observers=[recorder])
+        result = runner.run()
+        return result, runner, recorder
+
+    @pytest.mark.parametrize(
+        "power_up_s",
+        [
+            2.0,  # deadline on the tick grid: 2.0 / 0.002 = 1000 ticks
+            2.0007,  # deadline between ticks: settles on the next tick
+        ],
+    )
+    def test_boot_settle_tick_identical(self, power_up_s):
+        on, runner_on, rec = self._cluster_run(
+            macro=True, power_up_s=power_up_s
+        )
+        off, runner_off, _ = self._cluster_run(
+            macro=False, power_up_s=power_up_s
+        )
+        _assert_identical(on, off)
+        # The spike must actually boot the parked satellite, and the
+        # macro path must fold ticks across the boot window instead of
+        # pinning the whole boot live.
+        states = set()
+        for event in rec.events():
+            if event.get("event") == "node_power":
+                states.update((event.get("states") or {}).values())
+        assert "booting" in states
+        assert runner_on.macro_ticks_skipped > 0
+        assert (
+            runner_on.policy.powered_off_nodes
+            == runner_off.policy.powered_off_nodes
+        )

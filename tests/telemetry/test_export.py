@@ -148,6 +148,35 @@ class TestTraceReport:
         with pytest.raises(SimulationError):
             render_trace_report([])
 
+    def test_single_node_trace_has_no_node_power_section(self):
+        assert "## Node power" not in render_trace_report(synthetic_trace())
+
+    def test_quiet_cluster_reports_zero_transitions(self):
+        # A cluster run whose fleet never transitioned still gets the
+        # section (so tooling that greps for it keeps working) instead
+        # of silently looking like a single-node run.
+        trace = synthetic_trace()
+        trace[0] = dict(trace[0], nodes=3)
+        report = render_trace_report(trace)
+        assert "## Node power" in report
+        assert "no node power transitions recorded" in report
+
+    def test_malformed_node_power_events_degrade_gracefully(self):
+        # Mixed/truncated traces can hold node_power events missing the
+        # timestamp or state map; the walk skips them instead of crashing,
+        # and a run_end without duration_s falls back to the last event.
+        trace = synthetic_trace()
+        trace[0] = dict(trace[0], nodes=2)
+        trace.insert(2, {"event": "node_power"})
+        trace.insert(3, {"event": "node_power", "t": None, "states": None})
+        trace.insert(
+            4, {"event": "node_power", "t": 0.4, "states": {"0": "on", "1": "off"}}
+        )
+        trace[-1] = {"event": "run_end", "queries_completed": 1}
+        report = render_trace_report(trace)
+        assert "3 node power transitions" in report
+        assert "node 1: powered off 1x" in report
+
     def test_partial_trace_renders(self):
         # A truncated ring buffer may hold no run_start; still render.
         report = render_trace_report(synthetic_trace()[3:])

@@ -216,6 +216,47 @@ class TestTelemetryCommands:
         assert capsys.readouterr().out == ""
         assert out_file.read_text(encoding="utf-8").startswith("time_s,")
 
+    def test_report_on_mixed_trace_directory(self, capsys, tmp_path):
+        """Single-node and cluster traces mix without crashing the report."""
+        single = tmp_path / "a_single.jsonl"
+        cluster = tmp_path / "b_cluster.jsonl"
+        main(self.RUN_ARGS + ["--trace", str(single)])
+        main(
+            self.RUN_ARGS
+            + ["--nodes", "2", "--policy", "ecl-cluster", "--trace", str(cluster)]
+        )
+        capsys.readouterr()
+        rc = main(["report", "--trace", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# a_single.jsonl" in out
+        assert "# b_cluster.jsonl" in out
+        # The cluster run reports node power; the single-node run's
+        # report simply lacks the section rather than crashing on the
+        # missing schema additions.
+        assert "## Node power" in out.split("# b_cluster.jsonl")[1]
+        assert "## Node power" not in out.split("# b_cluster.jsonl")[0]
+
+    def test_report_trace_directory_rejects_csv(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        main(self.RUN_ARGS + ["--trace", str(trace)])
+        with pytest.raises(SystemExit):
+            main(["report", "--trace", str(tmp_path), "--format", "csv"])
+
+    def test_report_empty_trace_directory(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["report", "--trace", str(tmp_path)])
+
+    def test_report_single_node_trace_has_no_node_power_section(
+        self, capsys, tmp_path
+    ):
+        trace = tmp_path / "trace.jsonl"
+        main(self.RUN_ARGS + ["--trace", str(trace)])
+        capsys.readouterr()
+        rc = main(["report", "--trace", str(trace)])
+        assert rc == 0
+        assert "## Node power" not in capsys.readouterr().out
+
     def test_report_from_cache_dir(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         main(
