@@ -24,6 +24,7 @@ import os
 import time
 from pathlib import Path
 
+from repro.environment import make_environment
 from repro.hardware.cluster import homogeneous_cluster
 from repro.loadprofiles import sine_profile, twitter_day_profile
 from repro.sim import RunConfiguration, SimulationRunner, registered_policies
@@ -73,6 +74,13 @@ MIN_DAY_POLICY_TICKS_PER_S = {
 CLUSTER_NODES = 3
 MIN_CLUSTER_TICKS_PER_S = 4000.0
 
+#: The environment row: the fleet day under ``ecl-carbon`` with the
+#: diurnal-carbon scenario attached.  The environment adds one span cap
+#: per signal change (23 over the day) plus a vectorized accounting
+#: fold per committed span — a constant-factor overhead, so the floor
+#: matches the plain cluster row.
+MIN_ENVIRONMENT_TICKS_PER_S = 4000.0
+
 RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_tick_throughput.json"
 
 
@@ -96,7 +104,9 @@ def _measure(policy: str, observers=None) -> tuple[float, float]:
     return ticks / elapsed, elapsed
 
 
-def _measure_day(policy: str, macro: bool, nodes: int = 1) -> dict:
+def _measure_day(
+    policy: str, macro: bool, nodes: int = 1, environment: str | None = None
+) -> dict:
     duration = day_duration_s()
     config = RunConfiguration(
         workload=KeyValueWorkload(
@@ -107,6 +117,11 @@ def _measure_day(policy: str, macro: bool, nodes: int = 1) -> dict:
         seed=DAY_SEED,
         macro_step=macro,
         cluster=homogeneous_cluster(nodes) if nodes > 1 else None,
+        environment=(
+            make_environment(environment, duration)
+            if environment is not None
+            else None
+        ),
     )
     runner = SimulationRunner(config)
     ticks = round(duration / config.tick_s)
@@ -123,6 +138,10 @@ def _measure_day(policy: str, macro: bool, nodes: int = 1) -> dict:
         "queries_submitted": result.queries_submitted,
         "queries_completed": result.queries_completed,
     }
+    if environment is not None:
+        cell["environment"] = environment
+        cell["gco2_total_g"] = result.gco2_total_g
+        cell["cost_usd"] = result.cost_usd
     if macro:
         # Span-cut attribution: which component bounded each span /
         # refused each attempt, span-length histogram, in-span replays.
@@ -249,6 +268,50 @@ def test_twitter_day_macro_matrix(run_once):
     for policy, floor in MIN_DAY_POLICY_TICKS_PER_S.items():
         assert matrix[policy]["macro_on"]["ticks_per_s"] > floor, policy
     assert matrix[cluster_row]["macro_on"]["ticks_per_s"] > MIN_CLUSTER_TICKS_PER_S
+
+
+def test_environment_day_floor(run_once):
+    """The fleet day with the diurnal-carbon scenario attached.
+
+    The environment layer cuts spans at every signal change and folds
+    carbon/cost accounting over each committed span; both are
+    constant-factor costs, so the macro-on tick rate must hold the same
+    floor as the plain cluster row — and the accounting must stay
+    bit-identical between stepping modes along the way.
+    """
+    cells = run_once(
+        lambda: {
+            "macro_off": _measure_day(
+                "ecl-carbon",
+                False,
+                nodes=CLUSTER_NODES,
+                environment="diurnal-carbon",
+            ),
+            "macro_on": _measure_day(
+                "ecl-carbon",
+                True,
+                nodes=CLUSTER_NODES,
+                environment="diurnal-carbon",
+            ),
+        }
+    )
+
+    off, on = cells["macro_off"], cells["macro_on"]
+    heading("Environment-attached day — ecl-carbon @ diurnal-carbon")
+    for mode, cell in cells.items():
+        print(
+            f"{mode:>10}: {cell['ticks_per_s']:10,.0f} ticks/s  "
+            f"{cell['gco2_total_g']:10.1f} gCO2  ${cell['cost_usd']:.4f}"
+        )
+
+    assert on["ticks_skipped"] > 0
+    assert off["ticks_skipped"] == 0
+    assert on["gco2_total_g"] > 0
+    # Accounting is part of the bit-identity contract.
+    assert on["energy_j"] == off["energy_j"]
+    assert on["gco2_total_g"] == off["gco2_total_g"]
+    assert on["cost_usd"] == off["cost_usd"]
+    assert on["ticks_per_s"] > MIN_ENVIRONMENT_TICKS_PER_S
 
 
 def test_tick_throughput_extra_info(benchmark):

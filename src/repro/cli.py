@@ -25,16 +25,18 @@ from typing import Sequence
 from repro.analysis import comparison_table
 from repro.ecl.calibration import MetaCalibrator
 from repro.ecl.socket_ecl import EclParameters
+from repro.environment import (
+    Environment,
+    get_environment,
+    load_signal,
+    make_environment,
+    registered_environments,
+)
 from repro.errors import SimulationError
 from repro.hardware.cluster import CLUSTER_PRESETS, ClusterSpec, build_cluster
 from repro.hardware.machine import Machine
-from repro.loadprofiles import (
-    constant_profile,
-    sine_profile,
-    spike_profile,
-    twitter_day_profile,
-    twitter_profile,
-)
+from repro.loadprofiles import get_profile, load_replay_trace, registered_profiles
+from repro.loadprofiles import make_profile as build_registered_profile
 from repro.loadprofiles.base import LoadProfile
 from repro.placement import (
     DEFAULT_PLACEMENT,
@@ -92,33 +94,6 @@ WORKLOAD_DESCRIPTIONS = {
     "ssb-non-indexed": "Star-Schema-Benchmark full-scan joins (§6.1)",
 }
 
-#: Load-profile registry: name -> (factory(duration_s, level), description).
-PROFILES = {
-    "spike": (
-        lambda duration_s, level: spike_profile(duration_s=duration_s),
-        "idle floor with one short full-load burst (Fig. 13 shape)",
-    ),
-    "twitter": (
-        lambda duration_s, level: twitter_profile(duration_s=duration_s),
-        "one hour of the Twitter trace, compressed (§6.2)",
-    ),
-    "twitter-day": (
-        lambda duration_s, level: twitter_day_profile(duration_s=duration_s),
-        "the full diurnal Twitter day: deep trough, evening peak (§6.2)",
-    ),
-    "constant": (
-        lambda duration_s, level: constant_profile(
-            level, duration_s=duration_s
-        ),
-        "flat load at --level of nominal peak throughput",
-    ),
-    "sine": (
-        lambda duration_s, level: sine_profile(duration_s=duration_s),
-        "smooth full-swing oscillation (controller step response)",
-    ),
-}
-
-
 def print_policies() -> None:
     """List every registered control policy with its description."""
     names = registered_policies()
@@ -148,10 +123,19 @@ def print_workloads() -> None:
 
 
 def print_profiles() -> None:
-    """List every load profile with its description."""
-    width = max(len(name) for name in PROFILES)
-    for name, (_, description) in PROFILES.items():
-        print(f"{name:<{width}}  {description}")
+    """List every registered load profile with its description."""
+    names = registered_profiles()
+    width = max(len(name) for name in names)
+    for name in names:
+        print(f"{name:<{width}}  {get_profile(name).description}")
+
+
+def print_environments() -> None:
+    """List every registered environment preset with its description."""
+    names = registered_environments()
+    width = max(len(name) for name in names)
+    for name in names:
+        print(f"{name:<{width}}  {get_environment(name).description}")
 
 
 def make_workload(name: str) -> Workload:
@@ -167,12 +151,60 @@ def make_workload(name: str) -> Workload:
 def make_profile(name: str, duration_s: float, level: float) -> LoadProfile:
     """Instantiate a load profile by CLI name."""
     try:
-        factory, _ = PROFILES[name]
-    except KeyError:
-        raise SystemExit(
-            f"unknown profile {name!r}; choose from {', '.join(PROFILES)}"
-        ) from None
-    return factory(duration_s, level)
+        return build_registered_profile(name, duration_s, level)
+    except SimulationError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def resolve_profile(args: argparse.Namespace) -> LoadProfile:
+    """The run's load profile: ``--replay-trace`` wins over ``--profile``."""
+    if getattr(args, "replay_trace", None):
+        try:
+            return load_replay_trace(args.replay_trace)
+        except SimulationError as exc:
+            raise SystemExit(str(exc)) from None
+    return make_profile(args.profile, args.duration, args.level)
+
+
+def make_environment_from_args(
+    args: argparse.Namespace, duration_s: float
+) -> Environment | None:
+    """Build the run environment from the ``--environment`` /
+    ``--carbon-trace`` / ``--price-trace`` / ``--pue`` knobs.
+
+    ``None`` when no knob is given — the run stays environment-free and
+    bit-identical to the historical path.  Trace/PUE overrides start
+    from the named preset (or ``flat`` when only overrides are given)
+    and replace the corresponding signal.
+    """
+    overridden = bool(
+        args.carbon_trace or args.price_trace or args.pue is not None
+    )
+    if args.environment is None and not overridden:
+        return None
+    try:
+        env = make_environment(args.environment or "flat", duration_s)
+        if not overridden:
+            return env
+        carbon = (
+            load_signal(args.carbon_trace, name="carbon-trace")
+            if args.carbon_trace
+            else env.carbon
+        )
+        price = (
+            load_signal(args.price_trace, name="price-trace")
+            if args.price_trace
+            else env.price
+        )
+        return Environment(
+            name=f"{env.name}+custom" if args.environment else "custom",
+            carbon=carbon,
+            price=price,
+            pue=args.pue if args.pue is not None else env.pue,
+            description="CLI-overridden environment",
+        )
+    except SimulationError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def make_cluster(nodes: int, preset: str | None) -> ClusterSpec | None:
@@ -199,6 +231,17 @@ def print_result(result: RunResult) -> None:
         print(f"mean latency      : {1000 * mean:.1f} ms")
         print(f"p99 latency       : {1000 * result.percentile_latency_s(99):.1f} ms")
         print(f"limit violations  : {result.violation_fraction():.1%}")
+    if result.environment_name is not None:
+        print(f"environment       : {result.environment_name}")
+        print(f"wall energy       : {result.wall_energy_j:.0f} J (PUE applied)")
+        print(f"carbon            : {result.gco2_total_g:.2f} gCO2")
+        print(f"cost              : ${result.cost_usd:.4f}")
+        gco2_per_query = result.gco2_per_query()
+        if gco2_per_query is not None:
+            print(f"carbon/query      : {1000 * gco2_per_query:.4f} mgCO2")
+        cost_per_query = result.cost_per_query_usd()
+        if cost_per_query is not None:
+            print(f"cost/query        : ${cost_per_query:.3e}")
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -214,8 +257,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.list_profiles:
         print_profiles()
         return 0
+    if args.list_environments:
+        print_environments()
+        return 0
     workload = make_workload(args.workload)
-    profile = make_profile(args.profile, args.duration, args.level)
+    profile = resolve_profile(args)
     params = EclParameters(
         interval_s=args.interval,
         latency_limit_s=args.latency_limit,
@@ -230,6 +276,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         macro_step=not args.no_macro_step,
         cluster=make_cluster(args.nodes, args.cluster_preset),
+        environment=make_environment_from_args(args, profile.duration_s),
     )
     tracer = TraceRecorder() if args.trace else None
     timer = PhaseTimingObserver() if args.timings else None
@@ -263,7 +310,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    profile = make_profile(args.profile, args.duration, args.level)
+    profile = resolve_profile(args)
     policies = registered_policies()
     configs = policy_grid(
         lambda: make_workload(args.workload),
@@ -273,6 +320,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         seed=args.seed,
         macro_step=not args.no_macro_step,
         cluster=make_cluster(args.nodes, args.cluster_preset),
+        environment=make_environment_from_args(args, profile.duration_s),
     )
 
     def report_progress(p):
@@ -407,12 +455,29 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workload", default="kv-non-indexed",
                        help=f"one of {', '.join(WORKLOADS)}")
         p.add_argument("--profile", default="spike",
-                       help=f"one of {', '.join(PROFILES)} "
+                       help=f"one of {', '.join(registered_profiles())} "
                             "(see --list-profiles)")
         p.add_argument("--duration", type=float, default=45.0,
                        help="profile duration in seconds (paper: 180)")
         p.add_argument("--level", type=float, default=0.5,
                        help="load fraction for the constant profile")
+        p.add_argument("--replay-trace", metavar="PATH",
+                       help="replay a recorded arrival stream instead of "
+                            "--profile: a JSONL telemetry trace (repro run "
+                            "--trace) or a time_s[,count] CSV arrival curve")
+        p.add_argument("--environment", default=None,
+                       help=f"one of {', '.join(registered_environments())} "
+                            "(see --list-environments); attaches carbon/"
+                            "price/PUE accounting to the run")
+        p.add_argument("--carbon-trace", metavar="PATH",
+                       help="override the carbon-intensity signal with a "
+                            "JSONL/CSV (time_s, gCO2-per-kWh) curve")
+        p.add_argument("--price-trace", metavar="PATH",
+                       help="override the electricity-price signal with a "
+                            "JSONL/CSV (time_s, $-per-kWh) curve")
+        p.add_argument("--pue", type=float, default=None,
+                       help="override the facility PUE (cooling/"
+                            "distribution overhead multiplier, >= 1.0)")
         p.add_argument("--placement", default=DEFAULT_PLACEMENT,
                        choices=registered_placements(),
                        help="initial data placement policy "
@@ -443,6 +508,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="list benchmark workloads and exit")
     run_p.add_argument("--list-profiles", action="store_true",
                        help="list load profiles and exit")
+    run_p.add_argument("--list-environments", action="store_true",
+                       help="list environment presets and exit")
     run_p.add_argument("--interval", type=float, default=1.0,
                        help="socket-ECL period in seconds")
     run_p.add_argument("--latency-limit", type=float, default=0.1,

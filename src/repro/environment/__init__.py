@@ -1,0 +1,53 @@
+"""Deployment scenarios: exogenous time-varying signals around a run.
+
+The paper optimizes joules per query; real deployments optimize *cost*
+and *carbon* under grid conditions that change hour by hour.  This
+package supplies the scenario layer:
+
+* :mod:`repro.environment.signal` — the piecewise time-varying
+  :class:`Signal` abstraction (scalar ``value``, vectorized ``values``,
+  ``next_change_s`` for macro-horizon capping) shared by load profiles
+  and environment curves alike;
+* :mod:`repro.environment.scenario` — :class:`Environment` (carbon
+  intensity gCO₂/kWh, electricity price $/kWh, facility PUE) plus the
+  name registry behind ``repro run --environment`` and
+  ``--list-environments``;
+* :mod:`repro.environment.accounting` —
+  :class:`EnvironmentAccounting`, the per-run carbon/cost fold that is
+  bit-identical between per-tick and macro-stepped execution.
+"""
+
+from repro.environment.accounting import JOULES_PER_KWH, EnvironmentAccounting
+from repro.environment.scenario import (
+    Environment,
+    EnvironmentInfo,
+    get_environment,
+    make_environment,
+    register_environment,
+    registered_environments,
+    unregister_environment,
+)
+from repro.environment.signal import (
+    ConstantSignal,
+    PiecewiseLinearSignal,
+    Signal,
+    StepSignal,
+    load_signal,
+)
+
+__all__ = [
+    "Signal",
+    "ConstantSignal",
+    "StepSignal",
+    "PiecewiseLinearSignal",
+    "load_signal",
+    "Environment",
+    "EnvironmentInfo",
+    "register_environment",
+    "unregister_environment",
+    "registered_environments",
+    "get_environment",
+    "make_environment",
+    "EnvironmentAccounting",
+    "JOULES_PER_KWH",
+]

@@ -1,0 +1,233 @@
+"""The :class:`Environment` a run is embedded in, plus its registry.
+
+An environment bundles the exogenous conditions the datacenter cannot
+control: the grid's carbon intensity (gCO₂ per kWh), the electricity
+price ($ per kWh), and the facility's PUE — the multiplicative
+cooling/distribution overhead applied at the wall-power boundary (IT
+wall watts × PUE = facility watts).  Runs without an environment behave
+exactly as before: no accounting, no extra span caps, bit-identical
+results.
+
+The registry mirrors :mod:`repro.sim.policy` /
+:mod:`repro.placement`: presets register by name, out-of-tree scenarios
+hook in via :func:`register_environment`, and the CLI
+(``--environment`` / ``--list-environments``) just renders the table.
+Factories take the run duration because preset curves describe a 24-hour
+day mapped onto whatever duration the experiment compresses it to —
+the same convention as ``twitter_day_profile``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.environment.signal import ConstantSignal, Signal, StepSignal
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Environment:
+    """Exogenous run conditions: carbon, price, and cooling overhead.
+
+    Attributes:
+        name: report/registry identity.
+        carbon: grid carbon intensity in gCO₂ per kWh.
+        price: electricity price in $ per kWh.
+        pue: facility power usage effectiveness (≥ 1.0); wall power is
+            multiplied by this before carbon/cost conversion.
+        description: one-liner for ``--list-environments``.
+    """
+
+    name: str
+    carbon: Signal
+    price: Signal
+    pue: float = 1.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.pue >= 1.0:
+            raise SimulationError(f"PUE must be >= 1.0, got {self.pue}")
+
+    def next_change_s(self, t_s: float) -> float:
+        """Earliest upcoming change across both signals (macro cap)."""
+        return min(
+            self.carbon.next_change_s(t_s), self.price.next_change_s(t_s)
+        )
+
+
+#: Signature of a registry factory: duration_s -> ready Environment.
+EnvironmentFactory = Callable[[float], Environment]
+
+
+@dataclass(frozen=True)
+class EnvironmentInfo:
+    """One registry entry (name, factory, description)."""
+
+    name: str
+    factory: EnvironmentFactory
+    description: str = ""
+
+
+_REGISTRY: dict[str, EnvironmentInfo] = {}
+
+
+def register_environment(
+    name: str, factory: EnvironmentFactory, description: str = ""
+) -> EnvironmentInfo:
+    """Register an environment preset under a unique name.
+
+    Raises:
+        SimulationError: on empty or duplicate names.
+    """
+    if not name or not isinstance(name, str):
+        raise SimulationError(
+            f"environment name must be a non-empty string, got {name!r}"
+        )
+    if name in _REGISTRY:
+        raise SimulationError(f"environment {name!r} is already registered")
+    info = EnvironmentInfo(name=name, factory=factory, description=description)
+    _REGISTRY[name] = info
+    return info
+
+
+def unregister_environment(name: str) -> None:
+    """Remove a registration (out-of-tree development, tests)."""
+    if name not in _REGISTRY:
+        raise SimulationError(_unknown_message(name))
+    del _REGISTRY[name]
+
+
+def registered_environments() -> tuple[str, ...]:
+    """All registered environment names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_environment(name: str) -> EnvironmentInfo:
+    """Look up a registration by name.
+
+    Raises:
+        SimulationError: for unknown names; the message lists every
+            registered environment.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SimulationError(_unknown_message(name)) from None
+
+
+def make_environment(name: str, duration_s: float) -> Environment:
+    """Resolve a name and build the environment for a run duration."""
+    if duration_s <= 0:
+        raise SimulationError(f"duration must be > 0, got {duration_s}")
+    return get_environment(name).factory(duration_s)
+
+
+def _unknown_message(name: str) -> str:
+    known = ", ".join(_REGISTRY) or "<none>"
+    return f"unknown environment {name!r}; registered environments: {known}"
+
+
+# --------------------------------------------------------------------------
+# Built-in presets.  These lines are the single source of truth for
+# environment names: nothing else under src/ spells them out.
+# --------------------------------------------------------------------------
+
+#: Default facility overhead for the presets — a decent (not hyperscale)
+#: datacenter; shared by all presets so ablations vary one axis at a time.
+PRESET_PUE = 1.12
+
+#: The constant preset's levels, chosen to match the diurnal curves'
+#: daily means so "flat vs diurnal" ablations compare equal totals under
+#: constant power.
+FLAT_CARBON_G_PER_KWH = 450.0
+FLAT_PRICE_USD_PER_KWH = 0.12
+
+#: Hourly grid carbon intensity (gCO₂/kWh) of the diurnal preset — a
+#: mixed-grid day: fossil-heavy night baseload, a morning ramp as demand
+#: outpaces renewables, a deep midday solar trough, and the evening peak
+#: when solar is gone but demand is not (daily mean exactly 450, so the
+#: flat control compares equal totals under constant power).
+DIURNAL_CARBON_HOURLY = (
+    425, 415, 405, 400, 405, 425, 465, 520, 560, 540, 480, 385,
+    305, 285, 295, 345, 425, 520, 590, 610, 580, 520, 470, 430,
+)
+
+#: Hourly time-of-use electricity price ($/kWh) of the price-peak
+#: preset: cheap night valley, daytime shoulder, expensive 17–21 h peak.
+PRICE_PEAK_HOURLY = (
+    0.06, 0.06, 0.06, 0.06, 0.06, 0.06, 0.06, 0.12, 0.12, 0.12, 0.12, 0.12,
+    0.12, 0.12, 0.12, 0.12, 0.12, 0.30, 0.30, 0.30, 0.30, 0.12, 0.12, 0.06,
+)
+
+
+def hourly_day_signal(
+    hourly: tuple[float, ...], duration_s: float, name: str
+) -> StepSignal:
+    """A 24-entry hourly curve mapped onto ``duration_s`` as step levels.
+
+    Hour ``h`` of the modeled day covers
+    ``[h/24 * duration_s, (h+1)/24 * duration_s)`` — the same
+    compression convention as ``twitter_day_profile``.
+    """
+    if len(hourly) != 24:
+        raise SimulationError(f"need 24 hourly values, got {len(hourly)}")
+    points = [
+        (hour * duration_s / 24.0, float(level))
+        for hour, level in enumerate(hourly)
+    ]
+    return StepSignal(points, name=name)
+
+
+def _flat(duration_s: float) -> Environment:
+    return Environment(
+        name="flat",
+        carbon=ConstantSignal(FLAT_CARBON_G_PER_KWH, name="carbon-flat"),
+        price=ConstantSignal(FLAT_PRICE_USD_PER_KWH, name="price-flat"),
+        pue=PRESET_PUE,
+        description="constant grid: the diurnal presets' daily means, "
+        "held flat (ablation control)",
+    )
+
+
+def _diurnal_carbon(duration_s: float) -> Environment:
+    return Environment(
+        name="diurnal-carbon",
+        carbon=hourly_day_signal(
+            DIURNAL_CARBON_HOURLY, duration_s, "carbon-diurnal"
+        ),
+        price=ConstantSignal(FLAT_PRICE_USD_PER_KWH, name="price-flat"),
+        pue=PRESET_PUE,
+        description="mixed-grid day mapped onto the run: dirty morning "
+        "ramp and evening peak, deep midday solar trough; flat price",
+    )
+
+
+def _price_peak(duration_s: float) -> Environment:
+    return Environment(
+        name="price-peak",
+        carbon=ConstantSignal(FLAT_CARBON_G_PER_KWH, name="carbon-flat"),
+        price=hourly_day_signal(PRICE_PEAK_HOURLY, duration_s, "price-tou"),
+        pue=PRESET_PUE,
+        description="time-of-use tariff mapped onto the run: cheap "
+        "night valley, 17-21h surge pricing; flat carbon",
+    )
+
+
+register_environment(
+    "flat",
+    _flat,
+    description="constant carbon and price at the diurnal daily means",
+)
+register_environment(
+    "diurnal-carbon",
+    _diurnal_carbon,
+    description="24h mixed-grid carbon curve (solar trough, evening "
+    "peak) compressed onto the run duration",
+)
+register_environment(
+    "price-peak",
+    _price_peak,
+    description="24h time-of-use tariff (night valley, evening surge) "
+    "compressed onto the run duration",
+)

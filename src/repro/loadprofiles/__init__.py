@@ -11,10 +11,25 @@ workload's nominal peak rate, so the same profile drives every benchmark.
   2-hour Twitter load trace compressed to 3 minutes: diurnal drift with
   sudden spikes and frequent alternation (Fig. 14);
 * :mod:`repro.loadprofiles.synthetic` — constant/step/sine helpers for
-  tests and ablation studies.
+  tests and ablation studies;
+* :mod:`repro.loadprofiles.replay` — exact replay of recorded arrival
+  streams (telemetry traces, CSV arrival curves);
+* :mod:`repro.loadprofiles.registry` — the name → factory table behind
+  ``--profile``; out-of-tree profiles hook in via
+  :func:`register_profile`.
 """
 
 from repro.loadprofiles.base import LoadProfile, SegmentProfile
+from repro.loadprofiles.registry import (
+    ProfileFactory,
+    ProfileInfo,
+    get_profile,
+    make_profile,
+    register_profile,
+    registered_profiles,
+    unregister_profile,
+)
+from repro.loadprofiles.replay import TraceReplayProfile, load_replay_trace
 from repro.loadprofiles.spike import spike_profile
 from repro.loadprofiles.twitter import twitter_day_profile, twitter_profile
 from repro.loadprofiles.synthetic import constant_profile, sine_profile, step_profile
@@ -22,6 +37,15 @@ from repro.loadprofiles.synthetic import constant_profile, sine_profile, step_pr
 __all__ = [
     "LoadProfile",
     "SegmentProfile",
+    "TraceReplayProfile",
+    "load_replay_trace",
+    "ProfileFactory",
+    "ProfileInfo",
+    "register_profile",
+    "unregister_profile",
+    "registered_profiles",
+    "get_profile",
+    "make_profile",
     "spike_profile",
     "twitter_profile",
     "twitter_day_profile",

@@ -4,16 +4,23 @@ A load profile is a function ``fraction(t) -> load ∈ [0, ...]`` over a
 finite duration.  1.0 means 100 % of the workload's nominal peak rate;
 values above 1.0 model deliberate overload (more queries arrive than the
 system can process, Fig. 13's 80–100 s phase).
+
+Profiles are signal-backed: :class:`SegmentProfile` delegates both of
+its evaluation paths to a
+:class:`~repro.environment.signal.PiecewiseLinearSignal`, the shared
+piecewise-signal substrate the environment layer (carbon/price curves)
+is built on.  The signal carries the historical dual-path numerics —
+exact-formula scalar interpolation, ``np.interp`` vectors, 0.0 outside
+the control-point range — so run goldens stay bit-identical.
 """
 
 from __future__ import annotations
 
 import abc
-import bisect
-from dataclasses import dataclass
 
 import numpy as np
 
+from repro.environment.signal import PiecewiseLinearSignal
 from repro.errors import SimulationError
 
 
@@ -46,28 +53,25 @@ class LoadProfile(abc.ABC):
         """
         return np.array([self.fraction(float(t)) for t in times_s], dtype=np.float64)
 
+    def _grid(self, resolution_s: float) -> np.ndarray:
+        """Mid-sample grid matching the historical scalar loops."""
+        steps = max(1, int(self.duration_s / resolution_s))
+        return (
+            (np.arange(steps, dtype=np.float64) + 0.5)
+            * self.duration_s
+            / steps
+        )
+
     def average_fraction(self, resolution_s: float = 0.5) -> float:
         """Time-average of the profile (for report normalization)."""
         if resolution_s <= 0:
             raise SimulationError(f"resolution must be > 0, got {resolution_s}")
-        steps = max(1, int(self.duration_s / resolution_s))
-        total = sum(
-            self.fraction((i + 0.5) * self.duration_s / steps) for i in range(steps)
-        )
-        return total / steps
+        mids = self._grid(resolution_s)
+        return float(self.fraction_array(mids).sum()) / len(mids)
 
     def peak_fraction(self, resolution_s: float = 0.1) -> float:
         """Maximum of the profile (sampled)."""
-        steps = max(1, int(self.duration_s / resolution_s))
-        return max(
-            self.fraction((i + 0.5) * self.duration_s / steps) for i in range(steps)
-        )
-
-
-@dataclass(frozen=True)
-class _Point:
-    t_s: float
-    fraction: float
+        return float(self.fraction_array(self._grid(resolution_s)).max())
 
 
 class SegmentProfile(LoadProfile):
@@ -81,35 +85,24 @@ class SegmentProfile(LoadProfile):
             raise SimulationError("control points must be time-ordered")
         if any(f < 0 for _, f in points):
             raise SimulationError("load fractions must be >= 0")
-        self._name = name
-        self._points = [_Point(t, f) for t, f in points]
-        self._times = times
+        self._signal = PiecewiseLinearSignal(points, name=name, outside=0.0)
 
     @property
     def name(self) -> str:
-        return self._name
+        return self._signal.name
 
     @property
     def duration_s(self) -> float:
-        return self._points[-1].t_s
+        return self._signal.end_s
+
+    @property
+    def signal(self) -> PiecewiseLinearSignal:
+        """The backing piecewise-linear signal (shared substrate with
+        the environment layer's carbon/price curves)."""
+        return self._signal
 
     def fraction(self, t_s: float) -> float:
-        if t_s < self._points[0].t_s or t_s > self._points[-1].t_s:
-            return 0.0
-        i = bisect.bisect_right(self._times, t_s)
-        if i >= len(self._points):
-            return self._points[-1].fraction
-        if i == 0:
-            return self._points[0].fraction
-        before, after = self._points[i - 1], self._points[i]
-        span = after.t_s - before.t_s
-        if span <= 0:
-            return after.fraction
-        w = (t_s - before.t_s) / span
-        return before.fraction * (1.0 - w) + after.fraction * w
+        return self._signal.value(t_s)
 
     def fraction_array(self, times_s: np.ndarray) -> np.ndarray:
-        times_s = np.asarray(times_s, dtype=np.float64)
-        xs = np.array(self._times, dtype=np.float64)
-        fs = np.array([p.fraction for p in self._points], dtype=np.float64)
-        return np.interp(times_s, xs, fs, left=0.0, right=0.0)
+        return self._signal.values(times_s)

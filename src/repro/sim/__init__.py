@@ -46,6 +46,7 @@ from repro.sim.suite import (
     default_cache_dir,
     derive_seed,
     policy_grid,
+    scenario_grid,
     suite_worker_count,
 )
 
@@ -85,5 +86,6 @@ __all__ = [
     "default_cache_dir",
     "derive_seed",
     "policy_grid",
+    "scenario_grid",
     "suite_worker_count",
 ]

@@ -103,9 +103,22 @@ class LoadGenerator:
 
     def _materialize_through(self, block: int) -> None:
         """Pre-draw count blocks up to and including ``block``, in order."""
+        counts_array = getattr(self.profile, "counts_array", None)
         while len(self._blocks) <= block:
             b = len(self._blocks)
             start = b * BLOCK_TICKS
+            if counts_array is not None and not self.poisson:
+                # Replay profiles carry exact per-tick counts: histogram
+                # the recorded arrivals straight onto the tick grid.  No
+                # expectation carry and no RNG draw, so the replayed
+                # count stream is independent of stepping mode and of
+                # the workload's rate scaling.
+                self._blocks.append(
+                    counts_array(
+                        self._anchor_t0, self._anchor_dt, start, BLOCK_TICKS
+                    )
+                )
+                continue
             # Rates are sampled at ideal mid-tick grid points; the runner's
             # folded clock drifts well under dt/4 from this grid, so the
             # sample points match the per-tick midpoints to float rounding.

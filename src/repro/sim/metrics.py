@@ -70,6 +70,16 @@ class RunResult:
     queries_completed: int = 0
     latencies_s: list[float] = field(default_factory=list)
     latency_limit_s: float | None = None
+    #: Environment accounting (``None`` unless the run attached a
+    #: ``RunConfiguration.environment``).  Plain ``None`` defaults keep
+    #: equality with results pickled before these fields existed.
+    environment_name: str | None = None
+    #: Facility wall energy: PSU output × PUE, integrated over the run.
+    wall_energy_j: float | None = None
+    #: Grams of CO₂ attributed to the run (wall energy × grid intensity).
+    gco2_total_g: float | None = None
+    #: Electricity cost of the run in dollars (wall energy × price).
+    cost_usd: float | None = None
 
     # -- latency statistics ---------------------------------------------------
 
@@ -116,6 +126,18 @@ class RunResult:
         if self.duration_s <= 0:
             return 0.0
         return self.total_energy_j / self.duration_s
+
+    def gco2_per_query(self) -> float | None:
+        """Grams of CO₂ per completed query (``None`` without accounting)."""
+        if self.gco2_total_g is None or self.queries_completed <= 0:
+            return None
+        return self.gco2_total_g / self.queries_completed
+
+    def cost_per_query_usd(self) -> float | None:
+        """Dollars per completed query (``None`` without accounting)."""
+        if self.cost_usd is None or self.queries_completed <= 0:
+            return None
+        return self.cost_usd / self.queries_completed
 
     def overload_exit_time_s(self, capacity_qps: float) -> float | None:
         """First sample time after which the backlog stays cleared.
@@ -174,6 +196,12 @@ class RunResult:
             "violation_fraction": self.violation_fraction(),
             "latency_limit_s": self.latency_limit_s,
             "sample_count": len(self.samples),
+            "environment": self.environment_name,
+            "wall_energy_j": self.wall_energy_j,
+            "gco2_total_g": self.gco2_total_g,
+            "cost_usd": self.cost_usd,
+            "gco2_per_query_g": self.gco2_per_query(),
+            "cost_per_query_usd": self.cost_per_query_usd(),
         }
 
     def to_csv(self) -> str:

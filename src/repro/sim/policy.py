@@ -264,6 +264,14 @@ def _build_ecl_cluster(
     return ClusterController.build(engine, config)
 
 
+def _build_ecl_carbon(
+    engine: "DatabaseEngine", config: "RunConfiguration"
+) -> ControlPolicy:
+    from repro.cluster.carbon import CarbonAwareClusterController
+
+    return CarbonAwareClusterController.build(engine, config)
+
+
 register_policy(
     "ecl",
     _build_ecl,
@@ -310,6 +318,15 @@ register_policy(
     "migrate partitions across node boundaries and power fully drained "
     "nodes off entirely (boot latency and residual off-state wattage "
     "modeled); on one node it degrades to the plain ECL",
+)
+register_policy(
+    "ecl-carbon",
+    _build_ecl_carbon,
+    description="ecl-cluster with carbon/price-aware consolidation: the "
+    "attached environment's signals modulate the node planner's pack/"
+    "spread thresholds at each planning check (dirty or expensive hours "
+    "consolidate harder, clean ones wake nodes sooner); without an "
+    "environment it is exactly ecl-cluster",
 )
 
 #: The policy a :class:`RunConfiguration` uses when none is given.

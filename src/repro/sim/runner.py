@@ -22,6 +22,7 @@ from repro.errors import SimulationError
 from repro.dbms.config import EngineConfig
 from repro.dbms.engine import DatabaseEngine, EngineTickResult
 from repro.ecl.socket_ecl import EclParameters
+from repro.environment import Environment, EnvironmentAccounting
 from repro.placement import DEFAULT_PLACEMENT, validate_placement_name
 from repro.hardware.cluster import ClusterSpec
 from repro.hardware.machine import Machine
@@ -69,6 +70,11 @@ class RunConfiguration:
     #: with ``machine_params`` (the cluster's node specs carry their own
     #: hardware parameters).
     cluster: ClusterSpec | None = None
+    #: Exogenous run conditions (grid carbon intensity, electricity
+    #: price, facility PUE).  ``None`` (the default) disables all
+    #: environment accounting and span capping — results are
+    #: bit-identical to a build without the environment layer.
+    environment: Environment | None = None
     #: Fill the ECL's profiles from the analytical model at t=0 instead of
     #: simulating the initial multiplexed sweep.
     warm_start: bool = True
@@ -156,6 +162,9 @@ class SimulationRunner:
         #: component bounded each span attempt, and how long the
         #: committed spans were (see :mod:`repro.sim.macro`).
         self.span_cuts = SpanCutStats()
+        #: Carbon/cost accumulator of the run in flight; ``None`` when no
+        #: environment is attached (set up by :meth:`run`).
+        self.environment_accounting: EnvironmentAccounting | None = None
 
     def add_observer(self, observer: RunObserver) -> None:
         """Attach one more observer before :meth:`run` is called."""
@@ -198,6 +207,13 @@ class SimulationRunner:
 
         tick = config.tick_s
         energy_before = self.machine.true_total_energy_j()
+        environment = config.environment
+        accounting = (
+            EnvironmentAccounting(environment)
+            if environment is not None
+            else None
+        )
+        self.environment_accounting = accounting
         macro_view = (
             getattr(self.policy, "macro_view", None)
             if config.macro_step
@@ -215,6 +231,10 @@ class SimulationRunner:
             tick_result = self._phase_engine_step(now, tick, observers)
             self._phase_completions(now, tick_result, result, observers)
             self._phase_sampling(now, tick_result, observers)
+            if accounting is not None:
+                accounting.account_tick(
+                    now, tick, tick_result.step.psu_power_w
+                )
             ticks_done += 1
             if macro_view is None:
                 continue
@@ -225,6 +245,11 @@ class SimulationRunner:
         result.total_energy_j = (
             self.machine.true_total_energy_j() - energy_before
         )
+        if accounting is not None:
+            result.environment_name = environment.name
+            result.wall_energy_j = accounting.wall_energy_j
+            result.gco2_total_g = accounting.gco2_total_g
+            result.cost_usd = accounting.cost_usd
         observers.on_run_end(result)
         return result
 
@@ -266,6 +291,8 @@ class SimulationRunner:
         cuts = self.span_cuts
         machine = self.machine
         policy = self.policy
+        environment = self.config.environment
+        accounting = self.environment_accounting
         macro_replay = getattr(policy, "macro_replay", None)
         macro_step_tick = getattr(policy, "macro_step_tick", None)
         inf = float("inf")
@@ -277,6 +304,16 @@ class SimulationRunner:
         while ticks_remaining - total >= 1:
             remaining = ticks_remaining - total
             now = machine.time_s
+            # Exogenous-signal changes cap spans like boot deadlines do:
+            # accounting folds exactly either way (signals are evaluated
+            # on the span's full tick grid), but the change itself must
+            # land on a live tick so policy scalar reads and trace
+            # events see it at its exact time.
+            env_horizon_s = (
+                environment.next_change_s(now)
+                if environment is not None
+                else inf
+            )
             view = macro_view(now, tick_s)
             if view is None:
                 binding = "policy"
@@ -297,6 +334,7 @@ class SimulationRunner:
                     if (
                         obs_h is not None
                         and now + 1e-12 < obs_h
+                        and now + 1e-12 < env_horizon_s
                         and macro_step_tick(now, tick_s)
                     ):
                         replayed_at_s = now
@@ -314,14 +352,19 @@ class SimulationRunner:
                 break
             machine_horizon_s = machine.next_internal_event_s()
             horizon_s = min(
-                policy_horizon_s, observer_horizon_s, machine_horizon_s
+                policy_horizon_s,
+                observer_horizon_s,
+                machine_horizon_s,
+                env_horizon_s,
             )
             if horizon_s == policy_horizon_s:
                 binding = "policy"
             elif horizon_s == observer_horizon_s:
                 binding = observer_label
-            else:
+            elif horizon_s == machine_horizon_s:
                 binding = "machine"
+            else:
+                binding = "environment"
             # Interior segments commit even a single tick — it extends an
             # ongoing composite and replaces a live tick with one folded
             # engine call.  The same goes for fresh attempts of replay-
@@ -350,6 +393,7 @@ class SimulationRunner:
                     if not (
                         now + 1e-12 < policy_horizon_s
                         and now + 1e-12 < observer_horizon_s
+                        and now + 1e-12 < env_horizon_s
                         and (
                             machine_horizon_s == inf
                             or span_ticks_until(
@@ -377,6 +421,14 @@ class SimulationRunner:
                 # skipped.
                 if macro_replay is not None:
                     macro_replay(now, tick_s, advanced)
+                if accounting is not None:
+                    # PSU power is constant across a committed span (the
+                    # engine's steady-state validity fold), so the span
+                    # charge folds the same per-tick increments the live
+                    # loop would have.
+                    accounting.account_span(
+                        now, tick_s, advanced, machine.last_step.psu_power_w
+                    )
                 total += advanced
             if advanced < n:
                 binding = "engine"

@@ -39,6 +39,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.environment import Environment
 from repro.errors import SimulationError
 from repro.loadprofiles.base import LoadProfile
 from repro.sim.metrics import RunResult
@@ -56,7 +57,10 @@ from repro.workloads.base import Workload
 #: ``macro_step``).
 #: v5: configurations gained ``cluster`` (default runs are unchanged, but
 #: the signature schema is new).
-CACHE_VERSION = 5
+#: v6: configurations gained ``environment`` and results carry
+#: carbon/cost accounting fields (default runs are unchanged, but the
+#: signature and result schemas are new).
+CACHE_VERSION = 6
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 
@@ -108,6 +112,33 @@ def policy_grid(
             **config_kwargs,
         )
         for name in names
+    ]
+
+
+def scenario_grid(
+    workload_factory: Callable[[], Workload],
+    profile: LoadProfile,
+    environments: "Sequence[Environment | None]",
+    policies: Sequence[str] | None = None,
+    **config_kwargs: Any,
+) -> list[RunConfiguration]:
+    """The scenario × policy grid: every environment crossed with every
+    policy (environment-major order, matching nested loops).
+
+    ``None`` entries in ``environments`` are legal and mean "no
+    environment attached" — the natural control column of a carbon/price
+    ablation.  Everything else behaves like :func:`policy_grid`.
+    """
+    return [
+        config
+        for environment in environments
+        for config in policy_grid(
+            workload_factory,
+            profile,
+            policies=policies,
+            environment=environment,
+            **config_kwargs,
+        )
     ]
 
 

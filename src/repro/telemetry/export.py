@@ -44,6 +44,12 @@ SUMMARY_COLUMNS = (
     "violation_fraction",
     "latency_limit_s",
     "sample_count",
+    "environment",
+    "wall_energy_j",
+    "gco2_total_g",
+    "cost_usd",
+    "gco2_per_query_g",
+    "cost_per_query_usd",
 )
 
 
@@ -333,6 +339,56 @@ def render_trace_report(events: Sequence[dict]) -> str:
                 "- span lengths: "
                 + ", ".join(f"{k}: {v}" for k, v in buckets)
             )
+
+    env_events = _events_of(events, "environment")
+    has_environment = bool(starts and starts[0].get("environment"))
+    if has_environment or env_events:
+        # Only environment-attached runs record the schema additions; a
+        # plain run gets no section rather than an empty one.
+        lines += ["", "## Environment", ""]
+        if has_environment:
+            start = starts[0]
+            lines.append(f"- environment: `{start.get('environment')}`")
+            if start.get("pue") is not None:
+                lines.append(f"- PUE: {_format_cell(start.get('pue'))}")
+        if env_events:
+            lines.append(
+                f"- {len(env_events)} signal changes observed on live ticks"
+            )
+            carbon = [
+                float(e["carbon_g_per_kwh"])
+                for e in env_events
+                if e.get("carbon_g_per_kwh") is not None
+            ]
+            price = [
+                float(e["price_usd_per_kwh"])
+                for e in env_events
+                if e.get("price_usd_per_kwh") is not None
+            ]
+            if carbon:
+                lines.append(
+                    _stats_line("carbon intensity", carbon, "gCO2/kWh")
+                )
+            if price:
+                lines.append(_stats_line("electricity price", price, "$/kWh"))
+        else:
+            lines.append("- no signal changes within the run")
+        run_ends = _events_of(events, "run_end")
+        if run_ends:
+            end = run_ends[-1]
+            if end.get("wall_energy_j") is not None:
+                lines.append(
+                    f"- wall energy (PUE-inflated): "
+                    f"{_format_cell(end.get('wall_energy_j'))} J"
+                )
+            if end.get("gco2_total_g") is not None:
+                lines.append(
+                    f"- carbon: {_format_cell(end.get('gco2_total_g'))} gCO2"
+                )
+            if end.get("cost_usd") is not None:
+                lines.append(
+                    f"- cost: ${_format_cell(end.get('cost_usd'))}"
+                )
 
     completions = _events_of(events, "completion")
     samples = _events_of(events, "sample")

@@ -27,8 +27,14 @@ run is hot, trivially JSON-serializable afterwards):
     a node power transition (cluster runs only) — detected via the
     machine's ``node_power_version`` counter, with the full per-node
     state map (``on`` / ``booting`` / ``off``) after the transition.
+``environment``
+    an exogenous signal change (environment-attached runs only): the
+    first tick seeing a new carbon/price level records both values.
+    The runner cuts macro spans at signal changes, so the recording
+    tick is always live.
 ``run_end``
-    final totals, including how many events the ring buffer dropped.
+    final totals, including how many events the ring buffer dropped
+    (plus wall energy / gCO₂ / cost when an environment is attached).
 
 The buffer is a bounded ring (``capacity`` events, default 200k): a
 multi-minute high-QPS run cannot exhaust memory, at the price of losing
@@ -119,6 +125,8 @@ class TraceRecorder(RunObserver):
         self._state: dict[str, object] | None = None
         self._samples_seen = 0
         self._migrations_seen = 0
+        self._environment = None
+        self._env_next_s = float("inf")
 
     # -- buffer accessors --------------------------------------------------
 
@@ -159,6 +167,15 @@ class TraceRecorder(RunObserver):
         # Single-node runs keep the historical event schema untouched.
         if machine.node_count > 1:
             event["nodes"] = self._node_power_states(machine)
+        # Likewise, only environment-attached runs add the schema keys.
+        environment = runner.config.environment
+        self._environment = environment
+        if environment is not None:
+            event["environment"] = environment.name
+            event["pue"] = environment.pue
+            self._env_next_s = environment.next_change_s(machine.time_s)
+        else:
+            self._env_next_s = float("inf")
         self._emit(event)
 
     def on_arrival(self, now_s: float, query: "Query") -> None:
@@ -241,13 +258,35 @@ class TraceRecorder(RunObserver):
             event["t"] = migration.completed_at_s
             self._emit(event)
         self._migrations_seen = len(migrations)
+        # Record exogenous signal changes as they become visible: the
+        # first tick starting at/after a change reads the new levels.
+        # The runner cuts spans at signal changes, so that tick is live.
+        environment = self._environment
+        if environment is not None and now_s + 1e-12 >= self._env_next_s:
+            self._emit(
+                {
+                    "event": "environment",
+                    "t": now_s,
+                    "carbon_g_per_kwh": environment.carbon.value(now_s),
+                    "price_usd_per_kwh": environment.price.value(now_s),
+                }
+            )
+            # Advance from the change just passed, not from ``now_s``:
+            # when the tick clock lands an epsilon *short* of the knot,
+            # rearming on ``now_s`` would find the same knot again and
+            # double-report it.
+            self._env_next_s = environment.next_change_s(
+                max(now_s, self._env_next_s)
+            )
 
     def macro_horizon_s(self, now_s: float) -> float | None:
         # Always skippable: on skipped ticks there are no arrivals,
         # completions, or migrations; after_control early-returns on
         # unchanged version counters (a span never reconfigures); and
         # end_tick only mirrors samples/migrations appended since the
-        # last call — none appear while ticks are skipped.
+        # last call — none appear while ticks are skipped.  Environment
+        # events need no horizon here either: the runner itself cuts
+        # spans at signal changes, so the change tick reaches end_tick.
         return float("inf")
 
     def on_run_end(self, result: "RunResult") -> None:
@@ -262,18 +301,22 @@ class TraceRecorder(RunObserver):
                     **runner.span_cut_stats(),
                 }
             )
-        self._emit(
-            {
-                "event": "run_end",
-                "duration_s": result.duration_s,
-                "queries_submitted": result.queries_submitted,
-                "queries_completed": result.queries_completed,
-                "total_energy_j": result.total_energy_j,
-                "sample_count": len(result.samples),
-                "total_events": self.total_events + 1,
-                "dropped_events": self.dropped_events,
-            }
-        )
+        end: dict[str, object] = {
+            "event": "run_end",
+            "duration_s": result.duration_s,
+            "queries_submitted": result.queries_submitted,
+            "queries_completed": result.queries_completed,
+            "total_energy_j": result.total_energy_j,
+            "sample_count": len(result.samples),
+            "total_events": self.total_events + 1,
+            "dropped_events": self.dropped_events,
+        }
+        if result.environment_name is not None:
+            end["environment"] = result.environment_name
+            end["wall_energy_j"] = result.wall_energy_j
+            end["gco2_total_g"] = result.gco2_total_g
+            end["cost_usd"] = result.cost_usd
+        self._emit(end)
 
     # -- export ------------------------------------------------------------
 

@@ -1,0 +1,104 @@
+"""Tests for carbon/cost accounting: closed forms and fold identity."""
+
+import pytest
+
+from repro.environment import (
+    ConstantSignal,
+    Environment,
+    EnvironmentAccounting,
+    JOULES_PER_KWH,
+    StepSignal,
+)
+
+
+def _flat_env(carbon=360.0, price=0.36, pue=1.25):
+    return Environment(
+        name="test",
+        carbon=ConstantSignal(carbon),
+        price=ConstantSignal(price),
+        pue=pue,
+    )
+
+
+class TestClosedForm:
+    def test_constant_signals(self):
+        """One hour at 1 kW wall with PUE 1.25: 1.25 kWh at the wall,
+        so gCO2 = 1.25 * carbon and cost = 1.25 * price."""
+        acc = EnvironmentAccounting(_flat_env())
+        acc.account_span(0.0, 3600.0, 1, psu_power_w=1000.0)
+        assert acc.wall_energy_j == pytest.approx(1.25 * JOULES_PER_KWH)
+        assert acc.gco2_total_g == pytest.approx(1.25 * 360.0)
+        assert acc.cost_usd == pytest.approx(1.25 * 0.36)
+
+    def test_pue_multiplies_wall_energy(self):
+        lean = EnvironmentAccounting(_flat_env(pue=1.0))
+        fat = EnvironmentAccounting(_flat_env(pue=2.0))
+        for acc in (lean, fat):
+            acc.account_tick(0.0, 1.0, psu_power_w=100.0)
+        assert fat.wall_energy_j == pytest.approx(2.0 * lean.wall_energy_j)
+        assert fat.gco2_total_g == pytest.approx(2.0 * lean.gco2_total_g)
+
+    def test_step_signal_charged_at_tick_starts(self):
+        """Carbon doubles at t=1; the tick starting exactly there is
+        charged at the new level, the tick before it at the old one."""
+        env = Environment(
+            name="step",
+            carbon=StepSignal([(0.0, 100.0), (1.0, 200.0)]),
+            price=ConstantSignal(0.0),
+            pue=1.0,
+        )
+        acc = EnvironmentAccounting(env)
+        acc.account_tick(0.0, 1.0, psu_power_w=JOULES_PER_KWH)  # 1 kWh/s
+        acc.account_tick(1.0, 1.0, psu_power_w=JOULES_PER_KWH)
+        assert acc.gco2_total_g == pytest.approx(100.0 + 200.0)
+
+
+class TestFoldIdentity:
+    """A macro span must accumulate the exact float sequence of the
+    per-tick loop — bitwise, no tolerance."""
+
+    def _env(self):
+        return Environment(
+            name="fold",
+            carbon=StepSignal(
+                [(0.0, 431.7), (0.05, 612.3), (0.11, 287.9)]
+            ),
+            price=StepSignal([(0.0, 0.061), (0.08, 0.297)]),
+            pue=1.17,
+        )
+
+    def test_span_equals_tick_sequence(self):
+        dt = 0.002
+        n = 100
+        power = 173.25
+        ticks = EnvironmentAccounting(self._env())
+        span = EnvironmentAccounting(self._env())
+        now = 0.0
+        for _ in range(n):
+            ticks.account_tick(now, dt, power)
+            now += dt  # the same += fold the machine clock uses
+        span.account_span(0.0, dt, n, power)
+        assert span.wall_energy_j == ticks.wall_energy_j
+        assert span.gco2_total_g == ticks.gco2_total_g
+        assert span.cost_usd == ticks.cost_usd
+
+    def test_split_spans_equal_one_span(self):
+        dt = 0.002
+        power = 88.5
+        whole = EnvironmentAccounting(self._env())
+        parts = EnvironmentAccounting(self._env())
+        whole.account_span(0.0, dt, 60, power)
+        parts.account_span(0.0, dt, 25, power)
+        parts.account_span(25 * dt, dt, 35, power)
+        assert parts.wall_energy_j == whole.wall_energy_j
+        assert parts.gco2_total_g == whole.gco2_total_g
+        assert parts.cost_usd == whole.cost_usd
+
+    def test_single_tick_span_is_account_tick(self):
+        a = EnvironmentAccounting(self._env())
+        b = EnvironmentAccounting(self._env())
+        a.account_tick(0.123, 0.002, 55.0)
+        b.account_span(0.123, 0.002, 1, 55.0)
+        assert a.wall_energy_j == b.wall_energy_j
+        assert a.gco2_total_g == b.gco2_total_g
+        assert a.cost_usd == b.cost_usd

@@ -1,0 +1,140 @@
+"""Tests for the Environment bundle, its registry, and the presets."""
+
+import pytest
+
+from repro.environment import (
+    ConstantSignal,
+    Environment,
+    StepSignal,
+    get_environment,
+    make_environment,
+    register_environment,
+    registered_environments,
+    unregister_environment,
+)
+from repro.environment.scenario import (
+    DIURNAL_CARBON_HOURLY,
+    FLAT_CARBON_G_PER_KWH,
+    FLAT_PRICE_USD_PER_KWH,
+    PRICE_PEAK_HOURLY,
+    hourly_day_signal,
+)
+from repro.errors import SimulationError
+
+
+class TestEnvironment:
+    def test_pue_must_be_at_least_one(self):
+        with pytest.raises(SimulationError):
+            Environment(
+                name="bad",
+                carbon=ConstantSignal(400.0),
+                price=ConstantSignal(0.1),
+                pue=0.9,
+            )
+
+    def test_next_change_is_earliest_across_signals(self):
+        env = Environment(
+            name="e",
+            carbon=StepSignal([(0.0, 1.0), (10.0, 2.0)]),
+            price=StepSignal([(0.0, 1.0), (4.0, 2.0)]),
+        )
+        assert env.next_change_s(0.0) == 4.0
+        assert env.next_change_s(4.0) == 10.0
+        assert env.next_change_s(10.0) == float("inf")
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = registered_environments()
+        for name in ("flat", "diurnal-carbon", "price-peak"):
+            assert name in names
+
+    def test_roundtrip(self):
+        register_environment(
+            "test-env",
+            lambda duration_s: Environment(
+                name="test-env",
+                carbon=ConstantSignal(100.0),
+                price=ConstantSignal(0.01),
+            ),
+            description="for this test",
+        )
+        try:
+            assert "test-env" in registered_environments()
+            env = make_environment("test-env", 10.0)
+            assert env.carbon.value(0.0) == 100.0
+        finally:
+            unregister_environment("test-env")
+        assert "test-env" not in registered_environments()
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SimulationError):
+            register_environment("flat", lambda duration_s: None)
+
+    def test_unknown_name(self):
+        with pytest.raises(SimulationError) as err:
+            get_environment("mars")
+        assert "flat" in str(err.value)  # message lists registrations
+
+    def test_unregister_unknown(self):
+        with pytest.raises(SimulationError):
+            unregister_environment("mars")
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(SimulationError):
+            make_environment("flat", 0.0)
+
+
+class TestPresets:
+    def test_flat_is_constant(self):
+        env = make_environment("flat", 100.0)
+        assert env.carbon.value(0.0) == FLAT_CARBON_G_PER_KWH
+        assert env.carbon.value(99.0) == FLAT_CARBON_G_PER_KWH
+        assert env.price.value(50.0) == FLAT_PRICE_USD_PER_KWH
+        assert env.next_change_s(0.0) == float("inf")
+        assert env.pue >= 1.0
+
+    def test_diurnal_carbon_matches_hourly_table(self):
+        duration = 24.0  # 1 simulated second per modeled hour
+        env = make_environment("diurnal-carbon", duration)
+        for hour, level in enumerate(DIURNAL_CARBON_HOURLY):
+            assert env.carbon.value(hour + 0.5) == float(level)
+        # Flat price: the preset varies exactly one axis.
+        assert env.price.value(0.0) == FLAT_PRICE_USD_PER_KWH
+        assert env.price.next_change_s(0.0) == float("inf")
+
+    def test_diurnal_mean_matches_flat_level(self):
+        """The flat control and the diurnal curve must share the daily
+        mean, so flat-vs-diurnal ablations compare equal totals under
+        constant power."""
+        assert sum(DIURNAL_CARBON_HOURLY) / 24.0 == pytest.approx(
+            FLAT_CARBON_G_PER_KWH, rel=0.01
+        )
+
+    def test_price_peak_surges_in_the_evening(self):
+        env = make_environment("price-peak", 24.0)
+        assert env.price.value(18.5) == max(PRICE_PEAK_HOURLY)
+        assert env.price.value(2.5) == min(PRICE_PEAK_HOURLY)
+        assert env.carbon.next_change_s(0.0) == float("inf")
+
+    def test_presets_scale_to_any_duration(self):
+        short = make_environment("diurnal-carbon", 20.0)
+        # Hour 13 (the solar trough) maps to [13/24, 14/24) of the run.
+        t = 13.5 / 24.0 * 20.0
+        assert short.carbon.value(t) == float(DIURNAL_CARBON_HOURLY[13])
+
+
+class TestHourlyDaySignal:
+    def test_hour_boundaries(self):
+        hourly = tuple(float(h) for h in range(24))
+        sig = hourly_day_signal(hourly, duration_s=48.0, name="hours")
+        # Hour h covers [2h, 2h+2) seconds when the day is 48 s.
+        assert sig.value(0.0) == 0.0
+        assert sig.value(1.999) == 0.0
+        assert sig.value(2.0) == 1.0
+        assert sig.value(47.0) == 23.0
+        assert sig.next_change_s(0.0) == 2.0
+
+    def test_requires_24_entries(self):
+        with pytest.raises(SimulationError):
+            hourly_day_signal((1.0, 2.0), duration_s=24.0, name="short")

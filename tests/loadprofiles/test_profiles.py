@@ -124,3 +124,49 @@ class TestSynthetic:
     def test_sine_validation(self):
         with pytest.raises(SimulationError):
             sine_profile(low=0.8, high=0.2)
+
+
+class TestVectorizedAggregates:
+    """The vectorized average/peak must agree with the historical
+    scalar-loop computation on every built-in shape."""
+
+    def _profiles(self):
+        return [
+            spike_profile(duration_s=60.0),
+            twitter_profile(seed=2, duration_s=60.0),
+            constant_profile(0.4, duration_s=30.0),
+            sine_profile(low=0.1, high=0.9, period_s=7.0, duration_s=35.0),
+            SegmentProfile("ramp", [(0.0, 0.0), (12.0, 1.2), (20.0, 0.3)]),
+        ]
+
+    @staticmethod
+    def _scalar_average(profile, resolution_s=0.5):
+        steps = max(1, int(profile.duration_s / resolution_s))
+        mids = [
+            (i + 0.5) * profile.duration_s / steps for i in range(steps)
+        ]
+        return sum(profile.fraction(t) for t in mids) / len(mids)
+
+    @staticmethod
+    def _scalar_peak(profile, resolution_s=0.1):
+        steps = max(1, int(profile.duration_s / resolution_s))
+        mids = [
+            (i + 0.5) * profile.duration_s / steps for i in range(steps)
+        ]
+        return max(profile.fraction(t) for t in mids)
+
+    def test_average_agrees_with_scalar_loop(self):
+        for profile in self._profiles():
+            assert profile.average_fraction() == pytest.approx(
+                self._scalar_average(profile), abs=1e-12
+            ), profile.name
+
+    def test_peak_agrees_with_scalar_loop(self):
+        for profile in self._profiles():
+            assert profile.peak_fraction() == pytest.approx(
+                self._scalar_peak(profile), abs=1e-12
+            ), profile.name
+
+    def test_resolution_validation(self):
+        with pytest.raises(SimulationError):
+            constant_profile(0.5).average_fraction(resolution_s=0.0)

@@ -1,0 +1,72 @@
+"""Tests for the load-profile name registry."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.loadprofiles import (
+    constant_profile,
+    get_profile,
+    make_profile,
+    register_profile,
+    registered_profiles,
+    unregister_profile,
+)
+
+
+class TestBuiltins:
+    def test_all_builtins_present(self):
+        names = registered_profiles()
+        for name in ("spike", "twitter", "twitter-day", "constant", "sine"):
+            assert name in names
+
+    def test_every_builtin_constructs(self):
+        for name in registered_profiles():
+            profile = make_profile(name, 30.0, 0.5)
+            assert profile.duration_s > 0
+
+    def test_constant_uses_the_level(self):
+        profile = make_profile("constant", 10.0, 0.37)
+        assert profile.fraction(5.0) == pytest.approx(0.37)
+
+    def test_shapes_stretch_to_the_duration(self):
+        profile = make_profile("spike", 42.0, 0.5)
+        assert profile.duration_s == pytest.approx(42.0)
+
+
+class TestRegistration:
+    def test_roundtrip(self):
+        register_profile(
+            "test-flat",
+            lambda duration_s, level: constant_profile(
+                level, duration_s=duration_s
+            ),
+            description="for this test",
+        )
+        try:
+            assert "test-flat" in registered_profiles()
+            info = get_profile("test-flat")
+            assert info.description == "for this test"
+            profile = make_profile("test-flat", 5.0, 0.2)
+            assert profile.fraction(1.0) == pytest.approx(0.2)
+        finally:
+            unregister_profile("test-flat")
+        assert "test-flat" not in registered_profiles()
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SimulationError):
+            register_profile(
+                "spike", lambda duration_s, level: None
+            )
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SimulationError):
+            register_profile("", lambda duration_s, level: None)
+
+    def test_unknown_name_lists_registrations(self):
+        with pytest.raises(SimulationError) as err:
+            get_profile("square")
+        assert "spike" in str(err.value)
+
+    def test_unregister_unknown(self):
+        with pytest.raises(SimulationError):
+            unregister_profile("square")

@@ -298,3 +298,151 @@ class TestTelemetryCommands:
     def test_report_empty_cache_dir(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["report", "--cache-dir", str(tmp_path)])
+
+
+class TestEnvironmentFlags:
+    RUN_ARGS = [
+        "run",
+        "--workload",
+        "kv-non-indexed",
+        "--profile",
+        "constant",
+        "--level",
+        "0.3",
+        "--duration",
+        "2",
+    ]
+
+    def test_list_environments(self, capsys):
+        from repro.environment import registered_environments
+
+        rc = main(["run", "--list-environments"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in registered_environments():
+            assert name in out
+
+    def test_list_profiles_renders_registry(self, capsys):
+        from repro.loadprofiles import registered_profiles
+
+        rc = main(["run", "--list-profiles"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in registered_profiles():
+            assert name in out
+
+    def test_no_knobs_means_no_environment(self):
+        from repro.cli import build_parser, make_environment_from_args
+
+        args = build_parser().parse_args(self.RUN_ARGS)
+        assert make_environment_from_args(args, 2.0) is None
+
+    def test_named_preset(self):
+        from repro.cli import build_parser, make_environment_from_args
+
+        args = build_parser().parse_args(
+            self.RUN_ARGS + ["--environment", "diurnal-carbon"]
+        )
+        env = make_environment_from_args(args, 2.0)
+        assert env.name == "diurnal-carbon"
+        assert env.pue > 1.0
+
+    def test_pue_override_builds_custom_environment(self):
+        from repro.cli import build_parser, make_environment_from_args
+
+        args = build_parser().parse_args(self.RUN_ARGS + ["--pue", "1.5"])
+        env = make_environment_from_args(args, 2.0)
+        assert env.name == "custom"
+        assert env.pue == 1.5
+
+    def test_carbon_trace_override(self, tmp_path):
+        from repro.cli import build_parser, make_environment_from_args
+
+        trace = tmp_path / "carbon.csv"
+        trace.write_text("time_s,value\n0,100\n1,900\n")
+        args = build_parser().parse_args(
+            self.RUN_ARGS
+            + ["--environment", "flat", "--carbon-trace", str(trace)]
+        )
+        env = make_environment_from_args(args, 2.0)
+        assert env.name == "flat+custom"
+        assert env.carbon.value(0.5) == 100.0
+        assert env.carbon.value(1.5) == 900.0
+
+    def test_unknown_environment_rejected(self):
+        from repro.cli import build_parser, make_environment_from_args
+
+        args = build_parser().parse_args(
+            self.RUN_ARGS + ["--environment", "venus"]
+        )
+        with pytest.raises(SystemExit):
+            make_environment_from_args(args, 2.0)
+
+    def test_run_prints_environment_lines(self, capsys):
+        rc = main(self.RUN_ARGS + ["--environment", "diurnal-carbon"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "environment       : diurnal-carbon" in out
+        assert "gCO2" in out
+        assert "carbon/query" in out
+
+    def test_run_without_environment_prints_no_lines(self, capsys):
+        rc = main(self.RUN_ARGS)
+        assert rc == 0
+        assert "environment       :" not in capsys.readouterr().out
+
+    def test_environment_report_section(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        rc = main(
+            self.RUN_ARGS
+            + ["--environment", "diurnal-carbon", "--trace", str(trace)]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["report", "--trace", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "## Environment" in out
+        assert "diurnal-carbon" in out
+
+    def test_plain_trace_has_no_environment_section(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        main(self.RUN_ARGS + ["--trace", str(trace)])
+        capsys.readouterr()
+        main(["report", "--trace", str(trace)])
+        assert "## Environment" not in capsys.readouterr().out
+
+
+class TestReplayFlag:
+    def test_replay_trace_wins_over_profile(self, tmp_path):
+        from repro.cli import build_parser, resolve_profile
+
+        trace = tmp_path / "arrivals.csv"
+        trace.write_text("time_s,count\n0.5,2\n1.5,1\n")
+        args = build_parser().parse_args(
+            ["run", "--profile", "spike", "--replay-trace", str(trace)]
+        )
+        profile = resolve_profile(args)
+        assert profile.name == "replay:arrivals"
+        assert profile.arrival_count == 3
+
+    def test_missing_replay_trace_exits(self, tmp_path):
+        from repro.cli import build_parser, resolve_profile
+
+        args = build_parser().parse_args(
+            ["run", "--replay-trace", str(tmp_path / "nope.csv")]
+        )
+        with pytest.raises(SystemExit):
+            resolve_profile(args)
+
+    def test_run_from_replay_trace(self, capsys, tmp_path):
+        trace = tmp_path / "arrivals.csv"
+        rows = ["time_s,count"] + [f"{0.1 * i:.1f},2" for i in range(1, 11)]
+        trace.write_text("\n".join(rows) + "\n")
+        rc = main(["run", "--replay-trace", str(trace), "--duration", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "total energy" in out
+        # The trace defines the run: its name and its own duration
+        # (the last arrival), not the --duration flag.
+        assert "replay:arrivals (1 s)" in out
