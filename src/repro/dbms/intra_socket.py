@@ -12,6 +12,19 @@ and *release* it again.  Consequences the implementation enforces:
   and the next active worker picks them up,
 * within a socket, load balancing is implicit: free workers grab whichever
   owned-by-nobody partition has pending work, oldest head first.
+
+The hub runs in one of two storage modes.  The classic *scalar* mode
+keeps one ``deque[Message]`` per partition.  The *vectorized* mode
+(``vectorized=True``, selected by ``EngineConfig.vector_messages``)
+stores the high-rate modeled message stream as struct-of-arrays columns
+per partition (instruction cost, bytes, query id, enqueue seq) and keeps
+an object side lane for everything that needs a real ``Message`` (real
+operators, RESULT messages, tagged work).  A per-hub enqueue sequence
+number merges the two lanes into one FIFO stream, so drain order, demand
+accounting, and ownership behave bit-identically to the scalar mode —
+the accounting folds replay the scalar chained arithmetic operation for
+operation via ``np.add.accumulate``/``np.subtract.accumulate`` (strict
+left folds).
 """
 
 from __future__ import annotations
@@ -20,14 +33,25 @@ import heapq
 from collections import deque
 from typing import Iterable
 
+import numpy as np
+
 from repro.errors import MessagingError, OwnershipError
-from repro.dbms.messages import Message
+from repro.dbms.messages import Message, WorkCost
 
 #: Default number of messages a worker drains per ownership acquisition.
 DEFAULT_BATCH_SIZE = 64
 
+#: Batch size below which the vectorized paths fall back to scalar
+#: chained arithmetic: numpy's fixed per-call overhead (~1µs) exceeds
+#: the loop cost for short runs, and the scalar chain computes the
+#: exact same left folds, so the cutover is invisible to results.
+SMALL_RUN = 32
+
 #: Demand estimate for messages whose true cost is unknown pre-execution.
 NOMINAL_REAL_OPERATION_INSTRUCTIONS = 1000.0
+
+#: Initial capacity of one partition's SoA columns.
+_MIN_COLUMNS = 16
 
 
 def _message_instructions(message: Message) -> float:
@@ -37,14 +61,93 @@ def _message_instructions(message: Message) -> float:
     return NOMINAL_REAL_OPERATION_INSTRUCTIONS
 
 
+class _SoaQueue:
+    """Struct-of-arrays queue of one partition (vectorized hubs only).
+
+    Modeled, untagged WORK messages live in four parallel columns
+    (instruction cost, bytes accessed, query id, enqueue seq) in the
+    index window ``[head, tail)``; everything else — real operators,
+    RESULT messages, tagged modeled work — rides the object side lane as
+    ``(seq, Message)`` pairs.  The per-hub ``seq`` stamp orders the two
+    lanes into one FIFO stream: both lanes are individually seq-sorted,
+    so the true queue order is a two-way merge decided by comparing the
+    lane heads.
+    """
+
+    __slots__ = ("instr", "nbytes", "qid", "seq", "head", "tail", "objs")
+
+    def __init__(self) -> None:
+        self.instr = np.empty(_MIN_COLUMNS, dtype=np.float64)
+        self.nbytes = np.empty(_MIN_COLUMNS, dtype=np.float64)
+        self.qid = np.empty(_MIN_COLUMNS, dtype=np.int64)
+        self.seq = np.empty(_MIN_COLUMNS, dtype=np.int64)
+        self.head = 0
+        self.tail = 0
+        self.objs: deque[tuple[int, Message]] = deque()
+
+    def __len__(self) -> int:
+        return (self.tail - self.head) + len(self.objs)
+
+    def reserve(self, extra: int) -> None:
+        """Make room to append ``extra`` compact entries at ``tail``."""
+        capacity = self.instr.shape[0]
+        if self.tail + extra <= capacity:
+            return
+        live = self.tail - self.head
+        need = live + extra
+        new_capacity = capacity
+        while new_capacity < need:
+            new_capacity *= 2
+        for name in ("instr", "nbytes", "qid", "seq"):
+            old = getattr(self, name)
+            new = np.empty(new_capacity, dtype=old.dtype)
+            new[:live] = old[self.head : self.tail]
+            setattr(self, name, new)
+        self.head = 0
+        self.tail = live
+
+    def modeled_run(self) -> int:
+        """Length of the compact run at the queue head (0 = object next)."""
+        n = self.tail - self.head
+        if not self.objs:
+            return n
+        if n == 0:
+            return 0
+        first_obj_seq = self.objs[0][0]
+        if self.seq[self.head] > first_obj_seq:
+            return 0
+        return int(
+            np.searchsorted(self.seq[self.head : self.tail], first_obj_seq)
+        )
+
+    def front_seq(self) -> int | None:
+        """Seq of the queue-head entry, or None when empty."""
+        compact = self.seq[self.head] if self.tail > self.head else None
+        obj = self.objs[0][0] if self.objs else None
+        if compact is None:
+            return obj
+        if obj is None:
+            return int(compact)
+        return int(min(compact, obj))
+
+
 class IntraSocketHub:
     """Message queues and the partition-ownership protocol of one socket."""
 
-    def __init__(self, socket_id: int, partition_ids: Iterable[int]):
+    def __init__(
+        self,
+        socket_id: int,
+        partition_ids: Iterable[int],
+        vectorized: bool = False,
+    ):
         self.socket_id = socket_id
-        self._queues: dict[int, deque[Message]] = {
-            pid: deque() for pid in partition_ids
-        }
+        self._vectorized = vectorized
+        if vectorized:
+            self._queues: dict[int, _SoaQueue] = {
+                pid: _SoaQueue() for pid in partition_ids
+            }
+        else:
+            self._queues = {pid: deque() for pid in partition_ids}
         if not self._queues:
             raise MessagingError(f"socket {socket_id} hub needs >= 1 partition")
         #: partition_id -> worker_id of the current owner.
@@ -55,6 +158,17 @@ class IntraSocketHub:
         self._pending_instructions = 0.0
         #: Pending instructions per characteristics tag (None = untagged).
         self._pending_by_tag: dict[object, tuple[object, float]] = {}
+        #: Version stamp of ``_pending_by_tag``; bumps on every enqueue,
+        #: drain, requeue, evict, or freeze so that
+        #: :meth:`pending_by_characteristics` (and the engine's blended
+        #: characteristics on top of it) can memoize per version.
+        self._tag_version = 0
+        self._tag_cache: list[tuple[object, float]] = []
+        self._tag_cache_version = -1
+        #: Hub-wide enqueue sequence (vectorized mode): stamps both lanes
+        #: so per-partition drain order merges compact columns and object
+        #: messages back into arrival order.
+        self._next_seq = 0
         #: Arrival order of partitions — the tie-break of
         #: :meth:`acquire_partition` (matches the original dict-scan order
         #: for the construction-time set; adopted partitions append).
@@ -72,8 +186,10 @@ class IntraSocketHub:
         self._depth_heap: list[tuple[int, int, int, int]] = []
         self._entry_gen: dict[int, int] = {}
 
-    def _push_depth(self, partition_id: int) -> None:
-        depth = len(self._queues[partition_id])
+    def _push_depth(self, partition_id: int, queue=None) -> None:
+        depth = len(
+            self._queues[partition_id] if queue is None else queue
+        )
         if depth:
             gen = self._entry_gen.get(partition_id, 0) + 1
             self._entry_gen[partition_id] = gen
@@ -83,6 +199,11 @@ class IntraSocketHub:
             )
 
     # -- queue side -----------------------------------------------------------
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether this hub stores modeled messages as SoA columns."""
+        return self._vectorized
 
     @property
     def partition_ids(self) -> tuple[int, ...]:
@@ -102,6 +223,11 @@ class IntraSocketHub:
     def enqueue(self, message: Message) -> None:
         """Buffer a message for its target partition.
 
+        In vectorized mode a single message always takes the object side
+        lane — the compact columns are fed exclusively through
+        :meth:`enqueue_bank`, which is what keeps the column population
+        (single-stage, untagged, bank-fabricated) trivially uniform.
+
         Raises:
             MessagingError: if the partition is not homed on this socket.
         """
@@ -111,12 +237,151 @@ class IntraSocketHub:
                 f"partition {message.target_partition} is not on socket "
                 f"{self.socket_id}"
             )
-        queue.append(message)
+        if self._vectorized:
+            seq = self._next_seq
+            self._next_seq = seq + 1
+            queue.objs.append((seq, message))
+        else:
+            queue.append(message)
         self._pending_messages += 1
         instructions = _message_instructions(message)
         self._pending_instructions += instructions
         self._tally_tag(message, instructions)
         self._push_depth(message.target_partition)
+
+    def enqueue_bank(
+        self,
+        targets,
+        instructions,
+        bytes_accessed,
+        query_ids,
+    ) -> None:
+        """Buffer a batch of modeled untagged WORK messages (SoA columns).
+
+        The columns are parallel — numpy arrays, or plain Python lists
+        for small banks (the router's scalar fast path hands lists
+        through so tiny banks never touch numpy at all) — one entry per
+        message, in arrival order.  Only valid on a vectorized hub.  The
+        demand accounting replays the scalar per-message folds (one
+        strict left fold per batch), so the pending sums stay
+        bit-identical to enqueueing one by one.
+
+        Raises:
+            MessagingError: on a scalar hub or for partitions not homed
+                on this socket.
+        """
+        if not self._vectorized:
+            raise MessagingError("enqueue_bank requires a vectorized hub")
+        n = len(targets)
+        if n == 0:
+            return
+        seq0 = self._next_seq
+        self._next_seq = seq0 + n
+        queues = self._queues
+        if n <= SMALL_RUN:
+            # Small batches: per-message scalar writes beat the unique/
+            # mask machinery.  Heap pushes replay the vector path's
+            # np.unique order (ascending pid) so acquire tie-breaks are
+            # unchanged.
+            if type(targets) is list:
+                target_list = targets
+                instr_list = instructions
+                bytes_list = bytes_accessed
+                qid_list = query_ids
+            else:
+                target_list = targets.tolist()
+                instr_list = instructions.tolist()
+                bytes_list = bytes_accessed.tolist()
+                qid_list = query_ids.tolist()
+            touched: dict = {}
+            for j in range(n):
+                pid = target_list[j]
+                queue = queues.get(pid)
+                if queue is None:
+                    raise MessagingError(
+                        f"partition {pid} is not on socket {self.socket_id}"
+                    )
+                queue.reserve(1)
+                tail = queue.tail
+                queue.instr[tail] = instr_list[j]
+                queue.nbytes[tail] = bytes_list[j]
+                queue.qid[tail] = qid_list[j]
+                queue.seq[tail] = seq0 + j
+                queue.tail = tail + 1
+                touched[pid] = queue
+            for pid in sorted(touched):
+                self._push_depth(pid, touched[pid])
+            self._pending_messages += n
+            pending = self._pending_instructions
+            for value in instr_list:
+                pending += value
+            self._pending_instructions = pending
+            # The per-message tag tally, verbatim (restart-safe for
+            # degenerate tiny costs).
+            for value in instr_list:
+                stored = self._pending_by_tag.get(None)
+                total = (stored[1] if stored else 0.0) + value
+                if total <= 1e-9:
+                    self._pending_by_tag.pop(None, None)
+                else:
+                    self._pending_by_tag[None] = (None, total)
+            self._tag_version += 1
+            return
+        targets = np.asarray(targets, dtype=np.int64)
+        instructions = np.asarray(instructions, dtype=np.float64)
+        bytes_accessed = np.asarray(bytes_accessed, dtype=np.float64)
+        query_ids = np.asarray(query_ids, dtype=np.int64)
+        seqs = np.arange(seq0, seq0 + n, dtype=np.int64)
+        for pid in np.unique(targets):
+            pid = int(pid)
+            queue = queues.get(pid)
+            if queue is None:
+                raise MessagingError(
+                    f"partition {pid} is not on socket {self.socket_id}"
+                )
+            mask = targets == pid
+            m = int(np.count_nonzero(mask))
+            queue.reserve(m)
+            lo, hi = queue.tail, queue.tail + m
+            queue.instr[lo:hi] = instructions[mask]
+            queue.nbytes[lo:hi] = bytes_accessed[mask]
+            queue.qid[lo:hi] = query_ids[mask]
+            queue.seq[lo:hi] = seqs[mask]
+            queue.tail = hi
+            self._push_depth(pid)
+        self._pending_messages += n
+        # The pending fold is the per-hub subsequence of the global
+        # message order, which is exactly the input array order; an
+        # accumulate is the same chained left fold the scalar loop runs.
+        self._pending_instructions = float(
+            np.add.accumulate(
+                np.concatenate(((self._pending_instructions,), instructions))
+            )[-1]
+        )
+        stored = self._pending_by_tag.get(None)
+        if stored is not None or float(instructions.min()) > 1e-9:
+            total = float(
+                np.add.accumulate(
+                    np.concatenate(
+                        ((stored[1] if stored else 0.0,), instructions)
+                    )
+                )[-1]
+            )
+            if total <= 1e-9:
+                self._pending_by_tag.pop(None, None)
+            else:
+                self._pending_by_tag[None] = (None, total)
+        else:
+            # Degenerate tiny costs could pop-and-restart the tally mid
+            # batch; replay the scalar per-message loop exactly.
+            for value in instructions:
+                stored = self._pending_by_tag.get(None)
+                total = (stored[1] if stored else 0.0) + float(value)
+                if total <= 1e-9:
+                    self._pending_by_tag.pop(None, None)
+                else:
+                    self._pending_by_tag[None] = (None, total)
+        self._tag_version += 1
 
     def pending_cost_instructions(self) -> float:
         """Total modeled instructions waiting in all queues.
@@ -137,14 +402,26 @@ class IntraSocketHub:
             self._pending_by_tag.pop(key, None)
         else:
             self._pending_by_tag[key] = (chars, total)
+        self._tag_version += 1
 
     def pending_by_characteristics(self) -> list[tuple[object, float]]:
         """(characteristics, pending instructions) per tag.
 
         The ``None`` tag collects untagged messages; the engine substitutes
-        its per-socket default characteristics for it when blending.
+        its per-socket default characteristics for it when blending.  The
+        returned list is memoized per tag version (it is rebuilt only
+        after an enqueue/drain/freeze actually changed the tally) — treat
+        it as read-only.
         """
-        return list(self._pending_by_tag.values())
+        if self._tag_cache_version != self._tag_version:
+            self._tag_cache = list(self._pending_by_tag.values())
+            self._tag_cache_version = self._tag_version
+        return self._tag_cache
+
+    @property
+    def tag_version(self) -> int:
+        """Monotone stamp of the pending-by-tag tally (memoization key)."""
+        return self._tag_version
 
     # -- ownership protocol ----------------------------------------------------
 
@@ -161,21 +438,26 @@ class IntraSocketHub:
         approximates the implicit load balancing of the paper's design.
         """
         heap = self._depth_heap
+        queues = self._queues
+        owners = self._owners
+        frozen = self._frozen
+        entry_gen = self._entry_gen
         while heap:
             neg_depth, order, pid, gen = heap[0]
+            queue = queues.get(pid)
+            depth = len(queue) if queue is not None else 0
             if (
-                pid not in self._queues
-                or pid in self._owners
-                or pid in self._frozen
-                or gen != self._entry_gen.get(pid)
-                or not self._queues[pid]
+                queue is None
+                or pid in owners
+                or pid in frozen
+                or gen != entry_gen.get(pid)
+                or not depth
             ):
                 # Owned partitions re-push on release, frozen ones on
                 # unfreeze, evicted ones are gone; superseded or emptied
                 # entries are simply dropped.
                 heapq.heappop(heap)
                 continue
-            depth = len(self._queues[pid])
             if -neg_depth != depth:
                 # Unreachable through the engine's call sequence (the
                 # newest entry of an unowned partition is exact), kept as
@@ -204,6 +486,12 @@ class IntraSocketHub:
     ) -> list[Message]:
         """Drain up to ``batch_size`` messages of an owned partition.
 
+        On a vectorized hub compact entries are materialized back into
+        :class:`Message` objects — the vectorized worker drains through
+        :meth:`modeled_run`/:meth:`consume_modeled` instead and never
+        pays this; the method remains for API compatibility (tests,
+        external drivers).
+
         Raises:
             OwnershipError: if the caller does not own the partition.
         """
@@ -212,17 +500,44 @@ class IntraSocketHub:
             raise MessagingError(f"batch_size must be >= 1, got {batch_size}")
         queue = self._queues[partition_id]
         batch = []
-        while queue and len(batch) < batch_size:
-            message = queue.popleft()
-            instructions = _message_instructions(message)
-            self._pending_instructions -= instructions
-            self._tally_tag(message, -instructions)
-            batch.append(message)
+        if self._vectorized:
+            while len(queue) and len(batch) < batch_size:
+                batch.append(self._materialize_head(partition_id, queue))
+        else:
+            while queue and len(batch) < batch_size:
+                message = queue.popleft()
+                instructions = _message_instructions(message)
+                self._pending_instructions -= instructions
+                self._tally_tag(message, -instructions)
+                batch.append(message)
         self._pending_messages -= len(batch)
         if not self._pending_messages:
             self._pending_instructions = 0.0  # kill float drift at empty
             self._pending_by_tag.clear()
+            self._tag_version += 1
         return batch
+
+    def _materialize_head(self, partition_id: int, queue: _SoaQueue) -> Message:
+        """Pop the queue-head entry as a Message, folding out its cost."""
+        if queue.modeled_run() > 0:
+            h = queue.head
+            message = Message(
+                query_id=int(queue.qid[h]),
+                target_partition=partition_id,
+                cost=WorkCost(
+                    instructions=float(queue.instr[h]),
+                    bytes_accessed=float(queue.nbytes[h]),
+                ),
+            )
+            queue.head = h + 1
+        else:
+            message = queue.objs.popleft()[1]
+        if not len(queue):
+            queue.head = queue.tail = 0
+        instructions = _message_instructions(message)
+        self._pending_instructions -= instructions
+        self._tally_tag(message, -instructions)
+        return message
 
     def requeue_front(self, worker_id: int, messages: list[Message]) -> None:
         """Put unprocessed messages back at the head of their queues.
@@ -232,11 +547,196 @@ class IntraSocketHub:
         """
         for message in reversed(messages):
             self._require_owner(worker_id, message.target_partition)
-            self._queues[message.target_partition].appendleft(message)
+            queue = self._queues[message.target_partition]
+            if self._vectorized:
+                front = queue.front_seq()
+                seq = (front - 1) if front is not None else self._next_seq
+                queue.objs.appendleft((seq, message))
+            else:
+                queue.appendleft(message)
             self._pending_messages += 1
             instructions = _message_instructions(message)
             self._pending_instructions += instructions
             self._tally_tag(message, instructions)
+
+    # -- vectorized drain ------------------------------------------------------
+
+    def modeled_run(self, partition_id: int) -> int:
+        """Length of the compact (modeled, untagged) run at the queue head.
+
+        0 means the next entry is an object-lane message — or the queue
+        is empty (disambiguate via :meth:`queue_depth` or
+        :meth:`pop_object` returning None).
+        """
+        return self._queues[partition_id].modeled_run()
+
+    def run_instructions(self, partition_id: int, count: int) -> np.ndarray:
+        """Instruction-cost column view of the head run (no copy)."""
+        queue = self._queues[partition_id]
+        return queue.instr[queue.head : queue.head + count]
+
+    def run_bytes(self, partition_id: int, count: int) -> np.ndarray:
+        """Bytes-accessed column view of the head run (no copy)."""
+        queue = self._queues[partition_id]
+        return queue.nbytes[queue.head : queue.head + count]
+
+    def run_rows(
+        self, partition_id: int, count: int
+    ) -> tuple[list[float], list[float]]:
+        """Instruction and byte columns of the head run as Python lists.
+
+        One call instead of two column views for the worker's small-run
+        scalar drain (``float64.tolist()`` is value-preserving, so the
+        lists carry the exact column values).
+        """
+        queue = self._queues[partition_id]
+        h = queue.head
+        return (
+            queue.instr[h : h + count].tolist(),
+            queue.nbytes[h : h + count].tolist(),
+        )
+
+    def consume_modeled(
+        self,
+        worker_id: int,
+        partition_id: int,
+        count: int,
+        round_trip: bool = False,
+    ) -> np.ndarray | list[int]:
+        """Consume ``count`` compact entries off an owned partition's head.
+
+        Returns the consumed query-id column (a list for small runs, an
+        array copy otherwise).  With
+        ``round_trip=True`` the entry *after* the consumed run replays
+        the scalar worker's budget-cut round trip — dequeued and
+        immediately requeued (the float folds of that detour are part of
+        the bit-identity contract) — and stays at the queue head.
+
+        Raises:
+            OwnershipError: if the caller does not own the partition.
+        """
+        self._require_owner(worker_id, partition_id)
+        queue = self._queues[partition_id]
+        folds = count + 1 if round_trip else count
+        if folds > queue.modeled_run():
+            raise MessagingError(
+                f"consume of {folds} exceeds the compact run on partition "
+                f"{partition_id}"
+            )
+        h = queue.head
+        costs = queue.instr[h : h + folds]
+        # Small runs hand the consumed ids back as a plain list (what the
+        # tracker's scalar settle path wants anyway); big runs as an
+        # array copy.
+        if count <= SMALL_RUN:
+            query_ids = queue.qid[h : h + count].tolist()
+        else:
+            query_ids = queue.qid[h : h + count].copy()
+        if folds:
+            # Chained scalar folds, replayed as strict left folds (as a
+            # plain loop for short runs — same chain, no numpy fixed
+            # cost).  The empty-hub snap can only fire on the last
+            # dequeue of the run (earlier entries leave this very queue
+            # non-empty).
+            if folds <= SMALL_RUN:
+                cost_list = costs.tolist()
+                pending = self._pending_instructions
+                for value in cost_list:
+                    pending -= value
+                self._pending_instructions = pending
+                stored = self._pending_by_tag.get(None)
+                if stored is not None:
+                    total = stored[1]
+                    for value in cost_list:
+                        total -= value
+                    if total <= 1e-9:
+                        self._pending_by_tag.pop(None, None)
+                    else:
+                        self._pending_by_tag[None] = (None, total)
+                stored = None
+            else:
+                self._pending_instructions = float(
+                    np.subtract.accumulate(
+                        np.concatenate(((self._pending_instructions,), costs))
+                    )[-1]
+                )
+                stored = self._pending_by_tag.get(None)
+            if stored is not None:
+                total = float(
+                    np.subtract.accumulate(
+                        np.concatenate(((stored[1],), costs))
+                    )[-1]
+                )
+                # Monotone non-increasing fold: the running minimum is the
+                # final value, so "popped at some step" == "final <= eps".
+                if total <= 1e-9:
+                    self._pending_by_tag.pop(None, None)
+                else:
+                    self._pending_by_tag[None] = (None, total)
+            self._pending_messages -= folds
+            if not self._pending_messages:
+                self._pending_instructions = 0.0  # kill float drift at empty
+                self._pending_by_tag.clear()
+        queue.head = h + count
+        if round_trip:
+            requeued = float(queue.instr[queue.head])
+            self._pending_messages += 1
+            self._pending_instructions += requeued
+            stored = self._pending_by_tag.get(None)
+            total = (stored[1] if stored else 0.0) + requeued
+            if total <= 1e-9:
+                self._pending_by_tag.pop(None, None)
+            else:
+                self._pending_by_tag[None] = (None, total)
+        elif not len(queue):
+            queue.head = queue.tail = 0
+        self._tag_version += 1
+        return query_ids
+
+    def pop_object(
+        self, worker_id: int, partition_id: int
+    ) -> tuple[int, Message] | None:
+        """Dequeue the object-lane message at an owned partition's head.
+
+        Returns ``(seq, message)``, or None when the partition queue is
+        empty.  Must only be called when :meth:`modeled_run` is 0.
+
+        Raises:
+            OwnershipError: if the caller does not own the partition.
+        """
+        self._require_owner(worker_id, partition_id)
+        queue = self._queues[partition_id]
+        if not queue.objs:
+            return None
+        seq, message = queue.objs.popleft()
+        if not len(queue):
+            queue.head = queue.tail = 0
+        instructions = _message_instructions(message)
+        self._pending_instructions -= instructions
+        self._tally_tag(message, -instructions)
+        self._pending_messages -= 1
+        if not self._pending_messages:
+            self._pending_instructions = 0.0  # kill float drift at empty
+            self._pending_by_tag.clear()
+            self._tag_version += 1
+        return seq, message
+
+    def unpop_object(
+        self, worker_id: int, partition_id: int, seq: int, message: Message
+    ) -> None:
+        """Requeue a just-popped object-lane message at the queue head.
+
+        The budget-cut round trip of the vectorized worker: the folds
+        mirror :meth:`requeue_front` exactly (same chained adds).
+        """
+        self._require_owner(worker_id, partition_id)
+        self._queues[partition_id].objs.appendleft((seq, message))
+        self._pending_messages += 1
+        instructions = _message_instructions(message)
+        self._pending_instructions += instructions
+        self._tally_tag(message, instructions)
+
+    # -- ownership release -----------------------------------------------------
 
     def release_partition(self, worker_id: int, partition_id: int) -> None:
         """Release ownership of a partition.
@@ -273,19 +773,25 @@ class IntraSocketHub:
         """
         self._require_partition(partition_id)
         self._frozen.add(partition_id)
+        self._tag_version += 1
 
     def unfreeze_partition(self, partition_id: int) -> None:
         """Make a frozen partition acquirable again (aborted migration)."""
         self._require_partition(partition_id)
         self._frozen.discard(partition_id)
         self._push_depth(partition_id)
+        self._tag_version += 1
 
     def evict_partition(self, partition_id: int) -> list[Message]:
         """Remove a partition from this hub, returning its queued messages.
 
         The partition must be unowned (quiesced).  Its messages leave the
         pending accounting — the caller ships them to the new home socket
-        through the router, so they are in transit, not lost.
+        through the router, so they are in transit, not lost.  On a
+        vectorized hub the compact entries are materialized back into
+        :class:`Message` objects (in queue order, merged with the object
+        lane) — an evicted queue travels the scalar transfer path either
+        way.
 
         Raises:
             OwnershipError: while a worker still owns the partition.
@@ -297,7 +803,11 @@ class IntraSocketHub:
                 f"cannot evict partition {partition_id}: owned by worker "
                 f"{owner}"
             )
-        messages = list(self._queues.pop(partition_id))
+        queue = self._queues.pop(partition_id)
+        if self._vectorized:
+            messages = self._materialize_all(partition_id, queue)
+        else:
+            messages = list(queue)
         for message in messages:
             instructions = _message_instructions(message)
             self._pending_instructions -= instructions
@@ -306,11 +816,39 @@ class IntraSocketHub:
         if not self._pending_messages:
             self._pending_instructions = 0.0  # kill float drift at empty
             self._pending_by_tag.clear()
+            self._tag_version += 1
         self._frozen.discard(partition_id)
         self._order.pop(partition_id, None)
         # _entry_gen is kept on purpose: stale heap entries of the evicted
         # partition must never collide with generations pushed after a
         # later re-adoption, so the counter survives residency gaps.
+        return messages
+
+    @staticmethod
+    def _materialize_all(partition_id: int, queue: _SoaQueue) -> list[Message]:
+        """Materialize a whole SoA queue into Messages, in queue order."""
+        messages: list[Message] = []
+        h = queue.head
+        objs = iter(queue.objs)
+        next_obj = next(objs, None)
+        while h < queue.tail or next_obj is not None:
+            if next_obj is None or (
+                h < queue.tail and queue.seq[h] < next_obj[0]
+            ):
+                messages.append(
+                    Message(
+                        query_id=int(queue.qid[h]),
+                        target_partition=partition_id,
+                        cost=WorkCost(
+                            instructions=float(queue.instr[h]),
+                            bytes_accessed=float(queue.nbytes[h]),
+                        ),
+                    )
+                )
+                h += 1
+            else:
+                messages.append(next_obj[1])
+                next_obj = next(objs, None)
         return messages
 
     def adopt_partition(self, partition_id: int) -> None:
@@ -328,7 +866,7 @@ class IntraSocketHub:
                 f"partition {partition_id} is already on socket "
                 f"{self.socket_id}"
             )
-        self._queues[partition_id] = deque()
+        self._queues[partition_id] = _SoaQueue() if self._vectorized else deque()
         self._order[partition_id] = self._next_order
         self._next_order += 1
 

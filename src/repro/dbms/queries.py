@@ -13,10 +13,25 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import SimulationError
 from repro.dbms.messages import Message
 
 _query_ids = itertools.count()
+
+
+def take_query_ids(count: int) -> int:
+    """Reserve ``count`` consecutive query ids; returns the first.
+
+    Bank fabrication consumes the same global id stream as per-object
+    :class:`Query` construction (one id per query, in arrival order), so
+    a vectorized run assigns exactly the ids the scalar run would.
+    """
+    first = next(_query_ids)
+    for _ in range(count - 1):
+        next(_query_ids)
+    return first
 
 
 @dataclass
@@ -76,11 +91,19 @@ class QueryTracker:
         self._remaining: dict[int, int] = {}
         self.completed_count = 0
         self.dispatched_count = 0
+        # Dense store for bank-registered (compact, single-stage) queries:
+        # remaining-message counts and arrival times indexed by
+        # ``query_id - _bank_base``.  A slot of 0 in ``_bank_remaining``
+        # means absent-or-completed; dict-registered queries leave holes.
+        self._bank_base: int | None = None
+        self._bank_remaining = np.zeros(0, dtype=np.int32)
+        self._bank_arrivals = np.zeros(0, dtype=np.float64)
+        self._bank_in_flight = 0
 
     @property
     def in_flight(self) -> int:
         """Number of queries currently being processed."""
-        return len(self._queries)
+        return len(self._queries) + self._bank_in_flight
 
     def dispatch(self, query: Query) -> list[Message]:
         """Register a query and return its stage-0 messages.
@@ -97,6 +120,132 @@ class QueryTracker:
         self.dispatched_count += 1
         return list(first.messages)
 
+    def register_bank(
+        self, first_query_id: int, fan_out: int, arrivals_s: np.ndarray
+    ) -> None:
+        """Register a block of single-stage compact queries.
+
+        The block covers ``arrivals_s.size`` consecutive query ids
+        starting at ``first_query_id``, each fanning out into ``fan_out``
+        messages.  Compact queries carry no :class:`Query` object; their
+        completion is settled per drained run via :meth:`on_compact_done`
+        (or per materialized message via :meth:`on_message_done`, e.g.
+        after a migration evicted their messages into the object lane).
+        """
+        n = int(arrivals_s.size)
+        if n == 0:
+            return
+        if self._bank_base is None:
+            self._bank_base = first_query_id
+        lo = first_query_id - self._bank_base
+        if lo < 0:
+            raise SimulationError("bank query ids must be monotone")
+        hi = lo + n
+        if hi > self._bank_remaining.size:
+            capacity = max(1024, 2 * self._bank_remaining.size)
+            while capacity < hi:
+                capacity *= 2
+            remaining = np.zeros(capacity, dtype=np.int32)
+            remaining[: self._bank_remaining.size] = self._bank_remaining
+            arrivals = np.zeros(capacity, dtype=np.float64)
+            arrivals[: self._bank_arrivals.size] = self._bank_arrivals
+            self._bank_remaining = remaining
+            self._bank_arrivals = arrivals
+        remaining = self._bank_remaining
+        if n <= 32:
+            overlap = any(remaining[slot] for slot in range(lo, hi))
+        else:
+            overlap = bool(remaining[lo:hi].any())
+        if overlap:
+            raise SimulationError(
+                f"bank block at query {first_query_id} overlaps in-flight ids"
+            )
+        self._bank_remaining[lo:hi] = fan_out
+        self._bank_arrivals[lo:hi] = arrivals_s
+        self._bank_in_flight += n
+        self.dispatched_count += n
+
+    def on_compact_done(
+        self, query_ids, now_s: float
+    ) -> list[QueryCompletion]:
+        """Account one drained compact run of bank-registered messages.
+
+        ``query_ids`` is the run's id column — a plain list (what the
+        hub's small-run consume hands back) or a numpy array.  Decrements
+        the remaining-message counts per query and returns the
+        completions in the order the per-message path would emit them:
+        each finished query completes at its *last* message of the run,
+        so completions are ordered by last-occurrence position.
+        """
+        base = self._bank_base
+        if base is None:
+            raise SimulationError("compact run before any bank registration")
+        if len(query_ids) <= 32:
+            # Short runs: the scalar decrement loop *is* the reference
+            # semantics (a query completes at its last message, i.e. the
+            # decrement that reaches zero) — and numpy's unique/argsort
+            # overhead dwarfs it at this size.
+            remaining = self._bank_remaining
+            size = remaining.size
+            done_list: list[int] = []
+            if type(query_ids) is not list:
+                query_ids = query_ids.tolist()
+            for qid in query_ids:
+                slot = qid - base
+                if not 0 <= slot < size or not remaining[slot]:
+                    raise SimulationError(
+                        "message for unknown query in compact run"
+                    )
+                left = int(remaining[slot]) - 1
+                remaining[slot] = left
+                if not left:
+                    done_list.append(qid)
+            if not done_list:
+                return []
+            self._bank_in_flight -= len(done_list)
+            self.completed_count += len(done_list)
+            arrivals = self._bank_arrivals
+            return [
+                QueryCompletion(
+                    query_id=qid,
+                    arrival_s=float(arrivals[qid - base]),
+                    completion_s=now_s,
+                )
+                for qid in done_list
+            ]
+        query_ids = np.asarray(query_ids, dtype=np.int64)
+        reverse = query_ids[::-1]
+        unique, rev_index, counts = np.unique(
+            reverse, return_index=True, return_counts=True
+        )
+        index = unique - base
+        remaining = self._bank_remaining
+        if int(index[0]) < 0 or int(index[-1]) >= remaining.size:
+            raise SimulationError("message for unknown query in compact run")
+        left = remaining[index] - counts.astype(np.int32)
+        if left.min() < 0:
+            raise SimulationError("message for unknown query in compact run")
+        remaining[index] = left
+        done = left == 0
+        finished = int(np.count_nonzero(done))
+        if not finished:
+            return []
+        # Last occurrence in drain order = first occurrence in reverse.
+        last_position = query_ids.size - 1 - rev_index[done]
+        order = np.argsort(last_position)
+        done_ids = unique[done][order]
+        self._bank_in_flight -= finished
+        self.completed_count += finished
+        arrivals = self._bank_arrivals
+        return [
+            QueryCompletion(
+                query_id=int(qid),
+                arrival_s=float(arrivals[qid - base]),
+                completion_s=now_s,
+            )
+            for qid in done_ids
+        ]
+
     def on_message_done(
         self, message: Message, now_s: float
     ) -> tuple[list[Message], QueryCompletion | None]:
@@ -108,6 +257,23 @@ class QueryTracker:
         """
         qid = message.query_id
         if qid not in self._queries:
+            # Bank-registered query whose message was materialized into
+            # an object (e.g. evicted by a migration): settle it against
+            # the dense store, one message at a time.
+            base = self._bank_base
+            slot = qid - base if base is not None else -1
+            if 0 <= slot < self._bank_remaining.size and self._bank_remaining[slot]:
+                left = int(self._bank_remaining[slot]) - 1
+                self._bank_remaining[slot] = left
+                if left:
+                    return [], None
+                self._bank_in_flight -= 1
+                self.completed_count += 1
+                return [], QueryCompletion(
+                    query_id=qid,
+                    arrival_s=float(self._bank_arrivals[slot]),
+                    completion_s=now_s,
+                )
             raise SimulationError(f"message for unknown query {qid}")
         self._remaining[qid] -= 1
         if self._remaining[qid] > 0:

@@ -23,7 +23,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import MessagingError
-from repro.dbms.intra_socket import DEFAULT_BATCH_SIZE, IntraSocketHub
+from repro.dbms.intra_socket import (
+    DEFAULT_BATCH_SIZE,
+    SMALL_RUN,
+    IntraSocketHub,
+)
 from repro.dbms.messages import Message, MessageKind
 from repro.storage.partition import PartitionMap
 
@@ -33,6 +37,27 @@ class WorkerState(enum.Enum):
 
     ACTIVE = "active"  #: unparked, polling for work
     PARKED = "parked"  #: hardware thread in a C-state
+
+
+class CompletedRun:
+    """A drained run of compact (modeled, untagged) messages.
+
+    The vectorized worker returns these inside its completion list in
+    place of per-message objects: one run covers ``len(query_ids)``
+    consecutively drained messages of one partition (a list for small
+    runs, an id-column array otherwise).  The engine settles them
+    against the query tracker in one call per run.
+    """
+
+    __slots__ = ("partition_id", "query_ids")
+
+    def __init__(self, partition_id: int, query_ids) -> None:
+        self.partition_id = partition_id
+        self.query_ids = query_ids
+
+    @property
+    def count(self) -> int:
+        return len(self.query_ids)
 
 
 class WorkerStatsArrays:
@@ -152,6 +177,8 @@ class Worker:
         """
         if not self.is_active:
             raise MessagingError(f"worker {self.worker_id} is parked")
+        if hub.vectorized:
+            return self._process_quantum_soa(hub, partitions, budget_instructions)
         remaining = budget_instructions
         completed: list[Message] = []
         out_of_budget = False
@@ -197,6 +224,163 @@ class Worker:
         if acquisitions:
             self.stats.add_quantum(
                 acquisitions, len(completed), instructions, bytes_accessed
+            )
+        return budget_instructions - remaining, completed
+
+    def _process_quantum_soa(
+        self,
+        hub: IntraSocketHub,
+        partitions: PartitionMap,
+        budget_instructions: float,
+    ) -> tuple[float, list]:
+        """Vectorized quantum over a SoA hub.
+
+        Replays the scalar per-message loop exactly, but drains each
+        compact run with one ``np.subtract.accumulate`` budget cut
+        instead of a Python loop.  With ``d`` the running-budget chain
+        over the run's costs (``d[0]`` = budget before the run), message
+        ``i`` is consumed plainly iff ``d[i] > 0 and d[i+1] >= 0``; the
+        first violation ``k`` lands in one of three scalar cases:
+
+        * ``d[k] == 0`` — the budget died exactly at ``k``: consume the
+          ``k`` head messages, the quantum ends without a requeue;
+        * overflow with prior progress — consume ``k``, round-trip the
+          next message (dequeue + requeue, float folds included), flag
+          ``out_of_budget``;
+        * overflow on a fresh quantum (``k == 0``, nothing consumed yet)
+          — overdraw: charge the head message anyway, mirroring how a
+          real worker cannot preempt an operator mid-flight.
+
+        The completion list interleaves :class:`CompletedRun` entries
+        (compact runs) with plain :class:`Message` objects from the
+        object lane, in exact drain order.
+        """
+        remaining = budget_instructions
+        completed: list = []
+        out_of_budget = False
+        acquisitions = 0
+        instructions = 0.0
+        bytes_accessed = 0.0
+        count = 0  # messages consumed this quantum (scalar `completed`)
+        worker_id = self.worker_id
+
+        while remaining > 0 and not out_of_budget:
+            partition_id = hub.acquire_partition(worker_id)
+            if partition_id is None:
+                break
+            acquisitions += 1
+            try:
+                while remaining > 0:
+                    run = hub.modeled_run(partition_id)
+                    if run:
+                        if run <= SMALL_RUN:
+                            # Tiny runs: numpy's fixed per-call overhead
+                            # dwarfs the work, so replay the identical
+                            # left folds as plain chained arithmetic.
+                            costs, run_b = hub.run_rows(partition_id, run)
+                            rem = remaining
+                            k = 0
+                            while k < run:
+                                nxt = rem - costs[k]
+                                if rem > 0.0 and nxt >= 0.0:
+                                    rem = nxt
+                                    k += 1
+                                    continue
+                                break
+                            if k == run or rem <= 0.0:
+                                round_trip = False
+                            elif count or k:
+                                round_trip = True
+                            else:
+                                k = 1  # overdraw a fresh quantum
+                                rem = remaining - costs[0]
+                                round_trip = False
+                            if k:
+                                for i in range(k):
+                                    instructions += costs[i]
+                                    bytes_accessed += run_b[i]
+                                remaining = rem
+                            query_ids = hub.consume_modeled(
+                                worker_id, partition_id, k, round_trip
+                            )
+                            if k:
+                                count += k
+                                completed.append(
+                                    CompletedRun(partition_id, query_ids)
+                                )
+                            if round_trip:
+                                out_of_budget = True
+                                break
+                            continue
+                        c = hub.run_instructions(partition_id, run)
+                        d = np.subtract.accumulate(
+                            np.concatenate(((remaining,), c))
+                        )
+                        ok = (d[:-1] > 0.0) & (d[1:] >= 0.0)
+                        if ok.all():
+                            k = run
+                            round_trip = False
+                        else:
+                            k = int(np.argmin(ok))
+                            if d[k] <= 0.0:
+                                round_trip = False
+                            elif count or k:
+                                round_trip = True
+                            else:
+                                k = 1  # overdraw a fresh quantum
+                                round_trip = False
+                        if k:
+                            b = hub.run_bytes(partition_id, run)
+                            # Stats and budget replay the scalar chained
+                            # adds as strict left folds.
+                            instructions = float(
+                                np.add.accumulate(
+                                    np.concatenate(((instructions,), c[:k]))
+                                )[-1]
+                            )
+                            bytes_accessed = float(
+                                np.add.accumulate(
+                                    np.concatenate(((bytes_accessed,), b[:k]))
+                                )[-1]
+                            )
+                            remaining = float(d[k])
+                        query_ids = hub.consume_modeled(
+                            worker_id, partition_id, k, round_trip
+                        )
+                        if k:
+                            count += k
+                            completed.append(
+                                CompletedRun(partition_id, query_ids)
+                            )
+                        if round_trip:
+                            out_of_budget = True
+                            break
+                        continue
+                    popped = hub.pop_object(worker_id, partition_id)
+                    if popped is None:
+                        break
+                    seq, message = popped
+                    if message.is_modeled:
+                        cost = message.charged_cost()
+                        if cost.instructions > remaining and count:
+                            hub.unpop_object(
+                                worker_id, partition_id, seq, message
+                            )
+                            out_of_budget = True
+                            break
+                    else:
+                        cost = self._execute_real(message, partitions)
+                    instructions += cost.instructions
+                    bytes_accessed += cost.bytes_accessed
+                    remaining -= cost.instructions
+                    count += 1
+                    completed.append(message)
+            finally:
+                hub.release_partition(worker_id, partition_id)
+
+        if acquisitions:
+            self.stats.add_quantum(
+                acquisitions, count, instructions, bytes_accessed
             )
         return budget_instructions - remaining, completed
 

@@ -45,12 +45,16 @@ class LoadGenerator:
         seed: int = 0,
         poisson: bool = False,
         real_mode: bool = False,
+        use_banks: bool = False,
     ):
         self._workload = workload
         self.profile = profile
         self.partitions = partitions
         self.poisson = poisson
         self.real_mode = real_mode
+        #: Ask the workload for columnar QueryBank arrivals before falling
+        #: back to per-object batches (the vectorized message plane).
+        self.use_banks = use_banks
         self._rng = np.random.default_rng(seed)
         self.generated_count = 0
         # Tick-grid anchor and pre-drawn count blocks.  The grid is
@@ -177,8 +181,13 @@ class LoadGenerator:
 
     # -- per-tick API --------------------------------------------------------
 
-    def arrivals(self, t_s: float, dt_s: float) -> list[Query]:
+    def arrivals(self, t_s: float, dt_s: float):
         """Queries arriving within ``[t_s, t_s + dt_s)``.
+
+        Returns either a ``list[Query]`` or, with ``use_banks`` set and a
+        workload that supports it, a columnar
+        :class:`~repro.dbms.querybank.QueryBank` covering the same
+        arrivals (same ids, costs, and rng draws).
 
         Raises:
             SimulationError: on a non-positive tick.
@@ -195,6 +204,13 @@ class LoadGenerator:
                 for arrival in arrival_times
             ]
         else:
+            if self.use_banks:
+                bank = self._workload.make_modeled_bank(
+                    self._rng, arrival_times, self.partitions
+                )
+                if bank is not None:
+                    self.generated_count += count
+                    return bank
             queries = self._workload.make_modeled_batch(
                 self._rng, arrival_times, self.partitions
             )

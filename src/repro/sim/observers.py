@@ -190,6 +190,12 @@ class ObserverList:
 
     def __init__(self, observers: Sequence[RunObserver]):
         self._observers = tuple(observers)
+        #: Whether any member overrides on_arrival.  The bank arrival path
+        #: only materializes per-query views when someone is listening.
+        self.wants_arrivals = any(
+            type(obs).on_arrival is not RunObserver.on_arrival
+            for obs in self._observers
+        )
 
     def __iter__(self):
         return iter(self._observers)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.errors import SimulationError
 from repro.dbms.config import EngineConfig
 from repro.dbms.engine import DatabaseEngine, EngineTickResult
+from repro.dbms.querybank import QueryBank
 from repro.ecl.socket_ecl import EclParameters
 from repro.environment import Environment, EnvironmentAccounting
 from repro.placement import DEFAULT_PLACEMENT, validate_placement_name
@@ -148,6 +149,7 @@ class SimulationRunner:
             self.engine.partitions,
             seed=config.seed + 1,
             poisson=config.poisson_arrivals,
+            use_banks=config.engine_config.vector_messages,
         )
         self.policy: ControlPolicy = build_policy(
             config.policy, self.engine, config
@@ -458,10 +460,18 @@ class SimulationRunner:
     ) -> None:
         """Phase 1: scripted events, then enqueue this tick's arrivals."""
         observers.before_arrivals(now_s, dt_s)
-        for query in self.loadgen.arrivals(now_s, dt_s):
-            self.engine.submit(query)
-            result.queries_submitted += 1
-            observers.on_arrival(now_s, query)
+        batch = self.loadgen.arrivals(now_s, dt_s)
+        if isinstance(batch, QueryBank):
+            self.engine.submit_bank(batch)
+            result.queries_submitted += batch.count
+            if observers.wants_arrivals:
+                for view in batch.query_views():
+                    observers.on_arrival(now_s, view)
+        else:
+            for query in batch:
+                self.engine.submit(query)
+                result.queries_submitted += 1
+                observers.on_arrival(now_s, query)
         observers.after_arrivals(now_s, dt_s)
 
     def _phase_control(

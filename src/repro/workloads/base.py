@@ -124,6 +124,24 @@ class Workload(abc.ABC):
             for arrival_s in arrival_times_s
         ]
 
+    def make_modeled_bank(
+        self,
+        rng: np.random.Generator,
+        arrival_times_s: list[float],
+        partitions: PartitionMap,
+    ):
+        """Build the arrivals as a columnar :class:`QueryBank`, or ``None``.
+
+        The vectorized load path calls this first and falls back to
+        :meth:`make_modeled_batch` on ``None``.  An override must be an
+        exact columnar transcription of the batch path: same query ids
+        (reserve them via :func:`repro.dbms.queries.take_query_ids`),
+        same ``rng`` draw order *per query*, same per-message costs and
+        targets.  Only workloads whose modeled queries are single-stage
+        and untagged can be represented; anything else returns ``None``.
+        """
+        return None
+
     # -- real mode ---------------------------------------------------------------
 
     @abc.abstractmethod

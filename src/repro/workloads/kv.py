@@ -193,6 +193,62 @@ class KeyValueWorkload(Workload):
             )
         return queries
 
+    def make_modeled_bank(
+        self,
+        rng: np.random.Generator,
+        arrival_times_s: list[float],
+        partitions: PartitionMap,
+    ):
+        # Columnar twin of make_modeled_batch: same query ids, same RNG
+        # draw order per query (partition picks, then the coordinator
+        # draw), same per-message costs — just no Message/Query objects.
+        from repro.dbms.querybank import QueryBank
+        from repro.dbms.queries import take_query_ids
+
+        count = len(arrival_times_s)
+        if not count:
+            return None
+        op_cost = self._op_cost()
+        if self.is_indexed:
+            fan_out = min(16, len(partitions))
+        else:
+            fan_out = min(4, len(partitions))
+        ops_per_partition = max(1, self.ops_per_query // fan_out)
+        all_partitions = np.arange(len(partitions), dtype=np.int64)
+        socket_count = partitions.socket_count
+        targets = np.empty(count * fan_out, dtype=np.int64)
+        coordinators = np.empty(count, dtype=np.int64)
+        # The partition and coordinator draws must interleave per query to
+        # keep the rng stream identical to the scalar path, so this loop
+        # stays scalar; the per-message object fabrication it replaces is
+        # what the columns eliminate.
+        for i in range(count):
+            if self.skew > 0.0:
+                picks = self._skewed_partitions(rng, partitions, fan_out)
+                targets[i * fan_out : (i + 1) * fan_out] = picks
+            elif fan_out == all_partitions.size:
+                targets[i * fan_out : (i + 1) * fan_out] = all_partitions
+            else:
+                targets[i * fan_out : (i + 1) * fan_out] = rng.choice(
+                    all_partitions.size, size=fan_out, replace=False
+                )
+            coordinators[i] = rng.integers(0, socket_count)
+        instructions = np.full(
+            count * fan_out, op_cost.instructions * ops_per_partition
+        )
+        bytes_accessed = np.full(
+            count * fan_out, op_cost.bytes_accessed * ops_per_partition
+        )
+        return QueryBank(
+            first_query_id=take_query_ids(count),
+            fan_out=fan_out,
+            arrivals_s=np.asarray(arrival_times_s, dtype=np.float64),
+            coordinators=coordinators,
+            targets=targets,
+            instructions=instructions,
+            bytes_accessed=bytes_accessed,
+        )
+
     def _skewed_partitions(
         self, rng: np.random.Generator, partitions: PartitionMap, count: int
     ) -> list[int]:
